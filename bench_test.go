@@ -1,0 +1,163 @@
+package gpmetis
+
+// Benchmarks regenerating the paper's evaluation artifacts, one target per
+// table/figure (see DESIGN.md §3). Wall time measures this host's
+// simulation speed; the paper-relevant numbers are attached as custom
+// metrics: "modeled-s" (runtime on the modeled CPU+GPU testbed, the
+// quantity in Table II), "speedup" (over serial Metis, Figure 5), and
+// "cutratio" (vs Metis, Table III).
+//
+// The default scale is 1/200 of Table I so `go test -bench=.` completes in
+// minutes; `cmd/bench -scale 20` runs the full evaluation.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gpmetis/internal/experiments"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+)
+
+const benchScaleDiv = 200
+
+var (
+	benchInputsOnce sync.Once
+	benchInputs     map[gen.Class]*graph.Graph
+	benchMetisCut   map[gen.Class]int
+	benchMetisSec   map[gen.Class]float64
+)
+
+func loadBenchInputs(b *testing.B) map[gen.Class]*graph.Graph {
+	b.Helper()
+	benchInputsOnce.Do(func() {
+		var err error
+		benchInputs, err = experiments.Inputs(experiments.Config{ScaleDiv: benchScaleDiv})
+		if err != nil {
+			panic(err)
+		}
+		benchMetisCut = map[gen.Class]int{}
+		benchMetisSec = map[gen.Class]float64{}
+		for _, cls := range gen.Classes() {
+			res, err := Partition(benchInputs[cls], 64, Options{Algorithm: Metis})
+			if err != nil {
+				panic(err)
+			}
+			benchMetisCut[cls] = res.EdgeCut
+			benchMetisSec[cls] = res.ModeledSeconds
+		}
+	})
+	return benchInputs
+}
+
+// BenchmarkTable1Generators regenerates the Table I inputs (the workload
+// generators themselves).
+func BenchmarkTable1Generators(b *testing.B) {
+	for _, cls := range gen.Classes() {
+		b.Run(cls.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := gen.TableI(cls, benchScaleDiv, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(g.NumVertices()), "vertices")
+			}
+		})
+	}
+}
+
+// benchPartition is the shared body for the Figure 5 / Table II / Table
+// III benchmarks: run one partitioner on one input and report the modeled
+// metrics.
+func benchPartition(b *testing.B, cls gen.Class, algo Algorithm) {
+	inputs := loadBenchInputs(b)
+	g := inputs[cls]
+	var res *Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Partition(g, 64, Options{Algorithm: algo, Seed: int64(1 + i%3)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ModeledSeconds, "modeled-s")
+	b.ReportMetric(benchMetisSec[cls]/res.ModeledSeconds, "speedup")
+	b.ReportMetric(float64(res.EdgeCut)/float64(benchMetisCut[cls]), "cutratio")
+}
+
+// BenchmarkFig5 covers Figure 5 (speedup over Metis) and, through its
+// metrics, Table II (modeled-s) and Table III (cutratio): every
+// partitioner on every Table I input, k=64.
+func BenchmarkFig5(b *testing.B) {
+	for _, cls := range gen.Classes() {
+		for _, algo := range []Algorithm{Metis, ParMetis, MtMetis, GPMetis} {
+			b.Run(fmt.Sprintf("%s/%s", cls, algo), func(b *testing.B) {
+				benchPartition(b, cls, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Runtime isolates the Table II measurement for the
+// paper's headline configuration (GP-metis on each input).
+func BenchmarkTable2Runtime(b *testing.B) {
+	for _, cls := range gen.Classes() {
+		b.Run(cls.String(), func(b *testing.B) {
+			benchPartition(b, cls, GPMetis)
+		})
+	}
+}
+
+// BenchmarkTable3Quality re-measures the edge-cut ratios of Table III
+// (the cutratio metric) with the mt-metis comparison point included.
+func BenchmarkTable3Quality(b *testing.B) {
+	for _, cls := range gen.Classes() {
+		b.Run(cls.String()+"/mt-metis", func(b *testing.B) {
+			benchPartition(b, cls, MtMetis)
+		})
+		b.Run(cls.String()+"/GP-metis", func(b *testing.B) {
+			benchPartition(b, cls, GPMetis)
+		})
+	}
+}
+
+// BenchmarkAblationMerge compares the two contraction merge strategies
+// (DESIGN.md ablation A1) on the delaunay input.
+func BenchmarkAblationMerge(b *testing.B) {
+	inputs := loadBenchInputs(b)
+	g := inputs[gen.ClassDelaunay]
+	for _, merge := range []MergeStrategy{HashMerge, SortMerge} {
+		b.Run(merge.String(), func(b *testing.B) {
+			var res *Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Partition(g, 64, Options{Merge: merge})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ModeledSeconds, "modeled-s")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the GPU->CPU handoff threshold
+// (DESIGN.md ablation A2) on the hugebubble input.
+func BenchmarkAblationThreshold(b *testing.B) {
+	inputs := loadBenchInputs(b)
+	g := inputs[gen.ClassHugeBubble]
+	for _, thr := range []int{2048, 16384, 65536} {
+		b.Run(fmt.Sprintf("threshold-%d", thr), func(b *testing.B) {
+			var res *Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Partition(g, 64, Options{GPUThreshold: thr})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ModeledSeconds, "modeled-s")
+		})
+	}
+}

@@ -1,0 +1,151 @@
+// Command bench regenerates every table and figure of the paper's
+// evaluation (Section IV) plus the design-choice ablations from DESIGN.md.
+//
+// Usage:
+//
+//	bench [-scale N] [-k K] [-runs R] [-seed S] [-v] [experiments...]
+//
+// Experiments: table1, fig5, table2, table3, shape, ablation-merge,
+// ablation-threshold, ablation-coalescing, ablation-conflicts,
+// extended-ptscotch, extended-multigpu, extended-classic, extended-ksweep,
+// all (default: table1 fig5 table2 table3 shape).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpmetis/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 20, "generate inputs at 1/scale of the paper's Table I sizes")
+	k := flag.Int("k", 64, "number of partitions (paper: 64)")
+	runs := flag.Int("runs", 3, "seeded runs per measurement; the minimum is reported (paper: 3)")
+	seed := flag.Int64("seed", 1, "base seed")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	cfg := experiments.Config{
+		ScaleDiv: *scale,
+		K:        *k,
+		Runs:     *runs,
+		Seed:     *seed,
+		Progress: progress,
+	}
+
+	want := flag.Args()
+	if len(want) == 0 {
+		want = []string{"table1", "fig5", "table2", "table3", "shape"}
+	}
+	if len(want) == 1 && want[0] == "all" {
+		want = []string{"table1", "fig5", "table2", "table3", "shape",
+			"ablation-merge", "ablation-threshold", "ablation-coalescing", "ablation-conflicts",
+			"extended-ptscotch", "extended-multigpu", "extended-classic", "extended-ksweep"}
+	}
+
+	needRows := false
+	for _, w := range want {
+		switch w {
+		case "fig5", "table2", "table3", "shape":
+			needRows = true
+		}
+	}
+
+	var rows []experiments.Row
+	if needRows {
+		var err error
+		rows, err = experiments.RunAll(cfg)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	for _, w := range want {
+		switch w {
+		case "table1":
+			inputs, err := experiments.Inputs(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.FormatTable1(cfg, inputs))
+		case "fig5":
+			fmt.Println(experiments.FormatFig5(rows))
+		case "table2":
+			fmt.Println(experiments.FormatTable2(rows))
+		case "table3":
+			fmt.Println(experiments.FormatTable3(rows))
+		case "shape":
+			if bad := experiments.CheckShape(rows); len(bad) > 0 {
+				fmt.Println("SHAPE CHECK: deviations from the paper's comparative claims:")
+				for _, b := range bad {
+					fmt.Println("  -", b)
+				}
+			} else {
+				fmt.Println("SHAPE CHECK: all of the paper's comparative claims hold.")
+			}
+			fmt.Println()
+		case "ablation-merge":
+			out, err := experiments.AblationMerge(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		case "ablation-threshold":
+			out, err := experiments.AblationThreshold(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		case "ablation-coalescing":
+			out, err := experiments.AblationCoalescing(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		case "ablation-conflicts":
+			out, err := experiments.AblationConflicts(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		case "extended-ptscotch":
+			out, err := experiments.ExtendedComparison(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		case "extended-multigpu":
+			out, err := experiments.MultiGPUScaling(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		case "extended-classic":
+			out, err := experiments.ClassicComparison(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		case "extended-ksweep":
+			out, err := experiments.KSweep(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		default:
+			fail(fmt.Errorf("unknown experiment %q", w))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

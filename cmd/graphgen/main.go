@@ -1,0 +1,88 @@
+// Command graphgen writes synthetic graphs in Chaco/Metis format: the
+// paper's four Table I stand-in families plus grids and RMAT.
+//
+// Usage:
+//
+//	graphgen -family ldoor|delaunay|hugebubble|usa-roads|grid2d|grid3d|rmat \
+//	         -n 100000 [-seed 1] [-o out.metis]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"gpmetis"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+)
+
+func main() {
+	family := flag.String("family", "delaunay", "graph family: ldoor, delaunay, hugebubble, usa-roads, grid2d, grid3d, rmat")
+	n := flag.Int("n", 100000, "approximate vertex count (rmat: rounded to a power of two)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	g, err := generate(*family, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		dst, err = os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer dst.Close()
+	}
+	w := bufio.NewWriter(dst)
+	if err := gpmetis.WriteGraph(w, g); err != nil {
+		fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: %s V=%d E=%d avg-degree=%.2f\n",
+		*family, g.NumVertices(), g.NumEdges(), g.AvgDegree())
+}
+
+func generate(family string, n int, seed int64) (*graph.Graph, error) {
+	switch family {
+	case "ldoor":
+		return gen.LDoor(n, seed)
+	case "delaunay":
+		return gen.Delaunay(n, seed)
+	case "hugebubble":
+		return gen.HugeBubble(n, seed)
+	case "usa-roads":
+		return gen.RoadNetwork(n, seed)
+	case "grid2d":
+		s := 1
+		for s*s < n {
+			s++
+		}
+		return gen.Grid2D(s, s)
+	case "grid3d":
+		s := 1
+		for s*s*s < n {
+			s++
+		}
+		return gen.Grid3D(s, s, s)
+	case "rmat":
+		scale := 1
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(scale, 8, seed)
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Meshsolver: domain decomposition for a parallel finite-element solver —
+// the scientific-computing workload the paper's introduction motivates.
+//
+// A 3-D FEM stiffness graph (the "ldoor" family) is split across 16
+// workers. Each iteration of a distributed Jacobi-style solver must
+// exchange one value per cut edge (the halo), so the partition quality
+// directly sets the communication volume. The example runs a toy solver
+// on top of the partition and compares GP-metis against a naive
+// contiguous-range decomposition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpmetis"
+)
+
+const (
+	workers    = 16
+	iterations = 20
+)
+
+func main() {
+	g, err := gpmetis.LDoor(30_000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FEM mesh: %v, avg degree %.1f\n", g, g.AvgDegree())
+
+	res, err := gpmetis.Partition(g, workers, gpmetis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Naive decomposition: contiguous index ranges.
+	naive := make([]int, g.NumVertices())
+	for v := range naive {
+		naive[v] = v * workers / g.NumVertices()
+	}
+
+	for _, c := range []struct {
+		name string
+		part []int
+	}{
+		{"naive ranges", naive},
+		{"GP-metis", res.Part},
+	} {
+		halo := gpmetis.EdgeCut(g, c.part)
+		fmt.Printf("\n%s: halo exchange %d values/iteration, imbalance %.3f\n",
+			c.name, halo, gpmetis.Imbalance(g, c.part, workers))
+		x := solve(g, c.part)
+		fmt.Printf("  solver residual after %d iterations: %.6f (total halo traffic %d values)\n",
+			iterations, x, halo*iterations)
+	}
+}
+
+// solve runs a toy Jacobi smoothing on the mesh (every vertex averages
+// its neighbors) and returns the final maximum update as a convergence
+// proxy. The partition does not change the math — it changes which edge
+// values would cross the network, which is what the report above counts.
+func solve(g *gpmetis.Graph, part []int) float64 {
+	x := make([]float64, g.NumVertices())
+	next := make([]float64, g.NumVertices())
+	for v := range x {
+		x[v] = float64(v % 17)
+	}
+	var maxDelta float64
+	for it := 0; it < iterations; it++ {
+		maxDelta = 0
+		for v := 0; v < g.NumVertices(); v++ {
+			adj, wgt := g.Neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			var sum, wsum float64
+			for i, u := range adj {
+				sum += float64(wgt[i]) * x[u]
+				wsum += float64(wgt[i])
+			}
+			next[v] = sum / wsum
+			if d := next[v] - x[v]; d > maxDelta {
+				maxDelta = d
+			} else if -d > maxDelta {
+				maxDelta = -d
+			}
+		}
+		x, next = next, x
+	}
+	_ = part
+	return maxDelta
+}

@@ -1,0 +1,53 @@
+// Multigpu: the paper's Section V future work in action — partitioning a
+// graph that does not fit in one GPU's memory by sharding it across
+// several modeled devices.
+//
+// The example shrinks the modeled device so a mid-sized mesh no longer
+// fits, shows the single-GPU pipeline refusing it (the paper's stated
+// assumption is that the graph fits), and then partitions it across 2, 4,
+// and 8 devices, reporting time and quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpmetis"
+)
+
+func main() {
+	g, err := gpmetis.HugeBubble(200_000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 32
+
+	// Reference: an unconstrained single GPU.
+	ref, err := gpmetis.Partition(g, k, gpmetis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %v (%.1f MB CSR)\n", g, float64(g.Bytes())/1e6)
+	fmt.Printf("1 GPU, full memory: cut %d, modeled %.3fs\n\n", ref.EdgeCut, ref.ModeledSeconds)
+
+	// Now shrink the device below the graph's footprint.
+	small := gpmetis.DefaultMachine()
+	small.GPU.GlobalMemBytes = g.Bytes()/2 + 4096
+	fmt.Printf("device memory reduced to %.1f MB...\n", float64(small.GPU.GlobalMemBytes)/1e6)
+
+	if _, err := gpmetis.Partition(g, k, gpmetis.Options{Machine: small}); err != nil {
+		fmt.Printf("single GPU refuses, as the paper assumes: %v\n\n", err)
+	} else {
+		log.Fatal("expected the reduced device to refuse the graph")
+	}
+
+	for _, devices := range []int{2, 4, 8} {
+		res, err := gpmetis.Partition(g, k, gpmetis.Options{Machine: small, Devices: devices})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d GPUs: cut %d (%.2fx of single-GPU), modeled %.3fs, imbalance %.3f\n",
+			devices, res.EdgeCut, float64(res.EdgeCut)/float64(ref.EdgeCut),
+			res.ModeledSeconds, gpmetis.Imbalance(g, res.Part, k))
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: generate a graph, partition it with GP-metis, and inspect
+// the result — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpmetis"
+)
+
+func main() {
+	// A Delaunay triangulation of 50k random points, like the paper's
+	// "delaunay" input (DIMACS10) at reduced scale.
+	g, err := gpmetis.Delaunay(50_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %v, avg degree %.2f\n", g, g.AvgDegree())
+
+	// Partition into 64 parts with the paper's parameters (3% imbalance).
+	res, err := gpmetis.Partition(g, 64, gpmetis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GP-metis: edge cut %d, imbalance %.4f, modeled %.3fs on the paper's CPU+GPU testbed\n",
+		res.EdgeCut, gpmetis.Imbalance(g, res.Part, 64), res.ModeledSeconds)
+
+	// Where did the modeled time go? The timeline holds every phase:
+	// GPU kernels, PCIe transfers, and the CPU stage in the middle.
+	fmt.Println("\nphase breakdown (aggregated):")
+	for _, p := range res.Timeline.ByPhaseName() {
+		if p.Seconds > 0.0005 {
+			fmt.Printf("  %-6s %-28s %8.4fs\n", p.Loc, p.Name, p.Seconds)
+		}
+	}
+
+	// Compare against the serial baseline the paper measures speedup over.
+	ser, err := gpmetis.Partition(g, 64, gpmetis.Options{Algorithm: gpmetis.Metis})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserial Metis: edge cut %d, modeled %.3fs -> GP-metis speedup %.2fx\n",
+		ser.EdgeCut, ser.ModeledSeconds, ser.ModeledSeconds/res.ModeledSeconds)
+}

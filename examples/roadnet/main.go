@@ -1,0 +1,59 @@
+// Roadnet: sharding a road network across route-planning servers.
+//
+// A USA-roads-like planar network is partitioned so that each server owns
+// one region; queries that cross a partition boundary ("border crossings")
+// need a distributed handoff, so the edge cut is the number of road
+// segments whose endpoints live on different servers. The example
+// compares all four partitioners of the library on the same input — the
+// comparison the paper's Figure 5 and Table III make.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpmetis"
+)
+
+func main() {
+	g, err := gpmetis.RoadNetwork(120_000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("road network: %v, avg degree %.2f\n\n", g, g.AvgDegree())
+	const servers = 32
+
+	fmt.Printf("%-10s %14s %10s %14s\n", "algorithm", "border roads", "imbalance", "modeled time")
+	for _, algo := range []gpmetis.Algorithm{
+		gpmetis.Metis, gpmetis.ParMetis, gpmetis.MtMetis, gpmetis.GPMetis,
+		gpmetis.PTScotch, gpmetis.Gmetis, gpmetis.Jostle,
+	} {
+		res, err := gpmetis.Partition(g, servers, gpmetis.Options{Algorithm: algo})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14d %10.4f %13.3fs\n",
+			algo, res.EdgeCut, gpmetis.Imbalance(g, res.Part, servers), res.ModeledSeconds)
+	}
+
+	// For the winning partition, show the per-server load distribution a
+	// deployment dashboard would care about.
+	res, err := gpmetis.Partition(g, servers, gpmetis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	load := make([]int, servers)
+	for v := 0; v < g.NumVertices(); v++ {
+		load[res.Part[v]]++
+	}
+	min, max := load[0], load[0]
+	for _, l := range load {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	fmt.Printf("\nGP-metis server load: min %d, max %d vertices (%d servers)\n", min, max, servers)
+}

@@ -1,0 +1,3 @@
+module gpmetis
+
+go 1.22

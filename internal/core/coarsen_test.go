@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+// kernelHarness allocates a device graph plus the arrays the coarsening
+// kernels need.
+func kernelHarness(t *testing.T, g *graph.Graph) (*gpu.Device, devGraph, gpu.Array) {
+	t.Helper()
+	tl := &perfmodel.Timeline{}
+	d := gpu.NewDevice(perfmodel.Default(), tl)
+	dg, err := allocGraph(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchArr, err := d.Malloc(g.NumVertices(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dg, matchArr
+}
+
+func TestMatchKernelsProduceValidMatching(t *testing.T) {
+	g, err := gen.Delaunay(3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, dg, matchArr := kernelHarness(t, g)
+	o := DefaultOptions()
+	match, conflicts, attempts := matchKernels(d, dg, o, 0, matchArr)
+	matched := 0
+	for v, u := range match {
+		if u < 0 || u >= g.NumVertices() {
+			t.Fatalf("match[%d]=%d out of range", v, u)
+		}
+		if match[u] != v {
+			t.Fatalf("asymmetric matching at %d<->%d", v, u)
+		}
+		if u != v {
+			if !g.HasEdge(v, u) {
+				t.Fatalf("matched non-adjacent %d,%d", v, u)
+			}
+			matched++
+		}
+	}
+	if matched < g.NumVertices()/4 {
+		t.Errorf("only %d/%d matched after %d rounds", matched, g.NumVertices(), 4)
+	}
+	if attempts == 0 || conflicts == 0 {
+		t.Errorf("handshake matching should record attempts (%d) and conflicts (%d)", attempts, conflicts)
+	}
+}
+
+func TestMatchKernelsRespectWeightCap(t *testing.T) {
+	// A path whose vertices all weigh 10: with cap 15 nothing may match.
+	b := graph.NewBuilder(8)
+	for v := 0; v < 7; v++ {
+		if err := b.AddEdge(v, v+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < 8; v++ {
+		if err := b.SetVertexWeight(v, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	d, dg, matchArr := kernelHarness(t, g)
+	match, _, _ := matchKernels(d, dg, DefaultOptions(), 15, matchArr)
+	for v, u := range match {
+		if u != v {
+			t.Fatalf("cap violated: %d matched %d", v, u)
+		}
+	}
+}
+
+// The GPU cmap + contraction pipeline must produce exactly the same coarse
+// graph as the serial reference given the same matching.
+func TestContractKernelsMatchSerialContraction(t *testing.T) {
+	for _, merge := range []MergeStrategy{HashMerge, SortMerge} {
+		merge := merge
+		t.Run(merge.String(), func(t *testing.T) {
+			g, err := gen.Delaunay(2500, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, dg, matchArr := kernelHarness(t, g)
+			o := DefaultOptions()
+			o.Merge = merge
+			o.MaxThreads = 512 // several vertices per thread
+			match, _, _ := matchKernels(d, dg, o, 0, matchArr)
+
+			cmap, coarseN, err := cmapKernels(d, o, match, matchArr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCmap, refN := metis.BuildCMap(match, nil)
+			if coarseN != refN {
+				t.Fatalf("cmap count %d != serial %d", coarseN, refN)
+			}
+			for v := range cmap {
+				if cmap[v] != refCmap[v] {
+					t.Fatalf("cmap[%d] = %d, serial %d", v, cmap[v], refCmap[v])
+				}
+			}
+
+			cmapArr, err := d.Malloc(len(cmap), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, err := contractKernels(d, dg, o, match, cmap, coarseN, matchArr, cmapArr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cg.Validate(); err != nil {
+				t.Fatalf("GPU coarse graph invalid: %v", err)
+			}
+			ref := metis.Contract(g, match, refCmap, refN, nil)
+			if cg.NumVertices() != ref.NumVertices() || cg.NumEdges() != ref.NumEdges() {
+				t.Fatalf("size mismatch: GPU %v vs serial %v", cg, ref)
+			}
+			for v := 0; v < ref.NumVertices(); v++ {
+				if cg.VWgt[v] != ref.VWgt[v] {
+					t.Fatalf("vwgt[%d] = %d, serial %d", v, cg.VWgt[v], ref.VWgt[v])
+				}
+				adj, wgt := ref.Neighbors(v)
+				for i, u := range adj {
+					if cg.EdgeWeight(v, u) != wgt[i] {
+						t.Fatalf("edge (%d,%d): GPU %d, serial %d", v, u, cg.EdgeWeight(v, u), wgt[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestThreadsFor(t *testing.T) {
+	if threadsFor(100, 1000) != 100 {
+		t.Error("small n should launch n threads")
+	}
+	if threadsFor(5000, 1000) != 1000 {
+		t.Error("large n should cap at MaxThreads")
+	}
+}
+
+func TestEdgeHashSymmetric(t *testing.T) {
+	for u := 0; u < 50; u++ {
+		for v := u + 1; v < 50; v++ {
+			if edgeHash(u, v) != edgeHash(v, u) {
+				t.Fatalf("edgeHash(%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	// Distinct edges should rarely collide.
+	seen := map[uint64]bool{}
+	coll := 0
+	for u := 0; u < 100; u++ {
+		for v := u + 1; v < 100; v++ {
+			h := edgeHash(u, v)
+			if seen[h] {
+				coll++
+			}
+			seen[h] = true
+		}
+	}
+	if coll > 2 {
+		t.Errorf("%d hash collisions among 4950 edges", coll)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph"
+)
+
+// devGraph pairs a CSR graph with its device allocations (the actual data
+// lives in the graph's Go slices; the Arrays give them an address space in
+// the simulator's cost model).
+type devGraph struct {
+	g      *graph.Graph
+	xadj   gpu.Array
+	adjncy gpu.Array
+	adjwgt gpu.Array
+	vwgt   gpu.Array
+}
+
+// allocGraph reserves device memory for g's four CSR arrays (4-byte
+// elements, as a CUDA implementation would use).
+func allocGraph(d *gpu.Device, g *graph.Graph) (devGraph, error) {
+	dg := devGraph{g: g}
+	var err error
+	if dg.xadj, err = d.Malloc(len(g.XAdj), 4); err != nil {
+		return devGraph{}, err
+	}
+	if dg.adjncy, err = d.Malloc(len(g.Adjncy), 4); err != nil {
+		d.Free(dg.xadj)
+		return devGraph{}, err
+	}
+	if dg.adjwgt, err = d.Malloc(len(g.AdjWgt), 4); err != nil {
+		d.Free(dg.xadj)
+		d.Free(dg.adjncy)
+		return devGraph{}, err
+	}
+	if dg.vwgt, err = d.Malloc(len(g.VWgt), 4); err != nil {
+		d.Free(dg.xadj)
+		d.Free(dg.adjncy)
+		d.Free(dg.adjwgt)
+		return devGraph{}, err
+	}
+	return dg, nil
+}
+
+// free releases the graph's device arrays.
+func (dg devGraph) free(d *gpu.Device) {
+	d.Free(dg.xadj)
+	d.Free(dg.adjncy)
+	d.Free(dg.adjwgt)
+	d.Free(dg.vwgt)
+}
+
+// bytes returns the CSR footprint used for PCIe transfer charging.
+func (dg devGraph) bytes() int64 { return dg.g.Bytes() }
+
+// gpuLevel is one GPU coarsening level kept alive for the un-coarsening
+// projection (the paper's "set of pointer arrays").
+type gpuLevel struct {
+	fine    devGraph
+	cmap    []int
+	cmapArr gpu.Array
+	coarse  devGraph
+}
+
+// threadsFor picks the launch width for a kernel over n items: the paper
+// reduces the thread count as the graph shrinks to avoid underutilized
+// launches.
+func threadsFor(n, maxThreads int) int {
+	if n < maxThreads {
+		return n
+	}
+	return maxThreads
+}
+
+// forOwned iterates the vertices owned by thread c.TID() of T under the
+// given distribution, calling f with each vertex. Cyclic ownership
+// (Figure 2) makes consecutive lanes touch consecutive vertices; Blocked
+// gives each thread a contiguous chunk. Each iteration re-converges the
+// lane (gpu.Ctx.Converge) the way SIMT lanes re-converge at a loop head,
+// so the distributions' coalescing behaviour is visible to the cost
+// model.
+func forOwned(dist Distribution, n, T int, c *gpu.Ctx, f func(v int)) {
+	tid := c.TID()
+	switch dist {
+	case Cyclic:
+		j := 0
+		for v := tid; v < n; v += T {
+			c.Converge(j)
+			j++
+			f(v)
+		}
+	default: // Blocked
+		lo, hi := tid*n/T, (tid+1)*n/T
+		for v := lo; v < hi; v++ {
+			c.Converge(v - lo)
+			f(v)
+		}
+	}
+}

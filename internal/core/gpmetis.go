@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/mtmetis"
+	"gpmetis/internal/perfmodel"
+)
+
+// Result is the outcome of a GP-metis run.
+type Result struct {
+	// Part assigns each vertex of the input graph a partition in [0,k).
+	Part []int
+	// EdgeCut is the weight of edges crossing partitions.
+	EdgeCut int
+	// GPULevels and CPULevels count the coarsening levels performed on
+	// each side of the threshold.
+	GPULevels, CPULevels int
+	// Timeline holds the modeled phase durations across GPU kernels,
+	// PCIe transfers, and CPU phases.
+	Timeline perfmodel.Timeline
+	// MatchConflicts / MatchAttempts expose the lock-free matching
+	// conflict rate on the GPU levels (Section IV discusses how the
+	// thousands of concurrent threads raise it above mt-metis's).
+	MatchConflicts, MatchAttempts int
+	// KernelStats aggregates the simulated device activity.
+	KernelStats gpu.Stats
+}
+
+// ModeledSeconds returns the total modeled runtime, including CPU<->GPU
+// transfer time as in the paper's Table II.
+func (r *Result) ModeledSeconds() float64 { return r.Timeline.Total() }
+
+// Partition runs the full GP-metis pipeline of Figure 1 on the modeled
+// CPU-GPU system.
+func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result, error) {
+	if err := o.validate(g, k); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	d := gpu.NewDevice(m, &res.Timeline)
+
+	// Initially, the graph information is copied to the GPU's global
+	// memory (Section III).
+	dg, err := allocGraph(d, g)
+	if err != nil {
+		return nil, fmt.Errorf("core: input graph exceeds device memory: %w", err)
+	}
+	d.ToDevice("h2d.graph", dg.bytes())
+
+	// --- GPU coarsening, level by level, down to the threshold ---
+	var levels []gpuLevel
+	maxVWgt := metis.MaxVertexWeight(g, k, o.CoarsenTo)
+	cur := dg
+	for cur.g.NumVertices() > o.GPUThreshold {
+		matchArr, err := d.Malloc(cur.g.NumVertices(), 4)
+		if err != nil {
+			return nil, fmt.Errorf("core: match array: %w", err)
+		}
+		match, conflicts, attempts := matchKernels(d, cur, o, maxVWgt, matchArr)
+		res.MatchConflicts += conflicts
+		res.MatchAttempts += attempts
+
+		cmap, coarseN, err := cmapKernels(d, o, match, matchArr)
+		if err != nil {
+			return nil, err
+		}
+		if float64(coarseN) > 0.95*float64(cur.g.NumVertices()) {
+			// Matching stalled (pathological input); hand off early.
+			d.Free(matchArr)
+			break
+		}
+		cmapArr, err := d.Malloc(len(cmap), 4)
+		if err != nil {
+			return nil, fmt.Errorf("core: cmap array: %w", err)
+		}
+		cg, err := contractKernels(d, cur, o, match, cmap, coarseN, matchArr, cmapArr)
+		if err != nil {
+			return nil, err
+		}
+		d.Free(matchArr) // the matching is not needed past contraction
+		cdg, err := allocGraph(d, cg)
+		if err != nil {
+			return nil, fmt.Errorf("core: coarse graph at level %d: %w", len(levels), err)
+		}
+		// The fine graph's arrays and the cmap stay allocated: the paper
+		// keeps "a set of pointer arrays" for the projection phase.
+		levels = append(levels, gpuLevel{fine: cur, cmap: cmap, cmapArr: cmapArr, coarse: cdg})
+		cur = cdg
+	}
+	res.GPULevels = len(levels)
+
+	// --- Handoff: move the coarse graph to the CPU, where mt-metis
+	// finishes coarsening, computes the initial partitioning, and refines
+	// the coarse levels ---
+	d.ToHost("d2h.coarse", cur.g.Bytes())
+	mtOpts := mtmetis.Options{
+		Seed:        o.Seed,
+		UBFactor:    o.UBFactor,
+		CoarsenTo:   o.CoarsenTo,
+		RefineIters: o.RefineIters,
+		Threads:     o.CPUThreads,
+	}
+	var part []int
+	if cur.g.NumVertices() < k {
+		return nil, fmt.Errorf("core: GPU coarsening collapsed below k=%d vertices; lower GPUThreshold", k)
+	}
+	mtRes, err := mtmetis.Partition(cur.g, k, mtOpts, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: CPU phase: %w", err)
+	}
+	res.Timeline.Merge(&mtRes.Timeline)
+	res.CPULevels = mtRes.Levels
+	part = mtRes.Part
+
+	// --- Return to the GPU for the remaining un-coarsening levels ---
+	cpartArr, err := d.Malloc(cur.g.NumVertices(), 4)
+	if err != nil {
+		return nil, fmt.Errorf("core: partition vector: %w", err)
+	}
+	d.ToDevice("h2d.part", int64(4*cur.g.NumVertices()))
+
+	for i := len(levels) - 1; i >= 0; i-- {
+		lvl := levels[i]
+		partArr, err := d.Malloc(lvl.fine.g.NumVertices(), 4)
+		if err != nil {
+			return nil, fmt.Errorf("core: fine partition vector: %w", err)
+		}
+		part = projectKernel(d, lvl, part, o, partArr, cpartArr)
+		if err := refineKernels(d, lvl.fine, part, k, o, partArr); err != nil {
+			return nil, err
+		}
+		// This level's coarse-side resources are no longer needed.
+		d.Free(cpartArr)
+		d.Free(lvl.cmapArr)
+		lvl.coarse.free(d)
+		cpartArr = partArr
+	}
+	d.ToHost("d2h.part", int64(4*g.NumVertices()))
+	d.Free(cpartArr)
+	if len(levels) > 0 {
+		levels[0].fine.free(d)
+	} else {
+		dg.free(d)
+	}
+
+	// Final balance safety net on the CPU ("the balance of partitions is
+	// guaranteed by continuing the refinement at the finer graph levels";
+	// we enforce the bound explicitly at the finest level).
+	var acct perfmodel.ThreadCost
+	metis.BalancePartition(g, part, k, o.UBFactor, &acct)
+	res.Timeline.Append("balance", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+
+	// Everything the pipeline allocated must be released by now; a leak
+	// here means a lost handle that would exhaust the 6 GB device over
+	// repeated runs.
+	if d.Allocated() != 0 {
+		return nil, fmt.Errorf("core: internal device-memory leak: %d bytes still allocated", d.Allocated())
+	}
+
+	res.Part = part
+	res.EdgeCut = graph.EdgeCut(g, part)
+	res.KernelStats = d.Stats()
+	return res, nil
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"fmt"
+
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+// PartitionMulti is the paper's future work (Section V): "the partitioning
+// algorithm should be extended to multiple GPUs for handling even larger
+// graphs". It partitions a graph that does not fit in one device's global
+// memory by sharding the vertices over `devices` GPUs:
+//
+//   - each device runs the matching kernel over its shard against a
+//     host-assembled snapshot of the shared match vector; the host
+//     resolves conflicts and redistributes the result (charged as PCIe
+//     traffic both ways);
+//   - contraction runs per shard (rows whose pair representative the
+//     shard owns); the host assembles and re-shards the coarse graph;
+//   - once the coarse graph fits on a single device, the standard
+//     single-GPU GP-metis pipeline takes over;
+//   - the multi-GPU levels are projected back shard by shard, with
+//     host-committed buffered refinement.
+//
+// Devices run concurrently, so each multi-GPU phase costs the maximum of
+// the per-device kernel times plus the host exchange.
+func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Machine) (*Result, error) {
+	if err := o.validate(g, k); err != nil {
+		return nil, err
+	}
+	if devices < 1 {
+		return nil, fmt.Errorf("core: PartitionMulti needs at least 1 device, got %d", devices)
+	}
+	if devices == 1 {
+		return Partition(g, k, o, m)
+	}
+
+	res := &Result{}
+	// Per-device simulators with private timelines; phase maxima go to
+	// the master timeline.
+	devs := make([]*gpu.Device, devices)
+	tls := make([]*perfmodel.Timeline, devices)
+	for d := range devs {
+		tls[d] = &perfmodel.Timeline{}
+		devs[d] = gpu.NewDevice(m, tls[d])
+	}
+	marks := make([]float64, devices)
+	phase := func(name string) {
+		var maxDelta float64
+		for d := range devs {
+			delta := tls[d].Total() - marks[d]
+			marks[d] = tls[d].Total()
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+		}
+		res.Timeline.Append(name, perfmodel.LocGPU, maxDelta)
+	}
+
+	// A shard must fit on its device; the whole point is that the full
+	// graph need not.
+	shardBytes := g.Bytes()/int64(devices) + 1
+	if shardBytes > m.GPU.GlobalMemBytes {
+		return nil, fmt.Errorf("core: even 1/%d shards (%d bytes) exceed device memory", devices, shardBytes)
+	}
+
+	type mgLevel struct {
+		fine *graph.Graph
+		cmap []int
+	}
+	var levels []mgLevel
+	cur := g
+	maxVWgt := metis.MaxVertexWeight(g, k, o.CoarsenTo)
+	// Per-device accounting arrays for the shard-resident data the
+	// kernels touch (sized for the finest level, reused below it).
+	shards := make([]shardArrs, devices)
+	for d := range devs {
+		a, err := newShardArrs(devs[d], g, devices)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard arrays on device %d: %w", d, err)
+		}
+		shards[d] = a
+	}
+	// Upload the initial shards.
+	for d := range devs {
+		devs[d].ToDevice("mg.h2d.shard", shardBytes)
+	}
+	phase("mg.upload")
+
+	singleFits := func(gr *graph.Graph) bool {
+		// The single-GPU pipeline keeps every level's arrays alive for
+		// projection (a ~4x geometric chain) plus the contraction's
+		// temporary arrays (~1.5x transiently); 6x is a safe envelope.
+		return 6*gr.Bytes() < m.GPU.GlobalMemBytes
+	}
+
+	target := o.CoarsenTo * k
+	for !singleFits(cur) {
+		n := cur.NumVertices()
+		// Memory pressure beats the usual coarsening threshold: past the
+		// CoarsenTo*k target the vertex-weight cap is lifted so the graph
+		// can keep shrinking until it fits a single device.
+		cap := maxVWgt
+		if n <= target {
+			cap = 0
+		}
+		match, conflicts, attempts := multiMatch(devs, shards, cur, o, cap, devices)
+		res.MatchConflicts += conflicts
+		res.MatchAttempts += attempts
+		phase("mg.match")
+		// Host resolves and redistributes the match vector.
+		for d := range devs {
+			devs[d].ToHost("mg.d2h.match", int64(4*n/devices))
+			devs[d].ToDevice("mg.h2d.match", int64(4*n/devices))
+		}
+		phase("mg.exchange")
+
+		var acct perfmodel.ThreadCost
+		cmap, coarseN := metis.BuildCMap(match, &acct)
+		res.Timeline.Append("mg.cmap.host", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+		if float64(coarseN) > 0.95*float64(n) {
+			return nil, fmt.Errorf("core: multi-GPU coarsening stalled at %d vertices (%d bytes) before fitting one device", n, cur.Bytes())
+		}
+		cg := multiContract(devs, shards, cur, o, match, cmap, coarseN, devices)
+		phase("mg.contract")
+		// Host assembles and re-shards the coarse graph.
+		for d := range devs {
+			devs[d].ToHost("mg.d2h.coarse", cg.Bytes()/int64(devices))
+			devs[d].ToDevice("mg.h2d.coarse", cg.Bytes()/int64(devices))
+		}
+		phase("mg.reshard")
+		levels = append(levels, mgLevel{fine: cur, cmap: cmap})
+		cur = cg
+	}
+	// Fold per-device timelines into the result for reference (totals
+	// only; the phase maxima already carried the critical path).
+	res.GPULevels = len(levels)
+
+	// --- Single-GPU pipeline from here down ---
+	sub, err := Partition(cur, k, o, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: single-GPU stage: %w", err)
+	}
+	res.Timeline.Merge(&sub.Timeline)
+	res.CPULevels = sub.CPULevels
+	res.MatchConflicts += sub.MatchConflicts
+	res.MatchAttempts += sub.MatchAttempts
+	part := sub.Part
+
+	// --- Multi-GPU projection + refinement back to the input ---
+	for i := len(levels) - 1; i >= 0; i-- {
+		lvl := levels[i]
+		n := lvl.fine.NumVertices()
+		fine := make([]int, n)
+		for d := 0; d < devices; d++ {
+			dd := d
+			lo, hi := d*n/devices, (d+1)*n/devices
+			sa := shards[dd]
+			devs[dd].Launch("mg.project", threadsFor(hi-lo, o.MaxThreads), func(c *gpu.Ctx) {
+				T := threadsFor(hi-lo, o.MaxThreads)
+				j := 0
+				for v := lo + c.TID(); v < hi; v += T {
+					c.Converge(j)
+					j++
+					c.Load(sa.cmap, v-lo)
+					c.Load(sa.part, lvl.cmap[v]%sa.span) // scattered gather
+					fine[v] = part[lvl.cmap[v]]
+					c.Store(sa.part, v-lo)
+					c.Op(2)
+				}
+			})
+		}
+		phase("mg.project")
+		part = fine
+		multiRefine(devs, shards, lvl.fine, part, k, o, m, res, devices)
+	}
+	for d := range devs {
+		devs[d].ToHost("mg.d2h.part", int64(4*g.NumVertices()/devices))
+		shards[d].free(devs[d])
+	}
+	phase("mg.download")
+
+	var acct perfmodel.ThreadCost
+	metis.BalancePartition(g, part, k, o.UBFactor, &acct)
+	res.Timeline.Append("balance", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+
+	res.Part = part
+	res.EdgeCut = graph.EdgeCut(g, part)
+	for d := range devs {
+		st := devs[d].Stats()
+		res.KernelStats.Kernels += st.Kernels
+		res.KernelStats.Threads += st.Threads
+		res.KernelStats.Transactions += st.Transactions
+		res.KernelStats.Accesses += st.Accesses
+		res.KernelStats.WarpInstructions += st.WarpInstructions
+		res.KernelStats.LaneInstructions += st.LaneInstructions
+		res.KernelStats.AtomicOps += st.AtomicOps
+		res.KernelStats.AtomicSerial += st.AtomicSerial
+		res.KernelStats.BytesToDevice += st.BytesToDevice
+		res.KernelStats.BytesToHost += st.BytesToHost
+	}
+	return res, nil
+}
+
+// multiMatch runs one handshake-matching round set per shard: each device
+// proposes for its shard from the global snapshot; the host commits the
+// mutual pairs (the same semantics as the single-GPU kernels, so quality
+// is unchanged).
+func multiMatch(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, o Options, maxVWgt, devices int) (match []int, conflicts, attempts int) {
+	n := g.NumVertices()
+	match = make([]int, n)
+	prop := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		proposals := 0
+		for d := 0; d < devices; d++ {
+			lo, hi := d*n/devices, (d+1)*n/devices
+			T := threadsFor(hi-lo, o.MaxThreads)
+			sa := shards[d]
+			devs[d].Launch(fmt.Sprintf("mg.match.r%d", round), T, func(c *gpu.Ctx) {
+				j := 0
+				for v := lo + c.TID(); v < hi; v += T {
+					c.Converge(j)
+					j++
+					c.Load(sa.match, v-lo)
+					prop[v] = -1
+					if match[v] != -1 {
+						c.Op(1)
+						continue
+					}
+					adj, wgt := g.Neighbors(v)
+					c.Load(sa.xadj, v-lo)
+					c.LoadN(sa.adjncy, (v-lo)%sa.span, len(adj))
+					for range adj {
+						c.Load(sa.match, c.TID()%sa.span) // ghost/remote match reads
+					}
+					c.Op(2 + len(adj)*3)
+					best, bestW, bestH := -1, -1, uint64(0)
+					for i, u := range adj {
+						if match[u] != -1 {
+							continue
+						}
+						if maxVWgt > 0 && g.VWgt[v]+g.VWgt[u] > maxVWgt {
+							continue
+						}
+						h := edgeHash(v, u)
+						if wgt[i] > bestW || (wgt[i] == bestW && h > bestH) {
+							best, bestW, bestH = u, wgt[i], h
+						}
+					}
+					if best != -1 {
+						prop[v] = best
+						proposals++
+						c.Store(sa.match, v-lo)
+					}
+				}
+			})
+		}
+		if proposals == 0 {
+			break
+		}
+		attempts += proposals
+		// Host-side resolve (the cross-device equivalent of the resolve
+		// kernel): mutual proposals commit.
+		for v := 0; v < n; v++ {
+			u := prop[v]
+			if u == -1 {
+				continue
+			}
+			if prop[u] == v {
+				match[v] = u
+			} else {
+				conflicts++
+			}
+		}
+	}
+	for v := range match {
+		if match[v] == -1 {
+			match[v] = v
+		}
+	}
+	return match, conflicts, attempts
+}
+
+// multiContract contracts per shard (rows whose representative the shard
+// owns) with the hash-merge strategy, assembling the coarse graph on the
+// host.
+func multiContract(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, o Options, match, cmap []int, coarseN, devices int) *graph.Graph {
+	n := g.NumVertices()
+	cg := &graph.Graph{XAdj: make([]int, coarseN+1), VWgt: make([]int, coarseN)}
+	rows := make([][]int, coarseN)
+	rowW := make([][]int, coarseN)
+	for d := 0; d < devices; d++ {
+		lo, hi := d*n/devices, (d+1)*n/devices
+		T := threadsFor(hi-lo, o.MaxThreads)
+		sa := shards[d]
+		devs[d].Launch("mg.contract", T, func(c *gpu.Ctx) {
+			idx := map[int]int{}
+			j := 0
+			for v := lo + c.TID(); v < hi; v += T {
+				c.Converge(j)
+				j++
+				c.Load(sa.match, v-lo)
+				u := match[v]
+				if u < v {
+					continue
+				}
+				cv := cmap[v]
+				clear(idx)
+				var adjOut, wgtOut []int
+				members := [2]int{v, u}
+				last := 0
+				if u != v {
+					last = 1
+				}
+				vw := 0
+				for mi := 0; mi <= last; mi++ {
+					mv := members[mi]
+					vw += g.VWgt[mv]
+					adj, wgt := g.Neighbors(mv)
+					c.Load(sa.xadj, mv%sa.span)
+					c.LoadN(sa.adjncy, mv%sa.span, len(adj))
+					c.Op(3 * len(adj))
+					for i, w := range adj {
+						c.Load(sa.cmap, w%sa.span) // scattered cmap gather
+						cu := cmap[w]
+						if cu == cv {
+							continue
+						}
+						if j, ok := idx[cu]; ok {
+							wgtOut[j] += wgt[i]
+						} else {
+							idx[cu] = len(adjOut)
+							adjOut = append(adjOut, cu)
+							wgtOut = append(wgtOut, wgt[i])
+						}
+					}
+				}
+				rows[cv] = adjOut
+				rowW[cv] = wgtOut
+				cg.VWgt[cv] = vw
+			}
+		})
+	}
+	for cv := 0; cv < coarseN; cv++ {
+		cg.XAdj[cv+1] = cg.XAdj[cv] + len(rows[cv])
+	}
+	cg.Adjncy = make([]int, 0, cg.XAdj[coarseN])
+	cg.AdjWgt = make([]int, 0, cg.XAdj[coarseN])
+	for cv := 0; cv < coarseN; cv++ {
+		cg.Adjncy = append(cg.Adjncy, rows[cv]...)
+		cg.AdjWgt = append(cg.AdjWgt, rowW[cv]...)
+	}
+	return cg
+}
+
+// multiRefine runs one buffered refinement per level across shards: scan
+// kernels per device fill move requests, the host commits them under the
+// balance bound, and the updated partition slices travel back.
+func multiRefine(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, part []int, k int, o Options, m *perfmodel.Machine, res *Result, devices int) {
+	n := g.NumVertices()
+	pw := graph.PartWeights(g, part, k)
+	totalW := 0
+	for _, w := range pw {
+		totalW += w
+	}
+	maxPW := int(o.UBFactor * float64(totalW) / float64(k))
+	if maxPW < 1 {
+		maxPW = 1
+	}
+	for pass := 0; pass < o.RefineIters; pass++ {
+		committed := 0
+		for dir := 0; dir < 2; dir++ {
+			var reqs []moveReq
+			for d := 0; d < devices; d++ {
+				lo, hi := d*n/devices, (d+1)*n/devices
+				T := threadsFor(hi-lo, o.MaxThreads)
+				conn := make([]int, k)
+				var touched []int
+				sa := shards[d]
+				devs[d].Launch(fmt.Sprintf("mg.refine.scan.d%d", dir), T, func(c *gpu.Ctx) {
+					j := 0
+					for v := lo + c.TID(); v < hi; v += T {
+						c.Converge(j)
+						j++
+						c.Load(sa.part, v-lo)
+						pv := part[v]
+						adj, wgt := g.Neighbors(v)
+						c.Load(sa.xadj, v-lo)
+						c.LoadN(sa.adjncy, (v-lo)%sa.span, len(adj))
+						for range adj {
+							c.Load(sa.part, c.TID()%sa.span) // scattered partition reads
+						}
+						c.Op(3 + 2*len(adj))
+						boundary := false
+						for i, u := range adj {
+							pu := part[u]
+							if pu != pv {
+								boundary = true
+							}
+							if conn[pu] == 0 {
+								touched = append(touched, pu)
+							}
+							conn[pu] += wgt[i]
+						}
+						if boundary {
+							bestP, bestGain := -1, 0
+							for _, p := range touched {
+								if p == pv || (dir == 0 && p < pv) || (dir == 1 && p > pv) {
+									continue
+								}
+								if pw[p]+g.VWgt[v] > maxPW {
+									continue
+								}
+								if gain := conn[p] - conn[pv]; gain > bestGain {
+									bestP, bestGain = p, gain
+								}
+							}
+							if bestP != -1 && bestGain > 0 {
+								reqs = append(reqs, moveReq{v: v, from: pv, gain: bestGain, vw: g.VWgt[v]})
+								// request slot via atomic, as on one GPU
+								c.Op(1)
+							}
+						}
+						for _, p := range touched {
+							conn[p] = 0
+						}
+						touched = touched[:0]
+					}
+				})
+			}
+			// Host commit (PCIe for the requests, CPU for the drain).
+			var acct perfmodel.ThreadCost
+			acct.Ops = float64(8 * len(reqs))
+			acct.Rand = float64(2 * len(reqs))
+			res.Timeline.Append("mg.refine.commit", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+			for _, q := range reqs {
+				if part[q.v] != q.from {
+					continue
+				}
+				// moveReq carries no explicit destination here; recompute
+				// the best feasible target at commit time.
+				to := bestTarget(g, part, pw, maxPW, q.v, dir)
+				if to == -1 {
+					continue
+				}
+				part[q.v] = to
+				pw[q.from] -= q.vw
+				pw[to] += q.vw
+				committed++
+			}
+		}
+		if committed == 0 {
+			break
+		}
+	}
+}
+
+// bestTarget recomputes a vertex's best balance-feasible move under the
+// direction rule.
+func bestTarget(g *graph.Graph, part, pw []int, maxPW, v, dir int) int {
+	pv := part[v]
+	adj, wgt := g.Neighbors(v)
+	conn := map[int]int{}
+	for i, u := range adj {
+		conn[part[u]] += wgt[i]
+	}
+	bestP, bestGain := -1, 0
+	for p, w := range conn {
+		if p == pv || (dir == 0 && p < pv) || (dir == 1 && p > pv) {
+			continue
+		}
+		if pw[p]+g.VWgt[v] > maxPW {
+			continue
+		}
+		if gain := w - conn[pv]; gain > bestGain {
+			bestP, bestGain = p, gain
+		}
+	}
+	return bestP
+}
+
+// shardArrs are one device's accounting arrays for its shard of the graph
+// and per-level vectors. The actual data lives in host-side Go slices (as
+// everywhere in the simulator); these handles give the kernels an address
+// space so coalescing and traffic are priced. One set is sized for the
+// finest level and reused by coarser ones.
+type shardArrs struct {
+	span   int // elements per array (shard size at the finest level)
+	xadj   gpu.Array
+	adjncy gpu.Array
+	match  gpu.Array
+	cmap   gpu.Array
+	part   gpu.Array
+}
+
+func newShardArrs(d *gpu.Device, g *graph.Graph, devices int) (shardArrs, error) {
+	span := g.NumVertices()/devices + 1
+	arcs := len(g.Adjncy)/devices + 1
+	sa := shardArrs{span: span}
+	var err error
+	if sa.xadj, err = d.Malloc(span+1, 4); err != nil {
+		return shardArrs{}, err
+	}
+	if sa.adjncy, err = d.Malloc(arcs, 4); err != nil {
+		return shardArrs{}, err
+	}
+	if sa.match, err = d.Malloc(span, 4); err != nil {
+		return shardArrs{}, err
+	}
+	if sa.cmap, err = d.Malloc(span, 4); err != nil {
+		return shardArrs{}, err
+	}
+	if sa.part, err = d.Malloc(span, 4); err != nil {
+		return shardArrs{}, err
+	}
+	return sa, nil
+}
+
+func (sa shardArrs) free(d *gpu.Device) {
+	d.Free(sa.xadj)
+	d.Free(sa.adjncy)
+	d.Free(sa.match)
+	d.Free(sa.cmap)
+	d.Free(sa.part)
+}

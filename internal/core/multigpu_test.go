@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/perfmodel"
+)
+
+// tinyDeviceMachine returns a machine whose GPU is too small for the test
+// graph, forcing the multi-GPU path.
+func tinyDeviceMachine(g *graph.Graph) *perfmodel.Machine {
+	m := perfmodel.Default()
+	// One device holds less than the whole graph but more than a quarter
+	// of it, so 4 devices suffice.
+	m.GPU.GlobalMemBytes = g.Bytes()/2 + 4096
+	return m
+}
+
+func TestPartitionMultiHandlesOversizedGraph(t *testing.T) {
+	g, err := gen.Delaunay(40000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tinyDeviceMachine(g)
+	o := smallOpts()
+
+	// The single-GPU pipeline must refuse this graph...
+	if _, err := Partition(g, 8, o, m); err == nil {
+		t.Fatal("single-GPU Partition should fail when the graph exceeds device memory")
+	}
+	// ...and the multi-GPU extension must handle it.
+	res, err := PartitionMulti(g, 8, 4, o, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 8); err != nil {
+		t.Fatal(err)
+	}
+	if res.GPULevels == 0 {
+		t.Error("expected multi-GPU coarsening levels before the single-GPU stage")
+	}
+	if imb := graph.Imbalance(g, res.Part, 8); imb > 1.15 {
+		t.Errorf("imbalance = %g", imb)
+	}
+	if res.ModeledSeconds() <= 0 {
+		t.Error("no modeled time")
+	}
+	if res.KernelStats.BytesToDevice == 0 || res.KernelStats.BytesToHost == 0 {
+		t.Error("multi-GPU run must charge inter-device exchanges")
+	}
+}
+
+func TestPartitionMultiQualityNearSingle(t *testing.T) {
+	g, err := gen.Delaunay(20000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := perfmodel.Default()
+	o := smallOpts()
+	single, err := Partition(g, 16, o, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := PartitionMulti(g, 16, 4, o, tinyDeviceMachine(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(multi.EdgeCut) / float64(single.EdgeCut)
+	if ratio > 1.4 || ratio < 0.6 {
+		t.Errorf("multi-GPU cut ratio vs single = %.3f (%d vs %d)", ratio, multi.EdgeCut, single.EdgeCut)
+	}
+}
+
+func TestPartitionMultiDegeneratesToSingle(t *testing.T) {
+	g, err := gen.Grid2D(30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := perfmodel.Default()
+	o := smallOpts()
+	a, err := PartitionMulti(g, 4, 1, o, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 4, o, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCut != b.EdgeCut {
+		t.Error("devices=1 must be identical to the single-GPU pipeline")
+	}
+	if _, err := PartitionMulti(g, 4, 0, o, m); err == nil {
+		t.Error("devices=0 should fail")
+	}
+}
+
+func TestPartitionMultiTooBigEvenSharded(t *testing.T) {
+	g, err := gen.Grid2D(50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := perfmodel.Default()
+	m.GPU.GlobalMemBytes = 64 // absurd
+	if _, err := PartitionMulti(g, 4, 2, smallOpts(), m); err == nil {
+		t.Error("graph exceeding all shards must fail")
+	}
+}

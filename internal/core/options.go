@@ -1,0 +1,158 @@
+// Package core implements GP-metis, the paper's contribution: a lock-free
+// multilevel k-way graph partitioner for a heterogeneous CPU-GPU system
+// (Section III).
+//
+// The pipeline mirrors Figure 1:
+//
+//  1. the CSR graph is copied to the GPU;
+//  2. coarsening levels run on the GPU — a lock-free matching kernel, a
+//     conflict-resolution kernel, the four-kernel prefix-sum construction
+//     of the cmap array, and a contraction step that carves per-thread
+//     output ranges with two exclusive scans over temp/temp2 and merges
+//     adjacency lists either by sort or with a per-thread chained hash
+//     table;
+//  3. below a threshold the coarse graph moves to the CPU, where mt-metis
+//     finishes coarsening, computes the initial k-way partition, and
+//     refines the coarse levels;
+//  4. the partitioned coarse graph returns to the GPU, which projects it
+//     through the saved per-level cmap arrays and runs lock-free
+//     refinement: a scan kernel fills per-partition move-request buffers
+//     through a single atomic counter increment per request, and an
+//     explore kernel (one thread per partition) commits the
+//     highest-gain, balance-feasible requests; each pass runs two
+//     iterations with opposite move directions.
+//
+// The GPU is the deterministic SIMT simulator of internal/gpu (see
+// DESIGN.md §1 for why this substitution preserves the paper's claims).
+package core
+
+import (
+	"fmt"
+
+	"gpmetis/internal/graph"
+)
+
+// MergeStrategy selects how the contraction kernel merges the adjacency
+// lists of a collapsed pair (paper Section III.A).
+type MergeStrategy int
+
+// Contraction merge strategies.
+const (
+	// HashMerge uses a per-thread chained hash table; the paper's default
+	// for sparse graphs ("the hash table approach is faster than the
+	// sorting").
+	HashMerge MergeStrategy = iota
+	// SortMerge sorts the concatenated neighbor lists and removes
+	// duplicates; needed when the hash table would not fit in memory.
+	SortMerge
+)
+
+// String names the merge strategy.
+func (s MergeStrategy) String() string {
+	switch s {
+	case HashMerge:
+		return "hash"
+	case SortMerge:
+		return "sort"
+	default:
+		return fmt.Sprintf("MergeStrategy(%d)", int(s))
+	}
+}
+
+// Distribution selects how vertices map to GPU threads (paper Figure 2).
+type Distribution int
+
+// Vertex-to-thread distributions.
+const (
+	// Cyclic gives thread t the vertices t, t+T, t+2T, ... so that
+	// consecutive lanes touch consecutive array entries: the coalesced
+	// layout of Figure 2.
+	Cyclic Distribution = iota
+	// Blocked gives thread t one contiguous chunk; lanes then touch
+	// addresses a chunk apart and loads do not coalesce. Provided for the
+	// coalescing ablation.
+	Blocked
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Cyclic:
+		return "cyclic"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Options configures a GP-metis run. Construct with DefaultOptions.
+type Options struct {
+	// Seed drives all randomized decisions (CPU side; the GPU kernels are
+	// deterministic).
+	Seed int64
+	// UBFactor is the allowed imbalance (paper: 1.03).
+	UBFactor float64
+	// GPUThreshold is the vertex count below which coarsening (and,
+	// mirrored, un-coarsening) moves to the CPU: "the last level in which
+	// the coarsening of the graph executes faster on the GPU than the
+	// CPU".
+	GPUThreshold int
+	// CoarsenTo*k is where the CPU-side coarsening stops.
+	CoarsenTo int
+	// RefineIters bounds GPU refinement passes per level.
+	RefineIters int
+	// Merge selects the contraction merge strategy.
+	Merge MergeStrategy
+	// Distribution selects the vertex-to-thread mapping.
+	Distribution Distribution
+	// MaxThreads caps the logical threads per kernel launch; the driver
+	// lowers the count as the graph shrinks (Section III.A: "we reduce
+	// the number of launched threads in the following levels").
+	MaxThreads int
+	// CPUThreads is the thread count for the mt-metis CPU phases.
+	CPUThreads int
+}
+
+// DefaultOptions mirrors the paper's experimental setup.
+func DefaultOptions() Options {
+	return Options{
+		Seed:         1,
+		UBFactor:     1.03,
+		GPUThreshold: 16 * 1024,
+		CoarsenTo:    30,
+		RefineIters:  6,
+		Merge:        HashMerge,
+		Distribution: Cyclic,
+		MaxThreads:   1 << 18,
+		CPUThreads:   8,
+	}
+}
+
+func (o *Options) validate(g *graph.Graph, k int) error {
+	switch {
+	case k < 1:
+		return fmt.Errorf("core: k must be >= 1, got %d", k)
+	case g.NumVertices() == 0:
+		return fmt.Errorf("core: cannot partition an empty graph")
+	case k > g.NumVertices():
+		return fmt.Errorf("core: k=%d exceeds vertex count %d", k, g.NumVertices())
+	case o.UBFactor < 1.0:
+		return fmt.Errorf("core: UBFactor %g must be >= 1.0", o.UBFactor)
+	case o.GPUThreshold < 1:
+		return fmt.Errorf("core: GPUThreshold %d must be >= 1", o.GPUThreshold)
+	case o.CoarsenTo < 1:
+		return fmt.Errorf("core: CoarsenTo %d must be >= 1", o.CoarsenTo)
+	case o.RefineIters < 0:
+		return fmt.Errorf("core: RefineIters %d must be >= 0", o.RefineIters)
+	case o.MaxThreads < 32:
+		return fmt.Errorf("core: MaxThreads %d must be >= one warp", o.MaxThreads)
+	case o.CPUThreads < 1:
+		return fmt.Errorf("core: CPUThreads %d must be >= 1", o.CPUThreads)
+	case o.Merge != HashMerge && o.Merge != SortMerge:
+		return fmt.Errorf("core: unknown merge strategy %d", int(o.Merge))
+	case o.Distribution != Cyclic && o.Distribution != Blocked:
+		return fmt.Errorf("core: unknown distribution %d", int(o.Distribution))
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph"
+)
+
+// projectKernel transfers the coarse partition onto the finer graph on the
+// GPU (Section III.C projection): the fine vertices are divided among the
+// threads and each thread reads its vertices' coarse labels through the
+// saved cmap array.
+func projectKernel(d *gpu.Device, lvl gpuLevel, coarsePart []int, o Options, partArr, cpartArr gpu.Array) []int {
+	n := lvl.fine.g.NumVertices()
+	T := threadsFor(n, o.MaxThreads)
+	part := make([]int, n)
+	d.Launch("uncoarsen.project", T, func(c *gpu.Ctx) {
+		forOwned(o.Distribution, n, T, c, func(v int) {
+			c.Load(lvl.cmapArr, v)
+			c.Load(cpartArr, lvl.cmap[v]) // scattered coarse-label gather
+			part[v] = coarsePart[lvl.cmap[v]]
+			c.Store(partArr, v)
+			c.Op(1)
+		})
+	})
+	return part
+}
+
+// moveReq is one thread's request to migrate a boundary vertex, as placed
+// into a partition's buffer (Section III.C: "a request contains the source
+// partition's vertex labels and potential gain").
+type moveReq struct {
+	v    int
+	from int
+	gain int
+	vw   int
+}
+
+// refineKernels runs GP-metis's lock-free refinement on one graph level:
+// up to RefineIters passes, each with two direction-constrained iterations
+// (moves only toward higher partition ids, then only lower). Each
+// iteration launches a scan kernel in which every thread examines its
+// boundary vertices, picks the best balance-feasible destination, and
+// appends a request to that partition's buffer by atomically bumping the
+// buffer's counter; then an explore kernel with one thread per partition
+// sorts its buffer by gain and commits the moves the balance bound allows.
+func refineKernels(d *gpu.Device, dg devGraph, part []int, k int, o Options, partArr gpu.Array) error {
+	g := dg.g
+	n := g.NumVertices()
+	pw := graph.PartWeights(g, part, k)
+	totalW := 0
+	for _, w := range pw {
+		totalW += w
+	}
+	maxPW := int(o.UBFactor * float64(totalW) / float64(k))
+	if maxPW < 1 {
+		maxPW = 1
+	}
+
+	// Per-partition buffers and their atomic counters live in device
+	// memory. The buffers are sized for the worst case (every vertex
+	// requesting the same destination is impossible, but per-iteration
+	// totals are bounded by n).
+	counterArr, err := d.Malloc(k, 4)
+	if err != nil {
+		return fmt.Errorf("core: refine counters: %w", err)
+	}
+	defer d.Free(counterArr)
+	bufArr, err := d.Malloc(n, 16)
+	if err != nil {
+		return fmt.Errorf("core: refine buffers: %w", err)
+	}
+	defer d.Free(bufArr)
+
+	T := threadsFor(n, o.MaxThreads)
+	conn := make([]int, k)
+	var touched []int
+
+	for pass := 0; pass < o.RefineIters; pass++ {
+		committed := 0
+		for dir := 0; dir < 2; dir++ {
+			buffers := make([][]moveReq, k)
+			slots := 0
+
+			d.Launch(fmt.Sprintf("refine.scan.d%d", dir), T, func(c *gpu.Ctx) {
+				forOwned(o.Distribution, n, T, c, func(v int) {
+					c.Load(partArr, v)
+					pv := part[v]
+					c.Load(dg.xadj, v)
+					c.Load(dg.xadj, v+1)
+					adj, wgt := g.Neighbors(v)
+					c.LoadN(dg.adjncy, g.XAdj[v], len(adj))
+					c.LoadN(dg.adjwgt, g.XAdj[v], len(adj))
+					boundary := false
+					for i, u := range adj {
+						c.Load(partArr, u) // scattered partition reads
+						pu := part[u]
+						if pu != pv {
+							boundary = true
+						}
+						if conn[pu] == 0 {
+							touched = append(touched, pu)
+						}
+						conn[pu] += wgt[i]
+						c.Op(2)
+					}
+					if boundary {
+						bestP, bestGain := -1, 0
+						for _, p := range touched {
+							if p == pv {
+								continue
+							}
+							// Direction ordering (Section III.C): moves
+							// flow one way per iteration so two neighbors
+							// cannot swap across the same boundary.
+							if dir == 0 && p < pv || dir == 1 && p > pv {
+								continue
+							}
+							if pw[p]+g.VWgt[v] > maxPW {
+								continue
+							}
+							if gain := conn[p] - conn[pv]; gain > bestGain {
+								bestP, bestGain = p, gain
+							}
+							c.Op(3)
+						}
+						if bestP != -1 && bestGain > 0 {
+							// Atomically claim a buffer slot, then write
+							// the request into it.
+							c.Atomic(counterArr, bestP)
+							c.Store(bufArr, slots)
+							buffers[bestP] = append(buffers[bestP], moveReq{v: v, from: pv, gain: bestGain, vw: g.VWgt[v]})
+							slots++
+						}
+					}
+					for _, p := range touched {
+						conn[p] = 0
+					}
+					touched = touched[:0]
+				})
+			})
+
+			// Explore kernel: one thread per partition drains its buffer.
+			// With k threads on thousands of cores this launch is
+			// deliberately narrow — exactly the underutilized phase the
+			// paper describes — and the simulator's critical-path floor
+			// prices it accordingly.
+			d.Launch(fmt.Sprintf("refine.explore.d%d", dir), k, func(c *gpu.Ctx) {
+				p := c.TID()
+				buf := buffers[p]
+				if len(buf) == 0 {
+					c.Load(counterArr, p)
+					return
+				}
+				c.Load(counterArr, p)
+				sort.Slice(buf, func(i, j int) bool {
+					if buf[i].gain != buf[j].gain {
+						return buf[i].gain > buf[j].gain
+					}
+					return buf[i].v < buf[j].v
+				})
+				if m := len(buf); m > 1 {
+					logm := 0
+					for x := m; x > 1; x >>= 1 {
+						logm++
+					}
+					c.Op(2 * m * logm)
+				}
+				for _, req := range buf {
+					c.LoadN(bufArr, 0, 4) // read the 16-byte request
+					if part[req.v] != req.from {
+						continue
+					}
+					// Balance check: "accepts the moves that do not
+					// overweight the partition".
+					if pw[p]+req.vw > maxPW {
+						continue
+					}
+					part[req.v] = p
+					pw[req.from] -= req.vw
+					pw[p] += req.vw
+					committed++
+					c.Store(partArr, req.v)
+					c.Op(4)
+				}
+			})
+		}
+		if committed == 0 {
+			break // "terminated earlier if no move is committed"
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gpmetis/internal/core"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/mtmetis"
+	"gpmetis/internal/perfmodel"
+)
+
+// AblationMerge compares GP-metis's two contraction merge strategies
+// (Section III.A: sort-merge vs per-thread chained hash tables) on every
+// input class, reporting modeled GPU coarsening time and end-to-end time.
+func AblationMerge(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	inputs, err := Inputs(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("ABLATION A1. Contraction merge strategy (hash vs sort)\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s\n", "Graph", "hash total(s)", "sort total(s)", "hash/sort")
+	for _, cls := range gen.Classes() {
+		g := inputs[cls]
+		var secs [2]float64
+		for i, merge := range []core.MergeStrategy{core.HashMerge, core.SortMerge} {
+			o := core.DefaultOptions()
+			o.Seed = cfg.Seed
+			o.Merge = merge
+			r, err := core.Partition(g, cfg.K, o, cfg.Machine)
+			if err != nil {
+				return "", fmt.Errorf("experiments: merge ablation on %v: %w", cls, err)
+			}
+			secs[i] = r.ModeledSeconds()
+		}
+		fmt.Fprintf(&b, "%-12s %14.3f %14.3f %10.3f\n", cls, secs[0], secs[1], secs[0]/secs[1])
+		cfg.logf("merge ablation %v done\n", cls)
+	}
+	return b.String(), nil
+}
+
+// AblationThreshold sweeps the GPU->CPU coarsening handoff threshold
+// (Section III: "the last level in which the coarsening of the graph
+// executes faster on the GPU than the CPU").
+func AblationThreshold(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	inputs, err := Inputs(cfg)
+	if err != nil {
+		return "", err
+	}
+	thresholds := []int{2 * 1024, 8 * 1024, 16 * 1024, 64 * 1024, 256 * 1024}
+	var b strings.Builder
+	b.WriteString("ABLATION A2. GPU->CPU handoff threshold sweep (total modeled seconds)\n")
+	fmt.Fprintf(&b, "%-12s", "Graph")
+	for _, t := range thresholds {
+		fmt.Fprintf(&b, " %8dK", t/1024)
+	}
+	b.WriteString("\n")
+	for _, cls := range gen.Classes() {
+		g := inputs[cls]
+		fmt.Fprintf(&b, "%-12s", cls)
+		for _, t := range thresholds {
+			o := core.DefaultOptions()
+			o.Seed = cfg.Seed
+			o.GPUThreshold = t
+			r, err := core.Partition(g, cfg.K, o, cfg.Machine)
+			if err != nil {
+				return "", fmt.Errorf("experiments: threshold ablation on %v: %w", cls, err)
+			}
+			fmt.Fprintf(&b, " %9.3f", r.ModeledSeconds())
+		}
+		b.WriteString("\n")
+		cfg.logf("threshold ablation %v done\n", cls)
+	}
+	return b.String(), nil
+}
+
+// AblationCoalescing compares the cyclic (coalesced, paper Figure 2) and
+// blocked (strided) vertex-to-thread distributions. Inputs are randomly
+// relabeled so the measured effect is the thread mapping itself rather
+// than the generators' spatially sorted vertex order, and the comparison
+// uses the GPU coarsening phases, whose work is identical under both
+// mappings.
+func AblationCoalescing(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	inputs, err := Inputs(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("ABLATION A3. Vertex-to-thread distribution (coalescing, GPU time & transactions)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %14s %14s\n", "Graph", "cyclic(s)", "blocked(s)", "cyclic tx", "blocked tx")
+	for _, cls := range gen.Classes() {
+		g0 := inputs[cls]
+		perm := rand.New(rand.NewSource(cfg.Seed)).Perm(g0.NumVertices())
+		g, err := graph.Relabel(g0, perm)
+		if err != nil {
+			return "", err
+		}
+		var secs [2]float64
+		var txs [2]int64
+		for i, dist := range []core.Distribution{core.Cyclic, core.Blocked} {
+			o := core.DefaultOptions()
+			o.Seed = cfg.Seed
+			o.Distribution = dist
+			// The mapping only matters when threads own several vertices
+			// (with one vertex per thread the two distributions coincide),
+			// so cap the launch width well below the vertex count.
+			o.MaxThreads = g.NumVertices() / 8
+			if o.MaxThreads < 1024 {
+				o.MaxThreads = 1024
+			}
+			r, err := core.Partition(g, cfg.K, o, cfg.Machine)
+			if err != nil {
+				return "", fmt.Errorf("experiments: coalescing ablation on %v: %w", cls, err)
+			}
+			secs[i] = gpuCoarsenSeconds(&r.Timeline)
+			txs[i] = r.KernelStats.Transactions
+		}
+		fmt.Fprintf(&b, "%-12s %12.4f %12.4f %14d %14d\n", cls, secs[0], secs[1], txs[0], txs[1])
+		cfg.logf("coalescing ablation %v done\n", cls)
+	}
+	return b.String(), nil
+}
+
+// gpuCoarsenSeconds sums the GPU coarsening phases (match/cmap/contract),
+// which follow the same trajectory under both distributions so their
+// times are directly comparable.
+func gpuCoarsenSeconds(tl *perfmodel.Timeline) float64 {
+	var s float64
+	for _, p := range tl.Phases() {
+		if p.Loc != perfmodel.LocGPU {
+			continue
+		}
+		if strings.HasPrefix(p.Name, "coarsen.") || strings.HasPrefix(p.Name, "cmap.") || strings.HasPrefix(p.Name, "contract.") {
+			s += p.Seconds
+		}
+	}
+	return s
+}
+
+// AblationConflicts reports the lock-free matching conflict rate of
+// GP-metis (GPU-wide races) against mt-metis (8 threads), the effect the
+// paper uses to explain the quality gap in Section IV.
+func AblationConflicts(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	inputs, err := Inputs(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("ABLATION A4. Lock-free matching conflict rate (conflicts/attempts)\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "Graph", "mt-metis (8T)", "GP-metis (GPU)")
+	for _, cls := range gen.Classes() {
+		g := inputs[cls]
+		mo := mtmetis.DefaultOptions()
+		mo.Seed = cfg.Seed
+		mr, err := mtmetis.Partition(g, cfg.K, mo, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: conflict ablation (mt) on %v: %w", cls, err)
+		}
+		co := core.DefaultOptions()
+		co.Seed = cfg.Seed
+		cr, err := core.Partition(g, cfg.K, co, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: conflict ablation (gp) on %v: %w", cls, err)
+		}
+		mtRate := rate(mr.MatchConflicts, mr.MatchAttempts)
+		gpRate := rate(cr.MatchConflicts, cr.MatchAttempts)
+		fmt.Fprintf(&b, "%-12s %14.4f %14.4f\n", cls, mtRate, gpRate)
+		cfg.logf("conflict ablation %v done\n", cls)
+	}
+	return b.String(), nil
+}
+
+func rate(conflicts, attempts int) float64 {
+	if attempts == 0 {
+		return 0
+	}
+	return float64(conflicts) / float64(attempts)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/jostle"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/spectral"
+)
+
+// ClassicComparison (extended experiment E3) puts the paper's historical
+// context on one table: serial Metis against Jostle (the other classic
+// multilevel tool of Section II.A) and recursive spectral bisection (the
+// pre-multilevel heuristic of reference [5]). The expected shape is the
+// motivation for multilevel methods: spectral needs far more modeled time
+// for comparable or worse cuts, and the two multilevel tools land close
+// together.
+func ClassicComparison(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	inputs, err := Inputs(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("EXTENDED E3. Classic methods vs serial Metis (time ratio / cutratio)\n")
+	fmt.Fprintf(&b, "%-12s %12s %10s %12s %10s\n", "Graph", "Jostle t/t0", "cutratio", "Spectral t/t0", "cutratio")
+	for _, cls := range gen.Classes() {
+		g := inputs[cls]
+		mo := metis.DefaultOptions()
+		mo.Seed = cfg.Seed
+		mr, err := metis.Partition(g, cfg.K, mo, cfg.Machine)
+		if err != nil {
+			return "", err
+		}
+		jo := jostle.DefaultOptions()
+		jo.Seed = cfg.Seed
+		jr, err := jostle.Partition(g, cfg.K, jo, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: Jostle on %v: %w", cls, err)
+		}
+		so := spectral.DefaultOptions()
+		so.Seed = cfg.Seed
+		sr, err := spectral.Partition(g, cfg.K, so, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: Spectral on %v: %w", cls, err)
+		}
+		fmt.Fprintf(&b, "%-12s %12.2f %10.3f %12.2f %10.3f\n", cls,
+			jr.ModeledSeconds()/mr.ModeledSeconds(),
+			float64(jr.EdgeCut)/float64(mr.EdgeCut),
+			sr.ModeledSeconds()/mr.ModeledSeconds(),
+			float64(sr.EdgeCut)/float64(mr.EdgeCut))
+		cfg.logf("classic %v done\n", cls)
+	}
+	return b.String(), nil
+}

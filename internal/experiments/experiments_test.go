@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpmetis/internal/graph/gen"
+)
+
+// tinyCfg runs the campaign at 1/800 scale so the whole suite finishes in
+// seconds while still exercising every partitioner end to end.
+func tinyCfg() Config {
+	return Config{ScaleDiv: 800, K: 16, Runs: 1, Seed: 1}
+}
+
+func TestInputsGenerateAllClasses(t *testing.T) {
+	inputs, err := Inputs(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) != 4 {
+		t.Fatalf("got %d inputs, want 4", len(inputs))
+	}
+	for cls, g := range inputs {
+		if g.NumVertices() == 0 {
+			t.Errorf("%v: empty graph", cls)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%v: %v", cls, err)
+		}
+	}
+}
+
+func TestRunAllAndFormatters(t *testing.T) {
+	var progress bytes.Buffer
+	cfg := tinyCfg()
+	cfg.Progress = &progress
+	rows, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		for name, m := range map[string]Measurement{
+			"Metis": r.Metis, "ParMetis": r.ParMetis, "mt-metis": r.MtMetis, "GP-metis": r.GPMetis,
+		} {
+			if m.Seconds <= 0 {
+				t.Errorf("%v/%s: non-positive modeled time", r.Class, name)
+			}
+			if m.EdgeCut <= 0 {
+				t.Errorf("%v/%s: non-positive cut", r.Class, name)
+			}
+			if m.Imbal < 1 {
+				t.Errorf("%v/%s: imbalance %g < 1", r.Class, name, m.Imbal)
+			}
+		}
+		if r.Speedup(r.Metis) != 1 {
+			t.Errorf("%v: Metis speedup over itself = %g", r.Class, r.Speedup(r.Metis))
+		}
+		if r.CutRatio(r.Metis) != 1 {
+			t.Errorf("%v: Metis cut ratio vs itself = %g", r.Class, r.CutRatio(r.Metis))
+		}
+	}
+	if progress.Len() == 0 {
+		t.Error("progress writer received nothing")
+	}
+
+	inputs, err := Inputs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := FormatTable1(cfg, inputs)
+	for _, want := range []string{"TABLE I", "ldoor", "delaunay", "hugebubble", "usa-roads", "952203"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+	f5 := FormatFig5(rows)
+	if !strings.Contains(f5, "FIGURE 5") || !strings.Contains(f5, "GP-metis") {
+		t.Error("Figure 5 output malformed")
+	}
+	t2 := FormatTable2(rows)
+	if !strings.Contains(t2, "TABLE II") || !strings.Contains(t2, "Metis") {
+		t.Error("Table II output malformed")
+	}
+	t3 := FormatTable3(rows)
+	if !strings.Contains(t3, "TABLE III") {
+		t.Error("Table III output malformed")
+	}
+	// The shape checker must at least run; tiny graphs may legitimately
+	// deviate, so only assert it does not panic and formats cleanly.
+	_ = CheckShape(rows)
+}
+
+func TestMeasureKeepsMinimum(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Runs = 3
+	g, err := gen.TableI(gen.ClassDelaunay, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	secs := []float64{3, 1, 2}
+	m, err := measure(cfg, g, "fake", func(seed int64) (float64, []int, error) {
+		s := secs[calls]
+		calls++
+		part := make([]int, g.NumVertices())
+		for v := range part {
+			part[v] = v % cfg.K
+		}
+		return s, part, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("measure ran %d times, want 3", calls)
+	}
+	if m.Seconds != 1 {
+		t.Errorf("measure kept %g, want the minimum 1", m.Seconds)
+	}
+}
+
+func TestMeasureRejectsInvalidPartition(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Runs = 1
+	g, err := gen.TableI(gen.ClassDelaunay, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = measure(cfg, g, "broken", func(seed int64) (float64, []int, error) {
+		return 1, make([]int, g.NumVertices()), nil // everything in part 0
+	})
+	if err == nil {
+		t.Error("measure must reject partitioners that return invalid partitions")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	cfg := tinyCfg()
+	for name, f := range map[string]func(Config) (string, error){
+		"merge":      AblationMerge,
+		"threshold":  AblationThreshold,
+		"coalescing": AblationCoalescing,
+		"conflicts":  AblationConflicts,
+	} {
+		out, err := f(cfg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !strings.Contains(out, "ABLATION") || len(strings.Split(out, "\n")) < 5 {
+			t.Errorf("%s: output too short:\n%s", name, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ScaleDiv != 20 || c.K != 64 || c.Runs != 3 || c.Seed != 1 || c.Machine == nil {
+		t.Errorf("withDefaults = %+v", c)
+	}
+}
+
+func TestExtendedExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended experiments are slow")
+	}
+	cfg := tinyCfg()
+	out, err := ExtendedComparison(cfg)
+	if err != nil {
+		t.Fatalf("ExtendedComparison: %v", err)
+	}
+	if !strings.Contains(out, "PT-Scotch") {
+		t.Errorf("extended comparison malformed:\n%s", out)
+	}
+	out, err = MultiGPUScaling(cfg)
+	if err != nil {
+		t.Fatalf("MultiGPUScaling: %v", err)
+	}
+	for _, want := range []string{"Multi-GPU", "2 GPUs", "8 GPUs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-GPU scaling output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClassicComparisonRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classic comparison is slow")
+	}
+	out, err := ClassicComparison(tinyCfg())
+	if err != nil {
+		t.Fatalf("ClassicComparison: %v", err)
+	}
+	for _, want := range []string{"Jostle", "Spectral", "ldoor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("classic comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k sweep is slow")
+	}
+	cfg := tinyCfg()
+	out, err := KSweep(cfg)
+	if err != nil {
+		t.Fatalf("KSweep: %v", err)
+	}
+	for _, want := range []string{"Partition-count sweep", "mt-metis", "GP-metis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("k sweep missing %q:\n%s", want, out)
+		}
+	}
+}

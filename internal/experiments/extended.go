@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpmetis/internal/core"
+	"gpmetis/internal/gmetis"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/ptscotch"
+)
+
+// ExtendedComparison adds the repository's beyond-paper systems to the
+// Figure 5 comparison: the PT-Scotch-style partitioner (paper Section
+// II.B, described but not measured there) and Gmetis (Section II.C, the
+// Galois speculative model) against serial Metis on every input class.
+func ExtendedComparison(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	inputs, err := Inputs(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("EXTENDED E1. Beyond-paper systems vs serial Metis (speedup / cutratio)\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %12s %12s %14s\n", "Graph", "PT-Scotch", "cutratio", "Gmetis", "cutratio", "Gmetis aborts")
+	for _, cls := range gen.Classes() {
+		g := inputs[cls]
+		mo := metis.DefaultOptions()
+		mo.Seed = cfg.Seed
+		mr, err := metis.Partition(g, cfg.K, mo, cfg.Machine)
+		if err != nil {
+			return "", err
+		}
+		po := ptscotch.DefaultOptions()
+		po.Seed = cfg.Seed
+		pr, err := ptscotch.Partition(g, cfg.K, po, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: PT-Scotch on %v: %w", cls, err)
+		}
+		gmo := gmetis.DefaultOptions()
+		gmo.Seed = cfg.Seed
+		gr, err := gmetis.Partition(g, cfg.K, gmo, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: Gmetis on %v: %w", cls, err)
+		}
+		fmt.Fprintf(&b, "%-12s %10.2f %10.3f %12.2f %12.3f %13.1f%%\n", cls,
+			mr.ModeledSeconds()/pr.ModeledSeconds(),
+			float64(pr.EdgeCut)/float64(mr.EdgeCut),
+			mr.ModeledSeconds()/gr.ModeledSeconds(),
+			float64(gr.EdgeCut)/float64(mr.EdgeCut),
+			100*gr.Speculation.AbortRate())
+		cfg.logf("extended %v done\n", cls)
+	}
+	return b.String(), nil
+}
+
+// MultiGPUScaling demonstrates the paper's future-work extension: a graph
+// sized beyond one (reduced-memory) device is partitioned across 2, 4,
+// and 8 modeled GPUs, reporting modeled time and quality versus the
+// unconstrained single-GPU run.
+func MultiGPUScaling(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	g, err := gen.TableI(gen.ClassDelaunay, cfg.ScaleDiv, cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	o := core.DefaultOptions()
+	o.Seed = cfg.Seed
+
+	// Unconstrained single-GPU reference.
+	ref, err := core.Partition(g, cfg.K, o, cfg.Machine)
+	if err != nil {
+		return "", err
+	}
+
+	// Shrink the device so the graph no longer fits on one.
+	small := *cfg.Machine
+	small.GPU.GlobalMemBytes = g.Bytes()/2 + 4096
+
+	var b strings.Builder
+	b.WriteString("EXTENDED E2. Multi-GPU scaling (paper Section V future work)\n")
+	fmt.Fprintf(&b, "device memory limited to %.1f MB; graph needs %.1f MB\n",
+		float64(small.GPU.GlobalMemBytes)/1e6, float64(g.Bytes())/1e6)
+	fmt.Fprintf(&b, "%-18s %12s %10s\n", "configuration", "modeled(s)", "cutratio")
+	fmt.Fprintf(&b, "%-18s %12.3f %10.3f\n", "1 GPU (full mem)", ref.ModeledSeconds(), 1.0)
+	if _, err := core.Partition(g, cfg.K, o, &small); err == nil {
+		return "", fmt.Errorf("experiments: expected the reduced device to refuse the graph")
+	}
+	for _, d := range []int{2, 4, 8} {
+		r, err := core.PartitionMulti(g, cfg.K, d, o, &small)
+		if err != nil {
+			return "", fmt.Errorf("experiments: %d GPUs: %w", d, err)
+		}
+		fmt.Fprintf(&b, "%-18s %12.3f %10.3f\n",
+			fmt.Sprintf("%d GPUs (reduced)", d), r.ModeledSeconds(),
+			float64(r.EdgeCut)/float64(ref.EdgeCut))
+		cfg.logf("multi-gpu %d done\n", d)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpmetis/internal/core"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/mtmetis"
+)
+
+// KSweep (extended experiment E4) varies the partition count around the
+// paper's fixed k=64 on the delaunay input, reporting GP-metis's and
+// mt-metis's speedups over serial Metis and GP-metis's cut ratio. The
+// refinement's explore stage has exactly k-way parallelism, so small k
+// under-fills both the GPU and the CPU threads — this sweep shows where
+// the paper's k=64 sits on that curve.
+func KSweep(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	g, err := gen.TableI(gen.ClassDelaunay, cfg.ScaleDiv, cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	ks := []int{8, 16, 64, 128, 256}
+	var b strings.Builder
+	b.WriteString("EXTENDED E4. Partition-count sweep on delaunay (speedup over Metis)\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s\n", "k", "mt-metis", "GP-metis", "GP cutratio")
+	for _, k := range ks {
+		if k > g.NumVertices() {
+			continue
+		}
+		mo := metis.DefaultOptions()
+		mo.Seed = cfg.Seed
+		mr, err := metis.Partition(g, k, mo, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: Metis k=%d: %w", k, err)
+		}
+		to := mtmetis.DefaultOptions()
+		to.Seed = cfg.Seed
+		tr, err := mtmetis.Partition(g, k, to, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: mt-metis k=%d: %w", k, err)
+		}
+		co := core.DefaultOptions()
+		co.Seed = cfg.Seed
+		cr, err := core.Partition(g, k, co, cfg.Machine)
+		if err != nil {
+			return "", fmt.Errorf("experiments: GP-metis k=%d: %w", k, err)
+		}
+		fmt.Fprintf(&b, "%-6d %12.2f %12.2f %12.3f\n", k,
+			mr.ModeledSeconds()/tr.ModeledSeconds(),
+			mr.ModeledSeconds()/cr.ModeledSeconds(),
+			float64(cr.EdgeCut)/float64(mr.EdgeCut))
+		cfg.logf("k-sweep k=%d done\n", k)
+	}
+	return b.String(), nil
+}

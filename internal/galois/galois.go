@@ -1,0 +1,152 @@
+// Package galois is an abstract, deterministic model of the Galois
+// optimistic-parallelism runtime (Kulkarni et al., PLDI 2007) that the
+// paper's Section II.C credits for Gmetis: "a sequential object-oriented
+// programming model that supports parallel set iterators. Each Galois
+// iterator may add new elements to the set."
+//
+// The runtime executes a work set with T speculative threads: in each
+// round, the next T items run concurrently; an item's *neighborhood* (the
+// graph elements it would lock) is computed, conflicting items lose to
+// the earliest item in the round and abort — their work is wasted and
+// they retry later — and the winners commit serially. Commits may push
+// new items. Per-round cost is the maximum thread cost (including the
+// aborted work), which is exactly why optimistic parallelism trails
+// lock-free schemes on high-conflict workloads — the comparison the paper
+// draws between Gmetis and ParMetis.
+package galois
+
+import (
+	"fmt"
+
+	"gpmetis/internal/perfmodel"
+)
+
+// Stats reports a ForEach execution.
+type Stats struct {
+	// Commits is the number of items that executed to completion.
+	Commits int
+	// Aborts counts speculative executions whose work was discarded.
+	Aborts int
+	// Rounds is the number of bulk-synchronous speculation rounds.
+	Rounds int
+}
+
+// AbortRate returns aborted executions over all executions.
+func (s Stats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// Runtime executes speculative iterators on the modeled multicore.
+type Runtime struct {
+	// Threads is the number of speculative executors.
+	Threads int
+	// Machine converts charged work to modeled seconds.
+	Machine *perfmodel.Machine
+	// Timeline receives one phase per ForEach.
+	Timeline *perfmodel.Timeline
+	// AbortPenaltyOps is the fixed bookkeeping cost of one rollback.
+	AbortPenaltyOps float64
+}
+
+// New returns a Runtime with the given executor count.
+func New(threads int, m *perfmodel.Machine, tl *perfmodel.Timeline) (*Runtime, error) {
+	if threads < 1 {
+		return nil, fmt.Errorf("galois: need at least 1 thread, got %d", threads)
+	}
+	if threads > m.CPU.Cores {
+		return nil, fmt.Errorf("galois: %d threads exceed the modeled %d cores", threads, m.CPU.Cores)
+	}
+	return &Runtime{
+		Threads:         threads,
+		Machine:         m,
+		Timeline:        tl,
+		AbortPenaltyOps: 64,
+	}, nil
+}
+
+// Item is one unit of speculative work.
+type Item struct {
+	// ID identifies the item (typically a vertex).
+	ID int
+	// Neighborhood returns the elements the item would lock, and the
+	// abstract work (ops, random accesses) of computing the operator.
+	// It must be side-effect free: aborted items re-run it later.
+	Neighborhood func() (locks []int, cost perfmodel.ThreadCost)
+	// Commit applies the operator; it runs only for round winners, in
+	// round order. It may return follow-up items, which join the set
+	// (the "iterator may add new elements" property).
+	Commit func() []Item
+}
+
+// ForEach drains the work set speculatively and appends one phase with
+// the given name to the timeline. Execution is deterministic: rounds take
+// items in queue order and earlier items win conflicts.
+func (r *Runtime) ForEach(name string, items []Item) Stats {
+	var stats Stats
+	queue := items
+	lockOwner := map[int]int{} // element -> index within round
+	var phaseSeconds float64
+
+	for len(queue) > 0 {
+		stats.Rounds++
+		roundSize := r.Threads
+		if roundSize > len(queue) {
+			roundSize = len(queue)
+		}
+		round := queue[:roundSize]
+		rest := queue[roundSize:]
+
+		// Speculative phase: every executor computes its neighborhood.
+		costs := make([]perfmodel.ThreadCost, roundSize)
+		locks := make([][]int, roundSize)
+		for i, it := range round {
+			l, c := it.Neighborhood()
+			locks[i] = l
+			costs[i] = c
+		}
+		// Conflict detection: the earliest item owning an element wins.
+		clear(lockOwner)
+		aborted := make([]bool, roundSize)
+		for i := range round {
+			for _, e := range locks[i] {
+				if w, taken := lockOwner[e]; taken && w != i {
+					aborted[i] = true
+					break
+				}
+			}
+			if aborted[i] {
+				costs[i].Ops += r.AbortPenaltyOps
+				continue
+			}
+			for _, e := range locks[i] {
+				lockOwner[e] = i
+			}
+		}
+		// Commit phase, in order; aborted items requeue.
+		var retries, spawned []Item
+		for i, it := range round {
+			if aborted[i] {
+				stats.Aborts++
+				retries = append(retries, it)
+				continue
+			}
+			stats.Commits++
+			if more := it.Commit(); len(more) > 0 {
+				spawned = append(spawned, more...)
+			}
+		}
+		phaseSeconds += r.Machine.CPUPhaseSeconds(costs)
+
+		// The first item of a round always wins its locks, so every round
+		// commits at least one item and the drain terminates.
+		queue = append(append(retries, rest...), spawned...)
+	}
+	if r.Timeline != nil {
+		r.Timeline.Append(name, perfmodel.LocCPU, phaseSeconds)
+	}
+	return stats
+}

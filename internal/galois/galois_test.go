@@ -1,0 +1,169 @@
+package galois
+
+import (
+	"testing"
+
+	"gpmetis/internal/perfmodel"
+)
+
+func newRT(t *testing.T, threads int) (*Runtime, *perfmodel.Timeline) {
+	t.Helper()
+	tl := &perfmodel.Timeline{}
+	rt, err := New(threads, perfmodel.Default(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, tl
+}
+
+func TestNewValidation(t *testing.T) {
+	m := perfmodel.Default()
+	if _, err := New(0, m, nil); err == nil {
+		t.Error("0 threads should fail")
+	}
+	if _, err := New(99, m, nil); err == nil {
+		t.Error("threads beyond modeled cores should fail")
+	}
+	if _, err := New(8, m, nil); err != nil {
+		t.Errorf("8 threads should work: %v", err)
+	}
+}
+
+func TestForEachNoConflicts(t *testing.T) {
+	rt, tl := newRT(t, 4)
+	applied := make([]bool, 10)
+	items := make([]Item, 10)
+	for i := range items {
+		i := i
+		items[i] = Item{
+			ID: i,
+			Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+				return []int{i}, perfmodel.ThreadCost{Ops: 10}
+			},
+			Commit: func() []Item {
+				applied[i] = true
+				return nil
+			},
+		}
+	}
+	st := rt.ForEach("disjoint", items)
+	if st.Aborts != 0 {
+		t.Errorf("disjoint items aborted %d times", st.Aborts)
+	}
+	if st.Commits != 10 {
+		t.Errorf("commits = %d, want 10", st.Commits)
+	}
+	if st.Rounds != 3 { // ceil(10/4)
+		t.Errorf("rounds = %d, want 3", st.Rounds)
+	}
+	for i, ok := range applied {
+		if !ok {
+			t.Errorf("item %d never committed", i)
+		}
+	}
+	if tl.Total() <= 0 {
+		t.Error("phase not charged")
+	}
+}
+
+func TestForEachConflictsAbortAndRetry(t *testing.T) {
+	rt, _ := newRT(t, 4)
+	// All items lock the same element: only one commits per round.
+	order := []int{}
+	items := make([]Item, 4)
+	for i := range items {
+		i := i
+		items[i] = Item{
+			ID: i,
+			Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+				return []int{42}, perfmodel.ThreadCost{Ops: 5}
+			},
+			Commit: func() []Item {
+				order = append(order, i)
+				return nil
+			},
+		}
+	}
+	st := rt.ForEach("hot", items)
+	if st.Commits != 4 {
+		t.Errorf("commits = %d, want 4", st.Commits)
+	}
+	if st.Aborts != 3+2+1 {
+		t.Errorf("aborts = %d, want 6 (3 then 2 then 1)", st.Aborts)
+	}
+	if st.Rounds != 4 {
+		t.Errorf("rounds = %d, want 4", st.Rounds)
+	}
+	// Deterministic order: queue order wins.
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("commit order %v not deterministic queue order", order)
+		}
+	}
+	if r := st.AbortRate(); r <= 0.5 || r >= 0.7 {
+		t.Errorf("abort rate %.3f, want 6/10", r)
+	}
+}
+
+func TestForEachSpawnsNewItems(t *testing.T) {
+	rt, _ := newRT(t, 2)
+	var hits int
+	child := Item{
+		ID: 100,
+		Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+			return []int{100}, perfmodel.ThreadCost{Ops: 1}
+		},
+		Commit: func() []Item { hits++; return nil },
+	}
+	parent := Item{
+		ID: 1,
+		Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+			return []int{1}, perfmodel.ThreadCost{Ops: 1}
+		},
+		Commit: func() []Item { hits++; return []Item{child} },
+	}
+	st := rt.ForEach("spawn", []Item{parent})
+	if st.Commits != 2 || hits != 2 {
+		t.Errorf("commits = %d hits = %d, want 2/2 (parent + spawned child)", st.Commits, hits)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	rt, _ := newRT(t, 4)
+	st := rt.ForEach("empty", nil)
+	if st.Commits != 0 || st.Aborts != 0 || st.Rounds != 0 {
+		t.Errorf("empty ForEach produced %+v", st)
+	}
+	if st.AbortRate() != 0 {
+		t.Error("empty abort rate should be 0")
+	}
+}
+
+func TestMoreThreadsMoreAborts(t *testing.T) {
+	// A chain of items each locking {i, i+1}: at T=1 no conflicts; at
+	// higher T adjacent items collide.
+	mk := func() []Item {
+		items := make([]Item, 16)
+		for i := range items {
+			i := i
+			items[i] = Item{
+				ID: i,
+				Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+					return []int{i, i + 1}, perfmodel.ThreadCost{Ops: 3}
+				},
+				Commit: func() []Item { return nil },
+			}
+		}
+		return items
+	}
+	rt1, _ := newRT(t, 1)
+	st1 := rt1.ForEach("chain", mk())
+	rt8, _ := newRT(t, 8)
+	st8 := rt8.ForEach("chain", mk())
+	if st1.Aborts != 0 {
+		t.Errorf("single-thread run aborted %d times", st1.Aborts)
+	}
+	if st8.Aborts == 0 {
+		t.Error("8-thread run over overlapping neighborhoods should abort")
+	}
+}

@@ -1,0 +1,359 @@
+// Package gmetis implements the Gmetis partitioner of the paper's Section
+// II.C (Sui, Nguyen, Burtscher, Pingali, LCPC 2010): Metis's multilevel
+// algorithm expressed with the Galois optimistic-parallelism model —
+// speculative set iterators over vertices whose conflicts abort and retry
+// instead of using locks or lock-free protocols.
+//
+// Matching, contraction, and refinement each run as a galois.ForEach whose
+// items lock their graph neighborhood. Adjacent boundary vertices conflict
+// constantly during refinement, so the abort tax is structural — the
+// reason the paper notes that "this approach is found to be not as
+// efficient as ParMetis in terms of performance".
+package gmetis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpmetis/internal/galois"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+// Options configures a run. Construct with DefaultOptions.
+type Options struct {
+	// Seed drives randomized decisions.
+	Seed int64
+	// UBFactor is the allowed imbalance.
+	UBFactor float64
+	// CoarsenTo stops coarsening at CoarsenTo*k vertices.
+	CoarsenTo int
+	// RefineIters bounds refinement passes per level.
+	RefineIters int
+	// Threads is the number of speculative executors (paper: cores).
+	Threads int
+}
+
+// DefaultOptions mirrors the other partitioners' setup.
+func DefaultOptions() Options {
+	return Options{
+		Seed:        1,
+		UBFactor:    1.03,
+		CoarsenTo:   30,
+		RefineIters: 6,
+		Threads:     8,
+	}
+}
+
+func (o *Options) validate(g *graph.Graph, k int) error {
+	switch {
+	case k < 1:
+		return fmt.Errorf("gmetis: k must be >= 1, got %d", k)
+	case g.NumVertices() == 0:
+		return fmt.Errorf("gmetis: cannot partition an empty graph")
+	case k > g.NumVertices():
+		return fmt.Errorf("gmetis: k=%d exceeds vertex count %d", k, g.NumVertices())
+	case o.UBFactor < 1.0:
+		return fmt.Errorf("gmetis: UBFactor %g must be >= 1.0", o.UBFactor)
+	case o.CoarsenTo < 1:
+		return fmt.Errorf("gmetis: CoarsenTo %d must be >= 1", o.CoarsenTo)
+	case o.RefineIters < 0:
+		return fmt.Errorf("gmetis: RefineIters %d must be >= 0", o.RefineIters)
+	case o.Threads < 1:
+		return fmt.Errorf("gmetis: Threads %d must be >= 1", o.Threads)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Part     []int
+	EdgeCut  int
+	Levels   int
+	Timeline perfmodel.Timeline
+	// Speculation aggregates the Galois runtime's commit/abort counters
+	// across all iterators.
+	Speculation galois.Stats
+}
+
+// ModeledSeconds returns the total modeled runtime.
+func (r *Result) ModeledSeconds() float64 { return r.Timeline.Total() }
+
+// Partition runs the Galois-style multilevel pipeline.
+func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result, error) {
+	if err := o.validate(g, k); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	rt, err := galois.New(o.Threads, m, &res.Timeline)
+	if err != nil {
+		return nil, fmt.Errorf("gmetis: %w", err)
+	}
+
+	// --- Coarsening with speculative matching ---
+	var levels []metis.Level
+	target := o.CoarsenTo * k
+	maxVWgt := metis.MaxVertexWeight(g, k, o.CoarsenTo)
+	cur := g
+	for cur.NumVertices() > target {
+		match, st := specMatch(rt, cur, maxVWgt)
+		res.Speculation.Commits += st.Commits
+		res.Speculation.Aborts += st.Aborts
+		res.Speculation.Rounds += st.Rounds
+		var acct perfmodel.ThreadCost
+		cmap, coarseN := metis.BuildCMap(match, &acct)
+		res.Timeline.Append("cmap", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+		if float64(coarseN) > 0.95*float64(cur.NumVertices()) {
+			break
+		}
+		cg, st2 := specContract(rt, cur, match, cmap, coarseN)
+		res.Speculation.Commits += st2.Commits
+		res.Speculation.Rounds += st2.Rounds
+		levels = append(levels, metis.Level{Fine: cur, CMap: cmap, Coarse: cg})
+		cur = cg
+	}
+	res.Levels = len(levels)
+
+	// --- Initial partitioning: serial recursive bisection ---
+	var acct perfmodel.ThreadCost
+	rng := rand.New(rand.NewSource(o.Seed + 7919))
+	part := metis.RecursiveBisect(cur, k, o.UBFactor, rng, &acct)
+	res.Timeline.Append("initpart", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+
+	// --- Un-coarsening with speculative refinement ---
+	for i := len(levels) - 1; i >= 0; i-- {
+		l := levels[i]
+		var pAcct perfmodel.ThreadCost
+		part = metis.Project(l.CMap, part, &pAcct)
+		res.Timeline.Append("project", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{pAcct}))
+		st := specRefine(rt, l.Fine, part, k, o)
+		res.Speculation.Commits += st.Commits
+		res.Speculation.Aborts += st.Aborts
+		res.Speculation.Rounds += st.Rounds
+	}
+
+	var bAcct perfmodel.ThreadCost
+	metis.BalancePartition(g, part, k, o.UBFactor, &bAcct)
+	res.Timeline.Append("balance", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{bAcct}))
+
+	res.Part = part
+	res.EdgeCut = graph.EdgeCut(g, part)
+	return res, nil
+}
+
+// specMatch runs heavy-edge matching as a speculative iterator: each
+// vertex locks itself and its chosen partner; losers retry with fresh
+// state.
+func specMatch(rt *galois.Runtime, g *graph.Graph, maxVWgt int) ([]int, galois.Stats) {
+	n := g.NumVertices()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	items := make([]galois.Item, 0, n)
+	for v := 0; v < n; v++ {
+		v := v
+		var chosen int
+		items = append(items, galois.Item{
+			ID: v,
+			Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+				var cost perfmodel.ThreadCost
+				if match[v] != -1 {
+					cost.Ops = 2
+					return nil, cost
+				}
+				adj, wgt := g.Neighbors(v)
+				cost.Ops = float64(len(adj) + 2)
+				cost.Rand = float64(len(adj))
+				best, bestW := -1, -1
+				for i, u := range adj {
+					if match[u] != -1 || wgt[i] <= bestW {
+						continue
+					}
+					if maxVWgt > 0 && g.VWgt[v]+g.VWgt[u] > maxVWgt {
+						continue
+					}
+					best, bestW = u, wgt[i]
+				}
+				chosen = best
+				if best == -1 {
+					return []int{v}, cost
+				}
+				return []int{v, best}, cost
+			},
+			Commit: func() []galois.Item {
+				if match[v] != -1 {
+					return nil
+				}
+				if chosen == -1 {
+					match[v] = v
+					return nil
+				}
+				if match[chosen] == -1 {
+					match[v] = chosen
+					match[chosen] = v
+				} else {
+					match[v] = v
+				}
+				return nil
+			},
+		})
+	}
+	st := rt.ForEach("coarsen.match", items)
+	return match, st
+}
+
+// specContract builds the coarse graph with one item per collapsed pair;
+// rows never conflict (each pair owns its coarse vertex), so this
+// iterator shows the model's best case.
+func specContract(rt *galois.Runtime, g *graph.Graph, match, cmap []int, coarseN int) (*graph.Graph, galois.Stats) {
+	n := g.NumVertices()
+	cg := &graph.Graph{
+		XAdj: make([]int, coarseN+1),
+		VWgt: make([]int, coarseN),
+	}
+	rows := make([][]int, coarseN)
+	rowW := make([][]int, coarseN)
+	var items []galois.Item
+	for v := 0; v < n; v++ {
+		if match[v] < v {
+			continue
+		}
+		v := v
+		items = append(items, galois.Item{
+			ID: v,
+			Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+				var cost perfmodel.ThreadCost
+				d := g.Degree(v)
+				if match[v] != v {
+					d += g.Degree(match[v])
+				}
+				cost.Ops = float64(2 * d)
+				cost.Rand = float64(2 * d)
+				return []int{n + cmap[v]}, cost // lock the coarse row
+			},
+			Commit: func() []galois.Item {
+				cv := cmap[v]
+				idx := map[int]int{}
+				var adjOut, wgtOut []int
+				members := [2]int{v, match[v]}
+				last := 0
+				if match[v] != v {
+					last = 1
+				}
+				vw := 0
+				for mi := 0; mi <= last; mi++ {
+					mv := members[mi]
+					vw += g.VWgt[mv]
+					adj, wgt := g.Neighbors(mv)
+					for i, w := range adj {
+						cu := cmap[w]
+						if cu == cv {
+							continue
+						}
+						if j, ok := idx[cu]; ok {
+							wgtOut[j] += wgt[i]
+						} else {
+							idx[cu] = len(adjOut)
+							adjOut = append(adjOut, cu)
+							wgtOut = append(wgtOut, wgt[i])
+						}
+					}
+				}
+				rows[cv] = adjOut
+				rowW[cv] = wgtOut
+				cg.VWgt[cv] = vw
+				return nil
+			},
+		})
+	}
+	st := rt.ForEach("coarsen.contract", items)
+	for cv := 0; cv < coarseN; cv++ {
+		cg.XAdj[cv+1] = cg.XAdj[cv] + len(rows[cv])
+	}
+	cg.Adjncy = make([]int, 0, cg.XAdj[coarseN])
+	cg.AdjWgt = make([]int, 0, cg.XAdj[coarseN])
+	for cv := 0; cv < coarseN; cv++ {
+		cg.Adjncy = append(cg.Adjncy, rows[cv]...)
+		cg.AdjWgt = append(cg.AdjWgt, rowW[cv]...)
+	}
+	return cg, st
+}
+
+// specRefine runs boundary refinement as a speculative iterator: a move
+// locks the vertex and its whole neighborhood, so adjacent boundary
+// vertices conflict — the structural abort tax of optimistic refinement.
+func specRefine(rt *galois.Runtime, g *graph.Graph, part []int, k int, o Options) galois.Stats {
+	var total galois.Stats
+	pw := graph.PartWeights(g, part, k)
+	totalW := 0
+	for _, w := range pw {
+		totalW += w
+	}
+	maxPW := int(o.UBFactor * float64(totalW) / float64(k))
+	if maxPW < 1 {
+		maxPW = 1
+	}
+
+	for pass := 0; pass < o.RefineIters; pass++ {
+		moved := 0
+		var items []galois.Item
+		for v := 0; v < g.NumVertices(); v++ {
+			if !graph.IsBoundary(g, part, v) {
+				continue
+			}
+			v := v
+			var dest int
+			items = append(items, galois.Item{
+				ID: v,
+				Neighborhood: func() ([]int, perfmodel.ThreadCost) {
+					var cost perfmodel.ThreadCost
+					adj, wgt := g.Neighbors(v)
+					cost.Ops = float64(2*len(adj) + 4)
+					cost.Rand = float64(len(adj))
+					conn := map[int]int{}
+					for i, u := range adj {
+						conn[part[u]] += wgt[i]
+					}
+					bestP, bestGain := -1, 0
+					for p, w := range conn {
+						if p == part[v] || pw[p]+g.VWgt[v] > maxPW {
+							continue
+						}
+						if gain := w - conn[part[v]]; gain > bestGain {
+							bestP, bestGain = p, gain
+						}
+					}
+					dest = bestP
+					if bestP == -1 {
+						return []int{v}, cost
+					}
+					locks := make([]int, 0, len(adj)+1)
+					locks = append(locks, v)
+					locks = append(locks, adj...)
+					return locks, cost
+				},
+				Commit: func() []galois.Item {
+					if dest == -1 || pw[dest]+g.VWgt[v] > maxPW {
+						return nil
+					}
+					from := part[v]
+					part[v] = dest
+					pw[from] -= g.VWgt[v]
+					pw[dest] += g.VWgt[v]
+					moved++
+					return nil
+				},
+			})
+		}
+		st := rt.ForEach(fmt.Sprintf("refine.p%d", pass), items)
+		total.Commits += st.Commits
+		total.Aborts += st.Aborts
+		total.Rounds += st.Rounds
+		if moved == 0 {
+			break
+		}
+	}
+	return total
+}

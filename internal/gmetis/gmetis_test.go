@@ -1,0 +1,185 @@
+package gmetis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/mtmetis"
+	"gpmetis/internal/parmetis"
+	"gpmetis/internal/perfmodel"
+)
+
+func machine() *perfmodel.Machine { return perfmodel.Default() }
+
+func TestPartitionEndToEnd(t *testing.T) {
+	g, err := gen.Grid2D(40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 8, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 8); err != nil {
+		t.Fatal(err)
+	}
+	if imb := graph.Imbalance(g, res.Part, 8); imb > 1.15 {
+		t.Errorf("imbalance = %g", imb)
+	}
+	if res.EdgeCut > 350 {
+		t.Errorf("cut %d too high for a 40x40 grid in 8 parts", res.EdgeCut)
+	}
+	if res.Levels == 0 {
+		t.Error("expected coarsening levels")
+	}
+	if res.Speculation.Commits == 0 {
+		t.Error("no speculative commits recorded")
+	}
+}
+
+func TestSpeculativeRefinementAborts(t *testing.T) {
+	// Adjacent boundary vertices lock overlapping neighborhoods, so the
+	// optimistic iterator must pay an abort tax during refinement.
+	g, err := gen.Delaunay(8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 16, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speculation.Aborts == 0 {
+		t.Error("expected speculative aborts from overlapping neighborhoods")
+	}
+	rate := res.Speculation.AbortRate()
+	if rate <= 0 || rate > 0.9 {
+		t.Errorf("abort rate %.3f out of plausible range", rate)
+	}
+}
+
+func TestSlowerThanLockFreeSchemes(t *testing.T) {
+	// The paper: "this approach is found to be not as efficient as
+	// ParMetis in terms of performance." At minimum, the abort tax must
+	// leave Gmetis behind mt-metis's lock-free scheme on the same inputs.
+	g, err := gen.Delaunay(20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	gm, err := Partition(g, 16, DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := mtmetis.Partition(g, 16, mtmetis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := parmetis.Partition(g, 16, parmetis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.ModeledSeconds() <= mt.ModeledSeconds() {
+		t.Errorf("Gmetis (%.3fs) should trail mt-metis (%.3fs)", gm.ModeledSeconds(), mt.ModeledSeconds())
+	}
+	t.Logf("gmetis %.3fs, mt-metis %.3fs, parmetis %.3fs", gm.ModeledSeconds(), mt.ModeledSeconds(), pm.ModeledSeconds())
+}
+
+func TestQualityComparableToMetis(t *testing.T) {
+	g, err := gen.Delaunay(8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	ser, err := metis.Partition(g, 16, metis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 16, DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.EdgeCut) / float64(ser.EdgeCut)
+	if ratio > 1.5 || ratio < 0.5 {
+		t.Errorf("edge-cut ratio vs Metis = %.3f", ratio)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, err := gen.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	if _, err := Partition(g, 0, o, machine()); err == nil {
+		t.Error("k=0 should fail")
+	}
+	cases := []func(*Options){
+		func(o *Options) { o.UBFactor = 0.5 },
+		func(o *Options) { o.Threads = 0 },
+		func(o *Options) { o.Threads = 99 },
+		func(o *Options) { o.CoarsenTo = 0 },
+		func(o *Options) { o.RefineIters = -1 },
+	}
+	for i, mutate := range cases {
+		bad := DefaultOptions()
+		mutate(&bad)
+		if _, err := Partition(g, 2, bad, machine()); err == nil {
+			t.Errorf("case %d: invalid options should fail", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, err := gen.RoadNetwork(5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	a, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCut != b.EdgeCut || a.ModeledSeconds() != b.ModeledSeconds() {
+		t.Error("same seed must reproduce result and modeled time")
+	}
+	if a.Speculation != b.Speculation {
+		t.Error("speculation statistics must be deterministic")
+	}
+}
+
+// Property: valid partitions over random graphs, threads, and k.
+func TestPartitionAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw, tRaw uint8) bool {
+		n := 40 + int(szRaw)%150
+		k := 2 + int(kRaw)%6
+		threads := 1 + int(tRaw)%8
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(rng.Intn(v), v, 1+rng.Intn(3)); err != nil {
+				return false
+			}
+		}
+		g := b.MustBuild()
+		o := DefaultOptions()
+		o.Seed = seed
+		o.Threads = threads
+		res, err := Partition(g, k, o, machine())
+		if err != nil {
+			t.Logf("Partition: %v", err)
+			return false
+		}
+		return graph.CheckPartition(g, res.Part, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package gpu is a deterministic SIMT GPU execution simulator: the
+// substitution this reproduction uses for the paper's CUDA/GTX-Titan
+// substrate (see DESIGN.md §1).
+//
+// Kernels are ordinary Go functions invoked once per logical thread.
+// Threads are grouped into 32-wide warps; the simulator executes warps one
+// after another (a deterministic interleaving of the paper's concurrent
+// execution) and, per warp, charges the cost model for
+//
+//   - instruction work, taking the per-warp MAX over lanes so SIMD load
+//     imbalance (the paper's main performance hazard) lengthens the warp,
+//   - global-memory transactions with real coalescing detection: accesses
+//     by different lanes at the same per-thread access index that fall
+//     into one aligned 128-byte segment merge into one transaction,
+//   - atomic serialization per conflicting address,
+//
+// and converts the totals to modeled seconds under a roofline combination
+// of instruction throughput, memory bandwidth, and latency-hiding limits.
+// Device memory capacity and PCIe transfers are modeled too: allocations
+// beyond the 6 GB device fail, and every host<->device copy costs
+// latency + size/bandwidth on the shared timeline.
+package gpu
+
+import (
+	"fmt"
+
+	"gpmetis/internal/perfmodel"
+)
+
+// Array identifies one device allocation for the access-cost model. The
+// actual data lives in ordinary Go slices captured by kernel closures; an
+// Array only gives those slices an address space so that coalescing and
+// atomic conflicts can be detected.
+type Array struct {
+	id   int64
+	elem int64
+}
+
+// ElemBytes returns the element size the array was declared with.
+func (a Array) ElemBytes() int { return int(a.elem) }
+
+// Device is one modeled GPU. It is not safe for concurrent use: the
+// partitioners issue kernels and transfers from a single control thread,
+// exactly like a CUDA stream.
+type Device struct {
+	m  *perfmodel.Machine
+	tl *perfmodel.Timeline
+
+	nextArrayID int64
+	allocated   int64
+	arrayBytes  map[int64]int64
+
+	// Accounting can be switched off to run kernels at full host speed
+	// when only the computational result matters (tests, examples).
+	Accounting bool
+
+	stats Stats
+}
+
+// Stats aggregates device activity since the last ResetStats, for tests,
+// ablations, and the benchmark's verbose output.
+type Stats struct {
+	Kernels          int
+	Threads          int64
+	WarpInstructions int64 // sum over warps of max-lane instruction counts
+	LaneInstructions int64 // sum over all lanes (no divergence penalty)
+	Transactions     int64 // global-memory transactions after coalescing
+	Accesses         int64 // raw lane-level accesses before coalescing
+	AtomicOps        int64 // raw atomic operations
+	AtomicSerial     int64 // serialized atomic cost after conflict grouping
+	BytesToDevice    int64
+	BytesToHost      int64
+}
+
+// NewDevice returns a Device charging machine m and appending phases to tl.
+func NewDevice(m *perfmodel.Machine, tl *perfmodel.Timeline) *Device {
+	return &Device{
+		m:          m,
+		tl:         tl,
+		arrayBytes: map[int64]int64{},
+		Accounting: true,
+	}
+}
+
+// Machine returns the machine model the device charges.
+func (d *Device) Machine() *perfmodel.Machine { return d.m }
+
+// Stats returns the activity counters accumulated so far.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats clears the activity counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// Allocated returns the bytes currently allocated on the device.
+func (d *Device) Allocated() int64 { return d.allocated }
+
+// Malloc reserves n elements of elemBytes each on the device and returns
+// the Array handle. It fails when the modeled 6 GB global memory would be
+// exceeded, mirroring the paper's assumption that the graph fits on the
+// GPU.
+func (d *Device) Malloc(n int, elemBytes int) (Array, error) {
+	if n < 0 || elemBytes <= 0 {
+		return Array{}, fmt.Errorf("gpu: Malloc(%d,%d): invalid size", n, elemBytes)
+	}
+	bytes := int64(n) * int64(elemBytes)
+	if d.allocated+bytes > d.m.GPU.GlobalMemBytes {
+		return Array{}, fmt.Errorf("gpu: out of device memory: %d + %d > %d bytes (graph does not fit; the paper defers this case to multi-GPU future work)",
+			d.allocated, bytes, d.m.GPU.GlobalMemBytes)
+	}
+	d.allocated += bytes
+	d.nextArrayID++
+	id := d.nextArrayID
+	d.arrayBytes[id] = bytes
+	return Array{id: id, elem: int64(elemBytes)}, nil
+}
+
+// Free releases an allocation (idempotent for already-freed arrays, like
+// cudaFree of a dangling handle would be an error — here it is ignored so
+// defer-style cleanup stays simple).
+func (d *Device) Free(a Array) {
+	if bytes, ok := d.arrayBytes[a.id]; ok {
+		d.allocated -= bytes
+		delete(d.arrayBytes, a.id)
+	}
+}
+
+// ToDevice charges a host-to-device copy of n bytes.
+func (d *Device) ToDevice(name string, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	d.stats.BytesToDevice += bytes
+	d.tl.Append(name, perfmodel.LocPCIe, d.m.PCIeSec(float64(bytes)))
+}
+
+// ToHost charges a device-to-host copy of n bytes.
+func (d *Device) ToHost(name string, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	d.stats.BytesToHost += bytes
+	d.tl.Append(name, perfmodel.LocPCIe, d.m.PCIeSec(float64(bytes)))
+}

@@ -1,0 +1,269 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gpmetis/internal/perfmodel"
+)
+
+// Kernel is the body executed by every logical GPU thread of a launch.
+type Kernel func(c *Ctx)
+
+// Ctx is one thread's view of the executing kernel. Kernels call its
+// methods to perform *accounted* memory traffic; plain Go slice access in
+// the kernel body does the actual data movement.
+type Ctx struct {
+	tid  int
+	lane int
+	ops  int64
+	seq  int
+	w    *warpState
+	acct bool
+}
+
+// TID returns the global thread index in [0, nThreads).
+func (c *Ctx) TID() int { return c.tid }
+
+// Lane returns the thread's lane within its warp, in [0, WarpSize).
+func (c *Ctx) Lane() int { return c.lane }
+
+// Op charges n scalar instructions to the thread.
+func (c *Ctx) Op(n int) { c.ops += int64(n) }
+
+// convergeStride is the access-index budget of one converged loop
+// iteration (see Converge).
+const convergeStride = 192
+
+// Converge marks the start of loop iteration iter of a grid-stride (or
+// chunked) loop. SIMT lanes re-converge at the loop head, so accesses in
+// the same iteration of different lanes issue as common warp instructions
+// and may coalesce; Converge aligns the lanes' access indices to make
+// that visible to the cost model. Iterations that perform more than
+// convergeStride accounted accesses simply keep counting — alignment is
+// then lost for the tail, exactly as divergence would lose it in
+// hardware.
+func (c *Ctx) Converge(iter int) {
+	base := iter * convergeStride
+	if base > c.seq {
+		c.seq = base
+	}
+}
+
+// Load charges one global-memory read of element i of array a. Reads by
+// other lanes of the same warp at the same per-thread access index that
+// hit the same 128-byte segment coalesce into one transaction.
+func (c *Ctx) Load(a Array, i int) { c.access(a, i) }
+
+// Store charges one global-memory write, with the same coalescing rule.
+func (c *Ctx) Store(a Array, i int) { c.access(a, i) }
+
+// LoadN charges n consecutive reads starting at element i (a thread-local
+// sequential scan of a[i:i+n]); consecutive elements within one 128-byte
+// segment share a transaction even for a single lane, so the charge is one
+// access per spanned segment.
+func (c *Ctx) LoadN(a Array, i, n int) {
+	c.ops += int64(n)
+	if !c.acct || n <= 0 {
+		return
+	}
+	c.w.accesses += int64(n)
+	segBytes := int64(c.w.segBytes)
+	first := int64(i) * a.elem / segBytes
+	last := (int64(i+n)*a.elem - 1) / segBytes
+	for s := first; s <= last; s++ {
+		slot := c.w.slot(c.seq)
+		c.seq++
+		slot.addSeg(a.id<<40 | s)
+	}
+}
+
+// StoreN charges n consecutive writes starting at element i.
+func (c *Ctx) StoreN(a Array, i, n int) { c.LoadN(a, i, n) }
+
+// Atomic charges one global atomic read-modify-write on element i of a.
+// Atomics by lanes of the same warp on the same element serialize.
+func (c *Ctx) Atomic(a Array, i int) {
+	c.ops++
+	if !c.acct {
+		return
+	}
+	c.w.atomicOps++
+	addr := a.id<<40 | int64(i)
+	s := c.w.slot(c.seq)
+	c.seq++
+	s.addAddr(addr)
+}
+
+func (c *Ctx) access(a Array, i int) {
+	c.ops++
+	if !c.acct {
+		return
+	}
+	c.w.accesses++
+	seg := a.id<<40 | int64(i)*a.elem/int64(c.w.segBytes)
+	s := c.w.slot(c.seq)
+	c.seq++
+	s.addSeg(seg)
+}
+
+// segSlot tracks, for one per-thread access index within one warp, the
+// distinct memory segments touched (for coalescing) and the per-address
+// atomic multiplicities (for serialization). A warp has at most WarpSize
+// lanes, so fixed-size arrays suffice.
+type segSlot struct {
+	n      int
+	atomic bool
+	segs   [32]int64
+	count  [32]int32
+}
+
+func (s *segSlot) addSeg(seg int64) {
+	for i := 0; i < s.n; i++ {
+		if s.segs[i] == seg {
+			s.count[i]++
+			return
+		}
+	}
+	if s.n < len(s.segs) {
+		s.segs[s.n] = seg
+		s.count[s.n] = 1
+		s.n++
+	}
+}
+
+func (s *segSlot) addAddr(addr int64) {
+	s.atomic = true
+	s.addSeg(addr)
+}
+
+// maxCount returns the largest per-address multiplicity, i.e. the
+// serialization depth of a warp-atomic at this access index.
+func (s *segSlot) maxCount() int64 {
+	var m int32
+	for i := 0; i < s.n; i++ {
+		if s.count[i] > m {
+			m = s.count[i]
+		}
+	}
+	return int64(m)
+}
+
+type warpState struct {
+	slots     []segSlot
+	used      int
+	segBytes  int
+	accesses  int64
+	atomicOps int64
+}
+
+func (w *warpState) slot(seq int) *segSlot {
+	for seq >= w.used {
+		if w.used == len(w.slots) {
+			w.slots = append(w.slots, segSlot{})
+		} else {
+			w.slots[w.used] = segSlot{}
+		}
+		w.used++
+	}
+	return &w.slots[seq]
+}
+
+func (w *warpState) reset() {
+	w.used = 0
+	w.accesses = 0
+	w.atomicOps = 0
+}
+
+// Launch executes kernel k for nThreads logical threads, charges the
+// modeled kernel duration to the device's timeline under the given name,
+// and returns that duration in seconds.
+//
+// Execution order is deterministic: warps run in increasing warp index,
+// lanes in increasing lane order. Lock-free kernels that race in CUDA
+// (e.g. the paper's matching kernel) see one fixed interleaving here; the
+// conflicts the paper's second "resolve" kernel exists for still occur
+// because they are inherent to the algorithm, not to timing.
+func (d *Device) Launch(name string, nThreads int, k Kernel) float64 {
+	if nThreads < 0 {
+		panic(fmt.Sprintf("gpu: Launch(%q, %d): negative thread count", name, nThreads))
+	}
+	ws := d.m.GPU.WarpSize
+	w := warpState{segBytes: d.m.GPU.TransactionBytes}
+	var warpInstr, laneInstr, transactions, atomicSerial, accesses, atomicOps int64
+	var maxWarpInstr int64
+
+	for base := 0; base < nThreads; base += ws {
+		w.reset()
+		var warpMaxOps int64
+		for lane := 0; lane < ws && base+lane < nThreads; lane++ {
+			c := Ctx{tid: base + lane, lane: lane, w: &w, acct: d.Accounting}
+			k(&c)
+			laneInstr += c.ops
+			if c.ops > warpMaxOps {
+				warpMaxOps = c.ops
+			}
+		}
+		warpInstr += warpMaxOps
+		if warpMaxOps > maxWarpInstr {
+			maxWarpInstr = warpMaxOps
+		}
+		for i := 0; i < w.used; i++ {
+			s := &w.slots[i]
+			transactions += int64(s.n)
+			// Only atomics serialize on address conflicts; coalesced
+			// loads sharing a segment are the fast path.
+			if s.atomic {
+				if mc := s.maxCount(); mc > 1 {
+					atomicSerial += mc
+				}
+			}
+		}
+		accesses += w.accesses
+		atomicOps += w.atomicOps
+	}
+
+	sec := d.kernelSeconds(nThreads, warpInstr, maxWarpInstr, transactions, atomicSerial)
+	d.tl.Append(name, perfmodel.LocGPU, sec)
+
+	d.stats.Kernels++
+	d.stats.Threads += int64(nThreads)
+	d.stats.WarpInstructions += warpInstr
+	d.stats.LaneInstructions += laneInstr
+	d.stats.Transactions += transactions
+	d.stats.Accesses += accesses
+	d.stats.AtomicOps += atomicOps
+	d.stats.AtomicSerial += atomicSerial
+	return sec
+}
+
+// kernelSeconds converts one launch's charged work into modeled time:
+// launch overhead plus a roofline max of
+//
+//	compute:  warp-instructions * WarpSize lanes / device lane throughput
+//	memory:   transactions * 128B / device bandwidth
+//	latency:  per-warp transaction latency divided by the warp slots
+//	          available to hide it
+//
+// plus serialized atomic time, floored by the critical path of the
+// longest single warp (a nearly-empty launch cannot finish faster than
+// its slowest warp).
+func (d *Device) kernelSeconds(nThreads int, warpInstr, maxWarpInstr, transactions, atomicSerial int64) float64 {
+	g := d.m.GPU
+	laneThroughput := float64(g.SMs) * float64(g.CoresPerSM) * g.ClockHz
+	compute := float64(warpInstr) * float64(g.WarpSize) / laneThroughput
+	memory := float64(transactions) * float64(g.TransactionBytes) / g.MemBytesPerSec
+	hiding := float64(g.SMs * g.WarpSlotsPerSM)
+	latency := float64(transactions) * g.MemLatencySec / hiding
+	body := compute
+	if memory > body {
+		body = memory
+	}
+	if latency > body {
+		body = latency
+	}
+	// Critical path of the slowest warp: instructions at one per cycle.
+	if crit := float64(maxWarpInstr) / g.ClockHz; crit > body {
+		body = crit
+	}
+	return g.LaunchSec + body + float64(atomicSerial)*g.AtomicSec/float64(g.SMs)
+}

@@ -1,0 +1,135 @@
+package gpu
+
+import "fmt"
+
+// scanTile is the number of elements each thread owns in the two-level
+// reduce-then-scan, mirroring CUB's items-per-thread tiling.
+const scanTile = 8
+
+// InclusiveScan computes the in-place inclusive prefix sum of data,
+// issuing the same reduce / spine-scan / downsweep kernel pattern as the
+// CUB DeviceScan the paper uses for its cmap construction, and charging
+// each kernel to the device timeline under names derived from name.
+// Array a must be the device allocation holding data. It returns the
+// total (the last element of the scan).
+//
+// Accounting note: threads own contiguous tiles for correctness, but the
+// accesses are charged at CUB's striped (coalesced) addresses, because
+// that is the access pattern CUB actually produces via its shared-memory
+// exchange.
+func (d *Device) InclusiveScan(name string, data []int, a Array) int {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	d.scanInPlace(name, data, a, 0)
+	return data[n-1]
+}
+
+// ExclusiveScan computes the in-place exclusive prefix sum of data (the
+// paper uses one over the temp/temp2 index arrays of the contraction
+// step) and returns the total of the original values.
+func (d *Device) ExclusiveScan(name string, data []int, a Array) int {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	total := d.InclusiveScan(name, data, a)
+	// Shift right by one on the device: one more coalesced pass.
+	d.Launch(name+".shift", (n+scanTile-1)/scanTile, func(c *Ctx) {
+		g := (n + scanTile - 1) / scanTile
+		lo := c.TID() * scanTile
+		hi := lo + scanTile
+		if hi > n {
+			hi = n
+		}
+		for k := lo; k < hi; k++ {
+			c.Load(a, (k-lo)*g+c.TID())
+			c.Store(a, (k-lo)*g+c.TID())
+			c.Op(1)
+		}
+	})
+	prev := 0
+	for i := 0; i < n; i++ {
+		data[i], prev = prev, data[i]
+	}
+	return total
+}
+
+// scanInPlace runs one level of the recursive reduce-then-scan.
+func (d *Device) scanInPlace(name string, data []int, a Array, depth int) {
+	n := len(data)
+	g := (n + scanTile - 1) / scanTile // number of threads / tiles
+	if g <= 1 {
+		// A single tile: one thread scans it directly.
+		d.Launch(scanKernelName(name, depth, "spine"), 1, func(c *Ctx) {
+			sum := 0
+			for k := 0; k < n; k++ {
+				c.Load(a, k)
+				sum += data[k]
+				data[k] = sum
+				c.Store(a, k)
+				c.Op(2)
+			}
+		})
+		return
+	}
+
+	partial := make([]int, g)
+	pa, err := d.Malloc(g, 4)
+	if err != nil {
+		// The spine is tiny compared to data, which already fit;
+		// running out here means the device model is misconfigured.
+		panic(fmt.Sprintf("gpu: scan spine allocation failed: %v", err))
+	}
+	defer d.Free(pa)
+
+	// Upsweep: each thread reduces its tile.
+	d.Launch(scanKernelName(name, depth, "reduce"), g, func(c *Ctx) {
+		lo := c.TID() * scanTile
+		hi := lo + scanTile
+		if hi > n {
+			hi = n
+		}
+		sum := 0
+		for k := lo; k < hi; k++ {
+			c.Load(a, (k-lo)*g+c.TID()) // striped/coalesced charge
+			sum += data[k]
+			c.Op(1)
+		}
+		partial[c.TID()] = sum
+		c.Store(pa, c.TID())
+	})
+
+	// Spine: scan the per-tile sums (recursing for very large spines).
+	d.scanInPlace(name, partial, pa, depth+1)
+
+	// Downsweep: each thread rescans its tile seeded with the exclusive
+	// spine prefix.
+	d.Launch(scanKernelName(name, depth, "downsweep"), g, func(c *Ctx) {
+		lo := c.TID() * scanTile
+		hi := lo + scanTile
+		if hi > n {
+			hi = n
+		}
+		sum := 0
+		if c.TID() > 0 {
+			c.Load(pa, c.TID()-1)
+			sum = partial[c.TID()-1]
+		}
+		for k := lo; k < hi; k++ {
+			c.Load(a, (k-lo)*g+c.TID())
+			sum += data[k]
+			data[k] = sum
+			c.Store(a, (k-lo)*g+c.TID())
+			c.Op(2)
+		}
+	})
+}
+
+func scanKernelName(name string, depth int, stage string) string {
+	if depth == 0 {
+		return name + "." + stage
+	}
+	return fmt.Sprintf("%s.L%d.%s", name, depth, stage)
+}

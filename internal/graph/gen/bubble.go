@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"fmt"
+
+	"gpmetis/internal/graph"
+)
+
+// HugeBubble generates a 2-D foam mesh with about n vertices: a honeycomb
+// (brick-wall) lattice, which is 3-regular in its interior, matching the
+// average degree ~3 of the DIMACS10 "hugebubbles" graphs that come from
+// 2-D bubble dynamics simulations. A small fraction of random "bubble
+// wall" diagonals is added, seeded, to break perfect regularity the way a
+// dynamic simulation mesh does.
+func HugeBubble(n int, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: HugeBubble(%d): size must be positive", n)
+	}
+	s := isqrt(n)
+	rows, cols := s, s
+	nv := rows * cols
+	b := graph.NewBuilder(nv)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Horizontal bond along each row.
+			if c+1 < cols {
+				if err := b.AddEdge(id(r, c), id(r, c+1), 1); err != nil {
+					return nil, err
+				}
+			}
+			// Vertical bond on alternating columns (brick wall): interior
+			// vertices end with exactly 3 neighbors.
+			if r+1 < rows && (r+c)%2 == 0 {
+				if err := b.AddEdge(id(r, c), id(r+1, c), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Irregular bubble merges: ~1% extra diagonals.
+	rnd := rng(seed)
+	extra := nv / 100
+	for i := 0; i < extra; i++ {
+		r := rnd.Intn(rows - 1)
+		c := rnd.Intn(cols - 1)
+		if err := b.AddEdge(id(r, c), id(r+1, c+1), 1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// RMAT generates a scale-free graph with 2^scale vertices and about
+// edgeFactor*2^scale undirected edges using the recursive-matrix model
+// with the standard (0.57, 0.19, 0.19, 0.05) probabilities. Self loops and
+// duplicates are dropped/merged. RMAT graphs are the skewed-degree stress
+// inputs the paper's load-balancing discussion is about; they are used by
+// tests and ablations, not Table I.
+func RMAT(scale, edgeFactor int, seed int64) (*graph.Graph, error) {
+	if scale < 1 || scale > 28 {
+		return nil, fmt.Errorf("gen: RMAT scale %d out of [1,28]", scale)
+	}
+	if edgeFactor < 1 {
+		return nil, fmt.Errorf("gen: RMAT edgeFactor %d must be positive", edgeFactor)
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	r := rng(seed)
+	b := graph.NewBuilder(n)
+	const a, bb, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit > 0; bit >>= 1 {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left quadrant: no bits set
+			case p < a+bb:
+				v |= bit
+			case p < a+bb+c:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v, 1); err != nil {
+			return nil, err
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return connect(g)
+}
+
+// connect adds unit edges between consecutive components' representative
+// vertices so partitioners (which assume connectivity for coarsening to
+// make progress) get a connected graph.
+func connect(g *graph.Graph) (*graph.Graph, error) {
+	ncomp, comp := graph.ConnectedComponents(g)
+	if ncomp <= 1 {
+		return g, nil
+	}
+	rep := make([]int, ncomp)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if rep[comp[v]] == -1 {
+			rep[comp[v]] = v
+		}
+	}
+	b := graph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if err := b.SetVertexWeight(v, g.VWgt[v]); err != nil {
+			return nil, err
+		}
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if u > v {
+				if err := b.AddEdge(v, u, wgt[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i := 1; i < ncomp; i++ {
+		if err := b.AddEdge(rep[i-1], rep[i], 1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

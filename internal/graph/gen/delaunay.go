@@ -1,0 +1,268 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"gpmetis/internal/graph"
+)
+
+// Delaunay generates the Delaunay triangulation of n uniform random points
+// in the unit square using the Bowyer-Watson incremental algorithm with
+// walk-based point location, and returns it as an undirected graph
+// (triangulation edges, unit weights). This is the same construction as
+// the DIMACS10 "delaunay_nXX" family the paper uses.
+func Delaunay(n int, seed int64) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: Delaunay(%d): need at least 3 points", n)
+	}
+	r := rng(seed)
+	px := make([]float64, n+3)
+	py := make([]float64, n+3)
+	for i := 0; i < n; i++ {
+		px[i], py[i] = r.Float64(), r.Float64()
+	}
+	// Super-triangle comfortably containing the unit square.
+	px[n], py[n] = -10, -10
+	px[n+1], py[n+1] = 11, -10
+	px[n+2], py[n+2] = 0.5, 12
+
+	d := &delaunator{px: px, py: py, nReal: n}
+	d.init(n, n+1, n+2)
+
+	// Insert points in spatial cell order so the walking search starts
+	// near its target: serpentine order over a sqrt(n)-cell grid.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	cells := isqrt(n)
+	if cells < 1 {
+		cells = 1
+	}
+	cellKey := func(i int) int {
+		cx := int(px[i] * float64(cells))
+		cy := int(py[i] * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		if cy%2 == 1 { // serpentine: reverse odd rows
+			cx = cells - 1 - cx
+		}
+		return cy*cells + cx
+	}
+	sort.Slice(order, func(a, b int) bool { return cellKey(order[a]) < cellKey(order[b]) })
+
+	for _, p := range order {
+		if err := d.insert(p); err != nil {
+			return nil, fmt.Errorf("gen: Delaunay: %w", err)
+		}
+	}
+
+	b := graph.NewBuilder(n)
+	for _, t := range d.tris {
+		if !t.alive {
+			continue
+		}
+		for e := 0; e < 3; e++ {
+			u, v := t.v[(e+1)%3], t.v[(e+2)%3]
+			if u >= n || v >= n || u > v {
+				continue // skip super-triangle edges; add each edge once
+			}
+			if err := b.AddEdge(u, v, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}
+
+// tri is one triangle of the incremental triangulation. adj[i] is the
+// index of the triangle sharing the edge opposite vertex v[i] (-1 at the
+// super-triangle hull).
+type tri struct {
+	v     [3]int
+	adj   [3]int
+	alive bool
+}
+
+type delaunator struct {
+	px, py []float64
+	nReal  int
+	tris   []tri
+	last   int // a recently created triangle: walk start
+	// scratch buffers reused across insertions
+	cavity  []int
+	stack   []int
+	inCav   map[int]bool
+	edgeTri map[[2]int]int
+}
+
+func (d *delaunator) init(a, b, c int) {
+	// Ensure counter-clockwise orientation.
+	if orient2d(d.px[a], d.py[a], d.px[b], d.py[b], d.px[c], d.py[c]) < 0 {
+		b, c = c, b
+	}
+	d.tris = append(d.tris, tri{v: [3]int{a, b, c}, adj: [3]int{-1, -1, -1}, alive: true})
+	d.last = 0
+	d.inCav = make(map[int]bool)
+	d.edgeTri = make(map[[2]int]int)
+}
+
+// orient2d returns > 0 when (a,b,c) turn counter-clockwise.
+func orient2d(ax, ay, bx, by, cx, cy float64) float64 {
+	return (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+}
+
+// inCircumcircle reports whether point p lies inside the circumcircle of
+// the CCW triangle (a,b,c), via the standard lifted determinant.
+func (d *delaunator) inCircumcircle(t *tri, p int) bool {
+	a, b, c := t.v[0], t.v[1], t.v[2]
+	ax, ay := d.px[a]-d.px[p], d.py[a]-d.py[p]
+	bx, by := d.px[b]-d.px[p], d.py[b]-d.py[p]
+	cx, cy := d.px[c]-d.px[p], d.py[c]-d.py[p]
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > 0
+}
+
+// locate walks from the last triangle to one containing point p.
+func (d *delaunator) locate(p int) (int, error) {
+	t := d.last
+	if t < 0 || t >= len(d.tris) || !d.tris[t].alive {
+		t = d.anyAlive()
+	}
+	for steps := 0; steps < 4*len(d.tris)+64; steps++ {
+		tr := &d.tris[t]
+		moved := false
+		for e := 0; e < 3; e++ {
+			u, v := tr.v[(e+1)%3], tr.v[(e+2)%3]
+			if orient2d(d.px[u], d.py[u], d.px[v], d.py[v], d.px[p], d.py[p]) < 0 {
+				nb := tr.adj[e]
+				if nb >= 0 {
+					t = nb
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			return t, nil
+		}
+	}
+	// Degenerate walk (numerically stuck): linear fallback scan.
+	for i := range d.tris {
+		tr := &d.tris[i]
+		if !tr.alive {
+			continue
+		}
+		inside := true
+		for e := 0; e < 3; e++ {
+			u, v := tr.v[(e+1)%3], tr.v[(e+2)%3]
+			if orient2d(d.px[u], d.py[u], d.px[v], d.py[v], d.px[p], d.py[p]) < 0 {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("point %d not located in any triangle", p)
+}
+
+func (d *delaunator) anyAlive() int {
+	for i := len(d.tris) - 1; i >= 0; i-- {
+		if d.tris[i].alive {
+			return i
+		}
+	}
+	return 0
+}
+
+// insert adds point p via cavity retriangulation (Bowyer-Watson).
+func (d *delaunator) insert(p int) error {
+	t0, err := d.locate(p)
+	if err != nil {
+		return err
+	}
+	// Grow the cavity: all alive triangles whose circumcircle contains p,
+	// connected to t0.
+	d.cavity = d.cavity[:0]
+	d.stack = append(d.stack[:0], t0)
+	clear(d.inCav)
+	d.inCav[t0] = true
+	for len(d.stack) > 0 {
+		t := d.stack[len(d.stack)-1]
+		d.stack = d.stack[:len(d.stack)-1]
+		d.cavity = append(d.cavity, t)
+		for e := 0; e < 3; e++ {
+			nb := d.tris[t].adj[e]
+			if nb < 0 || d.inCav[nb] || !d.tris[nb].alive {
+				continue
+			}
+			if d.inCircumcircle(&d.tris[nb], p) {
+				d.inCav[nb] = true
+				d.stack = append(d.stack, nb)
+			}
+		}
+	}
+	// Boundary edges of the cavity, with the outside triangle across each.
+	type bedge struct{ u, v, outer int }
+	var boundary []bedge
+	for _, t := range d.cavity {
+		tr := &d.tris[t]
+		for e := 0; e < 3; e++ {
+			nb := tr.adj[e]
+			if nb >= 0 && d.inCav[nb] {
+				continue
+			}
+			boundary = append(boundary, bedge{tr.v[(e+1)%3], tr.v[(e+2)%3], nb})
+		}
+	}
+	if len(boundary) < 3 {
+		return fmt.Errorf("degenerate cavity for point %d (%d boundary edges)", p, len(boundary))
+	}
+	for _, t := range d.cavity {
+		d.tris[t].alive = false
+	}
+	// Fan p to each boundary edge. Cavity boundary edges are oriented CCW
+	// as seen from inside the cavity, so (p,u,v) is CCW.
+	clear(d.edgeTri)
+	first := len(d.tris)
+	for _, be := range boundary {
+		idx := len(d.tris)
+		d.tris = append(d.tris, tri{v: [3]int{p, be.u, be.v}, adj: [3]int{be.outer, -1, -1}, alive: true})
+		// Fix the outer triangle's back pointer.
+		if be.outer >= 0 {
+			out := &d.tris[be.outer]
+			for e := 0; e < 3; e++ {
+				if (out.v[(e+1)%3] == be.v && out.v[(e+2)%3] == be.u) ||
+					(out.v[(e+1)%3] == be.u && out.v[(e+2)%3] == be.v) {
+					out.adj[e] = idx
+				}
+			}
+		}
+		d.edgeTri[[2]int{p, be.u}] = idx // edge opposite v[2]=be.v is (p,be.u)
+		d.edgeTri[[2]int{be.v, p}] = idx // edge opposite v[1]=be.u is (be.v,p)
+	}
+	// Wire the new triangles to each other: triangle with edge (p,u) pairs
+	// with the one holding (u,p).
+	for i := first; i < len(d.tris); i++ {
+		tr := &d.tris[i]
+		u, v := tr.v[1], tr.v[2]
+		// adj[1] is across edge (v,p); adj[2] is across edge (p,u).
+		if nb, ok := d.edgeTri[[2]int{p, v}]; ok {
+			tr.adj[1] = nb
+		}
+		if nb, ok := d.edgeTri[[2]int{u, p}]; ok {
+			tr.adj[2] = nb
+		}
+	}
+	d.last = first
+	return nil
+}

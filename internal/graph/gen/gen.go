@@ -1,0 +1,154 @@
+// Package gen generates the synthetic input graphs used by the benchmark
+// harness as stand-ins for the paper's DIMACS inputs (Table I), plus
+// auxiliary families (grids, RMAT, random geometric) used by tests.
+//
+// Each generator is deterministic for a given seed so experiments are
+// reproducible. The four Table I stand-ins match the structural character
+// of their originals:
+//
+//   - LDoor: 3-D FEM stiffness-matrix graph, high uniform degree (~48),
+//     standing in for "ldoor" (sparse matrix, University of Florida).
+//   - Delaunay: an actual Delaunay triangulation of uniform random points
+//     (Bowyer-Watson), standing in for DIMACS10 "delaunay_n20".
+//   - HugeBubble: a perturbed honeycomb (3-regular foam) mesh, standing in
+//     for DIMACS10 "hugebubbles" (2-D dynamic simulation).
+//   - RoadNetwork: a planar intersection grid with long degree-2 road
+//     chains, standing in for the DIMACS9 USA road network.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpmetis/internal/graph"
+)
+
+// Class identifies one of the Table I input families.
+type Class int
+
+// The four input-graph families of the paper's evaluation (Table I).
+const (
+	ClassLDoor Class = iota
+	ClassDelaunay
+	ClassHugeBubble
+	ClassRoadNetwork
+)
+
+// String returns the paper's name for the input class.
+func (c Class) String() string {
+	switch c {
+	case ClassLDoor:
+		return "ldoor"
+	case ClassDelaunay:
+		return "delaunay"
+	case ClassHugeBubble:
+		return "hugebubble"
+	case ClassRoadNetwork:
+		return "usa-roads"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Description returns the Table I description of the input class.
+func (c Class) Description() string {
+	switch c {
+	case ClassLDoor:
+		return "Sparse matrix from University of Florida collection"
+	case ClassDelaunay:
+		return "Delaunay triangulation of random points"
+	case ClassHugeBubble:
+		return "2D dynamic simulation"
+	case ClassRoadNetwork:
+		return "Road network"
+	default:
+		return "unknown"
+	}
+}
+
+// PaperVertices returns the vertex count of the original DIMACS graph the
+// class stands in for (Table I).
+func (c Class) PaperVertices() int {
+	switch c {
+	case ClassLDoor:
+		return 952203
+	case ClassDelaunay:
+		return 1048576
+	case ClassHugeBubble:
+		return 21198119
+	case ClassRoadNetwork:
+		return 23947347
+	default:
+		return 0
+	}
+}
+
+// PaperEdges returns the edge count of the original DIMACS graph (Table I).
+func (c Class) PaperEdges() int {
+	switch c {
+	case ClassLDoor:
+		return 22785136
+	case ClassDelaunay:
+		return 3145686
+	case ClassHugeBubble:
+		return 31790179
+	case ClassRoadNetwork:
+		return 28947347
+	default:
+		return 0
+	}
+}
+
+// Classes lists the four Table I families in paper order.
+func Classes() []Class {
+	return []Class{ClassLDoor, ClassDelaunay, ClassHugeBubble, ClassRoadNetwork}
+}
+
+// TableI generates the stand-in for class c at 1/scaleDiv of the paper's
+// size (scaleDiv=1 reproduces the full Table I vertex counts; the
+// benchmark default is 20). The generated vertex count tracks
+// PaperVertices()/scaleDiv as closely as the family's structure allows.
+func TableI(c Class, scaleDiv int, seed int64) (*graph.Graph, error) {
+	if scaleDiv < 1 {
+		return nil, fmt.Errorf("gen: scaleDiv must be >= 1, got %d", scaleDiv)
+	}
+	target := c.PaperVertices() / scaleDiv
+	if target < 64 {
+		target = 64
+	}
+	switch c {
+	case ClassLDoor:
+		return LDoor(target, seed)
+	case ClassDelaunay:
+		return Delaunay(target, seed)
+	case ClassHugeBubble:
+		return HugeBubble(target, seed)
+	case ClassRoadNetwork:
+		return RoadNetwork(target, seed)
+	default:
+		return nil, fmt.Errorf("gen: unknown class %d", int(c))
+	}
+}
+
+// cbrt returns the integer cube root side length s with s^3 >= n.
+func cbrt(n int) int {
+	s := 1
+	for s*s*s < n {
+		s++
+	}
+	return s
+}
+
+// isqrt returns the integer square root side length s with s^2 >= n.
+func isqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// rng returns the package's deterministic source for a seed.
+func rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"fmt"
+
+	"gpmetis/internal/graph"
+)
+
+// Grid2D returns the rows x cols 4-point grid mesh with unit weights, the
+// simplest regular task-interaction graph (paper Section I).
+func Grid2D(rows, cols int) (*graph.Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gen: Grid2D(%d,%d): dimensions must be positive", rows, cols)
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := b.AddEdge(id(r, c), id(r, c+1), 1); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := b.AddEdge(id(r, c), id(r+1, c), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Grid3D returns the x*y*z 6-point grid mesh with unit weights.
+func Grid3D(x, y, z int) (*graph.Graph, error) {
+	if x <= 0 || y <= 0 || z <= 0 {
+		return nil, fmt.Errorf("gen: Grid3D(%d,%d,%d): dimensions must be positive", x, y, z)
+	}
+	b := graph.NewBuilder(x * y * z)
+	id := func(i, j, k int) int { return (i*y+j)*z + k }
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				if i+1 < x {
+					if err := b.AddEdge(id(i, j, k), id(i+1, j, k), 1); err != nil {
+						return nil, err
+					}
+				}
+				if j+1 < y {
+					if err := b.AddEdge(id(i, j, k), id(i, j+1, k), 1); err != nil {
+						return nil, err
+					}
+				}
+				if k+1 < z {
+					if err := b.AddEdge(id(i, j, k), id(i, j, k+1), 1); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// femOffsets is the 48-point stencil used by LDoor: all integer offsets
+// with squared norm in {1,2,4,5} — i.e. the 3x3x3 box without its 8
+// corners, plus the distance-2 axis points and the (2,1,0)-type points.
+// This reproduces ldoor's average degree of ~48 on interior vertices.
+var femOffsets = func() [][3]int {
+	var offs [][3]int
+	for dx := -2; dx <= 2; dx++ {
+		for dy := -2; dy <= 2; dy++ {
+			for dz := -2; dz <= 2; dz++ {
+				n := dx*dx + dy*dy + dz*dz
+				if n == 1 || n == 2 || n == 4 || n == 5 {
+					offs = append(offs, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+	return offs
+}()
+
+// LDoor generates a 3-D finite-element stiffness-matrix graph with about n
+// vertices: a cubic node lattice where each node is coupled to ~48
+// neighbors, matching the degree structure of the UF collection's "ldoor"
+// matrix. The seed perturbs vertex weights slightly (FEM elements vary in
+// size) but not the topology.
+func LDoor(n int, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: LDoor(%d): size must be positive", n)
+	}
+	s := cbrt(n)
+	nv := s * s * s
+	b := graph.NewBuilder(nv)
+	id := func(i, j, k int) int { return (i*s+j)*s + k }
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			for k := 0; k < s; k++ {
+				v := id(i, j, k)
+				for _, o := range femOffsets {
+					ni, nj, nk := i+o[0], j+o[1], k+o[2]
+					if ni < 0 || ni >= s || nj < 0 || nj >= s || nk < 0 || nk >= s {
+						continue
+					}
+					u := id(ni, nj, nk)
+					if u > v { // add each undirected edge once
+						if err := b.AddEdge(v, u, 1); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	r := rng(seed)
+	for v := 0; v < nv; v++ {
+		if err := b.SetVertexWeight(v, 1+r.Intn(3)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// RandomGeometric generates n points on the unit square connected when
+// within the given radius, using a cell grid for neighbor search. Useful
+// as an irregular but spatially local test family.
+func RandomGeometric(n int, radius float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: RandomGeometric(%d): size must be positive", n)
+	}
+	if radius <= 0 || radius > 1 {
+		return nil, fmt.Errorf("gen: RandomGeometric: radius %g out of (0,1]", radius)
+	}
+	r := rng(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = r.Float64(), r.Float64()
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	grid := make(map[[2]int][]int)
+	cellOf := func(i int) [2]int {
+		cx, cy := int(xs[i]*float64(cells)), int(ys[i]*float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		grid[c] = append(grid[c], i)
+	}
+	b := graph.NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						if err := b.AddEdge(i, j, 1); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}

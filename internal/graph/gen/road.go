@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"fmt"
+
+	"gpmetis/internal/graph"
+)
+
+// RoadNetwork generates a USA-roads-like planar network with about n
+// vertices: a jittered grid of intersections whose connecting roads are
+// subdivided into chains of degree-2 vertices (road segments), with a few
+// diagonal "highway" shortcuts. The result has average degree ~2.4 and
+// very large diameter, the two properties that make road networks hard for
+// multilevel partitioners (few coarsening opportunities per level, long
+// thin partitions).
+func RoadNetwork(n int, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: RoadNetwork(%d): size must be positive", n)
+	}
+	// With chain lengths averaging 2 the expected vertex count is
+	// s^2 intersections + 2*s^2 roads * 2 segments = 5*s^2.
+	s := isqrt(n / 5)
+	if s < 2 {
+		s = 2
+	}
+	r := rng(seed)
+
+	// Vertex ids are handed out on demand: first the s*s intersections,
+	// then chain vertices.
+	next := s * s
+	type road struct{ a, b int }
+	var roads []road
+	id := func(row, col int) int { return row*s + col }
+	for row := 0; row < s; row++ {
+		for col := 0; col < s; col++ {
+			if col+1 < s {
+				roads = append(roads, road{id(row, col), id(row, col+1)})
+			}
+			if row+1 < s {
+				roads = append(roads, road{id(row, col), id(row+1, col)})
+			}
+		}
+	}
+	// Count chain vertices first so the builder can be sized exactly.
+	chainLen := make([]int, len(roads))
+	total := next
+	for i := range roads {
+		chainLen[i] = 1 + r.Intn(3) // 1..3 segments, avg 2
+		total += chainLen[i]
+	}
+	b := graph.NewBuilder(total)
+	for i, rd := range roads {
+		prev := rd.a
+		for j := 0; j < chainLen[i]; j++ {
+			v := next
+			next++
+			if err := b.AddEdge(prev, v, 1); err != nil {
+				return nil, err
+			}
+			prev = v
+		}
+		if err := b.AddEdge(prev, rd.b, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Sparse diagonal highways (~2% of intersections).
+	for i := 0; i < s*s/50; i++ {
+		row, col := r.Intn(s-1), r.Intn(s-1)
+		if err := b.AddEdge(id(row, col), id(row+1, col+1), 1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,201 @@
+// Package gio reads and writes graphs in the Chaco/Metis text format used
+// by the DIMACS challenges the paper takes its inputs from, so real
+// "ldoor"/"delaunay_n20"/"hugebubbles"/"USA-road" files can be fed to the
+// partitioners when available.
+//
+// Format: the header line is "n m [fmt]" where fmt's last two digits
+// enable vertex weights (10) and edge weights (01). Each following
+// non-comment line i lists vertex i's neighbors, 1-indexed, each preceded
+// by the edge weight when enabled; the whole line is preceded by the
+// vertex weight when enabled. Lines starting with '%' are comments.
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpmetis/internal/graph"
+)
+
+// Read parses a Chaco/Metis format graph.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("gio: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 4 {
+		return nil, fmt.Errorf("gio: malformed header %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("gio: bad vertex count %q", fields[0])
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("gio: bad edge count %q", fields[1])
+	}
+	hasVWgt, hasEWgt := false, false
+	ncon := 0
+	if len(fields) >= 3 {
+		f := fields[2]
+		if len(f) > 3 {
+			return nil, fmt.Errorf("gio: unsupported fmt field %q", f)
+		}
+		for len(f) < 3 {
+			f = "0" + f
+		}
+		if f[0] == '1' {
+			return nil, fmt.Errorf("gio: vertex sizes (fmt %q) are not supported", fields[2])
+		}
+		hasVWgt = f[1] == '1'
+		hasEWgt = f[2] == '1'
+	}
+	if len(fields) == 4 {
+		ncon, err = strconv.Atoi(fields[3])
+		if err != nil || ncon > 1 {
+			return nil, fmt.Errorf("gio: multi-constraint graphs (ncon=%s) are not supported", fields[3])
+		}
+	}
+
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("gio: vertex %d: %w", v+1, err)
+		}
+		toks := strings.Fields(line)
+		i := 0
+		if hasVWgt {
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("gio: vertex %d: missing vertex weight", v+1)
+			}
+			w, err := strconv.Atoi(toks[0])
+			if err != nil {
+				return nil, fmt.Errorf("gio: vertex %d: bad vertex weight %q", v+1, toks[0])
+			}
+			if err := b.SetVertexWeight(v, w); err != nil {
+				return nil, fmt.Errorf("gio: vertex %d: %w", v+1, err)
+			}
+			i = 1
+		}
+		for i < len(toks) {
+			u, err := strconv.Atoi(toks[i])
+			if err != nil {
+				return nil, fmt.Errorf("gio: vertex %d: bad neighbor %q", v+1, toks[i])
+			}
+			if u < 1 || u > n {
+				return nil, fmt.Errorf("gio: vertex %d: neighbor %d out of [1,%d]", v+1, u, n)
+			}
+			i++
+			w := 1
+			if hasEWgt {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("gio: vertex %d: missing weight for neighbor %d", v+1, u)
+				}
+				w, err = strconv.Atoi(toks[i])
+				if err != nil {
+					return nil, fmt.Errorf("gio: vertex %d: bad edge weight %q", v+1, toks[i])
+				}
+				i++
+			}
+			// Each undirected edge appears on both endpoint lines; add it
+			// once from the lower endpoint.
+			if u-1 > v {
+				if err := b.AddEdge(v, u-1, w); err != nil {
+					return nil, fmt.Errorf("gio: vertex %d: %w", v+1, err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("gio: header declares %d edges, file has %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		// Blank lines are significant: they are the adjacency lists of
+		// isolated vertices. Only comments are skipped.
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// Write serializes g in Chaco/Metis format. Vertex weights are written
+// only when some weight differs from 1; likewise edge weights.
+func Write(w io.Writer, g *graph.Graph) error {
+	hasVWgt, hasEWgt := false, false
+	for _, x := range g.VWgt {
+		if x != 1 {
+			hasVWgt = true
+			break
+		}
+	}
+	for _, x := range g.AdjWgt {
+		if x != 1 {
+			hasEWgt = true
+			break
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmtField := ""
+	switch {
+	case hasVWgt && hasEWgt:
+		fmtField = " 011"
+	case hasVWgt:
+		fmtField = " 010"
+	case hasEWgt:
+		fmtField = " 001"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d%s\n", g.NumVertices(), g.NumEdges(), fmtField); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		first := true
+		if hasVWgt {
+			if _, err := fmt.Fprintf(bw, "%d", g.VWgt[v]); err != nil {
+				return err
+			}
+			first = false
+		}
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if !first {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			first = false
+			if _, err := fmt.Fprintf(bw, "%d", u+1); err != nil {
+				return err
+			}
+			if hasEWgt {
+				if _, err := fmt.Fprintf(bw, " %d", wgt[i]); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

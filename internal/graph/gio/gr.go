@@ -1,0 +1,95 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpmetis/internal/graph"
+)
+
+// ReadGR parses the DIMACS9 shortest-path challenge ".gr" format, the
+// native format of the paper's USA road network input:
+//
+//	c comment
+//	p sp <n> <m>
+//	a <u> <v> <w>    (1-indexed directed arc)
+//
+// Road graphs list both arc directions; ReadGR merges them into one
+// undirected edge (keeping the minimum weight when the directions
+// disagree) and drops self loops, which is how partitioners consume these
+// files.
+func ReadGR(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var b *graph.Builder
+	n := -1
+	type key struct{ u, v int }
+	weights := map[key]int{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		switch line[0] {
+		case 'p':
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("gio: malformed problem line %q", line)
+			}
+			var err error
+			n, err = strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("gio: bad vertex count in %q", line)
+			}
+			b = graph.NewBuilder(n)
+		case 'a':
+			if b == nil {
+				return nil, fmt.Errorf("gio: arc before problem line: %q", line)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("gio: malformed arc line %q", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("gio: malformed arc line %q", line)
+			}
+			if u < 1 || u > n || v < 1 || v > n {
+				return nil, fmt.Errorf("gio: arc endpoint out of range in %q", line)
+			}
+			if u == v {
+				continue // self loops are meaningless for partitioning
+			}
+			if w < 1 {
+				w = 1
+			}
+			a, c := u-1, v-1
+			if a > c {
+				a, c = c, a
+			}
+			k := key{a, c}
+			if old, ok := weights[k]; !ok || w < old {
+				weights[k] = w
+			}
+		default:
+			return nil, fmt.Errorf("gio: unknown line type %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("gio: missing problem line")
+	}
+	for k, w := range weights {
+		if err := b.AddEdge(k.u, k.v, w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

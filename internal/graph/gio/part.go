@@ -1,0 +1,50 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePartition serializes a partition vector in the Metis .part format:
+// one partition id per line, in vertex order.
+func WritePartition(w io.Writer, part []int) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range part {
+		if _, err := fmt.Fprintln(bw, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPartition parses a Metis .part file into a partition vector and
+// also returns k, one more than the largest id seen.
+func ReadPartition(r io.Reader) (part []int, k int, err error) {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		p, err := strconv.Atoi(text)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gio: partition line %d: %q is not an integer", line, text)
+		}
+		if p < 0 {
+			return nil, 0, fmt.Errorf("gio: partition line %d: negative id %d", line, p)
+		}
+		part = append(part, p)
+		if p+1 > k {
+			k = p + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return part, k, nil
+}

@@ -1,0 +1,54 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPartitionRoundTrip(t *testing.T) {
+	part := []int{0, 3, 1, 1, 2, 0}
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, part); err != nil {
+		t.Fatal(err)
+	}
+	got, k, err := ReadPartition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Errorf("k = %d, want 4", k)
+	}
+	if len(got) != len(part) {
+		t.Fatalf("len = %d, want %d", len(got), len(part))
+	}
+	for i := range part {
+		if got[i] != part[i] {
+			t.Fatalf("entry %d changed: %d -> %d", i, part[i], got[i])
+		}
+	}
+}
+
+func TestReadPartitionSkipsCommentsAndBlanks(t *testing.T) {
+	in := "% header comment\n0\n\n1\n% trailing\n2\n"
+	part, k, err := ReadPartition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 3 || k != 3 {
+		t.Errorf("part=%v k=%d", part, k)
+	}
+}
+
+func TestReadPartitionErrors(t *testing.T) {
+	if _, _, err := ReadPartition(strings.NewReader("0\nx\n")); err == nil {
+		t.Error("non-integer should fail")
+	}
+	if _, _, err := ReadPartition(strings.NewReader("-1\n")); err == nil {
+		t.Error("negative id should fail")
+	}
+	part, k, err := ReadPartition(strings.NewReader(""))
+	if err != nil || len(part) != 0 || k != 0 {
+		t.Error("empty input should give empty partition")
+	}
+}

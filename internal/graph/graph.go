@@ -1,0 +1,199 @@
+// Package graph provides the Compressed Sparse Row (CSR) graph
+// representation shared by every partitioner in this repository, together
+// with construction helpers and partition-quality metrics.
+//
+// The layout follows the paper's Section III: an adjacency array (Adjncy)
+// of length 2|E|, an adjacency pointer array (XAdj) of length |V|+1, an
+// edge-weight array (AdjWgt) parallel to Adjncy, and a vertex-weight array
+// (VWgt) of length |V|. Graphs are undirected: every edge {u,v} appears
+// twice, once in each endpoint's adjacency list, with equal weights.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is an undirected vertex- and edge-weighted graph in CSR form.
+//
+// Invariants (checked by Validate):
+//   - len(XAdj) == NumVertices()+1, XAdj[0] == 0, XAdj non-decreasing
+//   - len(Adjncy) == len(AdjWgt) == XAdj[len(XAdj)-1]
+//   - no self loops; every arc (u,v,w) has a reverse arc (v,u,w)
+//   - all vertex and edge weights are positive
+type Graph struct {
+	// XAdj holds, for each vertex v, the index range
+	// [XAdj[v], XAdj[v+1]) of v's adjacency list within Adjncy/AdjWgt.
+	XAdj []int
+	// Adjncy is the concatenated adjacency lists.
+	Adjncy []int
+	// AdjWgt holds the weight of each arc, parallel to Adjncy.
+	AdjWgt []int
+	// VWgt holds the computation weight of each vertex.
+	VWgt []int
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.VWgt) }
+
+// NumEdges returns the number of undirected edges |E| (half the number of
+// stored arcs).
+func (g *Graph) NumEdges() int { return len(g.Adjncy) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return g.XAdj[v+1] - g.XAdj[v] }
+
+// Neighbors returns v's adjacency and arc-weight slices. The slices alias
+// the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int) (adj, wgt []int) {
+	return g.Adjncy[g.XAdj[v]:g.XAdj[v+1]], g.AdjWgt[g.XAdj[v]:g.XAdj[v+1]]
+}
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() int {
+	var s int
+	for _, w := range g.VWgt {
+		s += w
+	}
+	return s
+}
+
+// TotalEdgeWeight returns the sum of all undirected edge weights.
+func (g *Graph) TotalEdgeWeight() int {
+	var s int
+	for _, w := range g.AdjWgt {
+		s += w
+	}
+	return s / 2
+}
+
+// Bytes returns the CSR memory footprint assuming the 4-byte integers a
+// CUDA implementation would use, which is what counts against the modeled
+// device's 6 GB capacity.
+func (g *Graph) Bytes() int64 {
+	return int64(4) * int64(len(g.XAdj)+len(g.Adjncy)+len(g.AdjWgt)+len(g.VWgt))
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	var max int
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(len(g.Adjncy)) / float64(g.NumVertices())
+}
+
+// HasEdge reports whether u and v are adjacent. O(deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	adj, _ := g.Neighbors(u)
+	for _, w := range adj {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the weight of edge {u,v}, or 0 when absent. O(deg(u)).
+func (g *Graph) EdgeWeight(u, v int) int {
+	adj, wgt := g.Neighbors(u)
+	for i, w := range adj {
+		if w == v {
+			return wgt[i]
+		}
+	}
+	return 0
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		XAdj:   make([]int, len(g.XAdj)),
+		Adjncy: make([]int, len(g.Adjncy)),
+		AdjWgt: make([]int, len(g.AdjWgt)),
+		VWgt:   make([]int, len(g.VWgt)),
+	}
+	copy(c.XAdj, g.XAdj)
+	copy(c.Adjncy, g.Adjncy)
+	copy(c.AdjWgt, g.AdjWgt)
+	copy(c.VWgt, g.VWgt)
+	return c
+}
+
+// ErrInvalidGraph wraps all structural validation failures.
+var ErrInvalidGraph = errors.New("graph: invalid CSR structure")
+
+// Validate checks all CSR invariants and returns a descriptive error for
+// the first violation found.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.XAdj) != n+1 {
+		return fmt.Errorf("%w: len(XAdj)=%d, want NumVertices+1=%d", ErrInvalidGraph, len(g.XAdj), n+1)
+	}
+	if n == 0 {
+		if len(g.Adjncy) != 0 {
+			return fmt.Errorf("%w: empty vertex set with %d arcs", ErrInvalidGraph, len(g.Adjncy))
+		}
+		return nil
+	}
+	if g.XAdj[0] != 0 {
+		return fmt.Errorf("%w: XAdj[0]=%d, want 0", ErrInvalidGraph, g.XAdj[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.XAdj[v+1] < g.XAdj[v] {
+			return fmt.Errorf("%w: XAdj decreases at vertex %d", ErrInvalidGraph, v)
+		}
+	}
+	m := g.XAdj[n]
+	if len(g.Adjncy) != m || len(g.AdjWgt) != m {
+		return fmt.Errorf("%w: arc arrays have %d/%d entries, XAdj says %d", ErrInvalidGraph, len(g.Adjncy), len(g.AdjWgt), m)
+	}
+	if m%2 != 0 {
+		return fmt.Errorf("%w: odd arc count %d (graph must be symmetric)", ErrInvalidGraph, m)
+	}
+	for v, w := range g.VWgt {
+		if w <= 0 {
+			return fmt.Errorf("%w: vertex %d has non-positive weight %d", ErrInvalidGraph, v, w)
+		}
+	}
+	for v := 0; v < n; v++ {
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if u < 0 || u >= n {
+				return fmt.Errorf("%w: vertex %d has out-of-range neighbor %d", ErrInvalidGraph, v, u)
+			}
+			if u == v {
+				return fmt.Errorf("%w: vertex %d has a self loop", ErrInvalidGraph, v)
+			}
+			if wgt[i] <= 0 {
+				return fmt.Errorf("%w: arc (%d,%d) has non-positive weight %d", ErrInvalidGraph, v, u, wgt[i])
+			}
+		}
+	}
+	// Symmetry: every arc must have a reverse arc of equal weight. Checked
+	// with per-vertex scans to stay allocation-light.
+	for v := 0; v < n; v++ {
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if g.EdgeWeight(u, v) != wgt[i] {
+				return fmt.Errorf("%w: arc (%d,%d,w=%d) has no matching reverse arc", ErrInvalidGraph, v, u, wgt[i])
+			}
+		}
+	}
+	return nil
+}
+
+// String returns a short structural summary, e.g. "graph{V=100 E=250}".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{V=%d E=%d}", g.NumVertices(), g.NumEdges())
+}

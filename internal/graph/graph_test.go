@@ -1,0 +1,448 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// path4 builds the path 0-1-2-3 with unit weights.
+func path4(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// k4 builds the complete graph on 4 vertices with weight 2 edges.
+func k4() *Graph {
+	b := NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v, 2); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := path4(t)
+	if g.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 || g.Degree(3) != 1 {
+		t.Errorf("unexpected degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(3))
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(0, 3) {
+		t.Error("HasEdge wrong")
+	}
+	if g.EdgeWeight(1, 2) != 1 || g.EdgeWeight(0, 2) != 0 {
+		t.Error("EdgeWeight wrong")
+	}
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0, 4); err != nil { // same undirected edge
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 after merging", g.NumEdges())
+	}
+	if w := g.EdgeWeight(0, 1); w != 7 {
+		t.Errorf("merged weight = %d, want 7", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 0, 1); err == nil {
+		t.Error("self loop should fail")
+	}
+	if err := b.AddEdge(0, 2, 1); err == nil {
+		t.Error("out-of-range vertex should fail")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative vertex should fail")
+	}
+	if err := b.AddEdge(0, 1, 0); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if err := b.SetVertexWeight(0, 0); err == nil {
+		t.Error("zero vertex weight should fail")
+	}
+	if err := b.SetVertexWeight(5, 1); err == nil {
+		t.Error("out-of-range vertex weight should fail")
+	}
+	if err := b.SetVertexWeight(1, 10); err != nil {
+		t.Errorf("valid SetVertexWeight failed: %v", err)
+	}
+}
+
+func TestVertexWeights(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetVertexWeight(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	if got := g.TotalVertexWeight(); got != 7 {
+		t.Errorf("TotalVertexWeight = %d, want 7", got)
+	}
+	if got := g.TotalEdgeWeight(); got != 2 {
+		t.Errorf("TotalEdgeWeight = %d, want 2", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if err := g.Validate(); err != nil {
+		t.Errorf("empty graph should validate: %v", err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.AvgDegree() != 0 || g.MaxDegree() != 0 {
+		t.Error("empty graph stats should all be zero")
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	b := NewBuilder(5)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	if err := g.Validate(); err != nil {
+		t.Errorf("graph with isolated vertices should validate: %v", err)
+	}
+	if g.Degree(4) != 0 {
+		t.Errorf("isolated vertex degree = %d, want 0", g.Degree(4))
+	}
+	ncomp, _ := ConnectedComponents(g)
+	if ncomp != 4 {
+		t.Errorf("components = %d, want 4", ncomp)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := k4
+	cases := []struct {
+		name    string
+		corrupt func(*Graph)
+	}{
+		{"xadj len", func(g *Graph) { g.XAdj = g.XAdj[:3] }},
+		{"xadj start", func(g *Graph) { g.XAdj[0] = 1 }},
+		{"xadj decreasing", func(g *Graph) { g.XAdj[2] = g.XAdj[1] - 1 }},
+		{"neighbor range", func(g *Graph) { g.Adjncy[0] = 99 }},
+		{"self loop", func(g *Graph) { g.Adjncy[0] = 0 }},
+		{"arc weight", func(g *Graph) { g.AdjWgt[0] = 0 }},
+		{"vertex weight", func(g *Graph) { g.VWgt[2] = -1 }},
+		{"asymmetric weight", func(g *Graph) { g.AdjWgt[0] = 9 }},
+	}
+	for _, tc := range cases {
+		g := fresh()
+		tc.corrupt(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tc.name)
+		} else if !errors.Is(err, ErrInvalidGraph) {
+			t.Errorf("%s: error should wrap ErrInvalidGraph, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestFromCSR(t *testing.T) {
+	// Triangle 0-1-2.
+	xadj := []int{0, 2, 4, 6}
+	adjncy := []int{1, 2, 0, 2, 0, 1}
+	adjwgt := []int{1, 1, 1, 1, 1, 1}
+	vwgt := []int{1, 1, 1}
+	g, err := FromCSR(xadj, adjncy, adjwgt, vwgt)
+	if err != nil {
+		t.Fatalf("FromCSR: %v", err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if _, err := FromCSR([]int{0, 1}, []int{0}, []int{1}, []int{1}); err == nil {
+		t.Error("FromCSR should reject a self loop")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := path4(t)
+	c := g.Clone()
+	c.AdjWgt[0] = 99
+	c.VWgt[0] = 99
+	if g.AdjWgt[0] == 99 || g.VWgt[0] == 99 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := path4(t)
+	if s := g.String(); !strings.Contains(s, "V=4") || !strings.Contains(s, "E=3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEdgeCutAndGain(t *testing.T) {
+	g := path4(t)
+	part := []int{0, 0, 1, 1}
+	if cut := EdgeCut(g, part); cut != 1 {
+		t.Errorf("EdgeCut = %d, want 1", cut)
+	}
+	// Moving vertex 1 to partition 1 removes the 0-1 internal edge (cost 1)
+	// and internalizes edge 1-2: gain = w(1,2) - w(1,0) = 0.
+	if gain := Gain(g, part, 1, 1); gain != 0 {
+		t.Errorf("Gain(1→1) = %d, want 0", gain)
+	}
+	// k4 with weight-2 edges, split 2/2: cut = 4 cross edges * 2 = 8.
+	g2 := k4()
+	if cut := EdgeCut(g2, part); cut != 8 {
+		t.Errorf("k4 EdgeCut = %d, want 8", cut)
+	}
+	// Moving any k4 vertex makes things worse: 1 internal lost + 3... gain
+	// = to-part weight (2 vertices * 2) - own-part weight (1 vertex * 2) = 2.
+	if gain := Gain(g2, part, 0, 1); gain != 2 {
+		t.Errorf("k4 Gain = %d, want 2", gain)
+	}
+}
+
+func TestPartWeightsAndBalance(t *testing.T) {
+	g := path4(t)
+	part := []int{0, 0, 1, 1}
+	w := PartWeights(g, part, 2)
+	if w[0] != 2 || w[1] != 2 {
+		t.Errorf("PartWeights = %v, want [2 2]", w)
+	}
+	if got := Imbalance(g, part, 2); got != 1.0 {
+		t.Errorf("Imbalance = %g, want 1.0", got)
+	}
+	if !IsBalanced(g, part, 2, 1.03) {
+		t.Error("2/2 split should be balanced at 3%")
+	}
+	skew := []int{0, 0, 0, 1}
+	if got := Imbalance(g, skew, 2); got != 1.5 {
+		t.Errorf("Imbalance skewed = %g, want 1.5", got)
+	}
+	if IsBalanced(g, skew, 2, 1.03) {
+		t.Error("3/1 split should not be balanced at 3%")
+	}
+}
+
+func TestCheckPartition(t *testing.T) {
+	g := path4(t)
+	if err := CheckPartition(g, []int{0, 1, 0, 1}, 2); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if err := CheckPartition(g, []int{0, 1, 0, 2}, 2); err == nil {
+		t.Error("out-of-range partition id should fail")
+	}
+	if err := CheckPartition(g, []int{0, 0, 0, 0}, 2); err == nil {
+		t.Error("empty partition should fail when n >= k")
+	}
+	if err := CheckPartition(g, []int{0, 1}, 2); err == nil {
+		t.Error("short partition vector should fail")
+	}
+}
+
+func TestBoundaryVertices(t *testing.T) {
+	g := path4(t)
+	part := []int{0, 0, 1, 1}
+	b := BoundaryVertices(g, part)
+	if len(b) != 2 || b[0] != 1 || b[1] != 2 {
+		t.Errorf("BoundaryVertices = %v, want [1 2]", b)
+	}
+	if IsBoundary(g, part, 0) || !IsBoundary(g, part, 1) {
+		t.Error("IsBoundary wrong")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	n, comp := ConnectedComponents(g)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Error("component assignment wrong")
+	}
+}
+
+// randomGraph builds a random connected graph for property tests.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	b := NewBuilder(n)
+	// Random spanning tree keeps it connected.
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		if err := b.AddEdge(u, v, 1+rng.Intn(5)); err != nil {
+			panic(err)
+		}
+	}
+	extra := n / 2
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			if err := b.AddEdge(u, v, 1+rng.Intn(5)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: builder output always validates and is connected by
+// construction (spanning tree backbone).
+func TestBuilderOutputAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz)%60
+		g := randomGraph(rand.New(rand.NewSource(seed)), n)
+		if err := g.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		ncomp, _ := ConnectedComponents(g)
+		return ncomp == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EdgeCut is symmetric under relabeling the two sides of a
+// bisection and never exceeds the total edge weight.
+func TestEdgeCutBoundsProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(sz)%60
+		g := randomGraph(rng, n)
+		part := make([]int, n)
+		flip := make([]int, n)
+		for v := range part {
+			part[v] = rng.Intn(2)
+			flip[v] = 1 - part[v]
+		}
+		cut := EdgeCut(g, part)
+		if cut != EdgeCut(g, flip) {
+			return false
+		}
+		return cut >= 0 && cut <= g.TotalEdgeWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sum of PartWeights equals total vertex weight for any
+// assignment.
+func TestPartWeightsSumProperty(t *testing.T) {
+	f := func(seed int64, sz, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(sz)%60
+		k := 1 + int(kRaw)%8
+		g := randomGraph(rng, n)
+		part := make([]int, n)
+		for v := range part {
+			part[v] = rng.Intn(k)
+		}
+		var sum int
+		for _, w := range PartWeights(g, part, k) {
+			sum += w
+		}
+		return sum == g.TotalVertexWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommunicationVolume(t *testing.T) {
+	// Star: center 0 with 4 leaves in partitions 1,1,2,2; center in 0.
+	b := NewBuilder(5)
+	for leaf := 1; leaf <= 4; leaf++ {
+		if err := b.AddEdge(0, leaf, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	part := []int{0, 1, 1, 2, 2}
+	// Center talks to partitions 1 and 2 (2 values); each leaf talks to
+	// partition 0 (1 value each): total 6. Edge cut would count 4.
+	if got := CommunicationVolume(g, part, 3); got != 6 {
+		t.Errorf("CommunicationVolume = %d, want 6", got)
+	}
+	// Single partition: no communication.
+	if got := CommunicationVolume(g, []int{0, 0, 0, 0, 0}, 1); got != 0 {
+		t.Errorf("volume = %d, want 0", got)
+	}
+}
+
+// Property: communication volume is bounded by twice the number of cut
+// edges (each cut edge contributes at most one new partition per side)
+// and is zero iff the cut is zero.
+func TestCommunicationVolumeBoundsProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(szRaw)%80
+		k := 1 + int(kRaw)%6
+		g := randomGraph(rng, n)
+		part := make([]int, n)
+		for v := range part {
+			part[v] = rng.Intn(k)
+		}
+		vol := CommunicationVolume(g, part, k)
+		cutEdges := 0
+		for v := 0; v < n; v++ {
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if u > v && part[u] != part[v] {
+					cutEdges++
+				}
+			}
+		}
+		if (vol == 0) != (cutEdges == 0) {
+			return false
+		}
+		return vol <= 2*cutEdges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

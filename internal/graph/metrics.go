@@ -1,0 +1,184 @@
+package graph
+
+import "fmt"
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different partitions, the objective the paper minimizes.
+func EdgeCut(g *Graph, part []int) int {
+	var cut int
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, wgt := g.Neighbors(v)
+		pv := part[v]
+		for i, u := range adj {
+			if part[u] != pv {
+				cut += wgt[i]
+			}
+		}
+	}
+	return cut / 2
+}
+
+// PartWeights returns the total vertex weight in each of the k partitions.
+func PartWeights(g *Graph, part []int, k int) []int {
+	w := make([]int, k)
+	for v, p := range part[:g.NumVertices()] {
+		w[p] += g.VWgt[v]
+	}
+	return w
+}
+
+// Imbalance returns max partition weight divided by average partition
+// weight. A perfectly balanced k-way partition has imbalance 1.0; the
+// paper's experiments allow 1.03 (3% tolerance).
+func Imbalance(g *Graph, part []int, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	weights := PartWeights(g, part, k)
+	var max, total int
+	for _, w := range weights {
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	avg := float64(total) / float64(k)
+	return float64(max) / avg
+}
+
+// IsBalanced reports whether no partition exceeds ubfactor times the
+// average partition weight (e.g. ubfactor=1.03 for the paper's 3%).
+func IsBalanced(g *Graph, part []int, k int, ubfactor float64) bool {
+	return Imbalance(g, part, k) <= ubfactor+1e-9
+}
+
+// CheckPartition verifies that part assigns every vertex of g to a
+// partition id in [0,k) and that every partition is non-empty when the
+// graph has at least k vertices.
+func CheckPartition(g *Graph, part []int, k int) error {
+	n := g.NumVertices()
+	if len(part) < n {
+		return fmt.Errorf("graph: partition vector has %d entries for %d vertices", len(part), n)
+	}
+	seen := make([]bool, k)
+	for v := 0; v < n; v++ {
+		p := part[v]
+		if p < 0 || p >= k {
+			return fmt.Errorf("graph: vertex %d assigned to partition %d, want [0,%d)", v, p, k)
+		}
+		seen[p] = true
+	}
+	if n >= k {
+		for p, ok := range seen {
+			if !ok {
+				return fmt.Errorf("graph: partition %d is empty", p)
+			}
+		}
+	}
+	return nil
+}
+
+// IsBoundary reports whether v has at least one neighbor in a different
+// partition.
+func IsBoundary(g *Graph, part []int, v int) bool {
+	adj, _ := g.Neighbors(v)
+	for _, u := range adj {
+		if part[u] != part[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// BoundaryVertices returns all vertices with a neighbor in a different
+// partition, in ascending order. Refinement only ever moves these.
+func BoundaryVertices(g *Graph, part []int) []int {
+	var out []int
+	for v := 0; v < g.NumVertices(); v++ {
+		if IsBoundary(g, part, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Gain returns the edge-cut reduction obtained by moving v from its
+// current partition to partition "to": (weight of arcs to "to") minus
+// (weight of arcs to its own partition). Positive gain reduces the cut.
+func Gain(g *Graph, part []int, v, to int) int {
+	adj, wgt := g.Neighbors(v)
+	var internal, external int
+	from := part[v]
+	for i, u := range adj {
+		switch part[u] {
+		case from:
+			internal += wgt[i]
+		case to:
+			external += wgt[i]
+		}
+	}
+	return external - internal
+}
+
+// ConnectedComponents returns the number of connected components and a
+// component id per vertex, via iterative BFS.
+func ConnectedComponents(g *Graph) (int, []int) {
+	n := g.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int
+	c := 0
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = c
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if comp[u] == -1 {
+					comp[u] = c
+					queue = append(queue, u)
+				}
+			}
+		}
+		c++
+	}
+	return c, comp
+}
+
+// CommunicationVolume returns the total communication volume of a k-way
+// partition: for each vertex, the number of *distinct* foreign partitions
+// among its neighbors, summed over all vertices. Unlike the edge cut it
+// counts a value sent to a partition once regardless of how many
+// neighbors live there, which is the quantity a halo exchange actually
+// moves.
+func CommunicationVolume(g *Graph, part []int, k int) int {
+	seen := make([]bool, k)
+	var touched []int
+	total := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			p := part[u]
+			if p != part[v] && !seen[p] {
+				seen[p] = true
+				touched = append(touched, p)
+				total++
+			}
+		}
+		for _, p := range touched {
+			seen[p] = false
+		}
+		touched = touched[:0]
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package graph
+
+import "sort"
+
+// RCMOrder returns a reverse Cuthill-McKee permutation of g: perm[v] is
+// v's new label. RCM clusters each vertex's neighbors into nearby labels,
+// which shrinks matrix bandwidth and — relevant to the GPU partitioner —
+// improves the locality of neighbor gathers. Disconnected components are
+// ordered one after another, each from a minimum-degree seed.
+func RCMOrder(g *Graph) []int {
+	n := g.NumVertices()
+	perm := make([]int, n)
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+
+	// Vertices by increasing degree, used both to pick component seeds
+	// and to enqueue neighbors in Cuthill-McKee's degree order.
+	byDegree := make([]int, n)
+	for i := range byDegree {
+		byDegree[i] = i
+	}
+	sort.Slice(byDegree, func(a, b int) bool {
+		da, db := g.Degree(byDegree[a]), g.Degree(byDegree[b])
+		if da != db {
+			return da < db
+		}
+		return byDegree[a] < byDegree[b]
+	})
+
+	nbuf := make([]int, 0, 64)
+	for _, seed := range byDegree {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			adj, _ := g.Neighbors(v)
+			nbuf = nbuf[:0]
+			for _, u := range adj {
+				if !visited[u] {
+					visited[u] = true
+					nbuf = append(nbuf, u)
+				}
+			}
+			sort.Slice(nbuf, func(a, b int) bool {
+				da, db := g.Degree(nbuf[a]), g.Degree(nbuf[b])
+				if da != db {
+					return da < db
+				}
+				return nbuf[a] < nbuf[b]
+			})
+			queue = append(queue, nbuf...)
+		}
+	}
+	// Reverse (the "R" in RCM) and invert into a permutation.
+	for i, v := range order {
+		perm[v] = n - 1 - i
+	}
+	return perm
+}
+
+// Bandwidth returns the maximum |label(u) - label(v)| over all edges, the
+// quantity RCM minimizes heuristically.
+func Bandwidth(g *Graph) int {
+	var bw int
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			d := u - v
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

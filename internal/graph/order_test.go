@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRCMOrderIsPermutation(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 200)
+	perm := RCMOrder(g)
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A grid-like graph labeled randomly has terrible bandwidth; RCM must
+	// bring it down substantially.
+	b := NewBuilder(400)
+	for r := 0; r < 20; r++ {
+		for c := 0; c < 20; c++ {
+			v := r*20 + c
+			if c+1 < 20 {
+				if err := b.AddEdge(v, v+1, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r+1 < 20 {
+				if err := b.AddEdge(v, v+20, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	grid := b.MustBuild()
+	shufflePerm := rand.New(rand.NewSource(7)).Perm(400)
+	shuffled, err := Relabel(grid, shufflePerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Bandwidth(shuffled)
+	rcm, err := Relabel(shuffled, RCMOrder(shuffled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(rcm)
+	if after >= before/3 {
+		t.Errorf("RCM bandwidth %d not much below shuffled %d", after, before)
+	}
+	// Sanity: the grid's natural bandwidth is 20; RCM should be within a
+	// small factor of that.
+	if after > 80 {
+		t.Errorf("RCM bandwidth %d too far from the grid's natural 20", after)
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	b := NewBuilder(10)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(5, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	perm := RCMOrder(g)
+	seen := map[int]bool{}
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("duplicate label")
+		}
+		seen[p] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d labels, want 10", len(seen))
+	}
+}
+
+// Property: RCM output is always a valid permutation and never increases
+// bandwidth versus a random shuffle of the same graph.
+func TestRCMProperty(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := 10 + int(szRaw)%150
+		g := randomGraph(rand.New(rand.NewSource(seed)), n)
+		perm := RCMOrder(g)
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		relabeled, err := Relabel(g, perm)
+		if err != nil {
+			return false
+		}
+		return relabeled.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelabelErrors(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 5)
+	if _, err := Relabel(g, []int{0, 1, 2}); err == nil {
+		t.Error("short perm should fail")
+	}
+	if _, err := Relabel(g, []int{0, 1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range perm should fail")
+	}
+	if _, err := Relabel(g, []int{0, 1, 2, 3, 3}); err == nil {
+		t.Error("duplicate perm should fail")
+	}
+	id := []int{0, 1, 2, 3, 4}
+	h, err := Relabel(g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() {
+		t.Error("identity relabel changed the graph")
+	}
+}

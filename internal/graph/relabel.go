@@ -1,0 +1,39 @@
+package graph
+
+import "fmt"
+
+// Relabel returns a copy of g whose vertex v becomes perm[v]. perm must be
+// a permutation of 0..n-1. Vertex and edge weights follow their vertices.
+// Relabeling is how experiments decouple algorithmic behaviour from the
+// (often spatially sorted) vertex order a generator produces.
+func Relabel(g *Graph, perm []int) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: Relabel: perm has %d entries for %d vertices", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("graph: Relabel: perm entry %d out of range", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("graph: Relabel: duplicate perm entry %d", p)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if err := b.SetVertexWeight(perm[v], g.VWgt[v]); err != nil {
+			return nil, err
+		}
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if u > v {
+				if err := b.AddEdge(perm[v], perm[u], wgt[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}

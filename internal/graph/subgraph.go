@@ -1,0 +1,41 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph returns the subgraph induced by the given vertices
+// (which must be distinct and in range) along with the slice mapping each
+// subgraph vertex back to its original id. Edges to vertices outside the
+// selection are dropped.
+func InducedSubgraph(g *Graph, vs []int) (*Graph, []int, error) {
+	inv := make(map[int]int, len(vs))
+	for i, v := range vs {
+		if v < 0 || v >= g.NumVertices() {
+			return nil, nil, fmt.Errorf("graph: InducedSubgraph: vertex %d out of range", v)
+		}
+		if _, dup := inv[v]; dup {
+			return nil, nil, fmt.Errorf("graph: InducedSubgraph: duplicate vertex %d", v)
+		}
+		inv[v] = i
+	}
+	sub := &Graph{
+		XAdj: make([]int, len(vs)+1),
+		VWgt: make([]int, len(vs)),
+	}
+	var adjncy, wgts []int
+	for i, v := range vs {
+		sub.VWgt[i] = g.VWgt[v]
+		adj, wgt := g.Neighbors(v)
+		for j, u := range adj {
+			if iu, ok := inv[u]; ok {
+				adjncy = append(adjncy, iu)
+				wgts = append(wgts, wgt[j])
+			}
+		}
+		sub.XAdj[i+1] = len(adjncy)
+	}
+	sub.Adjncy = adjncy
+	sub.AdjWgt = wgts
+	orig := make([]int, len(vs))
+	copy(orig, vs)
+	return sub, orig, nil
+}

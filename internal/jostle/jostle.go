@@ -1,0 +1,363 @@
+// Package jostle implements a Jostle-style multilevel partitioner
+// (Walshaw & Cross), the third classic system the paper's Section II
+// describes:
+//
+//   - coarsening continues until the number of vertices equals the number
+//     of required partitions, which makes the initial partitioning
+//     trivial (coarse vertex i becomes partition i);
+//   - un-coarsening uses Jostle's combined balancing and refinement: "a
+//     vertex movement from one partition to another is accepted even if
+//     it makes the partitions unbalanced. In the following refinement
+//     step, the vertex movement is rejected or accepted";
+//   - the parallel variant refines interface regions: adjacent partition
+//     pairs are matched into disjoint rounds (an edge coloring of the
+//     partition quotient graph) and each pair's boundary region is
+//     optimized independently — pairs run concurrently on the modeled
+//     threads, which is what "isolating different regions of the graph"
+//     buys (Section II.B).
+package jostle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+// Options configures a run. Construct with DefaultOptions.
+type Options struct {
+	// Seed drives randomized decisions.
+	Seed int64
+	// UBFactor is the allowed imbalance.
+	UBFactor float64
+	// RefineIters bounds combined balance/refine passes per level.
+	RefineIters int
+	// Threads is the modeled thread count for the parallel interface-
+	// region refinement; 1 gives the serial algorithm.
+	Threads int
+}
+
+// DefaultOptions mirrors the other partitioners' setup.
+func DefaultOptions() Options {
+	return Options{
+		Seed:        1,
+		UBFactor:    1.03,
+		RefineIters: 6,
+		Threads:     8,
+	}
+}
+
+func (o *Options) validate(g *graph.Graph, k int) error {
+	switch {
+	case k < 1:
+		return fmt.Errorf("jostle: k must be >= 1, got %d", k)
+	case g.NumVertices() == 0:
+		return fmt.Errorf("jostle: cannot partition an empty graph")
+	case k > g.NumVertices():
+		return fmt.Errorf("jostle: k=%d exceeds vertex count %d", k, g.NumVertices())
+	case o.UBFactor < 1.0:
+		return fmt.Errorf("jostle: UBFactor %g must be >= 1.0", o.UBFactor)
+	case o.RefineIters < 0:
+		return fmt.Errorf("jostle: RefineIters %d must be >= 0", o.RefineIters)
+	case o.Threads < 1:
+		return fmt.Errorf("jostle: Threads %d must be >= 1", o.Threads)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Part     []int
+	EdgeCut  int
+	Levels   int
+	Timeline perfmodel.Timeline
+}
+
+// ModeledSeconds returns the total modeled runtime.
+func (r *Result) ModeledSeconds() float64 { return r.Timeline.Total() }
+
+// Partition runs the Jostle pipeline.
+func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result, error) {
+	if err := o.validate(g, k); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	// --- Coarsening down to exactly k vertices (Section II.A: "Jostle
+	// terminates the matching when the number of vertices in the coarse
+	// graph is equal to the number of required partitions"). No vertex-
+	// weight cap: the balancing refinement absorbs the skew. ---
+	var levels []metis.Level
+	cur := g
+	for cur.NumVertices() > k {
+		var acct perfmodel.ThreadCost
+		match := metis.Match(cur, metis.HEM, 0, rng, &acct)
+		// Trim the matching so the level does not undershoot k: excess
+		// pairs are split back (kept as self-matches).
+		excess := cur.NumVertices() - k - countPairs(match)
+		if excess < 0 {
+			unsplit := -excess
+			for v := 0; v < len(match) && unsplit > 0; v++ {
+				if match[v] > v {
+					match[match[v]] = match[v]
+					match[v] = v
+					unsplit--
+				}
+			}
+		}
+		cmap, coarseN := metis.BuildCMap(match, &acct)
+		if coarseN >= cur.NumVertices() {
+			break // nothing matched; cannot reach k by contraction
+		}
+		cg := metis.Contract(cur, match, cmap, coarseN, &acct)
+		res.Timeline.Append("coarsen", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+		levels = append(levels, metis.Level{Fine: cur, CMap: cmap, Coarse: cg})
+		cur = cg
+	}
+	res.Levels = len(levels)
+
+	// --- Trivial initial partitioning: coarse vertex i -> partition i
+	// (padded round-robin if coarsening could not reach exactly k). ---
+	part := make([]int, cur.NumVertices())
+	for v := range part {
+		part[v] = v % k
+	}
+	res.Timeline.Append("initpart", perfmodel.LocCPU, m.CPUOpSec(float64(len(part))))
+
+	// --- Un-coarsening with combined balancing + refinement ---
+	for i := len(levels) - 1; i >= 0; i-- {
+		var acct perfmodel.ThreadCost
+		part = metis.Project(levels[i].CMap, part, &acct)
+		res.Timeline.Append("project", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+		refineLevel(levels[i].Fine, part, k, o, m, &res.Timeline, rng)
+	}
+
+	var bAcct perfmodel.ThreadCost
+	metis.BalancePartition(g, part, k, o.UBFactor, &bAcct)
+	res.Timeline.Append("balance", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{bAcct}))
+
+	res.Part = part
+	res.EdgeCut = graph.EdgeCut(g, part)
+	return res, nil
+}
+
+// countPairs returns the number of matched (non-self) pairs.
+func countPairs(match []int) int {
+	c := 0
+	for v, u := range match {
+		if u > v {
+			c++
+		}
+	}
+	return c
+}
+
+// refineLevel runs Jostle's combined balancing and refinement on one
+// level: an optimistic move phase that accepts unbalancing moves, then a
+// correction phase that sends excess weight back, repeated. When
+// Threads > 1 the move phase runs as parallel interface-region rounds.
+func refineLevel(g *graph.Graph, part []int, k int, o Options, m *perfmodel.Machine, tl *perfmodel.Timeline, rng *rand.Rand) {
+	for pass := 0; pass < o.RefineIters; pass++ {
+		var moved int
+		if o.Threads > 1 && k > 2 {
+			moved = interfaceRounds(g, part, k, o, m, tl)
+		} else {
+			moved = optimisticPass(g, part, k, o, m, tl)
+		}
+		// Correction phase: the "following refinement step" that rejects
+		// (undoes) unbalancing movements.
+		var acct perfmodel.ThreadCost
+		metis.BalancePartition(g, part, k, o.UBFactor, &acct)
+		tl.Append("refine.correct", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// optimisticPass moves every boundary vertex to its best-gain neighbor
+// partition regardless of balance (gain must be positive).
+func optimisticPass(g *graph.Graph, part []int, k int, o Options, m *perfmodel.Machine, tl *perfmodel.Timeline) int {
+	var acct perfmodel.ThreadCost
+	conn := make([]int, k)
+	cnt := make([]int, k)
+	for _, p := range part {
+		cnt[p]++
+	}
+	var touched []int
+	moved := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		pv := part[v]
+		adj, wgt := g.Neighbors(v)
+		boundary := false
+		for i, u := range adj {
+			pu := part[u]
+			if pu != pv {
+				boundary = true
+			}
+			if conn[pu] == 0 {
+				touched = append(touched, pu)
+			}
+			conn[pu] += wgt[i]
+		}
+		acct.Ops += float64(len(adj) + 2)
+		acct.Rand += float64(len(adj))
+		if boundary {
+			bestP, bestGain := -1, 0
+			for _, p := range touched {
+				if p == pv {
+					continue
+				}
+				if gain := conn[p] - conn[pv]; gain > bestGain {
+					bestP, bestGain = p, gain
+				}
+			}
+			// Accepted even if it unbalances, but a partition may never
+			// be emptied outright: an empty partition has no boundary,
+			// so no later correction could ever repopulate it.
+			if bestP != -1 && cnt[pv] > 1 {
+				part[v] = bestP
+				cnt[pv]--
+				cnt[bestP]++
+				moved++
+			}
+		}
+		for _, p := range touched {
+			conn[p] = 0
+		}
+		touched = touched[:0]
+	}
+	tl.Append("refine.move", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+	return moved
+}
+
+// interfaceRounds is parallel Jostle's refinement: adjacent partition
+// pairs are matched into disjoint rounds and each pair's interface region
+// is optimized independently; the modeled cost of a round is the maximum
+// pair cost, with pairs spread over the threads.
+func interfaceRounds(g *graph.Graph, part []int, k int, o Options, m *perfmodel.Machine, tl *perfmodel.Timeline) int {
+	// Quotient graph (which partition pairs share an edge, by weight) and
+	// the interface region of each pair: exactly the boundary vertices
+	// incident to that pair. The scan is one pass over the edges, spread
+	// across the threads.
+	type pairKey struct{ a, b int }
+	wgt := map[pairKey]int{}
+	iface := map[pairKey][]int{}
+	inIface := map[pairKey]map[int]bool{}
+	cnt := make([]int, k)
+	scanCosts := make([]perfmodel.ThreadCost, o.Threads)
+	for v := 0; v < g.NumVertices(); v++ {
+		cnt[part[v]]++
+		adj, w := g.Neighbors(v)
+		sc := &scanCosts[v%o.Threads]
+		sc.Ops += float64(len(adj))
+		sc.Rand += float64(len(adj))
+		for i, u := range adj {
+			pa, pb := part[v], part[u]
+			if pa == pb {
+				continue
+			}
+			key := pairKey{pa, pb}
+			if pa > pb {
+				key = pairKey{pb, pa}
+			}
+			if pa < pb {
+				wgt[key] += w[i]
+			}
+			set := inIface[key]
+			if set == nil {
+				set = map[int]bool{}
+				inIface[key] = set
+			}
+			if !set[v] {
+				set[v] = true
+				iface[key] = append(iface[key], v)
+			}
+		}
+	}
+	tl.Append("refine.scan", perfmodel.LocCPU, m.CPUPhaseSeconds(scanCosts))
+	pairs := make([]pairKey, 0, len(wgt))
+	for pk := range wgt {
+		pairs = append(pairs, pk)
+	}
+	// Heaviest interfaces first: they have the most to gain.
+	sort.Slice(pairs, func(i, j int) bool {
+		if wgt[pairs[i]] != wgt[pairs[j]] {
+			return wgt[pairs[i]] > wgt[pairs[j]]
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+
+	moved := 0
+	used := make([]bool, k)
+	for len(pairs) > 0 {
+		// Greedy matching: one disjoint set of pairs per round.
+		for i := range used {
+			used[i] = false
+		}
+		var round []pairKey
+		var rest []pairKey
+		for _, pk := range pairs {
+			if !used[pk.a] && !used[pk.b] {
+				used[pk.a] = true
+				used[pk.b] = true
+				round = append(round, pk)
+			} else {
+				rest = append(rest, pk)
+			}
+		}
+		pairs = rest
+
+		costs := make([]perfmodel.ThreadCost, o.Threads)
+		for i, pk := range round {
+			moved += refinePair(g, part, iface[pk], pk.a, pk.b, cnt, &costs[i%o.Threads])
+		}
+		tl.Append("refine.interface", perfmodel.LocCPU, m.CPUPhaseSeconds(costs))
+	}
+	return moved
+}
+
+// refinePair runs a 2-way optimistic exchange on the interface region of
+// partitions a and b: the pair's boundary vertices move to the other side
+// when that reduces the local cut. Membership may have drifted within the
+// round set; drifted vertices are skipped.
+func refinePair(g *graph.Graph, part []int, region []int, a, b int, cnt []int, acct *perfmodel.ThreadCost) int {
+	moved := 0
+	for _, v := range region {
+		pv := part[v]
+		if pv != a && pv != b {
+			continue
+		}
+		other := a
+		if pv == a {
+			other = b
+		}
+		adj, wgt := g.Neighbors(v)
+		toOther, toOwn, touchesOther := 0, 0, false
+		for i, u := range adj {
+			switch part[u] {
+			case other:
+				toOther += wgt[i]
+				touchesOther = true
+			case pv:
+				toOwn += wgt[i]
+			}
+		}
+		acct.Ops += float64(len(adj) + 2)
+		acct.Rand += float64(len(adj))
+		if touchesOther && toOther > toOwn && cnt[pv] > 1 {
+			part[v] = other
+			cnt[pv]--
+			cnt[other]++
+			moved++
+		}
+	}
+	return moved
+}

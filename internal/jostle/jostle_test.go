@@ -1,0 +1,169 @@
+package jostle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+func machine() *perfmodel.Machine { return perfmodel.Default() }
+
+func TestPartitionEndToEnd(t *testing.T) {
+	g, err := gen.Grid2D(40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 8, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 8); err != nil {
+		t.Fatal(err)
+	}
+	if imb := graph.Imbalance(g, res.Part, 8); imb > 1.25 {
+		t.Errorf("imbalance = %g", imb)
+	}
+	if res.EdgeCut > 450 {
+		t.Errorf("cut %d too high for a 40x40 grid in 8 parts", res.EdgeCut)
+	}
+	if res.Levels == 0 {
+		t.Error("expected coarsening levels")
+	}
+	if res.ModeledSeconds() <= 0 {
+		t.Error("no modeled time")
+	}
+}
+
+func TestCoarsensToK(t *testing.T) {
+	// Jostle's signature property: coarsening terminates at (about) k
+	// vertices, so the initial partitioning is trivial.
+	g, err := gen.Delaunay(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 16, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many more levels than Metis's CoarsenTo*k threshold needs.
+	mres, err := metis.Partition(g, 16, metis.DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels <= mres.Levels {
+		t.Errorf("Jostle levels %d should exceed Metis levels %d (coarsens all the way to k)",
+			res.Levels, mres.Levels)
+	}
+}
+
+func TestSerialVsParallelRefinement(t *testing.T) {
+	g, err := gen.Delaunay(6000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oSer := DefaultOptions()
+	oSer.Threads = 1
+	oPar := DefaultOptions()
+	oPar.Threads = 8
+	ser, err := Partition(g, 16, oSer, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Partition(g, 16, oPar, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, par.Part, 16); err != nil {
+		t.Error(err)
+	}
+	// The interface-region scheme should be competitive with the serial
+	// sweep on quality and beat it on modeled time.
+	lo, hi := float64(par.EdgeCut), float64(ser.EdgeCut)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi/lo > 1.5 {
+		t.Errorf("serial (%d) and parallel (%d) Jostle quality diverge", ser.EdgeCut, par.EdgeCut)
+	}
+	if par.ModeledSeconds() >= ser.ModeledSeconds() {
+		t.Errorf("parallel refinement (%.4fs) should beat serial (%.4fs)",
+			par.ModeledSeconds(), ser.ModeledSeconds())
+	}
+}
+
+func TestQualityComparableToMetis(t *testing.T) {
+	g, err := gen.Delaunay(8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	ser, err := metis.Partition(g, 16, metis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 16, DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.EdgeCut) / float64(ser.EdgeCut)
+	// Jostle's trivial initial partitioning costs some quality; it must
+	// still land in the same league.
+	if ratio > 1.8 || ratio < 0.5 {
+		t.Errorf("edge-cut ratio vs Metis = %.3f", ratio)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, err := gen.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	if _, err := Partition(g, 0, o, machine()); err == nil {
+		t.Error("k=0 should fail")
+	}
+	cases := []func(*Options){
+		func(o *Options) { o.UBFactor = 0.5 },
+		func(o *Options) { o.Threads = 0 },
+		func(o *Options) { o.RefineIters = -1 },
+	}
+	for i, mutate := range cases {
+		bad := DefaultOptions()
+		mutate(&bad)
+		if _, err := Partition(g, 2, bad, machine()); err == nil {
+			t.Errorf("case %d: invalid options should fail", i)
+		}
+	}
+}
+
+// Property: valid partitions over random graphs and k.
+func TestPartitionAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw uint8) bool {
+		n := 40 + int(szRaw)%150
+		k := 2 + int(kRaw)%6
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(rng.Intn(v), v, 1+rng.Intn(3)); err != nil {
+				return false
+			}
+		}
+		g := b.MustBuild()
+		o := DefaultOptions()
+		o.Seed = seed
+		res, err := Partition(g, k, o, machine())
+		if err != nil {
+			t.Logf("Partition: %v", err)
+			return false
+		}
+		return graph.CheckPartition(g, res.Part, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/perfmodel"
+)
+
+func BenchmarkMatchHEM(b *testing.B) {
+	g, err := gen.Delaunay(50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Match(g, HEM, 0, rng, nil)
+	}
+}
+
+func BenchmarkContract(b *testing.B) {
+	g, err := gen.Delaunay(50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	match := Match(g, HEM, 0, rng, nil)
+	cmap, cn := BuildCMap(match, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contract(g, match, cmap, cn, nil)
+	}
+}
+
+func BenchmarkKWayRefine(b *testing.B) {
+	g, err := gen.Delaunay(50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := Partition(g, 16, DefaultOptions(), perfmodel.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	part := make([]int, len(base.Part))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(part, base.Part)
+		KWayRefine(g, part, 16, 1.03, 4, rng, nil)
+	}
+}
+
+func BenchmarkPartitionSerial(b *testing.B) {
+	g, err := gen.Delaunay(20_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := perfmodel.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, 64, DefaultOptions(), m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package metis
+
+import (
+	"math/rand"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/perfmodel"
+)
+
+// Level is one rung of the multilevel hierarchy: the coarser graph plus
+// the mapping that projects it back to the finer graph.
+type Level struct {
+	// Fine is the graph that was coarsened.
+	Fine *graph.Graph
+	// CMap maps each fine vertex to its coarse vertex.
+	CMap []int
+	// Coarse is the contracted graph.
+	Coarse *graph.Graph
+}
+
+// Match computes a matching of g under the given policy: match[v] is the
+// vertex v is collapsed with (match[v] == v when unmatched). Vertices are
+// visited in a seeded random order, as Metis does. Pairs whose combined
+// vertex weight exceeds maxVWgt are not matched (Metis's maxvwgt rule,
+// which keeps coarse vertices light enough for the balance bound);
+// maxVWgt <= 0 disables the cap. The cost of the scan is accumulated into
+// acct when non-nil.
+func Match(g *graph.Graph, kind MatchingKind, maxVWgt int, rng *rand.Rand, acct *perfmodel.ThreadCost) []int {
+	n := g.NumVertices()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		adj, wgt := g.Neighbors(v)
+		best := -1
+		eligible := func(u int) bool {
+			return match[u] == -1 && (maxVWgt <= 0 || g.VWgt[v]+g.VWgt[u] <= maxVWgt)
+		}
+		switch kind {
+		case HEM:
+			bestW := -1
+			for i, u := range adj {
+				if eligible(u) && wgt[i] > bestW {
+					best, bestW = u, wgt[i]
+				}
+			}
+		case RM:
+			// Reservoir-sample an eligible neighbor.
+			cnt := 0
+			for _, u := range adj {
+				if eligible(u) {
+					cnt++
+					if rng.Intn(cnt) == 0 {
+						best = u
+					}
+				}
+			}
+		}
+		if acct != nil {
+			acct.Ops += float64(len(adj) + 2)
+			acct.Rand += float64(len(adj))
+		}
+		if best == -1 {
+			match[v] = v
+		} else {
+			match[v] = best
+			match[best] = v
+		}
+	}
+	return match
+}
+
+// BuildCMap numbers the coarse vertices given a matching: the pair
+// (v, match[v]) gets one coarse id, assigned in increasing order of the
+// smaller endpoint. Returns the cmap and the coarse vertex count.
+func BuildCMap(match []int, acct *perfmodel.ThreadCost) ([]int, int) {
+	n := len(match)
+	cmap := make([]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		if match[v] >= v { // v is the pair's representative (or self-matched)
+			cmap[v] = next
+			cmap[match[v]] = next
+			next++
+		}
+	}
+	if acct != nil {
+		acct.Ops += float64(2 * n)
+		acct.SeqBytes += float64(8 * n)
+	}
+	return cmap, next
+}
+
+// Contract builds the coarser graph from a matching: collapsed pairs sum
+// their vertex weights, and parallel edges created by the collapse merge
+// by summing weights (paper Section II.A.1). Uses the dense-marker merge
+// that serial Metis uses.
+func Contract(g *graph.Graph, match, cmap []int, coarseN int, acct *perfmodel.ThreadCost) *graph.Graph {
+	n := g.NumVertices()
+	cg := &graph.Graph{
+		XAdj: make([]int, coarseN+1),
+		VWgt: make([]int, coarseN),
+	}
+	// marker[c] = index into the coarse adjacency being assembled for the
+	// current coarse vertex, or -1.
+	marker := make([]int, coarseN)
+	for i := range marker {
+		marker[i] = -1
+	}
+	adjBuf := make([]int, 0, g.MaxDegree()*2)
+	wgtBuf := make([]int, 0, cap(adjBuf))
+	var adjncy, adjwgt []int
+
+	appendVertex := func(cv int, members ...int) {
+		start := len(adjncy)
+		adjBuf = adjBuf[:0]
+		wgtBuf = wgtBuf[:0]
+		vw := 0
+		for _, v := range members {
+			vw += g.VWgt[v]
+			adj, wgt := g.Neighbors(v)
+			for i, u := range adj {
+				cu := cmap[u]
+				if cu == cv {
+					continue // internal pair edge disappears
+				}
+				if m := marker[cu]; m >= 0 {
+					wgtBuf[m] += wgt[i]
+				} else {
+					marker[cu] = len(adjBuf)
+					adjBuf = append(adjBuf, cu)
+					wgtBuf = append(wgtBuf, wgt[i])
+				}
+			}
+			if acct != nil {
+				acct.Ops += float64(len(adj) + 1)
+				acct.Rand += float64(2 * len(adj))
+			}
+		}
+		for _, cu := range adjBuf {
+			marker[cu] = -1
+		}
+		cg.VWgt[cv] = vw
+		adjncy = append(adjncy, adjBuf...)
+		adjwgt = append(adjwgt, wgtBuf...)
+		cg.XAdj[cv+1] = start + len(adjBuf)
+	}
+
+	for v := 0; v < n; v++ {
+		if match[v] < v {
+			continue // handled by its partner
+		}
+		cv := cmap[v]
+		if match[v] == v {
+			appendVertex(cv, v)
+		} else {
+			appendVertex(cv, v, match[v])
+		}
+	}
+	cg.Adjncy = adjncy
+	cg.AdjWgt = adjwgt
+	return cg
+}
+
+// MaxVertexWeight returns Metis's maxvwgt cap: 1.5 times the average
+// vertex weight the coarsest graph would have at the CoarsenTo*k target,
+// so no collapsed vertex can outweigh the balance tolerance of a final
+// partition.
+func MaxVertexWeight(g *graph.Graph, k, coarsenTo int) int {
+	target := coarsenTo * k
+	if target < 1 {
+		target = 1
+	}
+	limit := 3 * g.TotalVertexWeight() / (2 * target)
+	if limit < 2 {
+		limit = 2
+	}
+	return limit
+}
+
+// Coarsen runs matching+contraction levels until the graph has at most
+// coarsenTo vertices or a level fails to shrink the graph by at least 10%
+// (the stall criterion from Section II.A.1). It returns the hierarchy,
+// finest first, and appends per-level phases to tl.
+func Coarsen(g *graph.Graph, o Options, k int, m *perfmodel.Machine, tl *perfmodel.Timeline) []Level {
+	rng := rand.New(rand.NewSource(o.Seed))
+	var levels []Level
+	target := o.CoarsenTo * k
+	maxVWgt := MaxVertexWeight(g, k, o.CoarsenTo)
+	cur := g
+	for cur.NumVertices() > target {
+		var acct perfmodel.ThreadCost
+		match := Match(cur, o.Matching, maxVWgt, rng, &acct)
+		cmap, coarseN := BuildCMap(match, &acct)
+		if float64(coarseN) > 0.9*float64(cur.NumVertices()) {
+			// Matching stalled; further levels would spin.
+			break
+		}
+		cg := Contract(cur, match, cmap, coarseN, &acct)
+		tl.Append("coarsen", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+		levels = append(levels, Level{Fine: cur, CMap: cmap, Coarse: cg})
+		cur = cg
+	}
+	return levels
+}

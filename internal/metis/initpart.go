@@ -1,0 +1,209 @@
+package metis
+
+import (
+	"math/rand"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/perfmodel"
+)
+
+// gggpTries is how many random seed regions GGGP grows before keeping the
+// best bisection, as in Metis.
+const gggpTries = 4
+
+// Bisect splits g into sides 0/1 with target weight fractions frac0 and
+// 1-frac0 using Greedy Graph Growing Partitioning (Section II.A.2): grow
+// a region breadth-first from a random seed, always absorbing the
+// frontier vertex with the largest edge-cut decrease, until the region
+// holds ~frac0 of the total weight; repeat gggpTries times and keep the
+// smallest cut, then refine it with the bucket-based Fiduccia-Mattheyses
+// pass (RefineBisectionFM).
+func Bisect(g *graph.Graph, frac0, ubfactor float64, rng *rand.Rand, acct *perfmodel.ThreadCost) []int {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	totalW := g.TotalVertexWeight()
+	target0 := int(frac0 * float64(totalW))
+	if target0 < 1 {
+		target0 = 1
+	}
+
+	bestPart := make([]int, n)
+	bestCut := -1
+	part := make([]int, n)
+	gain := make([]int, n)
+	inFrontier := make([]bool, n)
+	var frontier []int
+
+	for try := 0; try < gggpTries; try++ {
+		for i := range part {
+			part[i] = 1
+			inFrontier[i] = false
+		}
+		frontier = frontier[:0]
+		seed := rng.Intn(n)
+		w0 := 0
+
+		grow := func(v int) {
+			part[v] = 0
+			w0 += g.VWgt[v]
+			adj, wgt := g.Neighbors(v)
+			for i, u := range adj {
+				if part[u] == 1 {
+					if !inFrontier[u] {
+						inFrontier[u] = true
+						gain[u] = 0
+						frontier = append(frontier, u)
+						uadj, uwgt := g.Neighbors(u)
+						for j, x := range uadj {
+							if part[x] == 0 {
+								gain[u] += uwgt[j]
+							} else {
+								gain[u] -= uwgt[j]
+							}
+						}
+						if acct != nil {
+							acct.Ops += float64(len(uadj))
+							acct.Rand += float64(len(uadj))
+						}
+					} else {
+						// v moved to side 0: u's gain rises by 2*w(u,v).
+						gain[u] += 2 * wgt[i]
+					}
+				}
+			}
+			if acct != nil {
+				acct.Ops += float64(len(adj))
+				acct.Rand += float64(len(adj))
+			}
+		}
+
+		grow(seed)
+		for w0 < target0 {
+			// Pick the frontier vertex with max gain (compact dead slots).
+			bi, bg := -1, 0
+			out := frontier[:0]
+			for _, u := range frontier {
+				if part[u] == 0 {
+					inFrontier[u] = false
+					continue
+				}
+				out = append(out, u)
+				if bi == -1 || gain[u] > bg {
+					bi, bg = u, gain[u]
+				}
+			}
+			frontier = out
+			if acct != nil {
+				acct.Ops += float64(len(frontier))
+			}
+			if bi == -1 {
+				// Disconnected remainder: absorb any side-1 vertex.
+				for v := 0; v < n; v++ {
+					if part[v] == 1 {
+						bi = v
+						break
+					}
+				}
+				if bi == -1 {
+					break
+				}
+			}
+			inFrontier[bi] = false
+			grow(bi)
+		}
+
+		cut := graph.EdgeCut(g, part)
+		if acct != nil {
+			acct.Ops += float64(len(g.Adjncy))
+			acct.SeqBytes += float64(8 * len(g.Adjncy))
+		}
+		if bestCut == -1 || cut < bestCut {
+			bestCut = cut
+			copy(bestPart, part)
+		}
+	}
+
+	RefineBisectionFM(g, bestPart, frac0, ubfactor, acct)
+	return bestPart
+}
+
+// RecursiveBisect partitions g into k parts by recursive bisection,
+// splitting k as evenly as possible at each level (Section II.A.2). The
+// returned labels are in [0,k).
+func RecursiveBisect(g *graph.Graph, k int, ubfactor float64, rng *rand.Rand, acct *perfmodel.ThreadCost) []int {
+	part := make([]int, g.NumVertices())
+	if k <= 1 {
+		return part
+	}
+	k1 := (k + 1) / 2
+	frac0 := float64(k1) / float64(k)
+	// Tighten the imbalance allowance as we recurse so the leaf
+	// partitions can still meet the global bound.
+	ub := 1 + (ubfactor-1)*0.75
+	bis := Bisect(g, frac0, ub, rng, acct)
+
+	var side0, side1 []int
+	for v, s := range bis {
+		if s == 0 {
+			side0 = append(side0, v)
+		} else {
+			side1 = append(side1, v)
+		}
+	}
+	// Degenerate bisections (tiny or pathological subgraphs) can leave a
+	// side empty; fall back to an index split so every one of the k leaf
+	// partitions receives vertices whenever the graph has enough of them.
+	if (len(side0) == 0 || len(side1) == 0) && g.NumVertices() >= 2 {
+		side0, side1 = side0[:0], side1[:0]
+		pivot := g.NumVertices() * k1 / k
+		if pivot < 1 {
+			pivot = 1
+		}
+		if pivot >= g.NumVertices() {
+			pivot = g.NumVertices() - 1
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if v < pivot {
+				side0 = append(side0, v)
+			} else {
+				side1 = append(side1, v)
+			}
+		}
+	}
+	sub0, orig0, err := graph.InducedSubgraph(g, side0)
+	if err != nil {
+		panic(err) // side0 is distinct and in range by construction
+	}
+	sub1, orig1, err := graph.InducedSubgraph(g, side1)
+	if err != nil {
+		panic(err)
+	}
+	if acct != nil {
+		acct.Ops += float64(len(g.Adjncy))
+		acct.Rand += float64(len(g.Adjncy))
+	}
+	p0 := RecursiveBisect(sub0, k1, ubfactor, rng, acct)
+	p1 := RecursiveBisect(sub1, k-k1, ubfactor, rng, acct)
+	for i, v := range orig0 {
+		part[v] = p0[i]
+	}
+	for i, v := range orig1 {
+		part[v] = k1 + p1[i]
+	}
+	return part
+}
+
+// InitialPartition produces the k-way partition of the coarsest graph and
+// charges it to the timeline as the paper's "initial partitioning" phase.
+func InitialPartition(g *graph.Graph, k int, o Options, m *perfmodel.Machine, tl *perfmodel.Timeline) []int {
+	rng := rand.New(rand.NewSource(o.Seed + 7919))
+	var acct perfmodel.ThreadCost
+	part := RecursiveBisect(g, k, o.UBFactor, rng, &acct)
+	tl.Append("initpart", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+	return part
+}

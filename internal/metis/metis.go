@@ -1,0 +1,43 @@
+package metis
+
+import (
+	"math/rand"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/perfmodel"
+)
+
+// Partition runs the full serial multilevel pipeline — coarsening, initial
+// partitioning, un-coarsening with refinement — and returns the k-way
+// partition of g together with the modeled serial runtime.
+func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result, error) {
+	if err := o.validate(g, k); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	levels := Coarsen(g, o, k, m, &res.Timeline)
+	res.Levels = len(levels)
+
+	coarsest := g
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].Coarse
+	}
+	part := InitialPartition(coarsest, k, o, m, &res.Timeline)
+
+	rng := rand.New(rand.NewSource(o.Seed + 104729))
+	for i := len(levels) - 1; i >= 0; i-- {
+		var acct perfmodel.ThreadCost
+		part = Project(levels[i].CMap, part, &acct)
+		KWayRefine(levels[i].Fine, part, k, o.UBFactor, o.RefineIters, rng, &acct)
+		res.Timeline.Append("uncoarsen", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+	}
+
+	var acct perfmodel.ThreadCost
+	BalancePartition(g, part, k, o.UBFactor, &acct)
+	res.Timeline.Append("balance", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+
+	res.Part = part
+	res.EdgeCut = graph.EdgeCut(g, part)
+	return res, nil
+}

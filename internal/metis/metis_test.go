@@ -1,0 +1,416 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/perfmodel"
+)
+
+func machine() *perfmodel.Machine { return perfmodel.Default() }
+
+func mustGrid(t *testing.T, r, c int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid2D(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatchIsValidMatching(t *testing.T) {
+	g := mustGrid(t, 20, 20)
+	for _, kind := range []MatchingKind{HEM, RM} {
+		rng := rand.New(rand.NewSource(3))
+		match := Match(g, kind, 0, rng, nil)
+		matched := 0
+		for v, u := range match {
+			if u < 0 || u >= g.NumVertices() {
+				t.Fatalf("%v: match[%d] = %d out of range", kind, v, u)
+			}
+			if match[u] != v {
+				t.Fatalf("%v: matching not symmetric at %d<->%d", kind, v, u)
+			}
+			if u != v {
+				if !g.HasEdge(v, u) {
+					t.Fatalf("%v: matched non-adjacent pair %d,%d", kind, v, u)
+				}
+				matched++
+			}
+		}
+		// A grid has a near-perfect matching; most vertices should pair.
+		if matched < g.NumVertices()/2 {
+			t.Errorf("%v: only %d/%d vertices matched", kind, matched, g.NumVertices())
+		}
+	}
+}
+
+func TestMatchIsMaximal(t *testing.T) {
+	// Maximality: no edge may connect two unmatched (self-matched)
+	// vertices.
+	g := mustGrid(t, 15, 17)
+	match := Match(g, HEM, 0, rand.New(rand.NewSource(1)), nil)
+	for v := 0; v < g.NumVertices(); v++ {
+		if match[v] != v {
+			continue
+		}
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if match[u] == u {
+				t.Fatalf("edge (%d,%d) joins two unmatched vertices: matching not maximal", v, u)
+			}
+		}
+	}
+}
+
+func TestHEMPrefersHeavyEdges(t *testing.T) {
+	// Cycle 0-1-2-3-0 with alternating weights 10,1,10,1. Whichever
+	// vertex HEM visits first, its heaviest incident edge weighs 10, so
+	// the first matched pair always takes a heavy edge and the remaining
+	// partner also takes its heavy edge: total matched weight is 20 for
+	// any seed (random matching would often take the light edges).
+	b := graph.NewBuilder(4)
+	weights := []int{10, 1, 10, 1}
+	for i := 0; i < 4; i++ {
+		if err := b.AddEdge(i, (i+1)%4, weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	for seed := int64(0); seed < 20; seed++ {
+		match := Match(g, HEM, 0, rand.New(rand.NewSource(seed)), nil)
+		total := 0
+		for v, u := range match {
+			if u > v {
+				total += g.EdgeWeight(v, u)
+			}
+		}
+		if total != 20 {
+			t.Fatalf("seed %d: HEM matched weight %d, want 20 (heavy edges only)", seed, total)
+		}
+	}
+}
+
+func TestBuildCMap(t *testing.T) {
+	// match: (0,2) pair, 1 self, (3,4) pair.
+	match := []int{2, 1, 0, 4, 3}
+	cmap, n := BuildCMap(match, nil)
+	if n != 3 {
+		t.Fatalf("coarse count = %d, want 3", n)
+	}
+	if cmap[0] != cmap[2] || cmap[3] != cmap[4] {
+		t.Error("pairs must share coarse ids")
+	}
+	if cmap[0] == cmap[1] || cmap[1] == cmap[3] || cmap[0] == cmap[3] {
+		t.Error("distinct groups must get distinct ids")
+	}
+}
+
+func TestContractPreservesWeights(t *testing.T) {
+	g := mustGrid(t, 10, 10)
+	rng := rand.New(rand.NewSource(5))
+	match := Match(g, HEM, 0, rng, nil)
+	cmap, cn := BuildCMap(match, nil)
+	cg := Contract(g, match, cmap, cn, nil)
+	if err := cg.Validate(); err != nil {
+		t.Fatalf("contracted graph invalid: %v", err)
+	}
+	if cg.TotalVertexWeight() != g.TotalVertexWeight() {
+		t.Errorf("vertex weight changed: %d -> %d", g.TotalVertexWeight(), cg.TotalVertexWeight())
+	}
+	// Edge weight shrinks exactly by the weight of collapsed (matched)
+	// edges.
+	collapsed := 0
+	for v, u := range match {
+		if u > v {
+			collapsed += g.EdgeWeight(v, u)
+		}
+	}
+	if cg.TotalEdgeWeight() != g.TotalEdgeWeight()-collapsed {
+		t.Errorf("edge weight: got %d, want %d", cg.TotalEdgeWeight(), g.TotalEdgeWeight()-collapsed)
+	}
+}
+
+func TestCoarsenShrinksToThreshold(t *testing.T) {
+	g := mustGrid(t, 40, 40)
+	var tl perfmodel.Timeline
+	o := DefaultOptions()
+	o.CoarsenTo = 10
+	levels := Coarsen(g, o, 4, machine(), &tl)
+	if len(levels) == 0 {
+		t.Fatal("no coarsening happened")
+	}
+	last := levels[len(levels)-1].Coarse
+	if last.NumVertices() > g.NumVertices()/2 {
+		t.Errorf("coarsest graph still has %d vertices", last.NumVertices())
+	}
+	for i, l := range levels {
+		if l.Coarse.NumVertices() >= l.Fine.NumVertices() {
+			t.Errorf("level %d did not shrink: %d -> %d", i, l.Fine.NumVertices(), l.Coarse.NumVertices())
+		}
+		if err := l.Coarse.Validate(); err != nil {
+			t.Errorf("level %d coarse graph invalid: %v", i, err)
+		}
+	}
+	if tl.Total() <= 0 {
+		t.Error("coarsening charged no time")
+	}
+}
+
+func TestBisectBalancedAndLowCut(t *testing.T) {
+	g := mustGrid(t, 16, 16)
+	rng := rand.New(rand.NewSource(2))
+	part := Bisect(g, 0.5, 1.03, rng, nil)
+	if err := graph.CheckPartition(g, part, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsBalanced(g, part, 2, 1.10) {
+		t.Errorf("bisection imbalance %g too high", graph.Imbalance(g, part, 2))
+	}
+	// A 16x16 grid has a bisection of width 16; GGGP+FM should come close.
+	if cut := graph.EdgeCut(g, part); cut > 32 {
+		t.Errorf("bisection cut = %d, want near 16", cut)
+	}
+}
+
+func TestRecursiveBisectNonPowerOfTwo(t *testing.T) {
+	g := mustGrid(t, 20, 21)
+	for _, k := range []int{1, 2, 3, 5, 7, 12} {
+		rng := rand.New(rand.NewSource(4))
+		part := RecursiveBisect(g, k, 1.05, rng, nil)
+		if err := graph.CheckPartition(g, part, k); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		if imb := graph.Imbalance(g, part, k); imb > 1.35 {
+			t.Errorf("k=%d: imbalance %g too high", k, imb)
+		}
+	}
+}
+
+func TestKWayRefineImprovesCut(t *testing.T) {
+	g := mustGrid(t, 24, 24)
+	rng := rand.New(rand.NewSource(6))
+	// Start from a random (bad) partition.
+	part := make([]int, g.NumVertices())
+	prng := rand.New(rand.NewSource(11))
+	for v := range part {
+		part[v] = prng.Intn(4)
+	}
+	before := graph.EdgeCut(g, part)
+	after := KWayRefine(g, part, 4, 1.10, 12, rng, nil)
+	if after >= before {
+		t.Errorf("refinement did not improve cut: %d -> %d", before, after)
+	}
+	if err := graph.CheckPartition(g, part, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancePartitionRestoresBound(t *testing.T) {
+	g := mustGrid(t, 16, 16)
+	part := make([]int, g.NumVertices())
+	// Everything in partition 0 except one vertex in each other part.
+	part[1], part[2], part[3] = 1, 2, 3
+	BalancePartition(g, part, 4, 1.25, nil)
+	if imb := graph.Imbalance(g, part, 4); imb > 2.0 {
+		t.Errorf("imbalance after balancing = %g", imb)
+	}
+}
+
+func TestPartitionEndToEnd(t *testing.T) {
+	g := mustGrid(t, 32, 32)
+	o := DefaultOptions()
+	res, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 8); err != nil {
+		t.Fatal(err)
+	}
+	if imb := graph.Imbalance(g, res.Part, 8); imb > 1.12 {
+		t.Errorf("imbalance = %g, want near 1.03", imb)
+	}
+	if res.EdgeCut != graph.EdgeCut(g, res.Part) {
+		t.Error("reported EdgeCut mismatch")
+	}
+	// A 32x32 grid split into 8 parts has cuts ~ 7*32/sqrt(8)... a random
+	// partition would cut ~1700; anything below 250 shows real multilevel
+	// optimization.
+	if res.EdgeCut > 250 {
+		t.Errorf("edge cut = %d, too high for multilevel on a grid", res.EdgeCut)
+	}
+	if res.Levels == 0 {
+		t.Error("expected several coarsening levels")
+	}
+	if res.ModeledSeconds() <= 0 {
+		t.Error("modeled runtime must be positive")
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := mustGrid(t, 20, 20)
+	o := DefaultOptions()
+	a, err := Partition(g, 4, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 4, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCut != b.EdgeCut {
+		t.Errorf("same seed, different cuts: %d vs %d", a.EdgeCut, b.EdgeCut)
+	}
+	for v := range a.Part {
+		if a.Part[v] != b.Part[v] {
+			t.Fatal("same seed, different partitions")
+		}
+	}
+	o.Seed = 99
+	c, err := Partition(g, 4, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c // different seed may legitimately coincide; just ensure it runs
+}
+
+func TestPartitionValidatesInput(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	o := DefaultOptions()
+	if _, err := Partition(g, 0, o, machine()); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Partition(g, 17, o, machine()); err == nil {
+		t.Error("k > n should fail")
+	}
+	bad := o
+	bad.UBFactor = 0.9
+	if _, err := Partition(g, 2, bad, machine()); err == nil {
+		t.Error("UBFactor < 1 should fail")
+	}
+	bad = o
+	bad.CoarsenTo = 0
+	if _, err := Partition(g, 2, bad, machine()); err == nil {
+		t.Error("CoarsenTo 0 should fail")
+	}
+	bad = o
+	bad.RefineIters = -1
+	if _, err := Partition(g, 2, bad, machine()); err == nil {
+		t.Error("negative RefineIters should fail")
+	}
+	empty := graph.NewBuilder(0).MustBuild()
+	if _, err := Partition(empty, 1, o, machine()); err == nil {
+		t.Error("empty graph should fail")
+	}
+}
+
+func TestPartitionK1(t *testing.T) {
+	g := mustGrid(t, 5, 5)
+	res, err := Partition(g, 1, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut != 0 {
+		t.Errorf("k=1 cut = %d, want 0", res.EdgeCut)
+	}
+}
+
+func TestPartitionOnIrregularInputs(t *testing.T) {
+	del, err := gen.Delaunay(3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	road, err := gen.RoadNetwork(3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*graph.Graph{"delaunay": del, "road": road} {
+		res, err := Partition(g, 16, DefaultOptions(), machine())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := graph.CheckPartition(g, res.Part, 16); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if imb := graph.Imbalance(g, res.Part, 16); imb > 1.25 {
+			t.Errorf("%s: imbalance %g", name, imb)
+		}
+		rnd := randomCut(g, 16)
+		if res.EdgeCut > rnd/2 {
+			t.Errorf("%s: cut %d not clearly better than random %d", name, res.EdgeCut, rnd)
+		}
+	}
+}
+
+func randomCut(g *graph.Graph, k int) int {
+	part := make([]int, g.NumVertices())
+	r := rand.New(rand.NewSource(1))
+	for v := range part {
+		part[v] = r.Intn(k)
+	}
+	return graph.EdgeCut(g, part)
+}
+
+// Property: Partition always returns a complete, in-range partition with
+// every part non-empty, for random connected graphs and k.
+func TestPartitionAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw uint8) bool {
+		n := 24 + int(szRaw)%150
+		k := 2 + int(kRaw)%6
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(rng.Intn(v), v, 1+rng.Intn(4)); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				if err := b.AddEdge(u, v, 1+rng.Intn(4)); err != nil {
+					return false
+				}
+			}
+		}
+		g := b.MustBuild()
+		o := DefaultOptions()
+		o.Seed = seed
+		res, err := Partition(g, k, o, machine())
+		if err != nil {
+			t.Logf("Partition: %v", err)
+			return false
+		}
+		return graph.CheckPartition(g, res.Part, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the edge cut reported equals the cut recomputed from scratch,
+// and projection preserves cut exactly (coarse cut == projected fine cut
+// before refinement).
+func TestProjectPreservesCutProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := gen.Delaunay(400, seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		match := Match(g, HEM, 0, rng, nil)
+		cmap, cn := BuildCMap(match, nil)
+		cg := Contract(g, match, cmap, cn, nil)
+		cpart := make([]int, cn)
+		for i := range cpart {
+			cpart[i] = rng.Intn(3)
+		}
+		fpart := Project(cmap, cpart, nil)
+		return graph.EdgeCut(cg, cpart) == graph.EdgeCut(g, fpart)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

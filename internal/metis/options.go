@@ -1,0 +1,112 @@
+// Package metis implements the serial multilevel k-way graph partitioner
+// of Karypis & Kumar ("A fast and high quality multilevel scheme for
+// partitioning irregular graphs", SIAM J. Sci. Comput. 1998): heavy-edge
+// matching coarsening, greedy graph growing (GGGP) initial bisection with
+// recursive bisection to k parts, and boundary Kernighan-Lin/Fiduccia-
+// Mattheyses refinement during un-coarsening.
+//
+// It is the serial baseline every speedup in the paper's Figure 5 is
+// measured against, and its building blocks (GGGP, FM bisection
+// refinement) are reused by the parallel partitioners for their
+// small-coarse-graph phases.
+package metis
+
+import (
+	"fmt"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/perfmodel"
+)
+
+// MatchingKind selects the coarsening matching policy.
+type MatchingKind int
+
+// Matching policies from the paper's Section II.A.
+const (
+	// HEM is heavy-edge matching: each vertex prefers its unmatched
+	// neighbor with the heaviest connecting edge. The paper calls it the
+	// best-performing policy and all partitioners here default to it.
+	HEM MatchingKind = iota
+	// RM is random matching: each vertex picks a random unmatched
+	// neighbor. Used when all edges weigh the same and as an ablation.
+	RM
+)
+
+// String names the matching policy.
+func (k MatchingKind) String() string {
+	switch k {
+	case HEM:
+		return "HEM"
+	case RM:
+		return "RM"
+	default:
+		return fmt.Sprintf("MatchingKind(%d)", int(k))
+	}
+}
+
+// Options configures a partitioning run. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	// Seed drives all randomized tie-breaking, making runs reproducible.
+	Seed int64
+	// UBFactor is the allowed imbalance: no partition may exceed UBFactor
+	// times the average partition weight (paper: 1.03).
+	UBFactor float64
+	// CoarsenTo stops coarsening once the graph has at most
+	// CoarsenTo*k vertices (Metis-style c*k threshold).
+	CoarsenTo int
+	// RefineIters bounds the refinement passes per uncoarsening level.
+	RefineIters int
+	// Matching selects the coarsening matching policy.
+	Matching MatchingKind
+}
+
+// DefaultOptions returns the configuration used in the paper's
+// experiments: 3% imbalance, Metis-style coarsening threshold, HEM.
+func DefaultOptions() Options {
+	return Options{
+		Seed:        1,
+		UBFactor:    1.03,
+		CoarsenTo:   30,
+		RefineIters: 8,
+		Matching:    HEM,
+	}
+}
+
+// validate checks option sanity against the input.
+func (o *Options) validate(g *graph.Graph, k int) error {
+	if k < 1 {
+		return fmt.Errorf("metis: k must be >= 1, got %d", k)
+	}
+	if g.NumVertices() == 0 {
+		return fmt.Errorf("metis: cannot partition an empty graph")
+	}
+	if k > g.NumVertices() {
+		return fmt.Errorf("metis: k=%d exceeds vertex count %d", k, g.NumVertices())
+	}
+	if o.UBFactor < 1.0 {
+		return fmt.Errorf("metis: UBFactor %g must be >= 1.0", o.UBFactor)
+	}
+	if o.CoarsenTo < 1 {
+		return fmt.Errorf("metis: CoarsenTo %d must be >= 1", o.CoarsenTo)
+	}
+	if o.RefineIters < 0 {
+		return fmt.Errorf("metis: RefineIters %d must be >= 0", o.RefineIters)
+	}
+	return nil
+}
+
+// Result is the outcome of a partitioning run.
+type Result struct {
+	// Part assigns each vertex of the input graph a partition in [0,k).
+	Part []int
+	// EdgeCut is the weight of edges crossing partitions.
+	EdgeCut int
+	// Levels is the number of coarsening levels performed.
+	Levels int
+	// Timeline holds the modeled phase durations (see perfmodel).
+	Timeline perfmodel.Timeline
+}
+
+// ModeledSeconds returns the total modeled runtime.
+func (r *Result) ModeledSeconds() float64 { return r.Timeline.Total() }

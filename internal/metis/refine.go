@@ -1,0 +1,329 @@
+package metis
+
+import (
+	"math/rand"
+	"sort"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/perfmodel"
+)
+
+// RefineBisection improves a 2-way partition with the boundary
+// Kernighan-Lin / Fiduccia-Mattheyses heuristic (Section II.A.3): move
+// boundary vertices between the two sides in best-gain-first order with
+// hill-climbing and rollback to the best prefix, while keeping the sides
+// within the balance bound. part is modified in place.
+func RefineBisection(g *graph.Graph, part []int, frac0, ubfactor float64, acct *perfmodel.ThreadCost) {
+	n := g.NumVertices()
+	totalW := g.TotalVertexWeight()
+	target0 := frac0 * float64(totalW)
+	maxW0 := int(target0 * ubfactor)
+	minW0 := int(target0 * (2 - ubfactor))
+
+	w0 := 0
+	for v := 0; v < n; v++ {
+		if part[v] == 0 {
+			w0 += g.VWgt[v]
+		}
+	}
+
+	// ed/id: external/internal degree of each vertex.
+	ed := make([]int, n)
+	id := make([]int, n)
+	locked := make([]bool, n)
+	type move struct{ v, gain int }
+
+	const maxPasses = 6
+	for pass := 0; pass < maxPasses; pass++ {
+		for v := 0; v < n; v++ {
+			ed[v], id[v] = 0, 0
+			locked[v] = false
+			adj, wgt := g.Neighbors(v)
+			for i, u := range adj {
+				if part[u] == part[v] {
+					id[v] += wgt[i]
+				} else {
+					ed[v] += wgt[i]
+				}
+			}
+		}
+		if acct != nil {
+			acct.Ops += float64(len(g.Adjncy))
+			acct.Rand += float64(len(g.Adjncy))
+		}
+
+		var trail []move
+		sumGain, bestSum, bestLen := 0, 0, 0
+		// One FM pass: up to n moves with rollback.
+		limit := n
+		if limit > 4096 {
+			limit = 4096 // bound hill-climb length on large graphs
+		}
+		for step := 0; step < limit; step++ {
+			// Select the best movable boundary vertex by linear scan.
+			best, bestGain := -1, 0
+			for v := 0; v < n; v++ {
+				if locked[v] || ed[v] == 0 {
+					continue
+				}
+				// Balance feasibility of moving v to the other side.
+				var nw0 int
+				if part[v] == 0 {
+					nw0 = w0 - g.VWgt[v]
+				} else {
+					nw0 = w0 + g.VWgt[v]
+				}
+				if nw0 > maxW0 || nw0 < minW0 {
+					continue
+				}
+				if gain := ed[v] - id[v]; best == -1 || gain > bestGain {
+					best, bestGain = v, gain
+				}
+			}
+			if acct != nil {
+				acct.Ops += float64(n)
+			}
+			if best == -1 || (bestGain < 0 && len(trail) > 64) {
+				break
+			}
+			v := best
+			locked[v] = true
+			from := part[v]
+			part[v] = 1 - from
+			if from == 0 {
+				w0 -= g.VWgt[v]
+			} else {
+				w0 += g.VWgt[v]
+			}
+			ed[v], id[v] = id[v], ed[v]
+			adj, wgt := g.Neighbors(v)
+			for i, u := range adj {
+				if part[u] == part[v] {
+					id[u] += wgt[i]
+					ed[u] -= wgt[i]
+				} else {
+					id[u] -= wgt[i]
+					ed[u] += wgt[i]
+				}
+			}
+			if acct != nil {
+				acct.Ops += float64(len(adj))
+				acct.Rand += float64(2 * len(adj))
+			}
+			sumGain += bestGain
+			trail = append(trail, move{v, bestGain})
+			if sumGain > bestSum {
+				bestSum, bestLen = sumGain, len(trail)
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(trail) - 1; i >= bestLen; i-- {
+			v := trail[i].v
+			from := part[v]
+			part[v] = 1 - from
+			if from == 0 {
+				w0 -= g.VWgt[v]
+			} else {
+				w0 += g.VWgt[v]
+			}
+		}
+		if bestSum <= 0 {
+			break
+		}
+	}
+}
+
+// Project transfers the coarse partition to the finer graph through cmap
+// (the projection step of Section II.A.3).
+func Project(cmap []int, coarsePart []int, acct *perfmodel.ThreadCost) []int {
+	part := make([]int, len(cmap))
+	for v, cv := range cmap {
+		part[v] = coarsePart[cv]
+	}
+	if acct != nil {
+		acct.Ops += float64(len(cmap))
+		acct.Rand += float64(len(cmap))
+	}
+	return part
+}
+
+// KWayRefine improves a k-way partition with Metis-style greedy boundary
+// refinement: visit boundary vertices in random order, move each to the
+// adjacent partition with the largest positive gain that keeps the
+// balance bound, and repeat up to iters passes or until a pass commits no
+// move. part is modified in place; the final edge cut is returned.
+func KWayRefine(g *graph.Graph, part []int, k int, ubfactor float64, iters int, rng *rand.Rand, acct *perfmodel.ThreadCost) int {
+	n := g.NumVertices()
+	pw := graph.PartWeights(g, part, k)
+	totalW := 0
+	for _, w := range pw {
+		totalW += w
+	}
+	maxPW := int(ubfactor * float64(totalW) / float64(k))
+	if maxPW < 1 {
+		maxPW = 1
+	}
+
+	// conn[p] accumulates v's connectivity to partition p during a scan.
+	conn := make([]int, k)
+	touched := make([]int, 0, 16)
+	order := rng.Perm(n)
+
+	for pass := 0; pass < iters; pass++ {
+		moves := 0
+		for _, v := range order {
+			pv := part[v]
+			adj, wgt := g.Neighbors(v)
+			boundary := false
+			for i, u := range adj {
+				pu := part[u]
+				if pu != pv {
+					boundary = true
+				}
+				if conn[pu] == 0 {
+					touched = append(touched, pu)
+				}
+				conn[pu] += wgt[i]
+			}
+			if acct != nil {
+				acct.Ops += float64(len(adj) + 2)
+				acct.Rand += float64(len(adj))
+			}
+			if boundary {
+				bestP, bestGain := -1, 0
+				for _, p := range touched {
+					if p == pv {
+						continue
+					}
+					if pw[p]+g.VWgt[v] > maxPW {
+						continue
+					}
+					if gain := conn[p] - conn[pv]; gain > bestGain ||
+						(gain == bestGain && bestP != -1 && pw[p] < pw[bestP]) {
+						bestP, bestGain = p, gain
+					}
+				}
+				if bestP != -1 && bestGain > 0 {
+					part[v] = bestP
+					pw[pv] -= g.VWgt[v]
+					pw[bestP] += g.VWgt[v]
+					moves++
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+			touched = touched[:0]
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	return graph.EdgeCut(g, part)
+}
+
+// BalancePartition nudges an unbalanced k-way partition toward the bound
+// by moving the cheapest boundary vertices out of overweight partitions.
+// Used as a safety net after refinement when strict balance is required.
+func BalancePartition(g *graph.Graph, part []int, k int, ubfactor float64, acct *perfmodel.ThreadCost) {
+	pw := graph.PartWeights(g, part, k)
+	totalW := 0
+	for _, w := range pw {
+		totalW += w
+	}
+	maxPW := int(ubfactor * float64(totalW) / float64(k))
+	if maxPW < 1 {
+		maxPW = 1
+	}
+
+	for p := 0; p < k; p++ {
+		if pw[p] <= maxPW {
+			continue
+		}
+		// Seed an eviction frontier with p's current boundary, best moves
+		// first, then let it spread inward: evicting a vertex exposes its
+		// p-neighbors as new boundary.
+		var queue []int
+		for v := 0; v < g.NumVertices(); v++ {
+			if part[v] == p && graph.IsBoundary(g, part, v) {
+				queue = append(queue, v)
+			}
+		}
+		sort.Slice(queue, func(i, j int) bool {
+			return bestMoveGain(g, part, queue[i]) > bestMoveGain(g, part, queue[j])
+		})
+		limit := 4 * g.NumVertices()
+		for qi := 0; qi < len(queue) && qi < limit && pw[p] > maxPW; qi++ {
+			v := queue[qi]
+			if part[v] != p {
+				continue
+			}
+			to := bestMoveTarget(g, part, pw, maxPW, v)
+			if to == -1 {
+				// No adjacent partition can take v; as a last resort send
+				// it to the lightest feasible partition so the balance
+				// bound always wins over cut quality, as in Metis.
+				to = lightestFeasible(pw, maxPW, g.VWgt[v], p)
+				if to == -1 {
+					continue
+				}
+			}
+			pw[p] -= g.VWgt[v]
+			pw[to] += g.VWgt[v]
+			part[v] = to
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if part[u] == p {
+					queue = append(queue, u)
+				}
+			}
+		}
+		if acct != nil {
+			acct.Ops += float64(g.NumVertices() + 8*len(queue))
+			acct.Rand += float64(8 * len(queue))
+		}
+	}
+}
+
+func bestMoveGain(g *graph.Graph, part []int, v int) int {
+	best := -1 << 62
+	adj, _ := g.Neighbors(v)
+	for _, u := range adj {
+		if part[u] != part[v] {
+			if gain := graph.Gain(g, part, v, part[u]); gain > best {
+				best = gain
+			}
+		}
+	}
+	return best
+}
+
+// lightestFeasible returns the partition (other than from) with the
+// smallest weight that can absorb vw without breaking the bound, or -1.
+func lightestFeasible(pw []int, maxPW, vw, from int) int {
+	best := -1
+	for p, w := range pw {
+		if p == from || w+vw > maxPW {
+			continue
+		}
+		if best == -1 || w < pw[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+func bestMoveTarget(g *graph.Graph, part, pw []int, maxPW, v int) int {
+	bestP, bestGain := -1, -1<<62
+	adj, _ := g.Neighbors(v)
+	for _, u := range adj {
+		p := part[u]
+		if p == part[v] || pw[p]+g.VWgt[v] > maxPW {
+			continue
+		}
+		if gain := graph.Gain(g, part, v, p); gain > bestGain {
+			bestP, bestGain = p, gain
+		}
+	}
+	return bestP
+}

@@ -1,0 +1,262 @@
+// Package mpi is the message-passing substrate the ParMetis-style
+// distributed partitioner runs on: ranks are goroutines, messages are
+// channel sends, and time is a per-rank virtual clock advanced by an
+// alpha-beta network model (see DESIGN.md §1).
+//
+// Every rank owns a virtual clock. Local computation advances it via
+// Charge; a message stamps the sender's clock and the receiver's clock
+// becomes max(receiver, senderStamp + alpha + bytes/bandwidth), which is
+// the standard LogP-style causal-time simulation. Barrier synchronizes
+// all clocks to their max. The result of a Run is therefore a modeled
+// parallel runtime that is deterministic regardless of how the host
+// schedules the goroutines.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"gpmetis/internal/perfmodel"
+)
+
+// message carries an int payload plus the sender's virtual send time.
+type message struct {
+	data     []int
+	sentAt   float64
+	transfer float64
+}
+
+// Comm is one communicator over nprocs ranks.
+type Comm struct {
+	m     *perfmodel.Machine
+	size  int
+	chans [][]chan message // chans[src][dst]
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierN    int
+	barrierGen  int
+	barrierMax  float64
+}
+
+// Rank is one process's handle to the communicator. Each Rank is used
+// only by its own goroutine.
+type Rank struct {
+	comm  *Comm
+	id    int
+	clock float64
+}
+
+// msgOverheadBytes models per-message envelope/header cost.
+const msgOverheadBytes = 64
+
+// intBytes is the wire size of one int payload element (the partitioners
+// exchange 32-bit vertex ids and weights).
+const intBytes = 4
+
+// Run executes body on nprocs ranks and returns the modeled parallel
+// runtime: the maximum final virtual clock across ranks. A panic in any
+// rank is recovered and returned as an error.
+func Run(m *perfmodel.Machine, nprocs int, body func(r *Rank)) (float64, error) {
+	if nprocs <= 0 {
+		return 0, fmt.Errorf("mpi: nprocs must be positive, got %d", nprocs)
+	}
+	c := &Comm{m: m, size: nprocs}
+	c.barrierCond = sync.NewCond(&c.barrierMu)
+	c.chans = make([][]chan message, nprocs)
+	for s := range c.chans {
+		c.chans[s] = make([]chan message, nprocs)
+		for d := range c.chans[s] {
+			// Buffered so simple exchange patterns cannot deadlock.
+			c.chans[s][d] = make(chan message, 4)
+		}
+	}
+	clocks := make([]float64, nprocs)
+	errs := make([]error, nprocs)
+	var wg sync.WaitGroup
+	for p := 0; p < nprocs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[p] = fmt.Errorf("mpi: rank %d panicked: %v", p, r)
+				}
+			}()
+			r := &Rank{comm: c, id: p}
+			body(r)
+			clocks[p] = r.clock
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	var max float64
+	for _, t := range clocks {
+		if t > max {
+			max = t
+		}
+	}
+	return max, nil
+}
+
+// ID returns the rank number in [0, Size()).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the communicator.
+func (r *Rank) Size() int { return r.comm.size }
+
+// Clock returns the rank's current virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Charge advances the rank's clock by the modeled duration of local work.
+func (r *Rank) Charge(c perfmodel.ThreadCost) {
+	r.clock += c.Seconds(r.comm.m)
+}
+
+// ChargeSeconds advances the rank's clock directly.
+func (r *Rank) ChargeSeconds(s float64) {
+	if s > 0 {
+		r.clock += s
+	}
+}
+
+// Send transmits data to rank dst. The payload slice is copied, so the
+// caller may reuse it. Send is asynchronous up to the channel buffer,
+// like a small-message MPI_Send.
+func (r *Rank) Send(dst int, data []int) {
+	if dst < 0 || dst >= r.comm.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	bytes := float64(len(data)*intBytes + msgOverheadBytes)
+	cp := make([]int, len(data))
+	copy(cp, data)
+	// The sender pays the injection overhead (alpha); the wire time is
+	// carried on the message for the receiver's causal clock.
+	r.clock += r.comm.m.Net.LatencySec
+	r.comm.chans[r.id][dst] <- message{
+		data:     cp,
+		sentAt:   r.clock,
+		transfer: float64(bytes) / r.comm.m.Net.BytesPerSec,
+	}
+}
+
+// Recv blocks for the next message from rank src and returns its payload,
+// advancing the virtual clock causally.
+func (r *Rank) Recv(src int) []int {
+	if src < 0 || src >= r.comm.size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
+	}
+	msg := <-r.comm.chans[src][r.id]
+	arrive := msg.sentAt + msg.transfer
+	if arrive > r.clock {
+		r.clock = arrive
+	}
+	return msg.data
+}
+
+// Barrier blocks until all ranks arrive and synchronizes every clock to
+// the maximum, plus one network latency for the release.
+func (r *Rank) Barrier() {
+	c := r.comm
+	c.barrierMu.Lock()
+	gen := c.barrierGen
+	if r.clock > c.barrierMax {
+		c.barrierMax = r.clock
+	}
+	c.barrierN++
+	if c.barrierN == c.size {
+		c.barrierN = 0
+		c.barrierGen++
+		c.barrierMax += c.m.Net.LatencySec
+		c.barrierCond.Broadcast()
+	} else {
+		for gen == c.barrierGen {
+			c.barrierCond.Wait()
+		}
+	}
+	r.clock = c.barrierMax
+	c.barrierMu.Unlock()
+}
+
+// AllToAll sends out[d] to every rank d and returns in[s] received from
+// every rank s (out[r.ID()] is delivered to itself without network cost).
+func (r *Rank) AllToAll(out [][]int) [][]int {
+	if len(out) != r.comm.size {
+		panic(fmt.Sprintf("mpi: AllToAll needs %d buffers, got %d", r.comm.size, len(out)))
+	}
+	in := make([][]int, r.comm.size)
+	// Round-robin pairing keeps at most one message in flight per pair.
+	for round := 1; round < r.comm.size; round++ {
+		dst := (r.id + round) % r.comm.size
+		src := (r.id - round + r.comm.size) % r.comm.size
+		r.Send(dst, out[dst])
+		in[src] = r.Recv(src)
+	}
+	self := make([]int, len(out[r.id]))
+	copy(self, out[r.id])
+	in[r.id] = self
+	r.Barrier()
+	return in
+}
+
+// AllGather returns every rank's data slice, indexed by rank.
+func (r *Rank) AllGather(data []int) [][]int {
+	out := make([][]int, r.comm.size)
+	for d := range out {
+		out[d] = data
+	}
+	return r.AllToAll(out)
+}
+
+// AllReduceSum returns the sum of x across all ranks.
+func (r *Rank) AllReduceSum(x int) int {
+	parts := r.AllGather([]int{x})
+	var s int
+	for _, p := range parts {
+		s += p[0]
+	}
+	return s
+}
+
+// AllReduceMax returns the maximum of x across all ranks.
+func (r *Rank) AllReduceMax(x int) int {
+	parts := r.AllGather([]int{x})
+	m := parts[0][0]
+	for _, p := range parts {
+		if p[0] > m {
+			m = p[0]
+		}
+	}
+	return m
+}
+
+// Bcast distributes data from root to all ranks and returns each rank's
+// copy.
+func (r *Rank) Bcast(root int, data []int) []int {
+	if root < 0 || root >= r.comm.size {
+		panic(fmt.Sprintf("mpi: Bcast from invalid root %d", root))
+	}
+	if r.comm.size == 1 {
+		cp := make([]int, len(data))
+		copy(cp, data)
+		return cp
+	}
+	if r.id == root {
+		for d := 0; d < r.comm.size; d++ {
+			if d != root {
+				r.Send(d, data)
+			}
+		}
+		r.Barrier()
+		cp := make([]int, len(data))
+		copy(cp, data)
+		return cp
+	}
+	got := r.Recv(root)
+	r.Barrier()
+	return got
+}

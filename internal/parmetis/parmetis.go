@@ -1,0 +1,535 @@
+// Package parmetis implements the coarse-grained distributed-memory
+// multilevel k-way partitioner of Karypis & Kumar (the ParMetis algorithm
+// the paper compares against), running on the repository's message-passing
+// substrate (internal/mpi) with ranks as goroutines and an alpha-beta
+// network cost model.
+//
+// The structure follows the paper's Section II.B:
+//
+//   - each of P processors owns n/P vertices,
+//   - matching runs in alternating passes: in even passes a vertex v only
+//     requests a match from a heavier-edge neighbor u when v > u, in odd
+//     passes when v < u; at the end of each pass the processors exchange
+//     their requests in one bulk message each and resolve them,
+//   - contraction is distributed by pair representative, after which the
+//     coarse graph is exchanged so the next level can proceed (real
+//     ParMetis keeps ghost halos instead; the exchanged volume is of the
+//     same order at these sizes and the synchronization structure is
+//     identical),
+//   - initial partitioning broadcasts the coarsest graph and has every
+//     processor compute a recursive bisection, keeping the best,
+//   - un-coarsening applies the same pass-based request/commit ordering as
+//     coarsening, with balance-constrained commits.
+//
+// All ranks advance deterministic replicated state, so the result is
+// identical regardless of host scheduling, while each rank's virtual clock
+// (compute charges + causal message delays) yields the modeled runtime.
+package parmetis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/mpi"
+	"gpmetis/internal/perfmodel"
+)
+
+// Options configures a run. Construct with DefaultOptions.
+type Options struct {
+	// Seed drives all randomized decisions.
+	Seed int64
+	// UBFactor is the allowed imbalance (paper: 1.03).
+	UBFactor float64
+	// CoarsenTo stops coarsening at CoarsenTo*k vertices.
+	CoarsenTo int
+	// RefineIters bounds refinement passes per uncoarsening level.
+	RefineIters int
+	// Procs is the number of MPI ranks (paper: one per core, 8).
+	Procs int
+	// MatchPasses is the number of alternating-direction request passes
+	// per coarsening level.
+	MatchPasses int
+}
+
+// DefaultOptions mirrors the paper's setup: 8 ranks, 3% imbalance.
+func DefaultOptions() Options {
+	return Options{
+		Seed:        1,
+		UBFactor:    1.03,
+		CoarsenTo:   30,
+		RefineIters: 6,
+		Procs:       8,
+		MatchPasses: 4,
+	}
+}
+
+func (o *Options) validate(g *graph.Graph, k int) error {
+	switch {
+	case k < 1:
+		return fmt.Errorf("parmetis: k must be >= 1, got %d", k)
+	case g.NumVertices() == 0:
+		return fmt.Errorf("parmetis: cannot partition an empty graph")
+	case k > g.NumVertices():
+		return fmt.Errorf("parmetis: k=%d exceeds vertex count %d", k, g.NumVertices())
+	case o.UBFactor < 1.0:
+		return fmt.Errorf("parmetis: UBFactor %g must be >= 1.0", o.UBFactor)
+	case o.CoarsenTo < 1:
+		return fmt.Errorf("parmetis: CoarsenTo %d must be >= 1", o.CoarsenTo)
+	case o.RefineIters < 0:
+		return fmt.Errorf("parmetis: RefineIters %d must be >= 0", o.RefineIters)
+	case o.Procs < 1:
+		return fmt.Errorf("parmetis: Procs %d must be >= 1", o.Procs)
+	case o.MatchPasses < 1:
+		return fmt.Errorf("parmetis: MatchPasses %d must be >= 1", o.MatchPasses)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Part     []int
+	EdgeCut  int
+	Levels   int
+	Timeline perfmodel.Timeline
+}
+
+// ModeledSeconds returns the modeled parallel runtime (max rank clock).
+func (r *Result) ModeledSeconds() float64 { return r.Timeline.Total() }
+
+func chunk(n, p, t int) (int, int) { return t * n / p, (t + 1) * n / p }
+
+// Partition runs the full distributed pipeline and returns the k-way
+// partition with its modeled runtime.
+func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result, error) {
+	if err := o.validate(g, k); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	type mark struct {
+		name string
+		at   float64
+	}
+	var marks []mark
+	var finalPart []int
+	var levelsOut int
+
+	_, err := mpi.Run(m, o.Procs, func(r *mpi.Rank) {
+		P := r.Size()
+		record := func(name string) {
+			r.Barrier()
+			if r.ID() == 0 {
+				marks = append(marks, mark{name, r.Clock()})
+			}
+		}
+
+		// --- Coarsening ---
+		cur := g
+		var levels []metis.Level
+		target := o.CoarsenTo * k
+		maxVWgt := metis.MaxVertexWeight(g, k, o.CoarsenTo)
+		for cur.NumVertices() > target {
+			match := distMatch(r, cur, o, maxVWgt)
+			var acct perfmodel.ThreadCost
+			cmap, coarseN := metis.BuildCMap(match, &acct)
+			r.Charge(acct)
+			if float64(coarseN) > 0.85*float64(cur.NumVertices()) {
+				// The request protocol degrades once chunks are small and
+				// most candidate pairs straddle processors. Real ParMetis
+				// folds the graph onto fewer processors (PT-Scotch style);
+				// the equivalent here is serial matching on the
+				// replicated graph, computed identically by every rank.
+				var sAcct perfmodel.ThreadCost
+				rng := rand.New(rand.NewSource(o.Seed + int64(len(levels))))
+				match = metis.Match(cur, metis.HEM, maxVWgt, rng, &sAcct)
+				r.Charge(sAcct)
+				cmap, coarseN = metis.BuildCMap(match, &sAcct)
+				if float64(coarseN) > 0.95*float64(cur.NumVertices()) {
+					break
+				}
+			}
+			cg := distContract(r, cur, match, cmap, coarseN)
+			levels = append(levels, metis.Level{Fine: cur, CMap: cmap, Coarse: cg})
+			cur = cg
+		}
+		record("coarsen")
+
+		// --- Initial partitioning: every rank bisects, best cut wins ---
+		// The coarsest graph is already replicated; the paper's all-to-all
+		// broadcast is charged explicitly.
+		bytes := int64(4 * (len(cur.XAdj) + len(cur.Adjncy) + len(cur.AdjWgt) + len(cur.VWgt)))
+		r.ChargeSeconds(m.NetMsgSec(float64(bytes)) * float64(P-1) / float64(P))
+		var acct perfmodel.ThreadCost
+		rng := rand.New(rand.NewSource(o.Seed + int64(r.ID())*104729))
+		part := metis.RecursiveBisect(cur, k, o.UBFactor, rng, &acct)
+		r.Charge(acct)
+		myCut := graph.EdgeCut(cur, part)
+		cuts := r.AllGather([]int{myCut})
+		bestRank, bestCut := 0, cuts[0][0]
+		for p := 1; p < P; p++ {
+			if cuts[p][0] < bestCut {
+				bestRank, bestCut = p, cuts[p][0]
+			}
+		}
+		part = r.Bcast(bestRank, part)
+		record("initpart")
+
+		// --- Un-coarsening ---
+		for i := len(levels) - 1; i >= 0; i-- {
+			l := levels[i]
+			n := l.Fine.NumVertices()
+			fine := make([]int, n)
+			lo, hi := chunk(n, P, r.ID())
+			for v := 0; v < n; v++ {
+				fine[v] = part[l.CMap[v]]
+			}
+			r.Charge(perfmodel.ThreadCost{Ops: float64(hi - lo), Rand: float64(hi - lo)})
+			part = fine
+			distRefine(r, l.Fine, part, k, o)
+		}
+		record("uncoarsen")
+
+		if r.ID() == 0 {
+			var bAcct perfmodel.ThreadCost
+			metis.BalancePartition(g, part, k, o.UBFactor, &bAcct)
+			r.Charge(bAcct)
+			finalPart = part
+			levelsOut = len(levels)
+		}
+		record("balance")
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	prev := 0.0
+	for _, mk := range marks {
+		res.Timeline.Append(mk.name, perfmodel.LocNet, mk.at-prev)
+		prev = mk.at
+	}
+	res.Part = finalPart
+	res.Levels = levelsOut
+	res.EdgeCut = graph.EdgeCut(g, finalPart)
+	return res, nil
+}
+
+// matchReq is one vertex's heavy-edge match request.
+type matchReq struct{ from, to, w int }
+
+// distMatch runs the alternating-direction pass-based matching: each rank
+// proposes for its owned unmatched vertices, the requests travel in one
+// bulk exchange per pass, and every rank resolves the full request set
+// deterministically so the replicated match vector stays consistent.
+func distMatch(r *mpi.Rank, g *graph.Graph, o Options, maxVWgt int) []int {
+	n := g.NumVertices()
+	P := r.Size()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	lo, hi := chunk(n, P, r.ID())
+
+	for pass := 0; pass < o.MatchPasses; pass++ {
+		var acct perfmodel.ThreadCost
+		var reqs []matchReq
+		var pairs []int
+		for v := lo; v < hi; v++ {
+			if match[v] != -1 {
+				continue
+			}
+			adj, wgt := g.Neighbors(v)
+			best, bestW := -1, -1
+			for i, u := range adj {
+				if match[u] != -1 || wgt[i] <= bestW {
+					continue
+				}
+				if maxVWgt > 0 && g.VWgt[v]+g.VWgt[u] > maxVWgt {
+					continue
+				}
+				best, bestW = u, wgt[i]
+			}
+			acct.Ops += float64(len(adj) + 2)
+			acct.Rand += float64(len(adj))
+			if best == -1 {
+				continue
+			}
+			if best >= lo && best < hi {
+				// Both endpoints are local: match immediately, as real
+				// ParMetis does for processor-interior pairs. The pair
+				// still travels in this pass's bulk exchange so every
+				// rank's replicated match vector stays consistent.
+				match[v] = best
+				match[best] = v
+				pairs = append(pairs, v, best)
+				continue
+			}
+			// Cross-processor target: the request protocol's direction
+			// rule (paper Section II.B) — even passes request only v>u
+			// targets, odd passes only v<u — prevents request cycles.
+			if pass%2 == 0 && v < best || pass%2 == 1 && v > best {
+				continue
+			}
+			reqs = append(reqs, matchReq{v, best, bestW})
+		}
+		r.Charge(acct)
+
+		// One bulk message per processor pair carrying this pass's local
+		// pair commits followed by the cross-processor requests
+		// (flattened to ints: [nPairs, pairs..., (from,to,w)...]).
+		flat := make([]int, 0, 1+len(pairs)+3*len(reqs))
+		flat = append(flat, len(pairs))
+		flat = append(flat, pairs...)
+		for _, q := range reqs {
+			flat = append(flat, q.from, q.to, q.w)
+		}
+		all := r.AllGather(flat)
+
+		// Apply every rank's local pairs first (each rank owns both
+		// endpoints of its pairs, so commits cannot conflict), then
+		// resolve cross requests deterministically, identically on every
+		// rank: sorted by (target, weight desc, source asc); first
+		// feasible request per target wins.
+		var merged []matchReq
+		for _, buf := range all {
+			np := buf[0]
+			for i := 1; i+1 <= np; i += 2 {
+				match[buf[i]] = buf[i+1]
+				match[buf[i+1]] = buf[i]
+			}
+			for i := 1 + np; i+2 < len(buf); i += 3 {
+				merged = append(merged, matchReq{buf[i], buf[i+1], buf[i+2]})
+			}
+		}
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].to != merged[b].to {
+				return merged[a].to < merged[b].to
+			}
+			if merged[a].w != merged[b].w {
+				return merged[a].w > merged[b].w
+			}
+			return merged[a].from < merged[b].from
+		})
+		var resolve perfmodel.ThreadCost
+		for _, q := range merged {
+			if match[q.to] == -1 && match[q.from] == -1 && q.to != q.from {
+				match[q.to] = q.from
+				match[q.from] = q.to
+			}
+		}
+		resolve.Ops = float64(len(merged) * 4)
+		resolve.Rand = float64(len(merged) * 2)
+		r.Charge(resolve)
+	}
+	// Unmatched vertices collapse with themselves.
+	for v := range match {
+		if match[v] == -1 {
+			match[v] = v
+		}
+	}
+	return match
+}
+
+// distContract contracts the matched graph: each rank builds the coarse
+// rows whose representative it owns, then the segments are exchanged so
+// every rank assembles the identical coarse graph.
+func distContract(r *mpi.Rank, g *graph.Graph, match, cmap []int, coarseN int) *graph.Graph {
+	n := g.NumVertices()
+	P := r.Size()
+	lo, hi := chunk(n, P, r.ID())
+
+	var acct perfmodel.ThreadCost
+	// Row payload: cv, vwgt, deg, then deg x (neighbor, weight).
+	var flat []int
+	marker := make(map[int]int, 64)
+	var rowAdj, rowWgt []int
+	for v := lo; v < hi; v++ {
+		if match[v] < v {
+			continue
+		}
+		cv := cmap[v]
+		rowAdj = rowAdj[:0]
+		rowWgt = rowWgt[:0]
+		vw := 0
+		members := [2]int{v, match[v]}
+		last := 0
+		if match[v] != v {
+			last = 1
+		}
+		for mi := 0; mi <= last; mi++ {
+			mv := members[mi]
+			vw += g.VWgt[mv]
+			adj, wgt := g.Neighbors(mv)
+			for i, u := range adj {
+				cu := cmap[u]
+				if cu == cv {
+					continue
+				}
+				if idx, ok := marker[cu]; ok {
+					rowWgt[idx] += wgt[i]
+				} else {
+					marker[cu] = len(rowAdj)
+					rowAdj = append(rowAdj, cu)
+					rowWgt = append(rowWgt, wgt[i])
+				}
+			}
+			acct.Ops += float64(2 * len(adj))
+			acct.Rand += float64(2 * len(adj))
+		}
+		for _, cu := range rowAdj {
+			delete(marker, cu)
+		}
+		flat = append(flat, cv, vw, len(rowAdj))
+		for i := range rowAdj {
+			flat = append(flat, rowAdj[i], rowWgt[i])
+		}
+	}
+	r.Charge(acct)
+
+	all := r.AllGather(flat)
+
+	// Assemble the replicated coarse graph from the row segments.
+	type row struct {
+		vw  int
+		adj []int
+		wgt []int
+	}
+	rows := make([]row, coarseN)
+	for _, buf := range all {
+		i := 0
+		for i < len(buf) {
+			cv, vw, deg := buf[i], buf[i+1], buf[i+2]
+			i += 3
+			rw := row{vw: vw, adj: make([]int, deg), wgt: make([]int, deg)}
+			for j := 0; j < deg; j++ {
+				rw.adj[j] = buf[i]
+				rw.wgt[j] = buf[i+1]
+				i += 2
+			}
+			rows[cv] = rw
+		}
+	}
+	cg := &graph.Graph{
+		XAdj: make([]int, coarseN+1),
+		VWgt: make([]int, coarseN),
+	}
+	for cv, rw := range rows {
+		cg.VWgt[cv] = rw.vw
+		cg.XAdj[cv+1] = cg.XAdj[cv] + len(rw.adj)
+	}
+	cg.Adjncy = make([]int, 0, cg.XAdj[coarseN])
+	cg.AdjWgt = make([]int, 0, cg.XAdj[coarseN])
+	for _, rw := range rows {
+		cg.Adjncy = append(cg.Adjncy, rw.adj...)
+		cg.AdjWgt = append(cg.AdjWgt, rw.wgt...)
+	}
+	r.Charge(perfmodel.ThreadCost{SeqBytes: float64(8 * len(cg.Adjncy))})
+	return cg
+}
+
+// moveReq is a distributed refinement move request.
+type moveReq struct{ v, from, to, gain, vw int }
+
+// distRefine runs pass-based refinement: ranks propose balance-feasible
+// best-gain moves for their owned boundary vertices under the alternating
+// direction rule, exchange them, and apply a deterministic commit order.
+func distRefine(r *mpi.Rank, g *graph.Graph, part []int, k int, o Options) {
+	n := g.NumVertices()
+	P := r.Size()
+	lo, hi := chunk(n, P, r.ID())
+	pw := graph.PartWeights(g, part, k)
+	totalW := 0
+	for _, w := range pw {
+		totalW += w
+	}
+	maxPW := int(o.UBFactor * float64(totalW) / float64(k))
+	if maxPW < 1 {
+		maxPW = 1
+	}
+
+	conn := make([]int, k)
+	var touched []int
+	for pass := 0; pass < o.RefineIters; pass++ {
+		committed := 0
+		for dir := 0; dir < 2; dir++ {
+			var acct perfmodel.ThreadCost
+			var flat []int
+			for v := lo; v < hi; v++ {
+				pv := part[v]
+				adj, wgt := g.Neighbors(v)
+				boundary := false
+				for i, u := range adj {
+					pu := part[u]
+					if pu != pv {
+						boundary = true
+					}
+					if conn[pu] == 0 {
+						touched = append(touched, pu)
+					}
+					conn[pu] += wgt[i]
+				}
+				acct.Ops += float64(len(adj) + 2)
+				acct.Rand += float64(len(adj))
+				if boundary {
+					bestP, bestGain := -1, 0
+					for _, p := range touched {
+						if p == pv {
+							continue
+						}
+						if dir == 0 && p < pv || dir == 1 && p > pv {
+							continue
+						}
+						if pw[p]+g.VWgt[v] > maxPW {
+							continue
+						}
+						if gain := conn[p] - conn[pv]; gain > bestGain {
+							bestP, bestGain = p, gain
+						}
+					}
+					if bestP != -1 && bestGain > 0 {
+						flat = append(flat, v, pv, bestP, bestGain, g.VWgt[v])
+					}
+				}
+				for _, p := range touched {
+					conn[p] = 0
+				}
+				touched = touched[:0]
+			}
+			r.Charge(acct)
+
+			all := r.AllGather(flat)
+			var reqs []moveReq
+			for _, buf := range all {
+				for i := 0; i+4 < len(buf); i += 5 {
+					reqs = append(reqs, moveReq{buf[i], buf[i+1], buf[i+2], buf[i+3], buf[i+4]})
+				}
+			}
+			sort.Slice(reqs, func(a, b int) bool {
+				if reqs[a].gain != reqs[b].gain {
+					return reqs[a].gain > reqs[b].gain
+				}
+				return reqs[a].v < reqs[b].v
+			})
+			var commitAcct perfmodel.ThreadCost
+			for _, q := range reqs {
+				if part[q.v] != q.from {
+					continue
+				}
+				if pw[q.to]+q.vw > maxPW {
+					continue
+				}
+				part[q.v] = q.to
+				pw[q.from] -= q.vw
+				pw[q.to] += q.vw
+				committed++
+			}
+			commitAcct.Ops = float64(len(reqs) * 6)
+			commitAcct.Rand = float64(len(reqs) * 2)
+			r.Charge(commitAcct)
+		}
+		if committed == 0 {
+			break
+		}
+	}
+}

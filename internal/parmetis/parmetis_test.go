@@ -1,0 +1,214 @@
+package parmetis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+func machine() *perfmodel.Machine { return perfmodel.Default() }
+
+func TestPartitionEndToEnd(t *testing.T) {
+	g, err := gen.Grid2D(40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 8, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 8); err != nil {
+		t.Fatal(err)
+	}
+	if imb := graph.Imbalance(g, res.Part, 8); imb > 1.15 {
+		t.Errorf("imbalance = %g", imb)
+	}
+	if res.EdgeCut > 350 {
+		t.Errorf("cut %d too high for a 40x40 grid in 8 parts", res.EdgeCut)
+	}
+	if res.Levels == 0 {
+		t.Error("expected coarsening levels")
+	}
+	if res.ModeledSeconds() <= 0 {
+		t.Error("no modeled time")
+	}
+}
+
+func TestTimelinePhasesOrdered(t *testing.T) {
+	g, err := gen.Delaunay(4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 8, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := res.Timeline.Phases()
+	wantOrder := []string{"coarsen", "initpart", "uncoarsen", "balance"}
+	if len(phases) != len(wantOrder) {
+		t.Fatalf("got %d phases, want %d", len(phases), len(wantOrder))
+	}
+	for i, p := range phases {
+		if p.Name != wantOrder[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.Name, wantOrder[i])
+		}
+		if p.Seconds < 0 {
+			t.Errorf("phase %q has negative duration", p.Name)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	// The replicated-state design must make results independent of host
+	// goroutine scheduling.
+	g, err := gen.Delaunay(3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	a, err := Partition(g, 16, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		b, err := Partition(g, 16, o, machine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.EdgeCut != a.EdgeCut {
+			t.Fatalf("run %d: cut %d != %d", run, b.EdgeCut, a.EdgeCut)
+		}
+		for v := range a.Part {
+			if a.Part[v] != b.Part[v] {
+				t.Fatalf("run %d: partition differs at vertex %d", run, v)
+			}
+		}
+		if b.ModeledSeconds() != a.ModeledSeconds() {
+			t.Fatalf("run %d: modeled time %g != %g (virtual clocks must not depend on scheduling)",
+				run, b.ModeledSeconds(), a.ModeledSeconds())
+		}
+	}
+}
+
+func TestFasterThanSerialButCommBound(t *testing.T) {
+	// Fig 5 shape: ParMetis beats serial Metis but trails mt-metis
+	// (message passing pays alpha per exchange); both facts should hold
+	// in the model on a large enough graph.
+	g, err := gen.Delaunay(30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	ser, err := metis.Partition(g, 16, metis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Partition(g, 16, DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := ser.ModeledSeconds() / par.ModeledSeconds()
+	if speedup <= 1 {
+		t.Errorf("ParMetis speedup over Metis = %.2f, want > 1", speedup)
+	}
+	if speedup > 8.5 {
+		t.Errorf("ParMetis speedup %.2f exceeds rank count: model broken", speedup)
+	}
+}
+
+func TestQualityComparableToSerial(t *testing.T) {
+	g, err := gen.Delaunay(8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	ser, err := metis.Partition(g, 16, metis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Partition(g, 16, DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(par.EdgeCut) / float64(ser.EdgeCut)
+	if ratio > 1.4 || ratio < 0.6 {
+		t.Errorf("edge-cut ratio vs Metis = %.3f", ratio)
+	}
+}
+
+func TestSingleRankWorks(t *testing.T) {
+	g, err := gen.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Procs = 1
+	res, err := Partition(g, 4, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, err := gen.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	if _, err := Partition(g, 0, o, machine()); err == nil {
+		t.Error("k=0 should fail")
+	}
+	bad := o
+	bad.Procs = 0
+	if _, err := Partition(g, 2, bad, machine()); err == nil {
+		t.Error("0 procs should fail")
+	}
+	bad = o
+	bad.MatchPasses = 0
+	if _, err := Partition(g, 2, bad, machine()); err == nil {
+		t.Error("0 match passes should fail")
+	}
+	bad = o
+	bad.UBFactor = 0.2
+	if _, err := Partition(g, 2, bad, machine()); err == nil {
+		t.Error("UBFactor < 1 should fail")
+	}
+}
+
+// Property: partitions are always valid across random graphs, k, and rank
+// counts.
+func TestPartitionAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw, pRaw uint8) bool {
+		n := 60 + int(szRaw)%150
+		k := 2 + int(kRaw)%6
+		procs := 1 + int(pRaw)%6
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(rng.Intn(v), v, 1+rng.Intn(3)); err != nil {
+				return false
+			}
+		}
+		g := b.MustBuild()
+		o := DefaultOptions()
+		o.Seed = seed
+		o.Procs = procs
+		res, err := Partition(g, k, o, machine())
+		if err != nil {
+			t.Logf("Partition: %v", err)
+			return false
+		}
+		return graph.CheckPartition(g, res.Part, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

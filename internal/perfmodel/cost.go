@@ -1,0 +1,172 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ThreadCost accumulates the abstract work charged by one CPU thread (or
+// one MPI rank's local computation) during a phase.
+type ThreadCost struct {
+	// Ops counts simple ALU/branch operations.
+	Ops float64
+	// Rand counts cache-missing random memory accesses.
+	Rand float64
+	// SeqBytes counts bytes streamed sequentially.
+	SeqBytes float64
+	// Atomics counts contended atomic read-modify-writes.
+	Atomics float64
+}
+
+// Add accumulates other into c.
+func (c *ThreadCost) Add(other ThreadCost) {
+	c.Ops += other.Ops
+	c.Rand += other.Rand
+	c.SeqBytes += other.SeqBytes
+	c.Atomics += other.Atomics
+}
+
+// Seconds converts the accumulated work into modeled seconds on one core of
+// machine m.
+func (c ThreadCost) Seconds(m *Machine) float64 {
+	return m.CPUOpSec(c.Ops) + m.CPURandSec(c.Rand) + m.CPUSeqSec(c.SeqBytes) + c.Atomics*m.CPU.AtomicSec
+}
+
+// CPUPhaseSeconds returns the modeled duration of one bulk-synchronous CPU
+// phase executed by the given per-thread costs: the maximum thread time
+// (load imbalance is visible, as the paper stresses) plus one barrier.
+func (m *Machine) CPUPhaseSeconds(threads []ThreadCost) float64 {
+	if len(threads) == 0 {
+		return 0
+	}
+	var max float64
+	for _, t := range threads {
+		if s := t.Seconds(m); s > max {
+			max = s
+		}
+	}
+	if len(threads) > 1 {
+		max += m.CPU.BarrierSec
+	}
+	return max
+}
+
+// Location tags where a phase of work ran in the modeled system.
+type Location int
+
+// Locations of modeled work.
+const (
+	LocCPU Location = iota
+	LocGPU
+	LocPCIe
+	LocNet
+)
+
+// String returns the conventional short name of the location.
+func (l Location) String() string {
+	switch l {
+	case LocCPU:
+		return "CPU"
+	case LocGPU:
+		return "GPU"
+	case LocPCIe:
+		return "PCIe"
+	case LocNet:
+		return "NET"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Phase is one timed step of a partitioner run.
+type Phase struct {
+	Name    string
+	Loc     Location
+	Seconds float64
+}
+
+// Timeline is an ordered record of modeled phases. Partitioners append to
+// it as they run; the benchmark harness reads totals and breakdowns from
+// it. A Timeline is not safe for concurrent use; parallel partitioners
+// account per-thread costs first and append a single phase afterwards.
+type Timeline struct {
+	phases []Phase
+}
+
+// Append records a phase of the given duration. Negative durations are
+// clamped to zero so a buggy model term can never make a timeline
+// non-monotonic.
+func (t *Timeline) Append(name string, loc Location, seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	t.phases = append(t.phases, Phase{Name: name, Loc: loc, Seconds: seconds})
+}
+
+// Phases returns a copy of the recorded phases in order.
+func (t *Timeline) Phases() []Phase {
+	out := make([]Phase, len(t.phases))
+	copy(out, t.phases)
+	return out
+}
+
+// Total returns the summed modeled seconds of all phases.
+func (t *Timeline) Total() float64 {
+	var s float64
+	for _, p := range t.phases {
+		s += p.Seconds
+	}
+	return s
+}
+
+// TotalAt returns the summed modeled seconds of phases at location loc.
+func (t *Timeline) TotalAt(loc Location) float64 {
+	var s float64
+	for _, p := range t.phases {
+		if p.Loc == loc {
+			s += p.Seconds
+		}
+	}
+	return s
+}
+
+// Merge appends all phases of other to t in order.
+func (t *Timeline) Merge(other *Timeline) {
+	t.phases = append(t.phases, other.phases...)
+}
+
+// String formats the timeline as one line per phase plus a total, for
+// debugging and verbose benchmark output.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, p := range t.phases {
+		fmt.Fprintf(&b, "%-6s %-28s %12.6fs\n", p.Loc, p.Name, p.Seconds)
+	}
+	fmt.Fprintf(&b, "%-6s %-28s %12.6fs", "", "TOTAL", t.Total())
+	return b.String()
+}
+
+// ByPhaseName returns the summed seconds per distinct phase name, sorted by
+// name, which benchmark reports use for stable output.
+func (t *Timeline) ByPhaseName() []Phase {
+	agg := map[string]*Phase{}
+	for _, p := range t.phases {
+		if a, ok := agg[p.Name]; ok {
+			a.Seconds += p.Seconds
+		} else {
+			cp := p
+			agg[p.Name] = &cp
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Phase, 0, len(names))
+	for _, n := range names {
+		out = append(out, *agg[n])
+	}
+	return out
+}

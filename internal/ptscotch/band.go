@@ -1,0 +1,170 @@
+package ptscotch
+
+import (
+	"sort"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/mpi"
+	"gpmetis/internal/perfmodel"
+)
+
+// bandVertices returns the vertices within BFS distance width of the
+// partition separator: layer 0 is every boundary vertex, each further
+// layer adds untouched neighbors. This is PT-Scotch's "banded graph
+// extracted from the initial partitioned graph ... located at a specific
+// threshold distance from the partition separators".
+func bandVertices(g *graph.Graph, part []int, width int) []int {
+	n := g.NumVertices()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var frontier []int
+	for v := 0; v < n; v++ {
+		if graph.IsBoundary(g, part, v) {
+			dist[v] = 0
+			frontier = append(frontier, v)
+		}
+	}
+	band := append([]int(nil), frontier...)
+	for d := 1; d < width && len(frontier) > 0; d++ {
+		var next []int
+		for _, v := range frontier {
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if dist[u] == -1 {
+					dist[u] = d
+					next = append(next, u)
+					band = append(band, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return band
+}
+
+// bandedRefine refines the partition by moving only band vertices,
+// pass-based with deterministic replicated commits, as in parmetis but
+// with the scan restricted to the band — the cost is proportional to the
+// separator, not the graph.
+func bandedRefine(r *mpi.Rank, g *graph.Graph, part []int, k int, o Options) {
+	P := r.Size()
+	pw := graph.PartWeights(g, part, k)
+	totalW := 0
+	for _, w := range pw {
+		totalW += w
+	}
+	maxPW := int(o.UBFactor * float64(totalW) / float64(k))
+	if maxPW < 1 {
+		maxPW = 1
+	}
+
+	conn := make([]int, k)
+	var touched []int
+	for pass := 0; pass < o.RefineIters; pass++ {
+		// The band is re-extracted each pass (moves shift the separator).
+		// Every rank extracts the same band from the replicated state;
+		// each is charged for scanning only its share.
+		band := bandVertices(g, part, o.BandWidth)
+		var bacct perfmodel.ThreadCost
+		bacct.Ops = float64(len(band)+g.NumVertices()) / float64(P)
+		bacct.Rand = float64(len(band)) / float64(P)
+		r.Charge(bacct)
+
+		committed := 0
+		for dir := 0; dir < 2; dir++ {
+			var acct perfmodel.ThreadCost
+			var flat []int
+			for _, v := range band {
+				// Block ownership over the band.
+				if owner(v, g.NumVertices(), P) != r.ID() {
+					continue
+				}
+				pv := part[v]
+				adj, wgt := g.Neighbors(v)
+				boundary := false
+				for i, u := range adj {
+					pu := part[u]
+					if pu != pv {
+						boundary = true
+					}
+					if conn[pu] == 0 {
+						touched = append(touched, pu)
+					}
+					conn[pu] += wgt[i]
+				}
+				acct.Ops += float64(len(adj) + 2)
+				acct.Rand += float64(len(adj))
+				if boundary {
+					bestP, bestGain := -1, 0
+					for _, p := range touched {
+						if p == pv {
+							continue
+						}
+						if dir == 0 && p < pv || dir == 1 && p > pv {
+							continue
+						}
+						if pw[p]+g.VWgt[v] > maxPW {
+							continue
+						}
+						if gain := conn[p] - conn[pv]; gain > bestGain {
+							bestP, bestGain = p, gain
+						}
+					}
+					if bestP != -1 && bestGain > 0 {
+						flat = append(flat, v, pv, bestP, bestGain, g.VWgt[v])
+					}
+				}
+				for _, p := range touched {
+					conn[p] = 0
+				}
+				touched = touched[:0]
+			}
+			r.Charge(acct)
+
+			all := r.AllGather(flat)
+			type req struct{ v, from, to, gain, vw int }
+			var reqs []req
+			for _, buf := range all {
+				for i := 0; i+4 < len(buf); i += 5 {
+					reqs = append(reqs, req{buf[i], buf[i+1], buf[i+2], buf[i+3], buf[i+4]})
+				}
+			}
+			sort.Slice(reqs, func(a, b int) bool {
+				if reqs[a].gain != reqs[b].gain {
+					return reqs[a].gain > reqs[b].gain
+				}
+				return reqs[a].v < reqs[b].v
+			})
+			for _, q := range reqs {
+				if part[q.v] != q.from {
+					continue
+				}
+				if pw[q.to]+q.vw > maxPW {
+					continue
+				}
+				part[q.v] = q.to
+				pw[q.from] -= q.vw
+				pw[q.to] += q.vw
+				committed++
+			}
+			r.Charge(perfmodel.ThreadCost{Ops: float64(6 * len(reqs)), Rand: float64(2 * len(reqs))})
+		}
+		if committed == 0 {
+			break
+		}
+	}
+}
+
+// owner returns the rank owning vertex v under the blocked distribution.
+func owner(v, n, p int) int {
+	t := v * p / n
+	for t > 0 && t*n/p > v {
+		t--
+	}
+	for t+1 < p && (t+1)*n/p <= v {
+		t++
+	}
+	return t
+}

@@ -1,0 +1,208 @@
+package ptscotch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+func machine() *perfmodel.Machine { return perfmodel.Default() }
+
+func TestPartitionEndToEnd(t *testing.T) {
+	g, err := gen.Grid2D(40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 8, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 8); err != nil {
+		t.Fatal(err)
+	}
+	if imb := graph.Imbalance(g, res.Part, 8); imb > 1.15 {
+		t.Errorf("imbalance = %g", imb)
+	}
+	if res.EdgeCut > 350 {
+		t.Errorf("cut %d too high for a 40x40 grid in 8 parts", res.EdgeCut)
+	}
+	if res.ModeledSeconds() <= 0 {
+		t.Error("no modeled time")
+	}
+}
+
+func TestFoldingKicksIn(t *testing.T) {
+	g, err := gen.Delaunay(30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	res, err := Partition(g, 16, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoldedAt == 0 {
+		t.Error("folding never happened")
+	}
+	if res.FoldedAt > o.FoldFactor*o.Procs+1 && res.Levels == 0 {
+		t.Errorf("folded at %d with no distributed levels", res.FoldedAt)
+	}
+	if err := graph.CheckPartition(g, res.Part, 16); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityComparableToMetis(t *testing.T) {
+	g, err := gen.Delaunay(8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	ser, err := metis.Partition(g, 16, metis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 16, DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.EdgeCut) / float64(ser.EdgeCut)
+	if ratio > 1.5 || ratio < 0.5 {
+		t.Errorf("edge-cut ratio vs Metis = %.3f", ratio)
+	}
+}
+
+func TestMonteCarloCoinIsFairish(t *testing.T) {
+	heads := 0
+	const n = 100000
+	for v := int64(0); v < n; v++ {
+		if coin(1, 2, 3, v) {
+			heads++
+		}
+	}
+	frac := float64(heads) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("coin heads fraction %.4f, want ~0.5", frac)
+	}
+}
+
+func TestBandVertices(t *testing.T) {
+	g, err := gen.Grid2D(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical split: boundary is the two middle columns.
+	part := make([]int, 100)
+	for v := range part {
+		if v%10 >= 5 {
+			part[v] = 1
+		}
+	}
+	band1 := bandVertices(g, part, 1)
+	if len(band1) != 20 {
+		t.Errorf("width-1 band has %d vertices, want 20 (both separator columns)", len(band1))
+	}
+	band2 := bandVertices(g, part, 2)
+	if len(band2) != 40 {
+		t.Errorf("width-2 band has %d vertices, want 40", len(band2))
+	}
+	// Sanity: bands nest.
+	if len(band2) < len(band1) {
+		t.Error("wider band must not shrink")
+	}
+}
+
+func TestBandedRefinementTouchesOnlyBand(t *testing.T) {
+	// Vertices far from the separator must never move.
+	g, err := gen.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 2, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckPartition(g, res.Part, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, err := gen.RoadNetwork(6000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	a, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCut != b.EdgeCut || a.ModeledSeconds() != b.ModeledSeconds() {
+		t.Error("same seed must reproduce result and modeled time")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, err := gen.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	if _, err := Partition(g, 0, o, machine()); err == nil {
+		t.Error("k=0 should fail")
+	}
+	cases := []func(*Options){
+		func(o *Options) { o.UBFactor = 0.5 },
+		func(o *Options) { o.Procs = 0 },
+		func(o *Options) { o.MatchPasses = 0 },
+		func(o *Options) { o.FoldFactor = 0 },
+		func(o *Options) { o.BandWidth = 0 },
+		func(o *Options) { o.CoarsenTo = 0 },
+		func(o *Options) { o.RefineIters = -1 },
+	}
+	for i, mutate := range cases {
+		bad := DefaultOptions()
+		mutate(&bad)
+		if _, err := Partition(g, 2, bad, machine()); err == nil {
+			t.Errorf("case %d: invalid options should fail", i)
+		}
+	}
+}
+
+// Property: valid partitions across random graphs, ranks, and k.
+func TestPartitionAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw, pRaw uint8) bool {
+		n := 60 + int(szRaw)%150
+		k := 2 + int(kRaw)%6
+		procs := 1 + int(pRaw)%6
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(rng.Intn(v), v, 1+rng.Intn(3)); err != nil {
+				return false
+			}
+		}
+		g := b.MustBuild()
+		o := DefaultOptions()
+		o.Seed = seed
+		o.Procs = procs
+		res, err := Partition(g, k, o, machine())
+		if err != nil {
+			t.Logf("Partition: %v", err)
+			return false
+		}
+		return graph.CheckPartition(g, res.Part, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

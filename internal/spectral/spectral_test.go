@@ -1,0 +1,164 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/perfmodel"
+)
+
+func machine() *perfmodel.Machine { return perfmodel.Default() }
+
+func TestFiedlerSeparatesTwoClusters(t *testing.T) {
+	// Two dense clusters joined by one edge: the Fiedler split must
+	// recover them exactly.
+	b := graph.NewBuilder(20)
+	addClique := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				if err := b.AddEdge(u, v, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addClique(0, 10)
+	addClique(10, 20)
+	if err := b.AddEdge(3, 14, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	res, err := Partition(g, 2, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut != 1 {
+		t.Errorf("cut = %d, want 1 (the bridge)", res.EdgeCut)
+	}
+	for v := 1; v < 10; v++ {
+		if res.Part[v] != res.Part[0] {
+			t.Fatalf("cluster 1 split: %v", res.Part)
+		}
+	}
+	for v := 11; v < 20; v++ {
+		if res.Part[v] != res.Part[10] {
+			t.Fatalf("cluster 2 split: %v", res.Part)
+		}
+	}
+}
+
+func TestGridBisectionQuality(t *testing.T) {
+	g, err := gen.Grid2D(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, 2, DefaultOptions(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal grid bisection cuts 16; spectral lands near it.
+	if res.EdgeCut > 24 {
+		t.Errorf("cut = %d, want near 16", res.EdgeCut)
+	}
+	if imb := graph.Imbalance(g, res.Part, 2); imb > 1.1 {
+		t.Errorf("imbalance = %g", imb)
+	}
+	if res.Iterations == 0 {
+		t.Error("no power iterations recorded")
+	}
+}
+
+func TestKWayRecursive(t *testing.T) {
+	g, err := gen.Delaunay(3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{3, 8, 16} {
+		res, err := Partition(g, k, DefaultOptions(), machine())
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := graph.CheckPartition(g, res.Part, k); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		if imb := graph.Imbalance(g, res.Part, k); imb > 1.3 {
+			t.Errorf("k=%d: imbalance %g", k, imb)
+		}
+	}
+}
+
+func TestMultilevelIsFasterThanSpectral(t *testing.T) {
+	// The paper's framing: multilevel methods displaced spectral ones on
+	// speed. The modeled serial Metis must beat spectral bisection.
+	g, err := gen.Delaunay(10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	sp, err := Partition(g, 16, DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := metis.Partition(g, 16, metis.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.ModeledSeconds() >= sp.ModeledSeconds() {
+		t.Errorf("multilevel (%.4fs) should beat spectral (%.4fs)",
+			ml.ModeledSeconds(), sp.ModeledSeconds())
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, err := gen.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	if _, err := Partition(g, 0, o, machine()); err == nil {
+		t.Error("k=0 should fail")
+	}
+	cases := []func(*Options){
+		func(o *Options) { o.UBFactor = 0.5 },
+		func(o *Options) { o.MaxIters = 0 },
+		func(o *Options) { o.Tol = 0 },
+	}
+	for i, mutate := range cases {
+		bad := DefaultOptions()
+		mutate(&bad)
+		if _, err := Partition(g, 2, bad, machine()); err == nil {
+			t.Errorf("case %d: invalid options should fail", i)
+		}
+	}
+}
+
+// Property: valid partitions over random graphs and k.
+func TestPartitionAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw uint8) bool {
+		n := 20 + int(szRaw)%120
+		k := 2 + int(kRaw)%6
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(rng.Intn(v), v, 1+rng.Intn(3)); err != nil {
+				return false
+			}
+		}
+		g := b.MustBuild()
+		o := DefaultOptions()
+		o.Seed = seed
+		res, err := Partition(g, k, o, machine())
+		if err != nil {
+			t.Logf("Partition: %v", err)
+			return false
+		}
+		return graph.CheckPartition(g, res.Part, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package gpmetis is a multilevel k-way graph partitioning library that
+// reproduces "Parallel Graph Partitioning on a CPU-GPU Architecture"
+// (Goodarzi, Burtscher, Goswami; IPPS/IPDPS-W 2016).
+//
+// It bundles eight partitioners behind one API:
+//
+//   - GPMetis — the paper's contribution: a lock-free hybrid partitioner
+//     whose parallelism-rich coarsening and un-coarsening levels run on a
+//     (simulated) GPU and whose coarse levels run on a multicore CPU
+//     (Options.Devices > 1 adds the paper's future-work multi-GPU mode);
+//   - Metis — the serial multilevel baseline (Karypis & Kumar);
+//   - MtMetis — the shared-memory parallel baseline (LaSalle & Karypis);
+//   - ParMetis — the distributed-memory baseline over a message-passing
+//     substrate;
+//   - PTScotch — a PT-Scotch-style distributed partitioner (extension);
+//   - Gmetis — the Galois-based speculative partitioner of Section II.C;
+//   - Jostle — coarsen-to-k with combined balancing and interface-region
+//     refinement (Section II.A/B);
+//   - Spectral — recursive spectral bisection, the pre-multilevel
+//     baseline of the paper's reference [5].
+//
+// All of them execute their algorithms for real and report modeled runtimes
+// on a shared machine model resembling the paper's testbed (8-core Xeon
+// E5540 + GTX Titan); see DESIGN.md for the substitution argument.
+//
+// Quick start:
+//
+//	g, _ := gpmetis.Delaunay(100_000, 1)
+//	res, _ := gpmetis.Partition(g, 64, gpmetis.Options{})
+//	fmt.Println(res.EdgeCut, res.ModeledSeconds)
+package gpmetis
+
+import (
+	"fmt"
+	"io"
+
+	"gpmetis/internal/core"
+	"gpmetis/internal/gmetis"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/graph/gio"
+	"gpmetis/internal/jostle"
+	"gpmetis/internal/metis"
+	"gpmetis/internal/mtmetis"
+	"gpmetis/internal/parmetis"
+	"gpmetis/internal/perfmodel"
+	"gpmetis/internal/ptscotch"
+	"gpmetis/internal/spectral"
+)
+
+// Graph is an undirected vertex- and edge-weighted graph in CSR form.
+type Graph = graph.Graph
+
+// Builder incrementally assembles a Graph from edges.
+type Builder = graph.Builder
+
+// Machine is the modeled CPU-GPU-network system all partitioners charge.
+type Machine = perfmodel.Machine
+
+// Timeline records the modeled phase durations of a run.
+type Timeline = perfmodel.Timeline
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// ReadGraph parses a graph in the Chaco/Metis text format used by the
+// DIMACS challenges.
+func ReadGraph(r io.Reader) (*Graph, error) { return gio.Read(r) }
+
+// WriteGraph serializes a graph in Chaco/Metis format.
+func WriteGraph(w io.Writer, g *Graph) error { return gio.Write(w, g) }
+
+// DefaultMachine returns the paper-testbed machine model (8-core Xeon
+// E5540, GTX Titan, PCIe 2.0, 10 Gb/s cluster network).
+func DefaultMachine() *Machine { return perfmodel.Default() }
+
+// EdgeCut returns the weight of edges crossing partitions.
+func EdgeCut(g *Graph, part []int) int { return graph.EdgeCut(g, part) }
+
+// Imbalance returns max partition weight over average partition weight.
+func Imbalance(g *Graph, part []int, k int) float64 { return graph.Imbalance(g, part, k) }
+
+// CommunicationVolume returns the halo-exchange volume of a partition:
+// per vertex, the number of distinct foreign partitions among its
+// neighbors, summed over all vertices.
+func CommunicationVolume(g *Graph, part []int, k int) int {
+	return graph.CommunicationVolume(g, part, k)
+}
+
+// ReadGraphGR parses the DIMACS9 shortest-path ".gr" format (the native
+// format of the paper's USA road-network input).
+func ReadGraphGR(r io.Reader) (*Graph, error) { return gio.ReadGR(r) }
+
+// Generators for the paper's Table I input families and common test
+// graphs. All are deterministic for a given seed.
+var (
+	// Delaunay builds a Delaunay triangulation of n random points.
+	Delaunay = gen.Delaunay
+	// LDoor builds a 3-D FEM stiffness graph (degree ~48).
+	LDoor = gen.LDoor
+	// HugeBubble builds a 2-D foam mesh (degree ~3).
+	HugeBubble = gen.HugeBubble
+	// RoadNetwork builds a road-network-like planar graph (degree ~2.4).
+	RoadNetwork = gen.RoadNetwork
+	// Grid2D builds a rows x cols grid mesh.
+	Grid2D = gen.Grid2D
+	// Grid3D builds an x*y*z grid mesh.
+	Grid3D = gen.Grid3D
+	// RMAT builds a scale-free graph with 2^scale vertices.
+	RMAT = gen.RMAT
+)
+
+// MergeStrategy selects GP-metis's contraction merge strategy.
+type MergeStrategy = core.MergeStrategy
+
+// GP-metis contraction merge strategies (paper Section III.A).
+const (
+	// HashMerge uses per-thread chained hash tables (default, faster on
+	// sparse graphs).
+	HashMerge = core.HashMerge
+	// SortMerge sorts and compacts the concatenated neighbor lists.
+	SortMerge = core.SortMerge
+)
+
+// Algorithm selects the partitioner.
+type Algorithm int
+
+// Available partitioners.
+const (
+	// GPMetis is the paper's hybrid CPU-GPU partitioner (default).
+	GPMetis Algorithm = iota
+	// Metis is the serial multilevel baseline.
+	Metis
+	// MtMetis is the shared-memory parallel baseline.
+	MtMetis
+	// ParMetis is the distributed-memory baseline.
+	ParMetis
+	// PTScotch is a PT-Scotch-style distributed partitioner (Monte-Carlo
+	// matching, folding, banded refinement) — an extension beyond the
+	// paper's measured comparison; see internal/ptscotch.
+	PTScotch
+	// Gmetis is the Galois-based speculative-parallel partitioner the
+	// paper's Section II.C describes; see internal/gmetis.
+	Gmetis
+	// Jostle is a Jostle-style partitioner (coarsen to k, combined
+	// balancing/refinement, interface regions); see internal/jostle.
+	Jostle
+	// Spectral is recursive spectral bisection (the paper's reference
+	// [5]), the pre-multilevel baseline; see internal/spectral.
+	Spectral
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case GPMetis:
+		return "GP-metis"
+	case Metis:
+		return "Metis"
+	case MtMetis:
+		return "mt-metis"
+	case ParMetis:
+		return "ParMetis"
+	case PTScotch:
+		return "PT-Scotch"
+	case Gmetis:
+		return "Gmetis"
+	case Jostle:
+		return "Jostle"
+	case Spectral:
+		return "Spectral"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Partition. The zero value selects GP-metis with the
+// paper's experimental parameters (3% imbalance, seed 1).
+type Options struct {
+	// Algorithm selects the partitioner (default GPMetis).
+	Algorithm Algorithm
+	// Seed drives randomized decisions; 0 means 1.
+	Seed int64
+	// UBFactor is the allowed imbalance; 0 means the paper's 1.03.
+	UBFactor float64
+	// Machine overrides the modeled system; nil means DefaultMachine().
+	Machine *Machine
+	// Advanced knobs; zero values take each partitioner's defaults.
+	GPUThreshold int                // GP-metis: CPU handoff size
+	Merge        core.MergeStrategy // GP-metis: contraction merge strategy
+	Threads      int                // mt-metis / GP-metis CPU threads
+	Procs        int                // ParMetis / PT-Scotch ranks
+	// Devices > 1 runs GP-metis across multiple modeled GPUs (the
+	// paper's future-work extension), allowing graphs larger than one
+	// device's memory.
+	Devices int
+}
+
+// Result reports a partitioning run.
+type Result struct {
+	// Part assigns each vertex a partition in [0,k).
+	Part []int
+	// EdgeCut is the achieved cut weight.
+	EdgeCut int
+	// ModeledSeconds is the modeled runtime on the shared machine model.
+	ModeledSeconds float64
+	// Timeline breaks the modeled runtime into phases.
+	Timeline Timeline
+}
+
+// Partition divides g into k balanced parts minimizing edge cut, using
+// the selected algorithm on the modeled machine.
+func Partition(g *Graph, k int, o Options) (*Result, error) {
+	m := o.Machine
+	if m == nil {
+		m = DefaultMachine()
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ub := o.UBFactor
+	if ub == 0 {
+		ub = 1.03
+	}
+
+	switch o.Algorithm {
+	case GPMetis:
+		co := core.DefaultOptions()
+		co.Seed = seed
+		co.UBFactor = ub
+		co.Merge = o.Merge
+		if o.GPUThreshold > 0 {
+			co.GPUThreshold = o.GPUThreshold
+		}
+		if o.Threads > 0 {
+			co.CPUThreads = o.Threads
+		}
+		var r *core.Result
+		var err error
+		if o.Devices > 1 {
+			r, err = core.PartitionMulti(g, k, o.Devices, co, m)
+		} else {
+			r, err = core.Partition(g, k, co, m)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	case Metis:
+		mo := metis.DefaultOptions()
+		mo.Seed = seed
+		mo.UBFactor = ub
+		r, err := metis.Partition(g, k, mo, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	case MtMetis:
+		mo := mtmetis.DefaultOptions()
+		mo.Seed = seed
+		mo.UBFactor = ub
+		if o.Threads > 0 {
+			mo.Threads = o.Threads
+		}
+		r, err := mtmetis.Partition(g, k, mo, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	case ParMetis:
+		po := parmetis.DefaultOptions()
+		po.Seed = seed
+		po.UBFactor = ub
+		if o.Procs > 0 {
+			po.Procs = o.Procs
+		}
+		r, err := parmetis.Partition(g, k, po, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	case PTScotch:
+		po := ptscotch.DefaultOptions()
+		po.Seed = seed
+		po.UBFactor = ub
+		if o.Procs > 0 {
+			po.Procs = o.Procs
+		}
+		r, err := ptscotch.Partition(g, k, po, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	case Gmetis:
+		go2 := gmetis.DefaultOptions()
+		go2.Seed = seed
+		go2.UBFactor = ub
+		if o.Threads > 0 {
+			go2.Threads = o.Threads
+		}
+		r, err := gmetis.Partition(g, k, go2, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	case Jostle:
+		jo := jostle.DefaultOptions()
+		jo.Seed = seed
+		jo.UBFactor = ub
+		if o.Threads > 0 {
+			jo.Threads = o.Threads
+		}
+		r, err := jostle.Partition(g, k, jo, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	case Spectral:
+		so := spectral.DefaultOptions()
+		so.Seed = seed
+		so.UBFactor = ub
+		r, err := spectral.Partition(g, k, so, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+	default:
+		return nil, fmt.Errorf("gpmetis: unknown algorithm %d", int(o.Algorithm))
+	}
+}

@@ -1,0 +1,138 @@
+package gpmetis
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIAllAlgorithms(t *testing.T) {
+	g, err := Delaunay(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{GPMetis, Metis, MtMetis, ParMetis, PTScotch, Gmetis, Jostle, Spectral} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			res, err := Partition(g, 16, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Part) != g.NumVertices() {
+				t.Fatalf("partition vector has %d entries", len(res.Part))
+			}
+			if res.EdgeCut != EdgeCut(g, res.Part) {
+				t.Error("EdgeCut field disagrees with recomputation")
+			}
+			if res.ModeledSeconds <= 0 {
+				t.Error("modeled runtime must be positive")
+			}
+			if imb := Imbalance(g, res.Part, 16); imb > 1.2 {
+				t.Errorf("imbalance %.3f too high", imb)
+			}
+		})
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	g, err := Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero options: GP-metis, seed 1, 3% imbalance.
+	res, err := Partition(g, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Partition(g, 4, Options{Seed: 1, UBFactor: 1.03, Algorithm: GPMetis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut != res2.EdgeCut {
+		t.Error("zero options should equal explicit paper defaults")
+	}
+	if _, err := Partition(g, 4, Options{Algorithm: Algorithm(42)}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestPublicAPIGraphRoundTrip(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 || h.EdgeWeight(0, 1) != 2 {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestPublicMachineOverride(t *testing.T) {
+	g, err := Grid2D(30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := DefaultMachine()
+	fast.CPU.Cores = 8
+	fast.CPU.ClockHz *= 4
+	slow := DefaultMachine()
+	rFast, err := Partition(g, 4, Options{Algorithm: Metis, Machine: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := Partition(g, 4, Options{Algorithm: Metis, Machine: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFast.ModeledSeconds >= rSlow.ModeledSeconds {
+		t.Error("a faster modeled CPU must lower the modeled runtime")
+	}
+}
+
+func TestMultiGPUThroughPublicAPI(t *testing.T) {
+	g, err := Delaunay(20000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine()
+	m.GPU.GlobalMemBytes = g.Bytes()/2 + 4096 // one device cannot hold it
+	if _, err := Partition(g, 8, Options{Machine: m}); err == nil {
+		t.Fatal("single device should refuse an oversized graph")
+	}
+	res, err := Partition(g, 8, Options{Machine: m, Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Part) != g.NumVertices() {
+		t.Error("multi-GPU partition incomplete")
+	}
+	if imb := Imbalance(g, res.Part, 8); imb > 1.15 {
+		t.Errorf("imbalance %.3f", imb)
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	names := map[Algorithm]string{
+		GPMetis: "GP-metis", Metis: "Metis", MtMetis: "mt-metis",
+		ParMetis: "ParMetis", PTScotch: "PT-Scotch", Gmetis: "Gmetis",
+		Jostle: "Jostle", Spectral: "Spectral",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package gpmetis
+
+// End-to-end tests of the command-line tools: build the binaries, generate
+// a graph with graphgen, partition it with gpmetis, and validate the
+// partition file — the full workflow a downstream user runs.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpmetis/internal/graph/gio"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCommandLineWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	graphgen := buildTool(t, dir, "graphgen")
+	gpmetisBin := buildTool(t, dir, "gpmetis")
+
+	graphFile := filepath.Join(dir, "g.metis")
+	out, err := exec.Command(graphgen, "-family", "delaunay", "-n", "2000", "-seed", "7", "-o", graphFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "delaunay") {
+		t.Errorf("graphgen summary missing: %s", out)
+	}
+
+	f, err := os.Open(graphFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gio.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("graphgen wrote an unreadable file: %v", err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("generated %d vertices, want 2000", g.NumVertices())
+	}
+
+	for _, algo := range []string{"gp", "metis", "mt", "par"} {
+		partFile := filepath.Join(dir, "g."+algo+".part")
+		out, err := exec.Command(gpmetisBin, "-k", "8", "-algo", algo, "-o", partFile, graphFile).CombinedOutput()
+		if err != nil {
+			t.Fatalf("gpmetis -algo %s: %v\n%s", algo, err, out)
+		}
+		if !strings.Contains(string(out), "cut=") {
+			t.Errorf("%s: summary missing cut: %s", algo, out)
+		}
+		pf, err := os.Open(partFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, k, err := gio.ReadPartition(pf)
+		pf.Close()
+		if err != nil {
+			t.Fatalf("%s: unreadable partition file: %v", algo, err)
+		}
+		if len(part) != g.NumVertices() {
+			t.Errorf("%s: partition has %d entries for %d vertices", algo, len(part), g.NumVertices())
+		}
+		if k != 8 {
+			t.Errorf("%s: partition uses %d parts, want 8", algo, k)
+		}
+	}
+
+	// Invalid invocations must fail with a non-zero exit.
+	if err := exec.Command(gpmetisBin, "-algo", "bogus", graphFile).Run(); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if err := exec.Command(gpmetisBin).Run(); err == nil {
+		t.Error("missing input file should fail")
+	}
+	if err := exec.Command(graphgen, "-family", "bogus").Run(); err == nil {
+		t.Error("unknown family should fail")
+	}
+}
+
+func TestBenchCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "bench")
+	var stdout bytes.Buffer
+	cmd := exec.Command(bench, "-scale", "800", "-runs", "1", "-k", "16", "table1", "fig5")
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("bench: %v\n%s", err, stdout.String())
+	}
+	for _, want := range []string{"TABLE I", "FIGURE 5", "GP-metis"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("bench output missing %q", want)
+		}
+	}
+	if err := exec.Command(bench, "nonsense-experiment").Run(); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
