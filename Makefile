@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the race detector over the packages the tracer threads through
+# (the tracer is the one shared mutable structure in an otherwise
+# deterministic pipeline).
+race:
+	$(GO) test -race ./internal/obs ./internal/core
+
+# check is the PR gate: static analysis plus the race-sensitive packages.
+check: vet race
+
+bench:
+	$(GO) run ./cmd/bench

@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	bench [-scale N] [-k K] [-runs R] [-seed S] [-v] [experiments...]
+//	bench [-scale N] [-k K] [-runs R] [-seed S] [-v] [-metrics dir] [experiments...]
+//
+// -metrics writes one machine-readable BENCH_<input>.json per input graph
+// into dir alongside whatever tables were requested.
 //
 // Experiments: table1, fig5, table2, table3, shape, ablation-merge,
 // ablation-threshold, ablation-coalescing, ablation-conflicts,
@@ -26,6 +29,7 @@ func main() {
 	runs := flag.Int("runs", 3, "seeded runs per measurement; the minimum is reported (paper: 3)")
 	seed := flag.Int64("seed", 1, "base seed")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	metricsDir := flag.String("metrics", "", "write one BENCH_<input>.json per input graph into this directory")
 	flag.Parse()
 
 	var progress io.Writer
@@ -50,7 +54,7 @@ func main() {
 			"extended-ptscotch", "extended-multigpu", "extended-classic", "extended-ksweep"}
 	}
 
-	needRows := false
+	needRows := *metricsDir != ""
 	for _, w := range want {
 		switch w {
 		case "fig5", "table2", "table3", "shape":
@@ -63,6 +67,11 @@ func main() {
 		var err error
 		rows, err = experiments.RunAll(cfg)
 		if err != nil {
+			fail(err)
+		}
+	}
+	if *metricsDir != "" {
+		if err := experiments.WriteBenchMetrics(*metricsDir, cfg, rows); err != nil {
 			fail(err)
 		}
 	}

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	gpmetis -k 64 [-algo gp|metis|mt|par|ptscotch|gmetis|jostle|spectral] \
-//	        [-ub 1.03] [-seed 1] [-o out.part] graph.metis|graph.gr
+//	        [-ub 1.03] [-seed 1] [-o out.part] \
+//	        [-trace trace.json] [-metrics metrics.json] [-report] \
+//	        graph.metis|graph.gr
+//
+// -trace writes a Chrome trace_event JSON of the run's span tree over the
+// modeled clock (open in chrome://tracing or ui.perfetto.dev); -metrics
+// writes a flat JSON metrics report; -report prints a per-level table on
+// stderr. All three are available for the gp and mt algorithms.
 package main
 
 import (
@@ -25,6 +32,9 @@ func main() {
 	ub := flag.Float64("ub", 1.03, "allowed imbalance factor")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file for the partition vector (default stdout)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run (gp/mt)")
+	metricsOut := flag.String("metrics", "", "write a flat JSON metrics report (gp/mt)")
+	report := flag.Bool("report", false, "print a per-level table on stderr (gp/mt)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -70,13 +80,43 @@ func main() {
 		fail(fmt.Errorf("unknown algorithm %q (want gp, metis, mt, par, ptscotch, gmetis, jostle, or spectral)", *algo))
 	}
 
+	var tracer *gpmetis.Tracer
+	if *traceOut != "" || *metricsOut != "" || *report {
+		tracer = gpmetis.NewTracer()
+	}
+
 	res, err := gpmetis.Partition(g, *k, gpmetis.Options{
 		Algorithm: a,
 		Seed:      *seed,
 		UBFactor:  *ub,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		fail(err)
+	}
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(w *bufio.Writer) error {
+			return gpmetis.WriteChromeTrace(w, tracer)
+		}); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsOut != "" {
+		extra := map[string]any{
+			"edge_cut":            res.EdgeCut,
+			"modeled_seconds":     res.ModeledSeconds,
+			"imbalance":           gpmetis.Imbalance(g, res.Part, *k),
+			"match_conflict_rate": res.MatchConflictRate(),
+		}
+		if err := writeFile(*metricsOut, func(w *bufio.Writer) error {
+			return gpmetis.WriteMetricsJSON(w, tracer, extra)
+		}); err != nil {
+			fail(err)
+		}
+	}
+	if *report {
+		fmt.Fprint(os.Stderr, gpmetis.LevelTable(tracer))
 	}
 
 	dst := os.Stdout
@@ -95,8 +135,30 @@ func main() {
 		fail(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "%s: %s k=%d cut=%d imbalance=%.4f modeled=%.3fs\n",
+	summary := fmt.Sprintf("%s: %s k=%d cut=%d imbalance=%.4f modeled=%.3fs",
 		flag.Arg(0), a, *k, res.EdgeCut, gpmetis.Imbalance(g, res.Part, *k), res.ModeledSeconds)
+	if res.MatchAttempts > 0 {
+		summary += fmt.Sprintf(" conflict_rate=%.2f%%", 100*res.MatchConflictRate())
+	}
+	fmt.Fprintln(os.Stderr, summary)
+}
+
+// writeFile creates path and streams fn's output through a buffered writer.
+func writeFile(path string, fn func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fn(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -7,8 +7,17 @@ import (
 	"gpmetis/internal/graph"
 	"gpmetis/internal/metis"
 	"gpmetis/internal/mtmetis"
+	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
+
+// PhaseStats attributes a slice of the device activity to one named
+// pipeline segment (upload, coarsen.L0, handoff, uncoarsen.L0, ...),
+// captured as deltas between Stats snapshots.
+type PhaseStats struct {
+	Name  string
+	Stats gpu.Stats
+}
 
 // Result is the outcome of a GP-metis run.
 type Result struct {
@@ -28,20 +37,69 @@ type Result struct {
 	MatchConflicts, MatchAttempts int
 	// KernelStats aggregates the simulated device activity.
 	KernelStats gpu.Stats
+	// LevelStats breaks KernelStats into per-segment deltas; the entries
+	// sum to KernelStats, making per-level attribution possible without
+	// resetting the run-total counters.
+	LevelStats []PhaseStats
 }
 
 // ModeledSeconds returns the total modeled runtime, including CPU<->GPU
 // transfer time as in the paper's Table II.
 func (r *Result) ModeledSeconds() float64 { return r.Timeline.Total() }
 
+// MatchConflictRate returns the fraction of lock-free match proposals
+// that the resolve step rejected, or 0 when no proposals were made.
+func (r *Result) MatchConflictRate() float64 {
+	if r.MatchAttempts == 0 {
+		return 0
+	}
+	return float64(r.MatchConflicts) / float64(r.MatchAttempts)
+}
+
 // Partition runs the full GP-metis pipeline of Figure 1 on the modeled
 // CPU-GPU system.
 func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result, error) {
+	return partitionRun(g, k, o, m, nil, 0)
+}
+
+// partitionRun is Partition with trace context: when invoked as the
+// single-GPU tail of the multi-GPU pipeline, parent/offset place its
+// spans inside the enclosing trace at the right modeled time.
+func partitionRun(g *graph.Graph, k int, o Options, m *perfmodel.Machine, parent *obs.Span, offset float64) (*Result, error) {
 	if err := o.validate(g, k); err != nil {
 		return nil, err
 	}
 	res := &Result{}
 	d := gpu.NewDevice(m, &res.Timeline)
+
+	// --- Tracing setup: one pointer check per hook when disabled ---
+	var root *obs.Span
+	var sink *obs.TimelineSink
+	met := o.Tracer.Metrics()
+	if o.Tracer.Enabled() {
+		attrs := []obs.Attr{
+			obs.Int("vertices", int64(g.NumVertices())),
+			obs.Int("edges", int64(g.NumEdges())),
+			obs.Int("k", int64(k)),
+		}
+		if parent == nil {
+			root = o.Tracer.Root("gpmetis.run", "host", offset, attrs...)
+		} else {
+			root = parent.Child("gpmetis.single", offset, attrs...)
+		}
+		sink = obs.NewTimelineSink(root, offset)
+		res.Timeline.Observe(sink)
+		d.SetTraceSink(sink)
+	}
+	// segment closes one per-segment stats window and returns its delta.
+	var lastStats gpu.Stats
+	segment := func(name string) gpu.Stats {
+		cur := d.Stats()
+		delta := cur.Sub(lastStats)
+		lastStats = cur
+		res.LevelStats = append(res.LevelStats, PhaseStats{Name: name, Stats: delta})
+		return delta
+	}
 
 	// Initially, the graph information is copied to the GPU's global
 	// memory (Section III).
@@ -50,12 +108,20 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 		return nil, fmt.Errorf("core: input graph exceeds device memory: %w", err)
 	}
 	d.ToDevice("h2d.graph", dg.bytes())
+	segment("upload")
 
 	// --- GPU coarsening, level by level, down to the threshold ---
 	var levels []gpuLevel
 	maxVWgt := metis.MaxVertexWeight(g, k, o.CoarsenTo)
 	cur := dg
 	for cur.g.NumVertices() > o.GPUThreshold {
+		lvlIdx := len(levels)
+		fineN := cur.g.NumVertices()
+		lvlSpan := sink.Begin(obs.SpanCoarsenLevel, res.Timeline.Total(),
+			obs.Str("side", "gpu"),
+			obs.Int("level", int64(lvlIdx)),
+			obs.Int("vertices", int64(fineN)),
+			obs.Int("edges", int64(cur.g.NumEdges())))
 		matchArr, err := d.Malloc(cur.g.NumVertices(), 4)
 		if err != nil {
 			return nil, fmt.Errorf("core: match array: %w", err)
@@ -63,6 +129,8 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 		match, conflicts, attempts := matchKernels(d, cur, o, maxVWgt, matchArr)
 		res.MatchConflicts += conflicts
 		res.MatchAttempts += attempts
+		met.Add("match.conflicts", float64(conflicts))
+		met.Add("match.attempts", float64(attempts))
 
 		cmap, coarseN, err := cmapKernels(d, o, match, matchArr)
 		if err != nil {
@@ -71,6 +139,8 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 		if float64(coarseN) > 0.95*float64(cur.g.NumVertices()) {
 			// Matching stalled (pathological input); hand off early.
 			d.Free(matchArr)
+			sink.End(lvlSpan, res.Timeline.Total(), obs.Bool("stalled", true))
+			segment(fmt.Sprintf("coarsen.L%d", lvlIdx))
 			break
 		}
 		cmapArr, err := d.Malloc(len(cmap), 4)
@@ -90,19 +160,39 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 		// keeps "a set of pointer arrays" for the projection phase.
 		levels = append(levels, gpuLevel{fine: cur, cmap: cmap, cmapArr: cmapArr, coarse: cdg})
 		cur = cdg
+
+		delta := segment(fmt.Sprintf("coarsen.L%d", lvlIdx))
+		var rate float64
+		if attempts > 0 {
+			rate = float64(conflicts) / float64(attempts)
+		}
+		if lvlSpan != nil {
+			lvlSpan.Set(delta.Attrs("gpu.")...)
+		}
+		sink.End(lvlSpan, res.Timeline.Total(),
+			obs.Int("coarse_vertices", int64(coarseN)),
+			obs.Float("ratio", float64(coarseN)/float64(fineN)),
+			obs.Int("conflicts", int64(conflicts)),
+			obs.Int("attempts", int64(attempts)),
+			obs.Float("conflict_rate", rate))
 	}
 	res.GPULevels = len(levels)
+	met.Set("coarsen.gpu_levels", float64(res.GPULevels))
 
 	// --- Handoff: move the coarse graph to the CPU, where mt-metis
 	// finishes coarsening, computes the initial partitioning, and refines
 	// the coarse levels ---
 	d.ToHost("d2h.coarse", cur.g.Bytes())
+	cpuSpan := sink.Begin("cpu.phase", res.Timeline.Total(),
+		obs.Str("side", "cpu"), obs.Int("vertices", int64(cur.g.NumVertices())))
 	mtOpts := mtmetis.Options{
 		Seed:        o.Seed,
 		UBFactor:    o.UBFactor,
 		CoarsenTo:   o.CoarsenTo,
 		RefineIters: o.RefineIters,
 		Threads:     o.CPUThreads,
+		Trace:       cpuSpan,
+		TraceOffset: offset + res.Timeline.Total(),
 	}
 	var part []int
 	if cur.g.NumVertices() < k {
@@ -114,7 +204,15 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	}
 	res.Timeline.Merge(&mtRes.Timeline)
 	res.CPULevels = mtRes.Levels
+	met.Set("coarsen.cpu_levels", float64(res.CPULevels))
+	// The CPU phase's lock-free matching conflicts count toward the run's
+	// rate too (its levels just see far fewer concurrent threads).
+	res.MatchConflicts += mtRes.MatchConflicts
+	res.MatchAttempts += mtRes.MatchAttempts
+	met.Add("match.conflicts", float64(mtRes.MatchConflicts))
+	met.Add("match.attempts", float64(mtRes.MatchAttempts))
 	part = mtRes.Part
+	sink.End(cpuSpan, res.Timeline.Total(), obs.Int("levels", int64(mtRes.Levels)))
 
 	// --- Return to the GPU for the remaining un-coarsening levels ---
 	cpartArr, err := d.Malloc(cur.g.NumVertices(), 4)
@@ -122,22 +220,42 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 		return nil, fmt.Errorf("core: partition vector: %w", err)
 	}
 	d.ToDevice("h2d.part", int64(4*cur.g.NumVertices()))
+	segment("handoff")
 
 	for i := len(levels) - 1; i >= 0; i-- {
 		lvl := levels[i]
+		lvlSpan := sink.Begin(obs.SpanUncoarsenLevel, res.Timeline.Total(),
+			obs.Str("side", "gpu"),
+			obs.Int("level", int64(i)),
+			obs.Int("vertices", int64(lvl.fine.g.NumVertices())),
+			obs.Int("edges", int64(lvl.fine.g.NumEdges())))
 		partArr, err := d.Malloc(lvl.fine.g.NumVertices(), 4)
 		if err != nil {
 			return nil, fmt.Errorf("core: fine partition vector: %w", err)
 		}
 		part = projectKernel(d, lvl, part, o, partArr, cpartArr)
-		if err := refineKernels(d, lvl.fine, part, k, o, partArr); err != nil {
+		ref, err := refineKernels(d, lvl.fine, part, k, o, partArr)
+		if err != nil {
 			return nil, err
 		}
+		met.Add("refine.moves", float64(ref.moves))
+		met.Add("refine.rejected", float64(ref.rejected))
+		met.Add("refine.boundary", float64(ref.boundary))
 		// This level's coarse-side resources are no longer needed.
 		d.Free(cpartArr)
 		d.Free(lvl.cmapArr)
 		lvl.coarse.free(d)
 		cpartArr = partArr
+
+		delta := segment(fmt.Sprintf("uncoarsen.L%d", i))
+		if lvlSpan != nil {
+			lvlSpan.Set(delta.Attrs("gpu.")...)
+		}
+		sink.End(lvlSpan, res.Timeline.Total(),
+			obs.Int("moves", int64(ref.moves)),
+			obs.Int("rejected", int64(ref.rejected)),
+			obs.Int("boundary", int64(ref.boundary)),
+			obs.Int("passes", int64(ref.passes)))
 	}
 	d.ToHost("d2h.part", int64(4*g.NumVertices()))
 	d.Free(cpartArr)
@@ -153,6 +271,7 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	var acct perfmodel.ThreadCost
 	metis.BalancePartition(g, part, k, o.UBFactor, &acct)
 	res.Timeline.Append("balance", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+	segment("download")
 
 	// Everything the pipeline allocated must be released by now; a leak
 	// here means a lost handle that would exhaust the 6 GB device over
@@ -164,5 +283,14 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	res.Part = part
 	res.EdgeCut = graph.EdgeCut(g, part)
 	res.KernelStats = d.Stats()
+	met.Add("pcie.bytes_to_device", float64(res.KernelStats.BytesToDevice))
+	met.Add("pcie.bytes_to_host", float64(res.KernelStats.BytesToHost))
+	if root != nil {
+		root.Set(
+			obs.Int("edge_cut", int64(res.EdgeCut)),
+			obs.Float("modeled_seconds", res.ModeledSeconds()),
+			obs.Float("conflict_rate", res.MatchConflictRate()))
+		root.EndAt(offset + res.Timeline.Total())
+	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"gpmetis/internal/gpu"
 	"gpmetis/internal/graph"
 	"gpmetis/internal/metis"
+	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
 
@@ -46,6 +47,29 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	for d := range devs {
 		tls[d] = &perfmodel.Timeline{}
 		devs[d] = gpu.NewDevice(m, tls[d])
+	}
+
+	// Tracing: the master timeline reconciles with the trace through the
+	// sink; each device additionally gets an auxiliary per-device track
+	// whose kernel spans show the concurrent activity the master's
+	// per-phase maxima summarize.
+	var root *obs.Span
+	var sink *obs.TimelineSink
+	devRoots := make([]*obs.Span, devices)
+	met := o.Tracer.Metrics()
+	if o.Tracer.Enabled() {
+		root = o.Tracer.Root("gpmetis.multi", "host", 0,
+			obs.Int("vertices", int64(g.NumVertices())),
+			obs.Int("edges", int64(g.NumEdges())),
+			obs.Int("k", int64(k)),
+			obs.Int("devices", int64(devices)))
+		sink = obs.NewTimelineSink(root, 0)
+		res.Timeline.Observe(sink)
+		for d := range devs {
+			devRoots[d] = root.ChildTrack(fmt.Sprintf("gpu%d", d), "device", 0,
+				obs.Int("device", int64(d))).MarkAux()
+			devs[d].SetTraceSink(obs.NewTimelineSink(devRoots[d], 0))
+		}
 	}
 	marks := make([]float64, devices)
 	phase := func(name string) {
@@ -100,6 +124,11 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	target := o.CoarsenTo * k
 	for !singleFits(cur) {
 		n := cur.NumVertices()
+		lvlSpan := sink.Begin(obs.SpanCoarsenLevel, res.Timeline.Total(),
+			obs.Str("side", "multigpu"),
+			obs.Int("level", int64(len(levels))),
+			obs.Int("vertices", int64(n)),
+			obs.Int("edges", int64(cur.NumEdges())))
 		// Memory pressure beats the usual coarsening threshold: past the
 		// CoarsenTo*k target the vertex-weight cap is lifted so the graph
 		// can keep shrinking until it fits a single device.
@@ -110,6 +139,8 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 		match, conflicts, attempts := multiMatch(devs, shards, cur, o, cap, devices)
 		res.MatchConflicts += conflicts
 		res.MatchAttempts += attempts
+		met.Add("match.conflicts", float64(conflicts))
+		met.Add("match.attempts", float64(attempts))
 		phase("mg.match")
 		// Host resolves and redistributes the match vector.
 		for d := range devs {
@@ -132,6 +163,16 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 			devs[d].ToDevice("mg.h2d.coarse", cg.Bytes()/int64(devices))
 		}
 		phase("mg.reshard")
+		var rate float64
+		if attempts > 0 {
+			rate = float64(conflicts) / float64(attempts)
+		}
+		sink.End(lvlSpan, res.Timeline.Total(),
+			obs.Int("coarse_vertices", int64(coarseN)),
+			obs.Float("ratio", float64(coarseN)/float64(n)),
+			obs.Int("conflicts", int64(conflicts)),
+			obs.Int("attempts", int64(attempts)),
+			obs.Float("conflict_rate", rate))
 		levels = append(levels, mgLevel{fine: cur, cmap: cmap})
 		cur = cg
 	}
@@ -140,7 +181,7 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	res.GPULevels = len(levels)
 
 	// --- Single-GPU pipeline from here down ---
-	sub, err := Partition(cur, k, o, m)
+	sub, err := partitionRun(cur, k, o, m, root, res.Timeline.Total())
 	if err != nil {
 		return nil, fmt.Errorf("core: single-GPU stage: %w", err)
 	}
@@ -154,6 +195,11 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	for i := len(levels) - 1; i >= 0; i-- {
 		lvl := levels[i]
 		n := lvl.fine.NumVertices()
+		lvlSpan := sink.Begin(obs.SpanUncoarsenLevel, res.Timeline.Total(),
+			obs.Str("side", "multigpu"),
+			obs.Int("level", int64(i)),
+			obs.Int("vertices", int64(n)),
+			obs.Int("edges", int64(lvl.fine.NumEdges())))
 		fine := make([]int, n)
 		for d := 0; d < devices; d++ {
 			dd := d
@@ -175,7 +221,13 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 		}
 		phase("mg.project")
 		part = fine
-		multiRefine(devs, shards, lvl.fine, part, k, o, m, res, devices)
+		moves, rejected := multiRefine(devs, shards, lvl.fine, part, k, o, m, res, devices, sink)
+		phase("mg.refine")
+		met.Add("refine.moves", float64(moves))
+		met.Add("refine.rejected", float64(rejected))
+		sink.End(lvlSpan, res.Timeline.Total(),
+			obs.Int("moves", int64(moves)),
+			obs.Int("rejected", int64(rejected)))
 	}
 	for d := range devs {
 		devs[d].ToHost("mg.d2h.part", int64(4*g.NumVertices()/devices))
@@ -190,17 +242,20 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	res.Part = part
 	res.EdgeCut = graph.EdgeCut(g, part)
 	for d := range devs {
-		st := devs[d].Stats()
-		res.KernelStats.Kernels += st.Kernels
-		res.KernelStats.Threads += st.Threads
-		res.KernelStats.Transactions += st.Transactions
-		res.KernelStats.Accesses += st.Accesses
-		res.KernelStats.WarpInstructions += st.WarpInstructions
-		res.KernelStats.LaneInstructions += st.LaneInstructions
-		res.KernelStats.AtomicOps += st.AtomicOps
-		res.KernelStats.AtomicSerial += st.AtomicSerial
-		res.KernelStats.BytesToDevice += st.BytesToDevice
-		res.KernelStats.BytesToHost += st.BytesToHost
+		res.KernelStats = res.KernelStats.Add(devs[d].Stats())
+		devRoots[d].EndAt(tls[d].Total())
+	}
+	// The shard devices' traffic; the single-GPU stage already registered
+	// its own bytes inside partitionRun.
+	met.Add("pcie.bytes_to_device", float64(res.KernelStats.BytesToDevice))
+	met.Add("pcie.bytes_to_host", float64(res.KernelStats.BytesToHost))
+	res.KernelStats = res.KernelStats.Add(sub.KernelStats)
+	if root != nil {
+		root.Set(
+			obs.Int("edge_cut", int64(res.EdgeCut)),
+			obs.Float("modeled_seconds", res.ModeledSeconds()),
+			obs.Float("conflict_rate", res.MatchConflictRate()))
+		root.EndAt(res.Timeline.Total())
 	}
 	return res, nil
 }
@@ -362,8 +417,9 @@ func multiContract(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, o Opt
 
 // multiRefine runs one buffered refinement per level across shards: scan
 // kernels per device fill move requests, the host commits them under the
-// balance bound, and the updated partition slices travel back.
-func multiRefine(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, part []int, k int, o Options, m *perfmodel.Machine, res *Result, devices int) {
+// balance bound, and the updated partition slices travel back. It returns
+// the committed and rejected move counts for the level.
+func multiRefine(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, part []int, k int, o Options, m *perfmodel.Machine, res *Result, devices int, sink *obs.TimelineSink) (moves, rejected int) {
 	n := g.NumVertices()
 	pw := graph.PartWeights(g, part, k)
 	totalW := 0
@@ -376,6 +432,8 @@ func multiRefine(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, part []
 	}
 	for pass := 0; pass < o.RefineIters; pass++ {
 		committed := 0
+		requested := 0
+		passSpan := sink.Begin("refine.pass", res.Timeline.Total(), obs.Int("pass", int64(pass)))
 		for dir := 0; dir < 2; dir++ {
 			var reqs []moveReq
 			for d := 0; d < devices; d++ {
@@ -440,6 +498,7 @@ func multiRefine(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, part []
 			acct.Ops = float64(8 * len(reqs))
 			acct.Rand = float64(2 * len(reqs))
 			res.Timeline.Append("mg.refine.commit", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
+			requested += len(reqs)
 			for _, q := range reqs {
 				if part[q.v] != q.from {
 					continue
@@ -456,10 +515,17 @@ func multiRefine(devs []*gpu.Device, shards []shardArrs, g *graph.Graph, part []
 				committed++
 			}
 		}
+		moves += committed
+		rejected += requested - committed
+		sink.End(passSpan, res.Timeline.Total(),
+			obs.Int("requests", int64(requested)),
+			obs.Int("moves_applied", int64(committed)),
+			obs.Int("moves_rejected", int64(requested-committed)))
 		if committed == 0 {
 			break
 		}
 	}
+	return moves, rejected
 }
 
 // bestTarget recomputes a vertex's best balance-feasible move under the

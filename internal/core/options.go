@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"gpmetis/internal/graph"
+	"gpmetis/internal/obs"
 )
 
 // MergeStrategy selects how the contraction kernel merges the adjacency
@@ -112,6 +113,11 @@ type Options struct {
 	MaxThreads int
 	// CPUThreads is the thread count for the mt-metis CPU phases.
 	CPUThreads int
+	// Tracer, when non-nil, records the run as a span tree with
+	// per-level, per-kernel, and per-transfer detail (see internal/obs).
+	// The nil default disables tracing at the cost of one pointer check
+	// per hook point.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions mirrors the paper's experimental setup.

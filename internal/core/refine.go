@@ -6,6 +6,7 @@ import (
 
 	"gpmetis/internal/gpu"
 	"gpmetis/internal/graph"
+	"gpmetis/internal/obs"
 )
 
 // projectKernel transfers the coarse partition onto the finer graph on the
@@ -38,6 +39,19 @@ type moveReq struct {
 	vw   int
 }
 
+// refineResult summarizes one level's refinement for the tracer and the
+// metrics registry.
+type refineResult struct {
+	// moves counts committed migrations; rejected counts requests the
+	// explore kernels dropped (stale source or balance bound).
+	moves, rejected int
+	// boundary is the largest per-iteration boundary-vertex count seen
+	// by the scan kernels.
+	boundary int
+	// passes is how many refinement passes ran before convergence.
+	passes int
+}
+
 // refineKernels runs GP-metis's lock-free refinement on one graph level:
 // up to RefineIters passes, each with two direction-constrained iterations
 // (moves only toward higher partition ids, then only lower). Each
@@ -46,7 +60,7 @@ type moveReq struct {
 // appends a request to that partition's buffer by atomically bumping the
 // buffer's counter; then an explore kernel with one thread per partition
 // sorts its buffer by gain and commits the moves the balance bound allows.
-func refineKernels(d *gpu.Device, dg devGraph, part []int, k int, o Options, partArr gpu.Array) error {
+func refineKernels(d *gpu.Device, dg devGraph, part []int, k int, o Options, partArr gpu.Array) (refineResult, error) {
 	g := dg.g
 	n := g.NumVertices()
 	pw := graph.PartWeights(g, part, k)
@@ -63,26 +77,32 @@ func refineKernels(d *gpu.Device, dg devGraph, part []int, k int, o Options, par
 	// memory. The buffers are sized for the worst case (every vertex
 	// requesting the same destination is impossible, but per-iteration
 	// totals are bounded by n).
+	var res refineResult
 	counterArr, err := d.Malloc(k, 4)
 	if err != nil {
-		return fmt.Errorf("core: refine counters: %w", err)
+		return res, fmt.Errorf("core: refine counters: %w", err)
 	}
 	defer d.Free(counterArr)
 	bufArr, err := d.Malloc(n, 16)
 	if err != nil {
-		return fmt.Errorf("core: refine buffers: %w", err)
+		return res, fmt.Errorf("core: refine buffers: %w", err)
 	}
 	defer d.Free(bufArr)
 
 	T := threadsFor(n, o.MaxThreads)
 	conn := make([]int, k)
 	var touched []int
+	sink := d.TraceSink()
 
 	for pass := 0; pass < o.RefineIters; pass++ {
 		committed := 0
+		requested := 0
+		boundarySize := 0
+		passSpan := sink.Begin("refine.pass", d.Now(), obs.Int("pass", int64(pass)))
 		for dir := 0; dir < 2; dir++ {
 			buffers := make([][]moveReq, k)
 			slots := 0
+			dirBoundary := 0
 
 			d.Launch(fmt.Sprintf("refine.scan.d%d", dir), T, func(c *gpu.Ctx) {
 				forOwned(o.Distribution, n, T, c, func(v int) {
@@ -107,6 +127,7 @@ func refineKernels(d *gpu.Device, dg devGraph, part []int, k int, o Options, par
 						c.Op(2)
 					}
 					if boundary {
+						dirBoundary++
 						bestP, bestGain := -1, 0
 						for _, p := range touched {
 							if p == pv {
@@ -141,6 +162,10 @@ func refineKernels(d *gpu.Device, dg devGraph, part []int, k int, o Options, par
 					touched = touched[:0]
 				})
 			})
+			requested += slots
+			if dirBoundary > boundarySize {
+				boundarySize = dirBoundary
+			}
 
 			// Explore kernel: one thread per partition drains its buffer.
 			// With k threads on thousands of cores this launch is
@@ -187,9 +212,20 @@ func refineKernels(d *gpu.Device, dg devGraph, part []int, k int, o Options, par
 				}
 			})
 		}
+		res.passes++
+		res.moves += committed
+		res.rejected += requested - committed
+		if boundarySize > res.boundary {
+			res.boundary = boundarySize
+		}
+		sink.End(passSpan, d.Now(),
+			obs.Int("boundary", int64(boundarySize)),
+			obs.Int("requests", int64(requested)),
+			obs.Int("moves_applied", int64(committed)),
+			obs.Int("moves_rejected", int64(requested-committed)))
 		if committed == 0 {
 			break // "terminated earlier if no move is committed"
 		}
 	}
-	return nil
+	return res, nil
 }

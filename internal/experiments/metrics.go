@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// benchMetrics is the machine-readable form of one Row, written as
+// BENCH_<input>.json so harnesses can diff runs without parsing the
+// formatted tables.
+type benchMetrics struct {
+	Input    string            `json:"input"`
+	Vertices int               `json:"vertices"`
+	Edges    int               `json:"edges"`
+	K        int               `json:"k"`
+	ScaleDiv int               `json:"scale_div"`
+	Runs     int               `json:"runs"`
+	Seed     int64             `json:"seed"`
+	Results  map[string]result `json:"results"`
+}
+
+type result struct {
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	EdgeCut        int     `json:"edge_cut"`
+	Imbalance      float64 `json:"imbalance"`
+	Speedup        float64 `json:"speedup_vs_metis"`
+	CutRatio       float64 `json:"cut_ratio_vs_metis"`
+}
+
+// WriteBenchMetrics writes one BENCH_<input>.json per row into dir,
+// creating it if needed. Each file carries the four partitioners'
+// measurements plus their speedup and cut ratio against serial Metis.
+func WriteBenchMetrics(dir string, cfg Config, rows []Row) error {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		bm := benchMetrics{
+			Input:    r.Class.String(),
+			Vertices: r.V,
+			Edges:    r.E,
+			K:        cfg.K,
+			ScaleDiv: cfg.ScaleDiv,
+			Runs:     cfg.Runs,
+			Seed:     cfg.Seed,
+			Results: map[string]result{
+				"metis":    toResult(r, r.Metis),
+				"parmetis": toResult(r, r.ParMetis),
+				"mtmetis":  toResult(r, r.MtMetis),
+				"gpmetis":  toResult(r, r.GPMetis),
+			},
+		}
+		data, err := json.MarshalIndent(bm, "", " ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Class))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func toResult(r Row, m Measurement) result {
+	return result{
+		ModeledSeconds: m.Seconds,
+		EdgeCut:        m.EdgeCut,
+		Imbalance:      m.Imbal,
+		Speedup:        r.Speedup(m),
+		CutRatio:       r.CutRatio(m),
+	}
+}

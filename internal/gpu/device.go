@@ -24,6 +24,7 @@ package gpu
 import (
 	"fmt"
 
+	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
 
@@ -55,6 +56,7 @@ type Device struct {
 	Accounting bool
 
 	stats Stats
+	sink  *obs.TimelineSink
 }
 
 // Stats aggregates device activity since the last ResetStats, for tests,
@@ -85,11 +87,72 @@ func NewDevice(m *perfmodel.Machine, tl *perfmodel.Timeline) *Device {
 // Machine returns the machine model the device charges.
 func (d *Device) Machine() *perfmodel.Machine { return d.m }
 
+// Add returns the field-wise sum of two Stats.
+func (s Stats) Add(o Stats) Stats {
+	s.Kernels += o.Kernels
+	s.Threads += o.Threads
+	s.WarpInstructions += o.WarpInstructions
+	s.LaneInstructions += o.LaneInstructions
+	s.Transactions += o.Transactions
+	s.Accesses += o.Accesses
+	s.AtomicOps += o.AtomicOps
+	s.AtomicSerial += o.AtomicSerial
+	s.BytesToDevice += o.BytesToDevice
+	s.BytesToHost += o.BytesToHost
+	return s
+}
+
+// Sub returns the field-wise difference s - o: the activity between two
+// Stats snapshots, which is how per-level attribution is captured without
+// resetting the run-total counters.
+func (s Stats) Sub(o Stats) Stats {
+	s.Kernels -= o.Kernels
+	s.Threads -= o.Threads
+	s.WarpInstructions -= o.WarpInstructions
+	s.LaneInstructions -= o.LaneInstructions
+	s.Transactions -= o.Transactions
+	s.Accesses -= o.Accesses
+	s.AtomicOps -= o.AtomicOps
+	s.AtomicSerial -= o.AtomicSerial
+	s.BytesToDevice -= o.BytesToDevice
+	s.BytesToHost -= o.BytesToHost
+	return s
+}
+
+// Attrs renders the counters as span attributes under the given prefix.
+func (s Stats) Attrs(prefix string) []obs.Attr {
+	return []obs.Attr{
+		obs.Int(prefix+"kernels", int64(s.Kernels)),
+		obs.Int(prefix+"threads", s.Threads),
+		obs.Int(prefix+"warp_instructions", s.WarpInstructions),
+		obs.Int(prefix+"lane_instructions", s.LaneInstructions),
+		obs.Int(prefix+"transactions", s.Transactions),
+		obs.Int(prefix+"accesses", s.Accesses),
+		obs.Int(prefix+"atomic_ops", s.AtomicOps),
+		obs.Int(prefix+"atomic_serial", s.AtomicSerial),
+		obs.Int(prefix+"bytes_to_device", s.BytesToDevice),
+		obs.Int(prefix+"bytes_to_host", s.BytesToHost),
+	}
+}
+
 // Stats returns the activity counters accumulated so far.
 func (d *Device) Stats() Stats { return d.stats }
 
 // ResetStats clears the activity counters.
 func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// SetTraceSink installs (or, with nil, removes) the trace sink the device
+// emits kernel-launch and transfer spans into. Spans nest under the
+// sink's current parent, so the pipeline's level spans automatically
+// contain their kernels.
+func (d *Device) SetTraceSink(s *obs.TimelineSink) { d.sink = s }
+
+// TraceSink returns the device's trace sink (nil when tracing is off).
+func (d *Device) TraceSink() *obs.TimelineSink { return d.sink }
+
+// Now returns the device timeline's current modeled time, the clock that
+// spans around device work should use.
+func (d *Device) Now() float64 { return d.tl.Total() }
 
 // Allocated returns the bytes currently allocated on the device.
 func (d *Device) Allocated() int64 { return d.allocated }
@@ -130,7 +193,7 @@ func (d *Device) ToDevice(name string, bytes int64) {
 		bytes = 0
 	}
 	d.stats.BytesToDevice += bytes
-	d.tl.Append(name, perfmodel.LocPCIe, d.m.PCIeSec(float64(bytes)))
+	d.transfer(name, "h2d", bytes)
 }
 
 // ToHost charges a device-to-host copy of n bytes.
@@ -139,5 +202,24 @@ func (d *Device) ToHost(name string, bytes int64) {
 		bytes = 0
 	}
 	d.stats.BytesToHost += bytes
-	d.tl.Append(name, perfmodel.LocPCIe, d.m.PCIeSec(float64(bytes)))
+	d.transfer(name, "d2h", bytes)
+}
+
+// transfer charges one PCIe copy and, when tracing, mirrors it as a span
+// carrying the byte count and direction.
+func (d *Device) transfer(name, dir string, bytes int64) {
+	sec := d.m.PCIeSec(float64(bytes))
+	if d.sink == nil {
+		d.tl.Append(name, perfmodel.LocPCIe, sec)
+		return
+	}
+	sp := d.sink.Leaf(name, d.tl.Total(), sec,
+		obs.Str("loc", perfmodel.LocPCIe.String()),
+		obs.Str("dir", dir),
+		obs.Int("bytes", bytes))
+	var id int64
+	if sp != nil {
+		id = sp.ID
+	}
+	d.tl.AppendTagged(name, perfmodel.LocPCIe, sec, id)
 }

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
 
@@ -223,7 +224,26 @@ func (d *Device) Launch(name string, nThreads int, k Kernel) float64 {
 	}
 
 	sec := d.kernelSeconds(nThreads, warpInstr, maxWarpInstr, transactions, atomicSerial)
-	d.tl.Append(name, perfmodel.LocGPU, sec)
+	if d.sink == nil {
+		d.tl.Append(name, perfmodel.LocGPU, sec)
+	} else {
+		// Per-launch span with this launch's stats delta, so every level
+		// of the trace attributes its own kernel work.
+		sp := d.sink.Leaf(name, d.tl.Total(), sec,
+			obs.Str("loc", perfmodel.LocGPU.String()),
+			obs.Int("threads", int64(nThreads)),
+			obs.Int("warp_instructions", warpInstr),
+			obs.Int("lane_instructions", laneInstr),
+			obs.Int("transactions", transactions),
+			obs.Int("accesses", accesses),
+			obs.Int("atomic_ops", atomicOps),
+			obs.Int("atomic_serial", atomicSerial))
+		var id int64
+		if sp != nil {
+			id = sp.ID
+		}
+		d.tl.AppendTagged(name, perfmodel.LocGPU, sec, id)
+	}
 
 	d.stats.Kernels++
 	d.stats.Threads += int64(nThreads)

@@ -5,6 +5,7 @@ import (
 
 	"gpmetis/internal/graph"
 	"gpmetis/internal/metis"
+	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
 
@@ -184,11 +185,22 @@ func contractParallel(g *graph.Graph, match, cmap []int, coarseN, threads int, c
 // the CoarsenTo*k threshold or a stall, mirroring metis.Coarsen but with
 // per-thread accounting.
 func Coarsen(g *graph.Graph, k int, o Options, m *perfmodel.Machine, tl *perfmodel.Timeline) (levels []metis.Level, conflicts, attempts int) {
+	return coarsen(g, k, o, m, tl, nil)
+}
+
+// coarsen is Coarsen with tracing: each level becomes one span carrying
+// its size, coarsening ratio, and matching conflict rate.
+func coarsen(g *graph.Graph, k int, o Options, m *perfmodel.Machine, tl *perfmodel.Timeline, sink *obs.TimelineSink) (levels []metis.Level, conflicts, attempts int) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	target := o.CoarsenTo * k
 	maxVWgt := metis.MaxVertexWeight(g, k, o.CoarsenTo)
 	cur := g
 	for cur.NumVertices() > target {
+		lvl := sink.Begin(obs.SpanCoarsenLevel, tl.Total(),
+			obs.Str("side", "cpu"),
+			obs.Int("level", int64(len(levels))),
+			obs.Int("vertices", int64(cur.NumVertices())),
+			obs.Int("edges", int64(cur.NumEdges())))
 		costs := make([]perfmodel.ThreadCost, o.Threads)
 		match, c, a := MatchTwoRound(cur, o.Threads, maxVWgt, rng, costs)
 		conflicts += c
@@ -197,10 +209,21 @@ func Coarsen(g *graph.Graph, k int, o Options, m *perfmodel.Machine, tl *perfmod
 		cmap, coarseN := metis.BuildCMap(match, &cmAcct)
 		costs[0].Add(cmAcct) // cmap numbering is a cheap scan on one thread
 		if float64(coarseN) > 0.95*float64(cur.NumVertices()) {
+			sink.End(lvl, tl.Total(), obs.Bool("stalled", true))
 			break
 		}
 		cg := contractParallel(cur, match, cmap, coarseN, o.Threads, costs)
 		tl.Append("coarsen", perfmodel.LocCPU, m.CPUPhaseSeconds(costs))
+		var rate float64
+		if a > 0 {
+			rate = float64(c) / float64(a)
+		}
+		sink.End(lvl, tl.Total(),
+			obs.Int("coarse_vertices", int64(coarseN)),
+			obs.Float("ratio", float64(coarseN)/float64(cur.NumVertices())),
+			obs.Int("conflicts", int64(c)),
+			obs.Int("attempts", int64(a)),
+			obs.Float("conflict_rate", rate))
 		levels = append(levels, metis.Level{Fine: cur, CMap: cmap, Coarse: cg})
 		cur = cg
 	}

@@ -29,6 +29,7 @@ import (
 
 	"gpmetis/internal/graph"
 	"gpmetis/internal/metis"
+	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
 
@@ -44,6 +45,13 @@ type Options struct {
 	RefineIters int
 	// Threads is the number of modeled CPU threads (paper: 8).
 	Threads int
+	// Trace, when non-nil, is the parent span under which the run emits
+	// its per-level spans (standalone mt-metis runs and the CPU phase of
+	// GP-metis both use this). Nil disables tracing.
+	Trace *obs.Span
+	// TraceOffset shifts this run's timeline-local timestamps into the
+	// enclosing trace's modeled clock.
+	TraceOffset float64
 }
 
 // DefaultOptions mirrors the paper's experimental setup on the modeled
@@ -106,8 +114,12 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 		return nil, fmt.Errorf("mtmetis: %d threads exceed the modeled %d cores", o.Threads, m.CPU.Cores)
 	}
 	res := &Result{}
+	sink := obs.NewTimelineSink(o.Trace, o.TraceOffset)
+	if sink != nil {
+		res.Timeline.Observe(sink)
+	}
 
-	levels, conflicts, attempts := Coarsen(g, k, o, m, &res.Timeline)
+	levels, conflicts, attempts := coarsen(g, k, o, m, &res.Timeline, sink)
 	res.Levels = len(levels)
 	res.MatchConflicts = conflicts
 	res.MatchAttempts = attempts
@@ -119,8 +131,14 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	part := initialPartition(coarsest, k, o, m, &res.Timeline)
 
 	for i := len(levels) - 1; i >= 0; i-- {
+		lvl := sink.Begin(obs.SpanUncoarsenLevel, res.Timeline.Total(),
+			obs.Str("side", "cpu"),
+			obs.Int("level", int64(i)),
+			obs.Int("vertices", int64(levels[i].Fine.NumVertices())),
+			obs.Int("edges", int64(levels[i].Fine.NumEdges())))
 		part = projectParallel(levels[i], part, o, m, &res.Timeline)
 		Refine(levels[i].Fine, part, k, o, m, &res.Timeline)
+		sink.End(lvl, res.Timeline.Total())
 	}
 
 	var acct perfmodel.ThreadCost

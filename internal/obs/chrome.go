@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// consumed by chrome://tracing and Perfetto). Modeled seconds serve as
+// the clock: ts and dur are modeled microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the tracer's spans as a Chrome trace_event
+// JSON document. Each span becomes one complete ("X") event; tracks
+// become named threads of a single process. Open a written file in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	spans := t.Spans()
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// Map tracks to thread ids in order of first appearance, and emit
+	// thread_name metadata so the viewer labels the rows.
+	tids := map[string]int{}
+	for _, sp := range spans {
+		if _, ok := tids[sp.Track]; !ok {
+			tid := len(tids)
+			tids[sp.Track] = tid
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  1,
+				Tid:  tid,
+				Args: map[string]any{"name": sp.Track},
+			})
+		}
+	}
+
+	for _, sp := range spans {
+		args := map[string]any{"span": sp.ID, "parent": sp.ParentID}
+		if sp.Aux {
+			args["aux"] = true
+		}
+		for _, a := range sp.Attrs() {
+			args[a.Key] = a.Value()
+		}
+		cat := "detail"
+		if sp.ParentID == 0 {
+			cat = "run"
+		}
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   sp.Start * 1e6, // modeled seconds -> modeled microseconds
+			Dur:  sp.Dur() * 1e6,
+			Pid:  1,
+			Tid:  tids[sp.Track],
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"gpmetis/internal/perfmodel"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	root := tr.Root("run", "host", 0)
+	lvl := root.Child("level", 0.5)
+	kern := lvl.Child("kernel", 0.5)
+	kern.EndAt(0.7)
+	lvl.EndAt(0.9)
+	root.EndAt(1.0)
+
+	if root.ParentID != 0 {
+		t.Errorf("root ParentID = %d, want 0", root.ParentID)
+	}
+	if lvl.ParentID != root.ID {
+		t.Errorf("level ParentID = %d, want root's %d", lvl.ParentID, root.ID)
+	}
+	if kern.ParentID != lvl.ID {
+		t.Errorf("kernel ParentID = %d, want level's %d", kern.ParentID, lvl.ID)
+	}
+	if kern.Parent() != lvl || lvl.Parent() != root || root.Parent() != nil {
+		t.Error("Parent() chain does not match construction order")
+	}
+	if kern.Track != "host" {
+		t.Errorf("child Track = %q, want inherited %q", kern.Track, "host")
+	}
+	if root.IsLeaf() || lvl.IsLeaf() || !kern.IsLeaf() {
+		t.Error("leaf detection wrong: only the innermost span is a leaf")
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("Spans() = %d spans, want 3", got)
+	}
+	if d := kern.Dur(); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("kernel Dur = %g, want 0.2", d)
+	}
+}
+
+func TestAttrRoundTrip(t *testing.T) {
+	tr := New()
+	sp := tr.Root("run", "host", 0,
+		Int("vertices", 42),
+		Float("ratio", 0.55),
+		Str("side", "gpu"),
+		Bool("stalled", true))
+	sp.Set(Int("vertices", 43)) // last write wins
+
+	cases := []struct {
+		key  string
+		want any
+	}{
+		{"vertices", int64(43)},
+		{"ratio", 0.55},
+		{"side", "gpu"},
+		{"stalled", true},
+	}
+	for _, c := range cases {
+		a, ok := sp.Attr(c.key)
+		if !ok {
+			t.Errorf("Attr(%q) missing", c.key)
+			continue
+		}
+		if a.Value() != c.want {
+			t.Errorf("Attr(%q) = %v (%T), want %v (%T)", c.key, a.Value(), a.Value(), c.want, c.want)
+		}
+	}
+	if _, ok := sp.Attr("absent"); ok {
+		t.Error("Attr on an absent key reported ok")
+	}
+	if got := len(sp.Attrs()); got != 5 {
+		t.Errorf("Attrs() = %d entries, want 5 (append semantics)", got)
+	}
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	tr := New()
+	root := tr.Root("run", "host", 0, Int("k", 8))
+	dev := root.ChildTrack("gpu0", "device", 0).MarkAux()
+	k := dev.Child("kernel", 0.1)
+	k.EndAt(0.2)
+	dev.EndAt(0.3)
+	leaf := root.Child("phase", 0.3)
+	leaf.EndAt(1.0)
+	root.EndAt(1.0)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("displayTimeUnit missing")
+	}
+	var xEvents, mEvents int
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xEvents++
+			if e.Ts == nil || e.Dur == nil || e.Pid == nil || e.Tid == nil {
+				t.Fatalf("complete event %q missing ts/dur/pid/tid", e.Name)
+			}
+			if *e.Dur < 0 {
+				t.Errorf("event %q has negative dur %g", e.Name, *e.Dur)
+			}
+			tids[*e.Tid] = true
+		case "M":
+			mEvents++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if xEvents != 4 {
+		t.Errorf("got %d complete events, want 4", xEvents)
+	}
+	if mEvents != 2 {
+		t.Errorf("got %d metadata events, want 2 (one per track)", mEvents)
+	}
+	if len(tids) != 2 {
+		t.Errorf("got %d distinct tids, want 2 (host + gpu0)", len(tids))
+	}
+	// The modeled clock is exported in microseconds.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "phase" {
+			if math.Abs(*e.Ts-0.3e6) > 1e-6 || math.Abs(*e.Dur-0.7e6) > 1e-6 {
+				t.Errorf("phase ts/dur = %g/%g us, want 3e5/7e5", *e.Ts, *e.Dur)
+			}
+		}
+	}
+}
+
+func TestLeafSecondsExcludesAux(t *testing.T) {
+	tr := New()
+	root := tr.Root("run", "host", 0)
+	a := root.Child("a", 0)
+	a.EndAt(0.25)
+	b := root.Child("b", 0.25)
+	b.EndAt(1.0)
+	aux := root.ChildTrack("gpu0", "detail", 0).MarkAux()
+	auxChild := aux.Child("kernel", 0)
+	auxChild.EndAt(5.0) // must not count: Aux is inherited
+	aux.EndAt(5.0)
+	root.EndAt(1.0)
+
+	if got := tr.LeafSeconds(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("LeafSeconds = %g, want 1.0 (aux excluded)", got)
+	}
+}
+
+func TestTimelineSinkReconciles(t *testing.T) {
+	tr := New()
+	root := tr.Root("run", "host", 0)
+	sink := NewTimelineSink(root, 0)
+	var tl perfmodel.Timeline
+	tl.Observe(sink)
+
+	tl.Append("p0", perfmodel.LocCPU, 0.5)
+	lvl := sink.Begin("level", tl.Total())
+	tl.Append("p1", perfmodel.LocGPU, 0.25)
+	tl.Append("p2", perfmodel.LocPCIe, 0.25)
+	sink.End(lvl, tl.Total())
+	root.EndAt(tl.Total())
+
+	if got, want := tr.LeafSeconds(), tl.Total(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LeafSeconds = %g, timeline total = %g", got, want)
+	}
+	// The Begin/End structure nests the observed phases.
+	var p1 *Span
+	for _, sp := range tr.Spans() {
+		if sp.Name == "p1" {
+			p1 = sp
+		}
+	}
+	if p1 == nil || p1.Parent() != lvl {
+		t.Error("phase appended inside Begin/End is not a child of the structural span")
+	}
+	if loc := p1.strAttr("loc"); loc != "GPU" {
+		t.Errorf("phase loc attr = %q, want GPU", loc)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	tr := New()
+	met := tr.Metrics()
+	met.Add("x", 1)
+	met.Add("x", 2)
+	met.Set("y", 7)
+	if got := met.Get("x"); got != 3 {
+		t.Errorf("Get(x) = %g, want 3", got)
+	}
+	snap := met.Snapshot()
+	if snap["x"] != 3 || snap["y"] != 7 {
+		t.Errorf("Snapshot = %v, want x:3 y:7", snap)
+	}
+	met.Add("x", 1)
+	if snap["x"] != 3 {
+		t.Error("Snapshot is not a copy")
+	}
+}
+
+func TestLevelTable(t *testing.T) {
+	tr := New()
+	root := tr.Root("run", "host", 0)
+	sink := NewTimelineSink(root, 0)
+	lvl := sink.Begin(SpanCoarsenLevel, 0,
+		Str("side", "gpu"), Int("level", 0), Int("vertices", 100), Int("edges", 300))
+	sink.End(lvl, 0.5,
+		Float("ratio", 0.55), Int("conflicts", 9), Float("conflict_rate", 0.09))
+	u := sink.Begin(SpanUncoarsenLevel, 0.5,
+		Str("side", "gpu"), Int("level", 0), Int("vertices", 100), Int("edges", 300))
+	sink.End(u, 1.0, Int("moves", 12))
+	root.EndAt(1.0)
+
+	table := LevelTable(tr)
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want header + 2 rows:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[1], "coarsen") || !strings.Contains(lines[1], "0.550") {
+		t.Errorf("coarsen row malformed: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "uncoarsen") || !strings.Contains(lines[2], "12") {
+		t.Errorf("uncoarsen row malformed: %q", lines[2])
+	}
+}
+
+func TestMetricsReport(t *testing.T) {
+	tr := New()
+	root := tr.Root("run", "host", 0)
+	a := root.Child("kern", 0)
+	a.EndAt(0.25)
+	b := root.Child("kern", 0.25)
+	b.EndAt(0.75)
+	root.EndAt(0.75)
+	tr.Metrics().Add("c", 4)
+
+	rep := BuildMetricsReport(tr, map[string]any{"edge_cut": 7})
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "kern" || rep.Spans[0].Count != 2 {
+		t.Errorf("span aggregate = %+v, want one kern entry with count 2", rep.Spans)
+	}
+	if math.Abs(rep.Spans[0].Seconds-0.75) > 1e-12 {
+		t.Errorf("kern seconds = %g, want 0.75", rep.Spans[0].Seconds)
+	}
+	if rep.Counters["c"] != 4 {
+		t.Errorf("counter c = %g, want 4", rep.Counters["c"])
+	}
+	if rep.Extra["edge_cut"] != 7 {
+		t.Errorf("extra = %v", rep.Extra)
+	}
+}
+
+// TestDisabledNoAlloc pins the disabled-mode contract: with tracing off
+// (nil tracer, nil spans, nil sink, nil registry) the hooks allocate
+// nothing, so the hot kernel paths pay only pointer checks.
+func TestDisabledNoAlloc(t *testing.T) {
+	var tr *Tracer
+	var tl perfmodel.Timeline
+	allocs := testing.AllocsPerRun(100, func() {
+		if tr.Enabled() {
+			t.Fatal("nil tracer claims enabled")
+		}
+		root := tr.Root("run", "host", 0, Int("k", 8))
+		sp := root.Child("x", 0)
+		sp.Set(Int("a", 1))
+		sp.MarkAux()
+		sp.EndAt(1)
+		sink := NewTimelineSink(root, 0)
+		sink.Leaf("l", 0, 1)
+		lv := sink.Begin("b", 0)
+		sink.End(lv, 1)
+		tr.Metrics().Add("c", 1)
+		tr.Metrics().Set("c", 1)
+		tl.Append("p", perfmodel.LocCPU, 0.1)
+		_ = tr.LeafSeconds()
+		_ = tr.Spans()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %.1f times per run, want 0", allocs)
+	}
+}

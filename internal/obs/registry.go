@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a flat metrics registry: named float64 counters that any
+// pipeline stage can bump. Counter names are dot-separated
+// ("match.conflicts", "refine.moves", "pcie.bytes_to_device"). All
+// methods are safe for concurrent use and no-ops on a nil receiver, so
+// instrumented code never branches on whether metrics are enabled.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+}
+
+// Add increments counter name by v (creating it at zero first).
+func (r *Registry) Add(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = map[string]float64{}
+	}
+	r.counters[name] += v
+	r.mu.Unlock()
+}
+
+// Set overwrites counter name with v.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = map[string]float64{}
+	}
+	r.counters[name] = v
+	r.mu.Unlock()
+}
+
+// Get returns counter name (zero when absent or when r is nil).
+func (r *Registry) Get(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the sorted counter names, for stable report output.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

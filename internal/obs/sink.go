@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+
+	"gpmetis/internal/perfmodel"
+)
+
+// TimelineSink connects a perfmodel.Timeline to the tracer: installed as
+// the timeline's PhaseObserver, it mirrors every appended phase as one
+// leaf span under a current parent span, so the sum of leaf durations
+// reconciles exactly with the timeline total. Pipeline stages move the
+// current parent with Begin/End to give the leaves their structure
+// (run → level → kernel).
+//
+// The sink's offset shifts timeline-local timestamps into the enclosing
+// run's modeled clock, which lets a sub-pipeline with a private timeline
+// (the mt-metis CPU phase, the multi-GPU single-device stage) land at the
+// right place in the merged trace.
+//
+// A nil *TimelineSink is the disabled sink: every method no-ops.
+type TimelineSink struct {
+	mu     sync.Mutex
+	cur    *Span
+	offset float64
+}
+
+// NewTimelineSink returns a sink emitting under parent, translating
+// timeline-local times by offset. A nil parent yields a nil (disabled)
+// sink, so callers can thread an unconditional sink through the pipeline.
+func NewTimelineSink(parent *Span, offset float64) *TimelineSink {
+	if parent == nil {
+		return nil
+	}
+	return &TimelineSink{cur: parent, offset: offset}
+}
+
+// Parent returns the sink's current parent span.
+func (s *TimelineSink) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Metrics returns the registry of the tracer the sink emits into.
+func (s *TimelineSink) Metrics() *Registry {
+	return s.Parent().tracer().Metrics()
+}
+
+func (s *Span) tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.t
+}
+
+// PhaseSpan implements perfmodel.PhaseObserver: one leaf span per
+// appended phase, tagged back into the timeline via the returned ID.
+func (s *TimelineSink) PhaseSpan(name string, loc perfmodel.Location, start, seconds float64) int64 {
+	sp := s.Leaf(name, start, seconds, Str("loc", loc.String()))
+	if sp == nil {
+		return 0
+	}
+	return sp.ID
+}
+
+// Leaf records one closed span of the given timeline-local start and
+// duration under the current parent.
+func (s *TimelineSink) Leaf(name string, start, seconds float64, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	parent := s.cur
+	off := s.offset
+	s.mu.Unlock()
+	sp := parent.Child(name, off+start, attrs...)
+	sp.EndAt(off + start + seconds)
+	return sp
+}
+
+// Begin opens a structural span at timeline-local time start and makes it
+// the sink's current parent: subsequent phases (and Leaf calls) nest
+// under it until End.
+func (s *TimelineSink) Begin(name string, start float64, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	parent := s.cur
+	off := s.offset
+	s.mu.Unlock()
+	sp := parent.Child(name, off+start, attrs...)
+	if sp != nil {
+		s.mu.Lock()
+		s.cur = sp
+		s.mu.Unlock()
+	}
+	return sp
+}
+
+// End closes a span opened with Begin at timeline-local time end and
+// restores its parent as the sink's current parent. Extra attributes
+// (counters gathered while the span ran) are attached first.
+func (s *TimelineSink) End(sp *Span, end float64, attrs ...Attr) {
+	if s == nil || sp == nil {
+		return
+	}
+	sp.Set(attrs...)
+	s.mu.Lock()
+	off := s.offset
+	if s.cur == sp {
+		s.cur = sp.parent
+	}
+	s.mu.Unlock()
+	sp.EndAt(off + end)
+}

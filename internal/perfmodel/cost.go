@@ -84,6 +84,17 @@ type Phase struct {
 	Name    string
 	Loc     Location
 	Seconds float64
+	// Span is the ID of the trace span mirroring this phase (0 when the
+	// run was not traced), so a trace reconciles with the timeline
+	// phase by phase.
+	Span int64
+}
+
+// PhaseObserver receives every phase as it is appended to an observed
+// Timeline. start is the timeline total before the phase; the returned
+// span ID (0 for none) is recorded on the phase.
+type PhaseObserver interface {
+	PhaseSpan(name string, loc Location, start, seconds float64) int64
 }
 
 // Timeline is an ordered record of modeled phases. Partitioners append to
@@ -92,7 +103,14 @@ type Phase struct {
 // account per-thread costs first and append a single phase afterwards.
 type Timeline struct {
 	phases []Phase
+	total  float64
+	obs    PhaseObserver
 }
+
+// Observe installs o as the timeline's phase observer. Pass nil to
+// detach. Merged phases are not re-observed: a sub-timeline observes its
+// own appends.
+func (t *Timeline) Observe(o PhaseObserver) { t.obs = o }
 
 // Append records a phase of the given duration. Negative durations are
 // clamped to zero so a buggy model term can never make a timeline
@@ -101,7 +119,22 @@ func (t *Timeline) Append(name string, loc Location, seconds float64) {
 	if seconds < 0 {
 		seconds = 0
 	}
-	t.phases = append(t.phases, Phase{Name: name, Loc: loc, Seconds: seconds})
+	var span int64
+	if t.obs != nil {
+		span = t.obs.PhaseSpan(name, loc, t.total, seconds)
+	}
+	t.phases = append(t.phases, Phase{Name: name, Loc: loc, Seconds: seconds, Span: span})
+	t.total += seconds
+}
+
+// AppendTagged records a phase already mirrored by span (the observer is
+// not consulted), for instrumented code that emits richer spans itself.
+func (t *Timeline) AppendTagged(name string, loc Location, seconds float64, span int64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	t.phases = append(t.phases, Phase{Name: name, Loc: loc, Seconds: seconds, Span: span})
+	t.total += seconds
 }
 
 // Phases returns a copy of the recorded phases in order.
@@ -111,14 +144,10 @@ func (t *Timeline) Phases() []Phase {
 	return out
 }
 
-// Total returns the summed modeled seconds of all phases.
-func (t *Timeline) Total() float64 {
-	var s float64
-	for _, p := range t.phases {
-		s += p.Seconds
-	}
-	return s
-}
+// Total returns the summed modeled seconds of all phases. It is O(1):
+// the total is maintained incrementally so instrumentation can use it as
+// the modeled clock.
+func (t *Timeline) Total() float64 { return t.total }
 
 // TotalAt returns the summed modeled seconds of phases at location loc.
 func (t *Timeline) TotalAt(loc Location) float64 {
@@ -131,9 +160,11 @@ func (t *Timeline) TotalAt(loc Location) float64 {
 	return s
 }
 
-// Merge appends all phases of other to t in order.
+// Merge appends all phases of other to t in order, keeping their span
+// tags. The phases are not re-observed.
 func (t *Timeline) Merge(other *Timeline) {
 	t.phases = append(t.phases, other.phases...)
+	t.total += other.total
 }
 
 // String formats the timeline as one line per phase plus a total, for

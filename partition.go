@@ -42,6 +42,7 @@ import (
 	"gpmetis/internal/jostle"
 	"gpmetis/internal/metis"
 	"gpmetis/internal/mtmetis"
+	"gpmetis/internal/obs"
 	"gpmetis/internal/parmetis"
 	"gpmetis/internal/perfmodel"
 	"gpmetis/internal/ptscotch"
@@ -59,6 +60,28 @@ type Machine = perfmodel.Machine
 
 // Timeline records the modeled phase durations of a run.
 type Timeline = perfmodel.Timeline
+
+// Tracer collects a span tree and metrics over a run's modeled timeline;
+// see internal/obs. A nil *Tracer disables all instrumentation at the cost
+// of one pointer check per hook.
+type Tracer = obs.Tracer
+
+// NewTracer returns an enabled Tracer ready to pass in Options.Tracer.
+func NewTracer() *Tracer { return obs.New() }
+
+// WriteChromeTrace serializes a tracer's spans in the Chrome trace_event
+// JSON format (load in chrome://tracing or https://ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return obs.WriteChromeTrace(w, t) }
+
+// WriteMetricsJSON serializes a tracer's counters and per-span aggregates
+// as a flat JSON report; extra entries are merged in verbatim.
+func WriteMetricsJSON(w io.Writer, t *Tracer, extra map[string]any) error {
+	return obs.WriteMetricsJSON(w, t, extra)
+}
+
+// LevelTable renders a tracer's per-level coarsening/uncoarsening spans as
+// a human-readable table.
+func LevelTable(t *Tracer) string { return obs.LevelTable(t) }
 
 // NewBuilder returns a Builder for a graph with n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
@@ -194,6 +217,10 @@ type Options struct {
 	// paper's future-work extension), allowing graphs larger than one
 	// device's memory.
 	Devices int
+	// Tracer, when non-nil, records a span tree and metrics over the run's
+	// modeled timeline (GPMetis and MtMetis; other algorithms ignore it).
+	// Nil disables instrumentation entirely.
+	Tracer *Tracer
 }
 
 // Result reports a partitioning run.
@@ -206,6 +233,19 @@ type Result struct {
 	ModeledSeconds float64
 	// Timeline breaks the modeled runtime into phases.
 	Timeline Timeline
+	// MatchConflicts / MatchAttempts expose the lock-free matching
+	// conflict counts for the algorithms that track them (GPMetis,
+	// MtMetis); both stay 0 elsewhere.
+	MatchConflicts, MatchAttempts int
+}
+
+// MatchConflictRate returns the fraction of lock-free match proposals the
+// resolve step rejected, or 0 when no proposals were tracked.
+func (r *Result) MatchConflictRate() float64 {
+	if r.MatchAttempts == 0 {
+		return 0
+	}
+	return float64(r.MatchConflicts) / float64(r.MatchAttempts)
 }
 
 // Partition divides g into k balanced parts minimizing edge cut, using
@@ -236,6 +276,7 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		if o.Threads > 0 {
 			co.CPUThreads = o.Threads
 		}
+		co.Tracer = o.Tracer
 		var r *core.Result
 		var err error
 		if o.Devices > 1 {
@@ -246,7 +287,8 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline,
+			MatchConflicts: r.MatchConflicts, MatchAttempts: r.MatchAttempts}, nil
 	case Metis:
 		mo := metis.DefaultOptions()
 		mo.Seed = seed
@@ -263,11 +305,25 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		if o.Threads > 0 {
 			mo.Threads = o.Threads
 		}
+		root := o.Tracer.Root("mtmetis.run", "host", 0,
+			obs.Int("vertices", int64(g.NumVertices())),
+			obs.Int("edges", int64(g.NumEdges())),
+			obs.Int("k", int64(k)))
+		mo.Trace = root
 		r, err := mtmetis.Partition(g, k, mo, m)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline}, nil
+		res := &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline,
+			MatchConflicts: r.MatchConflicts, MatchAttempts: r.MatchAttempts}
+		if root != nil {
+			root.Set(
+				obs.Int("edge_cut", int64(res.EdgeCut)),
+				obs.Float("modeled_seconds", res.ModeledSeconds),
+				obs.Float("conflict_rate", res.MatchConflictRate()))
+			root.EndAt(r.Timeline.Total())
+		}
+		return res, nil
 	case ParMetis:
 		po := parmetis.DefaultOptions()
 		po.Seed = seed

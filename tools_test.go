@@ -6,9 +6,13 @@ package gpmetis
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -83,6 +87,90 @@ func TestCommandLineWorkflow(t *testing.T) {
 		}
 	}
 
+	// Observability flags: -trace must produce a Chrome trace whose
+	// summed non-auxiliary leaf spans reconcile with the reported modeled
+	// seconds within 1%, -metrics a JSON report, -report a per-level table.
+	traceFile := filepath.Join(dir, "trace.json")
+	metricsFile := filepath.Join(dir, "metrics.json")
+	out, err = exec.Command(gpmetisBin, "-k", "8", "-algo", "gp",
+		"-trace", traceFile, "-metrics", metricsFile, "-report",
+		"-o", filepath.Join(dir, "g.traced.part"), graphFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gpmetis -trace: %v\n%s", err, out)
+	}
+	for _, want := range []string{"PHASE", "coarsen", "uncoarsen", "RATE%", "conflict_rate="} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-report output missing %q:\n%s", want, out)
+		}
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				Span   int64 `json:"span"`
+				Parent int64 `json:"parent"`
+				Aux    bool  `json:"aux"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("-trace wrote invalid JSON: %v", err)
+	}
+	hasChild := map[int64]bool{}
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "X" && e.Args.Parent != 0 {
+			hasChild[e.Args.Parent] = true
+		}
+	}
+	var leafSeconds float64
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "X" && !e.Args.Aux && !hasChild[e.Args.Span] {
+			leafSeconds += e.Dur / 1e6
+		}
+	}
+	modeledRe := regexp.MustCompile(`modeled=([0-9.]+)s`)
+	mMatch := modeledRe.FindStringSubmatch(string(out))
+	if mMatch == nil {
+		t.Fatalf("summary missing modeled seconds:\n%s", out)
+	}
+	modeled, err := strconv.ParseFloat(mMatch[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The printed value is rounded to 1 ms, so allow that on top of 1%.
+	if diff := math.Abs(leafSeconds - modeled); diff > 0.01*modeled+0.0005 {
+		t.Errorf("trace leaf sum %gs vs reported modeled %gs: off by %gs", leafSeconds, modeled, diff)
+	}
+
+	var metrics struct {
+		Counters         map[string]float64 `json:"counters"`
+		Spans            []json.RawMessage  `json:"spans"`
+		TraceLeafSeconds float64            `json:"trace_leaf_seconds"`
+		Extra            map[string]any     `json:"extra"`
+	}
+	data, err = os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("-metrics wrote invalid JSON: %v", err)
+	}
+	if len(metrics.Spans) == 0 || len(metrics.Counters) == 0 {
+		t.Error("-metrics report is empty")
+	}
+	if _, ok := metrics.Extra["edge_cut"]; !ok {
+		t.Error("-metrics report missing extra.edge_cut")
+	}
+	if rel := math.Abs(metrics.TraceLeafSeconds-leafSeconds) / leafSeconds; rel > 0.01 {
+		t.Errorf("metrics trace_leaf_seconds %g disagrees with trace %g", metrics.TraceLeafSeconds, leafSeconds)
+	}
+
 	// Invalid invocations must fail with a non-zero exit.
 	if err := exec.Command(gpmetisBin, "-algo", "bogus", graphFile).Run(); err == nil {
 		t.Error("unknown algorithm should fail")
@@ -101,8 +189,9 @@ func TestBenchCLISmoke(t *testing.T) {
 	}
 	dir := t.TempDir()
 	bench := buildTool(t, dir, "bench")
+	metricsDir := filepath.Join(dir, "metrics")
 	var stdout bytes.Buffer
-	cmd := exec.Command(bench, "-scale", "800", "-runs", "1", "-k", "16", "table1", "fig5")
+	cmd := exec.Command(bench, "-scale", "800", "-runs", "1", "-k", "16", "-metrics", metricsDir, "table1", "fig5")
 	cmd.Stdout = &stdout
 	if err := cmd.Run(); err != nil {
 		t.Fatalf("bench: %v\n%s", err, stdout.String())
@@ -110,6 +199,39 @@ func TestBenchCLISmoke(t *testing.T) {
 	for _, want := range []string{"TABLE I", "FIGURE 5", "GP-metis"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("bench output missing %q", want)
+		}
+	}
+	entries, err := os.ReadDir(metricsDir)
+	if err != nil {
+		t.Fatalf("bench -metrics wrote nothing: %v", err)
+	}
+	if len(entries) != 4 {
+		t.Errorf("bench -metrics wrote %d files, want 4 (one per input)", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "BENCH_") || !strings.HasSuffix(e.Name(), ".json") {
+			t.Errorf("unexpected metrics file %q", e.Name())
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(metricsDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bm struct {
+			Input   string `json:"input"`
+			Results map[string]struct {
+				ModeledSeconds float64 `json:"modeled_seconds"`
+				EdgeCut        int     `json:"edge_cut"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(data, &bm); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", e.Name(), err)
+		}
+		for _, algo := range []string{"metis", "parmetis", "mtmetis", "gpmetis"} {
+			r, ok := bm.Results[algo]
+			if !ok || r.ModeledSeconds <= 0 || r.EdgeCut <= 0 {
+				t.Errorf("%s: missing or empty result for %s", e.Name(), algo)
+			}
 		}
 	}
 	if err := exec.Command(bench, "nonsense-experiment").Run(); err == nil {
