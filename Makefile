@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test check vet race bench
+.PHONY: build test check vet race bench fuzz
 
 build:
 	$(GO) build ./...
@@ -11,14 +12,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the race detector over the packages the tracer threads through
-# (the tracer is the one shared mutable structure in an otherwise
-# deterministic pipeline).
+# race runs the race detector over every internal package: the tracer, the
+# simulated multi-GPU fleet, and the MPI abort path all thread goroutines
+# through shared structures.
 race:
-	$(GO) test -race ./internal/obs ./internal/core
+	$(GO) test -race ./internal/...
 
-# check is the PR gate: static analysis plus the race-sensitive packages.
+# check is the PR gate: static analysis plus the race detector.
 check: vet race
+
+# fuzz exercises the hardened graph readers for FUZZTIME per target.
+fuzz:
+	$(GO) test ./internal/graph/gio -run '^$$' -fuzz FuzzRead$$ -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph/gio -run '^$$' -fuzz FuzzReadGR$$ -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) run ./cmd/bench

@@ -8,12 +8,25 @@
 //	gpmetis -k 64 [-algo gp|metis|mt|par|ptscotch|gmetis|jostle|spectral] \
 //	        [-ub 1.03] [-seed 1] [-o out.part] \
 //	        [-trace trace.json] [-metrics metrics.json] [-report] \
+//	        [-faults scenario] [-faultseed n] [-verify] [-degrade=false] \
 //	        graph.metis|graph.gr
 //
 // -trace writes a Chrome trace_event JSON of the run's span tree over the
 // modeled clock (open in chrome://tracing or ui.perfetto.dev); -metrics
 // writes a flat JSON metrics report; -report prints a per-level table on
 // stderr. All three are available for the gp and mt algorithms.
+//
+// -faults injects deterministic failures into the modeled substrate; a
+// scenario is ';'-separated site:key=val[,key=val] entries, e.g.
+//
+//	gpmetis -k 64 -faults 'gpu.memcap:cap=64M;pcie.transfer:p=0.01' graph.metis
+//
+// Sites: gpu.alloc, gpu.memcap, gpu.kernel, pcie.transfer,
+// multigpu.device, mpi.rank, contract.hash. -faultseed seeds the fault
+// coins independently of -seed (default: same as -seed). -verify checks
+// partition and coarsening invariants at every level boundary. -degrade
+// (on by default) lets GP-metis fall back to the CPU pipeline when the
+// GPU fails; -degrade=false turns capacity faults into errors.
 package main
 
 import (
@@ -35,6 +48,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run (gp/mt)")
 	metricsOut := flag.String("metrics", "", "write a flat JSON metrics report (gp/mt)")
 	report := flag.Bool("report", false, "print a per-level table on stderr (gp/mt)")
+	faults := flag.String("faults", "", "fault scenario, e.g. 'gpu.memcap:cap=64M;pcie.transfer:p=0.01'")
+	faultSeed := flag.Int64("faultseed", 0, "seed for fault injection coins (default: -seed)")
+	verify := flag.Bool("verify", false, "check partition invariants at every level boundary (gp/mt)")
+	degrade := flag.Bool("degrade", true, "fall back to the CPU pipeline on GPU failure (gp)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -85,11 +102,22 @@ func main() {
 		tracer = gpmetis.NewTracer()
 	}
 
+	if *faultSeed == 0 {
+		*faultSeed = *seed
+	}
+	injector, err := gpmetis.ParseFaultScenario(*faultSeed, *faults)
+	if err != nil {
+		fail(err)
+	}
+
 	res, err := gpmetis.Partition(g, *k, gpmetis.Options{
 		Algorithm: a,
 		Seed:      *seed,
 		UBFactor:  *ub,
 		Tracer:    tracer,
+		Faults:    injector,
+		Degrade:   *degrade,
+		Verify:    *verify,
 	})
 	if err != nil {
 		fail(err)
@@ -139,6 +167,12 @@ func main() {
 		flag.Arg(0), a, *k, res.EdgeCut, gpmetis.Imbalance(g, res.Part, *k), res.ModeledSeconds)
 	if res.MatchAttempts > 0 {
 		summary += fmt.Sprintf(" conflict_rate=%.2f%%", 100*res.MatchConflictRate())
+	}
+	if len(res.FaultEvents) > 0 {
+		summary += fmt.Sprintf(" fault_events=%d", len(res.FaultEvents))
+	}
+	if res.Degraded {
+		summary += fmt.Sprintf(" DEGRADED(%s)", res.DegradedReason)
 	}
 	fmt.Fprintln(os.Stderr, summary)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gpmetis/internal/fault"
 	"gpmetis/internal/gpu"
 	"gpmetis/internal/graph"
 )
@@ -153,7 +154,10 @@ func cmapKernels(d *gpu.Device, o Options, match []int, matchArr gpu.Array) ([]i
 
 	// Kernel 2: inclusive prefix sum; the last element is the coarse
 	// vertex count.
-	coarseN := d.InclusiveScan("cmap.scan", pv, pvArr)
+	coarseN, err := d.InclusiveScan("cmap.scan", pv, pvArr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: cmap scan: %w", err)
+	}
 
 	// Kernel 3: subtract one to make the labels zero-based.
 	d.Launch("cmap.sub", T, func(c *gpu.Ctx) {
@@ -186,7 +190,11 @@ func cmapKernels(d *gpu.Device, o Options, match []int, matchArr gpu.Array) ([]i
 // arrays, each thread merges its pairs' lists there (by sort or hash
 // table), a second scan over the actual counts (temp2) carves the final
 // arrays, and a copy kernel compacts the rows into them.
-func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, coarseN int, matchArr, cmapArr gpu.Array) (*graph.Graph, error) {
+//
+// hashFellBack reports that the hash tables overflowed (or an injected
+// overflow fired) and this level fell back to sort-merge contraction —
+// same coarse graph, costed at sort-merge rates.
+func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, coarseN int, matchArr, cmapArr gpu.Array) (cg *graph.Graph, hashFellBack bool, err error) {
 	g := dg.g
 	n := g.NumVertices()
 	T := threadsFor(n, o.MaxThreads)
@@ -198,12 +206,12 @@ func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, c
 
 	tempArr, err := d.Malloc(T, 4)
 	if err != nil {
-		return nil, fmt.Errorf("core: temp array: %w", err)
+		return nil, false, fmt.Errorf("core: temp array: %w", err)
 	}
 	defer d.Free(tempArr)
 	temp2Arr, err := d.Malloc(T, 4)
 	if err != nil {
-		return nil, fmt.Errorf("core: temp2 array: %w", err)
+		return nil, false, fmt.Errorf("core: temp2 array: %w", err)
 	}
 	defer d.Free(temp2Arr)
 
@@ -233,18 +241,21 @@ func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, c
 
 	// Exclusive scan gives each thread its write offset in the temporary
 	// arrays; the returned total sizes them.
-	total := d.ExclusiveScan("contract.scan1", temp, tempArr)
+	total, err := d.ExclusiveScan("contract.scan1", temp, tempArr)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: contraction offsets: %w", err)
+	}
 	if total == 0 {
 		total = 1 // a fully collapsed level can have no surviving arcs
 	}
 	tAdjArr, err := d.Malloc(total, 4)
 	if err != nil {
-		return nil, fmt.Errorf("core: temporary adjacency (%d entries): %w", total, err)
+		return nil, false, fmt.Errorf("core: temporary adjacency (%d entries): %w", total, err)
 	}
 	defer d.Free(tAdjArr)
 	tWgtArr, err := d.Malloc(total, 4)
 	if err != nil {
-		return nil, fmt.Errorf("core: temporary weights: %w", err)
+		return nil, false, fmt.Errorf("core: temporary weights: %w", err)
 	}
 	defer d.Free(tWgtArr)
 
@@ -253,11 +264,26 @@ func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, c
 		// The per-thread clustered hash tables live in global memory;
 		// their total size matches the temporary adjacency space. This is
 		// the allocation that limits the hash strategy to sparse graphs.
-		hashArr, err = d.Malloc(2*total, 4)
-		if err != nil {
-			return nil, fmt.Errorf("core: hash tables (graph too dense for hash merge; use SortMerge): %w", err)
+		overflow := d.Faults().Check(fault.SiteHashOverflow) != nil
+		if !overflow {
+			hashArr, err = d.Malloc(2*total, 4)
+			if err != nil {
+				if !o.Degrade {
+					return nil, false, fmt.Errorf("core: hash tables (graph too dense for hash merge; use SortMerge): %w", err)
+				}
+				overflow = true
+			}
 		}
-		defer d.Free(hashArr)
+		if overflow {
+			// Resilience ladder, lowest rung: this level's contraction
+			// falls back to sort-merge, which needs no table allocation.
+			// Not a degradation of quality — the coarse graph is
+			// identical — only of modeled merge speed.
+			o.Merge = SortMerge
+			hashFellBack = true
+		} else {
+			defer d.Free(hashArr)
+		}
 	}
 
 	tAdj := make([]int, total)
@@ -266,12 +292,12 @@ func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, c
 	cdeg := make([]int, coarseN)
 	cvwgtArr, err := d.Malloc(coarseN, 4)
 	if err != nil {
-		return nil, fmt.Errorf("core: coarse vertex weights: %w", err)
+		return nil, hashFellBack, fmt.Errorf("core: coarse vertex weights: %w", err)
 	}
 	defer d.Free(cvwgtArr)
 	cdegArr, err := d.Malloc(coarseN, 4)
 	if err != nil {
-		return nil, fmt.Errorf("core: coarse degrees: %w", err)
+		return nil, hashFellBack, fmt.Errorf("core: coarse degrees: %w", err)
 	}
 	// cdegArr doubles as the coarse xadj after the final scan; freed below.
 	defer d.Free(cdegArr)
@@ -300,25 +326,30 @@ func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, c
 	})
 
 	// Second scan over the actual counts gives the final write offsets.
-	finalTotal := d.ExclusiveScan("contract.scan2", temp2, temp2Arr)
+	finalTotal, err := d.ExclusiveScan("contract.scan2", temp2, temp2Arr)
+	if err != nil {
+		return nil, hashFellBack, fmt.Errorf("core: final offsets: %w", err)
+	}
 
 	// Coarse xadj from the per-row degrees (one more device scan).
 	cxadj := make([]int, coarseN+1)
 	scanBuf := make([]int, coarseN)
 	copy(scanBuf, cdeg)
-	d.InclusiveScan("contract.xadjscan", scanBuf, cdegArr)
+	if _, err := d.InclusiveScan("contract.xadjscan", scanBuf, cdegArr); err != nil {
+		return nil, hashFellBack, fmt.Errorf("core: coarse xadj scan: %w", err)
+	}
 	copy(cxadj[1:], scanBuf)
 
 	cadjncy := make([]int, finalTotal)
 	cadjwgt := make([]int, finalTotal)
 	cAdjArr, err := d.Malloc(finalTotal, 4)
 	if err != nil {
-		return nil, fmt.Errorf("core: coarse adjacency: %w", err)
+		return nil, hashFellBack, fmt.Errorf("core: coarse adjacency: %w", err)
 	}
 	cWgtArr, err := d.Malloc(finalTotal, 4)
 	if err != nil {
 		d.Free(cAdjArr)
-		return nil, fmt.Errorf("core: coarse weights: %w", err)
+		return nil, hashFellBack, fmt.Errorf("core: coarse weights: %w", err)
 	}
 
 	// Copy kernel: compact each thread's rows from the temporary arrays
@@ -352,8 +383,8 @@ func contractKernels(d *gpu.Device, dg devGraph, o Options, match, cmap []int, c
 	d.Free(cAdjArr)
 	d.Free(cWgtArr)
 
-	cg := &graph.Graph{XAdj: cxadj, Adjncy: cadjncy, AdjWgt: cadjwgt, VWgt: cvwgt}
-	return cg, nil
+	cg = &graph.Graph{XAdj: cxadj, Adjncy: cadjncy, AdjWgt: cadjwgt, VWgt: cvwgt}
+	return cg, hashFellBack, nil
 }
 
 // mergeRow merges the adjacency lists of the pair (v,u) into

@@ -115,7 +115,7 @@ func TestContractKernelsMatchSerialContraction(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cg, err := contractKernels(d, dg, o, match, cmap, coarseN, matchArr, cmapArr)
+			cg, _, err := contractKernels(d, dg, o, match, cmap, coarseN, matchArr, cmapArr)
 			if err != nil {
 				t.Fatal(err)
 			}

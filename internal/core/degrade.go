@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gpmetis/internal/fault"
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/mtmetis"
+	"gpmetis/internal/obs"
+	"gpmetis/internal/perfmodel"
+)
+
+// This file implements the degradation ladder (DESIGN.md §8): what the
+// pipeline does when a GPU stage fails instead of returning the error.
+//
+//	hash overflow      -> sort-merge contraction for that level (coarsen.go)
+//	OOM in coarsening  -> mt-metis from the current level, CPU projection back
+//	device death       -> mt-metis restart on the original graph
+//	OOM in uncoarsening-> CPU projection + refinement from the current level
+//
+// Every rung leaves the modeled time of the wasted GPU work on the
+// timeline: resilience is visible, not free.
+
+// isCapacity reports whether err is device-memory pressure — a real
+// capacity overflow or an injected allocation failure. Capacity errors
+// are the retryable-via-degradation class; everything else (usage
+// errors, verification failures) is not.
+func isCapacity(err error) bool { return errors.Is(err, gpu.ErrDeviceMemory) }
+
+// isDeviceLost reports whether err carries a modeled device death.
+func isDeviceLost(err error) bool {
+	var dl *fault.DeviceLost
+	return errors.As(err, &dl)
+}
+
+// faultSite extracts the injected-fault site from err; real capacity
+// failures report as the allocation site.
+func faultSite(err error) fault.Site {
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		return fe.Site
+	}
+	return fault.SiteGPUAlloc
+}
+
+// absorbCoarsenFault handles an error out of the GPU coarsening stage.
+// It returns nil when the fault was absorbed (r.part then holds a final
+// partition and the caller proceeds to finish), or the error to fail
+// the run with.
+func (r *run) absorbCoarsenFault(err error) error {
+	lost := isDeviceLost(err)
+	if !lost && !isCapacity(err) {
+		return err // usage, internal, or verification error: not absorbable
+	}
+	if !r.o.Degrade {
+		if lost {
+			return err
+		}
+		return fmt.Errorf("%w: %w", ErrGraphTooLarge, err)
+	}
+	lvl := len(r.levels)
+	r.res.Degraded = true
+	if lost {
+		r.res.DegradedReason = fmt.Sprintf("device-lost@coarsen.L%d", lvl)
+		r.event(faultSite(err), "restart-cpu", lvl, err.Error())
+		return r.restartCPU()
+	}
+	r.res.DegradedReason = fmt.Sprintf("gpu-oom@coarsen.L%d", lvl)
+	r.event(faultSite(err), "degrade-cpu", lvl, err.Error())
+
+	// Nothing usable coarsened yet (the upload itself overflowed, or the
+	// coarse graph is already below k): restart from the original graph.
+	if r.cur.g == nil || r.cur.g.NumVertices() < r.k {
+		return r.restartCPU()
+	}
+	// Device alive under memory pressure: rescue the coarsest graph to
+	// the host and resume the pipeline from this level on the CPU. The
+	// rescue transfer itself can kill a flaky device — then restart.
+	if rerr := r.guard(func() error {
+		r.d.ToHost("d2h.rescue", r.cur.g.Bytes())
+		return nil
+	}); rerr != nil {
+		r.event(faultSite(rerr), "restart-cpu", lvl, rerr.Error())
+		return r.restartCPU()
+	}
+	span := r.sink.Begin("cpu.degrade", r.res.Timeline.Total(),
+		obs.Str("side", "cpu"), obs.Str("reason", r.res.DegradedReason))
+	mtRes, merr := mtmetis.Partition(r.cur.g, r.k, r.mtOptions(span), r.m)
+	if merr != nil {
+		return fmt.Errorf("core: degraded CPU phase: %w", merr)
+	}
+	r.res.Timeline.Merge(&mtRes.Timeline)
+	r.res.CPULevels = mtRes.Levels
+	r.res.MatchConflicts += mtRes.MatchConflicts
+	r.res.MatchAttempts += mtRes.MatchAttempts
+	r.part = mtRes.Part
+	r.pl = len(r.levels)
+	r.sink.End(span, r.res.Timeline.Total(), obs.Int("levels", int64(mtRes.Levels)))
+	return r.cpuFinish()
+}
+
+// absorbUncoarsenFault handles an error out of the GPU uncoarsening
+// stage: the partition vector for the current level lives on the host
+// (it is projected there level by level), so the CPU finishes the
+// remaining projections and refinements from where the GPU stopped.
+func (r *run) absorbUncoarsenFault(err error) error {
+	lost := isDeviceLost(err)
+	if !lost && !isCapacity(err) {
+		return err
+	}
+	if !r.o.Degrade {
+		if lost {
+			return err
+		}
+		return fmt.Errorf("%w: %w", ErrGraphTooLarge, err)
+	}
+	r.res.Degraded = true
+	kind := "gpu-oom"
+	if lost {
+		kind = "device-lost"
+	}
+	r.res.DegradedReason = fmt.Sprintf("%s@uncoarsen.L%d", kind, r.pl)
+	r.event(faultSite(err), "degrade-cpu", r.pl, err.Error())
+	if !lost {
+		// Rescue the current partition vector from the live device; a
+		// dead device costs nothing more — the host mirror is current.
+		_ = r.guard(func() error {
+			r.d.ToHost("d2h.rescue", int64(4*len(r.part)))
+			return nil
+		})
+	}
+	return r.cpuFinish()
+}
+
+// restartCPU reruns the whole partitioning on the CPU pipeline from the
+// original graph. The modeled time already spent on the GPU stays on the
+// timeline, so the degraded run's reported cost includes the waste.
+func (r *run) restartCPU() error {
+	span := r.sink.Begin("cpu.restart", r.res.Timeline.Total(),
+		obs.Str("side", "cpu"), obs.Str("reason", r.res.DegradedReason))
+	mtRes, err := mtmetis.Partition(r.g, r.k, r.mtOptions(span), r.m)
+	if err != nil {
+		return fmt.Errorf("core: degraded CPU restart: %w", err)
+	}
+	r.res.Timeline.Merge(&mtRes.Timeline)
+	r.res.CPULevels = mtRes.Levels
+	r.res.MatchConflicts += mtRes.MatchConflicts
+	r.res.MatchAttempts += mtRes.MatchAttempts
+	r.part = mtRes.Part
+	r.pl = 0 // the partition is already on the finest graph
+	r.sink.End(span, r.res.Timeline.Total(), obs.Int("levels", int64(mtRes.Levels)))
+	return nil
+}
+
+// cpuFinish projects and refines the partition down the remaining GPU
+// levels on the CPU, using the host mirrors of the per-level graphs and
+// cmap arrays the pipeline kept for projection.
+func (r *run) cpuFinish() error {
+	mtO := r.mtOptions(nil)
+	for i := r.pl - 1; i >= 0; i-- {
+		lvl := r.levels[i]
+		cpart := r.part
+		r.part = cpuProject(lvl.cmap, cpart, r.o.CPUThreads, r.m, &r.res.Timeline)
+		if r.o.Verify {
+			if verr := graph.VerifyProjection(lvl.fine.g, lvl.coarse.g, lvl.cmap, r.part, cpart); verr != nil {
+				return fmt.Errorf("core: degraded uncoarsen level %d: %w", i, verr)
+			}
+		}
+		mtmetis.Refine(lvl.fine.g, r.part, r.k, mtO, r.m, &r.res.Timeline)
+		r.pl = i
+	}
+	return nil
+}
+
+// cpuProject transfers the coarse partition to the finer graph with the
+// fine vertices divided among the CPU threads, costed identically to
+// mt-metis's parallel projection.
+func cpuProject(cmap, coarsePart []int, threads int, m *perfmodel.Machine, tl *perfmodel.Timeline) []int {
+	n := len(cmap)
+	part := make([]int, n)
+	costs := make([]perfmodel.ThreadCost, threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		for v := lo; v < hi; v++ {
+			part[v] = coarsePart[cmap[v]]
+		}
+		costs[t].Ops += float64(hi - lo)
+		costs[t].Rand += float64(hi - lo)
+	}
+	tl.Append("degrade.project", perfmodel.LocCPU, m.CPUPhaseSeconds(costs))
+	return part
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gpmetis/internal/fault"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/mpi"
+	"gpmetis/internal/perfmodel"
+)
+
+// faultOpts arms a scenario on top of smallOpts with degradation enabled.
+func faultOpts(t *testing.T, spec string) Options {
+	t.Helper()
+	o := smallOpts()
+	inj, err := fault.Parse(11, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Faults = inj
+	o.Degrade = true
+	return o
+}
+
+// checkValid fails the test unless part is a legal k-way partition of g
+// whose reported cut matches a recomputation and whose balance respects
+// ubfactor.
+func checkValid(t *testing.T, g *graph.Graph, res *Result, k int, ubfactor float64) {
+	t.Helper()
+	if err := graph.CheckPartition(g, res.Part, k); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	if cut := graph.EdgeCut(g, res.Part); cut != res.EdgeCut {
+		t.Fatalf("reported cut %d, recomputed %d", res.EdgeCut, cut)
+	}
+	if imb := graph.Imbalance(g, res.Part, k); imb > ubfactor+0.01 {
+		t.Errorf("imbalance %.4f exceeds %.2f", imb, ubfactor)
+	}
+}
+
+func TestMemCapDegradesToCPU(t *testing.T) {
+	g, err := gen.Delaunay(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := faultOpts(t, "gpu.memcap:cap=300K")
+	res, err := Partition(g, 16, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.DegradedReason == "" {
+		t.Fatalf("capped device must degrade, got Degraded=%v reason=%q", res.Degraded, res.DegradedReason)
+	}
+	if len(res.Events) == 0 {
+		t.Error("degradation must be recorded as a fault event")
+	}
+	checkValid(t, g, res, 16, o.UBFactor)
+}
+
+func TestMemCapWithoutDegradeIsCapacityError(t *testing.T) {
+	g, err := gen.Delaunay(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := faultOpts(t, "gpu.memcap:cap=300K")
+	o.Degrade = false
+	_, err = Partition(g, 16, o, machine())
+	if !errors.Is(err, ErrGraphTooLarge) {
+		t.Fatalf("want ErrGraphTooLarge, got %v", err)
+	}
+}
+
+func TestKernelDeathRestartsOnCPU(t *testing.T) {
+	g, err := gen.Delaunay(15000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p=1 exhausts the retry budget on the first launch: device lost.
+	o := faultOpts(t, "gpu.kernel:p=1")
+	res, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("a dead device must degrade the run")
+	}
+	checkValid(t, g, res, 8, o.UBFactor)
+
+	// The same scenario without Degrade is an error, not a panic.
+	o2 := faultOpts(t, "gpu.kernel:p=1")
+	o2.Degrade = false
+	if _, err := Partition(g, 8, o2, machine()); err == nil {
+		t.Fatal("device death with Degrade off must fail the run")
+	}
+}
+
+func TestLateDeviceDeathDegradesMidPipeline(t *testing.T) {
+	g, err := gen.Delaunay(15000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the pipeline run for a while, then kill every launch: wherever
+	// evaluation 61 lands (coarsening or uncoarsening), the run must
+	// still finish on the CPU with a valid partition.
+	o := faultOpts(t, "gpu.kernel:p=1,after=60")
+	res, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("late device death must degrade the run")
+	}
+	checkValid(t, g, res, 8, o.UBFactor)
+}
+
+func TestTransientTransferFaultRetriesAndMatches(t *testing.T) {
+	g, err := gen.Delaunay(12000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Partition(g, 8, smallOpts(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transfer hiccup, retried in place: identical partition, larger
+	// modeled time (the retry and its backoff are charged).
+	o := faultOpts(t, "pcie.transfer:at=2")
+	res, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatal("a retried transient fault must not degrade the run")
+	}
+	for i, p := range base.Part {
+		if res.Part[i] != p {
+			t.Fatalf("partition diverged at vertex %d after a retried fault", i)
+		}
+	}
+	if res.ModeledSeconds() <= base.ModeledSeconds() {
+		t.Errorf("retries must cost modeled time: %.9f <= %.9f",
+			res.ModeledSeconds(), base.ModeledSeconds())
+	}
+}
+
+func TestHashOverflowFallsBackToSortMerge(t *testing.T) {
+	g, err := gen.Delaunay(12000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := faultOpts(t, "contract.hash:at=1")
+	res, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatal("hash overflow is absorbed per level, not a degradation")
+	}
+	found := false
+	for _, e := range res.Events {
+		if e.Site == fault.SiteHashOverflow && e.Action == "hash-to-sort" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a hash-to-sort event, got %v", res.Events)
+	}
+	checkValid(t, g, res, 8, o.UBFactor)
+}
+
+// TestFaultScenariosDeterministic pins the acceptance criterion: for each
+// scenario, two runs with the same graph seed and fault seed produce the
+// same partition, the same modeled time, and the same event sequence.
+func TestFaultScenariosDeterministic(t *testing.T) {
+	g, err := gen.Delaunay(15000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []string{
+		"",
+		"gpu.memcap:cap=300K",
+		"gpu.kernel:p=1",
+		"pcie.transfer:p=0.05",
+		"contract.hash:at=1",
+		"gpu.kernel:p=0.02;pcie.transfer:p=0.02",
+	}
+	for _, spec := range scenarios {
+		run := func() *Result {
+			o := faultOpts(t, spec)
+			res, err := Partition(g, 12, o, machine())
+			if err != nil {
+				t.Fatalf("scenario %q: %v", spec, err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if a.ModeledSeconds() != b.ModeledSeconds() {
+			t.Errorf("scenario %q: modeled time differs: %v vs %v",
+				spec, a.ModeledSeconds(), b.ModeledSeconds())
+		}
+		if a.Degraded != b.Degraded || a.DegradedReason != b.DegradedReason {
+			t.Errorf("scenario %q: degradation differs", spec)
+		}
+		if len(a.Events) != len(b.Events) {
+			t.Errorf("scenario %q: event counts differ: %d vs %d", spec, len(a.Events), len(b.Events))
+		}
+		for i := range a.Part {
+			if a.Part[i] != b.Part[i] {
+				t.Errorf("scenario %q: partition differs at vertex %d", spec, i)
+				break
+			}
+		}
+	}
+}
+
+// TestVerifyModeZeroModeledOverhead checks that paranoid verification
+// changes neither the partition nor the modeled clock of a healthy run.
+func TestVerifyModeZeroModeledOverhead(t *testing.T) {
+	g, err := gen.Delaunay(12000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Partition(g, 8, smallOpts(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	o.Verify = true
+	checked, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatalf("verification must pass on a healthy run: %v", err)
+	}
+	if plain.ModeledSeconds() != checked.ModeledSeconds() {
+		t.Errorf("Verify changed the modeled clock: %v vs %v",
+			plain.ModeledSeconds(), checked.ModeledSeconds())
+	}
+	for i := range plain.Part {
+		if plain.Part[i] != checked.Part[i] {
+			t.Fatalf("Verify changed the partition at vertex %d", i)
+		}
+	}
+}
+
+func TestSentinelErrorsDistinguishable(t *testing.T) {
+	g, err := gen.Grid2D(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	if _, err := Partition(g, 0, DefaultOptions(), m); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: want ErrBadK, got %v", err)
+	}
+	if _, err := Partition(g, 100, DefaultOptions(), m); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n: want ErrBadK, got %v", err)
+	}
+	bad := DefaultOptions()
+	bad.UBFactor = 0.5
+	if _, err := Partition(g, 2, bad, m); !errors.Is(err, ErrBadImbalance) {
+		t.Errorf("UBFactor<1: want ErrBadImbalance, got %v", err)
+	}
+	empty := &graph.Graph{XAdj: []int{0}}
+	if _, err := Partition(empty, 1, DefaultOptions(), m); !errors.Is(err, ErrEmptyGraph) {
+		t.Errorf("empty graph: want ErrEmptyGraph, got %v", err)
+	}
+	bad2 := DefaultOptions()
+	bad2.CoarsenTo = 0
+	if _, err := Partition(g, 2, bad2, m); !errors.Is(err, ErrBadOption) {
+		t.Errorf("CoarsenTo=0: want ErrBadOption, got %v", err)
+	}
+	// Real capacity overflow (no injection) is also typed when Degrade is
+	// off.
+	big, err := gen.Grid2D(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := machine()
+	tiny.GPU.GlobalMemBytes = 1024
+	if _, err := Partition(big, 4, smallOpts(), tiny); !errors.Is(err, ErrGraphTooLarge) {
+		t.Errorf("1KB device: want ErrGraphTooLarge, got %v", err)
+	}
+}
+
+// TestRealOOMDegradesWhenEnabled covers genuine (non-injected) memory
+// pressure: a device too small for the graph completes on the CPU when
+// degradation is on.
+func TestRealOOMDegradesWhenEnabled(t *testing.T) {
+	g, err := gen.Grid2D(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	m.GPU.GlobalMemBytes = 64 * 1024
+	o := smallOpts()
+	o.Degrade = true
+	res, err := Partition(g, 4, o, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("a 64KB device must degrade for a 100x100 grid")
+	}
+	checkValid(t, g, res, 4, o.UBFactor)
+}
+
+func TestMultiGPUDeviceLossRedistributes(t *testing.T) {
+	g, err := gen.HugeBubble(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	m.GPU.GlobalMemBytes = 1 << 22 // 4 MB: forces real multi-GPU sharding
+	base, err := PartitionMulti(g, 16, 4, smallOpts(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := faultOpts(t, "multigpu.device:at=1")
+	res, err := PartitionMulti(g, 16, 4, o, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("shard redistribution is not a CPU degradation")
+	}
+	redistributed := false
+	for _, e := range res.Events {
+		if e.Site == fault.SiteDevice && e.Action == "redistribute" {
+			redistributed = true
+		}
+	}
+	if !redistributed {
+		t.Fatalf("expected a redistribute event, got %v", res.Events)
+	}
+	// The shards are accounting state, not algorithm state: survivors
+	// compute the identical partition, at a higher modeled cost.
+	for i := range base.Part {
+		if res.Part[i] != base.Part[i] {
+			t.Fatalf("device loss changed the partition at vertex %d", i)
+		}
+	}
+	if res.ModeledSeconds() <= base.ModeledSeconds() {
+		t.Errorf("redistribution must cost modeled time: %.9f <= %.9f",
+			res.ModeledSeconds(), base.ModeledSeconds())
+	}
+	checkValid(t, g, res, 16, o.UBFactor)
+}
+
+func TestMultiGPUAllDevicesLostFails(t *testing.T) {
+	g, err := gen.HugeBubble(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine()
+	m.GPU.GlobalMemBytes = 1 << 22
+	o := faultOpts(t, "multigpu.device:p=1")
+	if _, err := PartitionMulti(g, 16, 3, o, m); err == nil {
+		t.Fatal("losing every device must fail the run")
+	}
+}
+
+func TestMultiGPUSurvivorsTooSmallIsCapacityError(t *testing.T) {
+	g, err := gen.HugeBubble(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size the device memory so 1/2 of the finest graph's shard arrays
+	// fit but the 1/1 re-shard after a loss does not.
+	n, arcs := g.NumVertices(), len(g.Adjncy)
+	need := func(devices int) int64 {
+		span := int64(n/devices + 1)
+		a := int64(arcs/devices + 1)
+		return 4 * (span + 1 + a + 3*span)
+	}
+	m := machine()
+	m.GPU.GlobalMemBytes = need(2) + need(2)/4
+	if m.GPU.GlobalMemBytes >= need(1) {
+		t.Fatalf("bad test sizing: %d >= %d", m.GPU.GlobalMemBytes, need(1))
+	}
+	o := faultOpts(t, "multigpu.device:at=1")
+	_, err = PartitionMulti(g, 16, 2, o, m)
+	if !errors.Is(err, ErrGraphTooLarge) {
+		t.Fatalf("want ErrGraphTooLarge when survivors cannot hold the graph, got %v", err)
+	}
+}
+
+func TestMPIRankFailureAborts(t *testing.T) {
+	inj := fault.New(3)
+	inj.Arm(fault.SiteMPIRank, fault.Rule{At: 3})
+	ran := 0
+	_, err := mpi.RunInjected(machine(), 4, inj, func(r *mpi.Rank) {
+		r.Barrier()
+		ran++
+	})
+	if !errors.Is(err, mpi.ErrRankFailure) {
+		t.Fatalf("want ErrRankFailure, got %v", err)
+	}
+	// Determinism: the same injector seed kills the same rank again.
+	inj2 := fault.New(3)
+	inj2.Arm(fault.SiteMPIRank, fault.Rule{At: 3})
+	_, err2 := mpi.RunInjected(machine(), 4, inj2, func(r *mpi.Rank) { r.Barrier() })
+	if err2 == nil || err.Error() != err2.Error() {
+		t.Fatalf("rank failure not deterministic: %v vs %v", err, err2)
+	}
+}
+
+// TestNoInjectorZeroOverhead pins the nil-safe contract: a run with no
+// injector and no verifier is bit-identical in partition and modeled time
+// to the baseline (the fault hooks must not perturb the cost model).
+func TestNoInjectorZeroOverhead(t *testing.T) {
+	g, err := gen.Delaunay(10000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Partition(g, 8, smallOpts(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	o.Faults = nil
+	o.Retry = fault.DefaultRetryPolicy() // ignored without an injector
+	b, err := Partition(g, 8, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ModeledSeconds() != b.ModeledSeconds() {
+		t.Errorf("nil injector changed the modeled clock: %v vs %v",
+			a.ModeledSeconds(), b.ModeledSeconds())
+	}
+	for i := range a.Part {
+		if a.Part[i] != b.Part[i] {
+			t.Fatalf("nil injector changed the partition at vertex %d", i)
+		}
+	}
+	if len(b.Events) != 0 {
+		t.Errorf("no injector, but %d events recorded", len(b.Events))
+	}
+}
+
+var _ = perfmodel.Default // keep the import used if helpers move

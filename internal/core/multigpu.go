@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gpmetis/internal/fault"
 	"gpmetis/internal/gpu"
 	"gpmetis/internal/graph"
 	"gpmetis/internal/metis"
@@ -71,10 +72,18 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 			devs[d].SetTraceSink(obs.NewTimelineSink(devRoots[d], 0))
 		}
 	}
+	// live holds the original indices of the devices still in service;
+	// injected device failures (fault.SiteDevice) remove entries. The
+	// original devs/tls/devRoots stay around for final stats — work a
+	// device did before dying is real and is reported.
+	live := make([]int, devices)
+	for d := range live {
+		live[d] = d
+	}
 	marks := make([]float64, devices)
 	phase := func(name string) {
 		var maxDelta float64
-		for d := range devs {
+		for _, d := range live {
 			delta := tls[d].Total() - marks[d]
 			marks[d] = tls[d].Total()
 			if delta > maxDelta {
@@ -83,12 +92,27 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 		}
 		res.Timeline.Append(name, perfmodel.LocGPU, maxDelta)
 	}
+	event := func(site fault.Site, action string, lvl int, detail string) {
+		now := res.Timeline.Total()
+		res.Events = append(res.Events, FaultEvent{
+			Site: site, Action: action, Level: lvl, Seconds: now, Detail: detail,
+		})
+		met.Add("fault.events", 1)
+		met.Add("fault."+action, 1)
+		if sink != nil {
+			sink.Leaf("fault."+action, now, 0,
+				obs.Str("site", string(site)),
+				obs.Int("level", int64(lvl)),
+				obs.Str("detail", detail))
+		}
+	}
 
 	// A shard must fit on its device; the whole point is that the full
 	// graph need not.
 	shardBytes := g.Bytes()/int64(devices) + 1
 	if shardBytes > m.GPU.GlobalMemBytes {
-		return nil, fmt.Errorf("core: even 1/%d shards (%d bytes) exceed device memory", devices, shardBytes)
+		return nil, fmt.Errorf("core: even 1/%d shards (%d bytes) exceed device memory: %w",
+			devices, shardBytes, ErrGraphTooLarge)
 	}
 
 	type mgLevel struct {
@@ -104,7 +128,7 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	for d := range devs {
 		a, err := newShardArrs(devs[d], g, devices)
 		if err != nil {
-			return nil, fmt.Errorf("core: shard arrays on device %d: %w", d, err)
+			return nil, fmt.Errorf("core: shard arrays on device %d: %w: %w", d, ErrGraphTooLarge, err)
 		}
 		shards[d] = a
 	}
@@ -113,6 +137,59 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 		devs[d].ToDevice("mg.h2d.shard", shardBytes)
 	}
 	phase("mg.upload")
+
+	// lose evaluates the device-failure site once per live device. On a
+	// hit the device drops out and its shard of gr is redistributed over
+	// the survivors: their accounting arrays are re-allocated for the
+	// wider span and the re-upload is charged as PCIe traffic. Losing the
+	// last device, or survivors that cannot hold the wider shards, fails
+	// the run with a typed capacity error.
+	lose := func(gr *graph.Graph, lvl int) error {
+		if o.Faults == nil {
+			return nil
+		}
+		for li := 0; li < len(live); {
+			id := live[li]
+			fe := o.Faults.Check(fault.SiteDevice)
+			if fe == nil {
+				li++
+				continue
+			}
+			if len(live) == 1 {
+				return fmt.Errorf("core: device %d lost with no survivors: %w", id, fe)
+			}
+			live = append(live[:li], live[li+1:]...)
+			event(fault.SiteDevice, "redistribute", lvl, fmt.Sprintf(
+				"device %d lost; resharding %d vertices over %d survivors",
+				id, gr.NumVertices(), len(live)))
+			for _, sd := range live {
+				shards[sd].free(devs[sd])
+			}
+			span := gr.Bytes()/int64(len(live)) + 1
+			for _, sd := range live {
+				a, aerr := newShardArrs(devs[sd], gr, len(live))
+				if aerr != nil {
+					return fmt.Errorf("core: 1/%d shards after losing device %d: %w: %w",
+						len(live), id, ErrGraphTooLarge, aerr)
+				}
+				shards[sd] = a
+				devs[sd].ToDevice("mg.h2d.redistribute", span)
+			}
+			phase("mg.redistribute")
+		}
+		return nil
+	}
+	// fleet compacts the per-device state to the survivors; the multi-GPU
+	// helpers shard work as d*n/len(devs), so a shorter slice is all the
+	// redistribution they need to see.
+	fleet := func() ([]*gpu.Device, []shardArrs) {
+		dl := make([]*gpu.Device, len(live))
+		sl := make([]shardArrs, len(live))
+		for i, d := range live {
+			dl[i], sl[i] = devs[d], shards[d]
+		}
+		return dl, sl
+	}
 
 	singleFits := func(gr *graph.Graph) bool {
 		// The single-GPU pipeline keeps every level's arrays alive for
@@ -123,6 +200,10 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 
 	target := o.CoarsenTo * k
 	for !singleFits(cur) {
+		if err := lose(cur, len(levels)); err != nil {
+			return nil, err
+		}
+		dl, sl := fleet()
 		n := cur.NumVertices()
 		lvlSpan := sink.Begin(obs.SpanCoarsenLevel, res.Timeline.Total(),
 			obs.Str("side", "multigpu"),
@@ -136,16 +217,16 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 		if n <= target {
 			cap = 0
 		}
-		match, conflicts, attempts := multiMatch(devs, shards, cur, o, cap, devices)
+		match, conflicts, attempts := multiMatch(dl, sl, cur, o, cap, len(live))
 		res.MatchConflicts += conflicts
 		res.MatchAttempts += attempts
 		met.Add("match.conflicts", float64(conflicts))
 		met.Add("match.attempts", float64(attempts))
 		phase("mg.match")
 		// Host resolves and redistributes the match vector.
-		for d := range devs {
-			devs[d].ToHost("mg.d2h.match", int64(4*n/devices))
-			devs[d].ToDevice("mg.h2d.match", int64(4*n/devices))
+		for _, d := range live {
+			devs[d].ToHost("mg.d2h.match", int64(4*n/len(live)))
+			devs[d].ToDevice("mg.h2d.match", int64(4*n/len(live)))
 		}
 		phase("mg.exchange")
 
@@ -155,14 +236,19 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 		if float64(coarseN) > 0.95*float64(n) {
 			return nil, fmt.Errorf("core: multi-GPU coarsening stalled at %d vertices (%d bytes) before fitting one device", n, cur.Bytes())
 		}
-		cg := multiContract(devs, shards, cur, o, match, cmap, coarseN, devices)
+		cg := multiContract(dl, sl, cur, o, match, cmap, coarseN, len(live))
 		phase("mg.contract")
 		// Host assembles and re-shards the coarse graph.
-		for d := range devs {
-			devs[d].ToHost("mg.d2h.coarse", cg.Bytes()/int64(devices))
-			devs[d].ToDevice("mg.h2d.coarse", cg.Bytes()/int64(devices))
+		for _, d := range live {
+			devs[d].ToHost("mg.d2h.coarse", cg.Bytes()/int64(len(live)))
+			devs[d].ToDevice("mg.h2d.coarse", cg.Bytes()/int64(len(live)))
 		}
 		phase("mg.reshard")
+		if o.Verify {
+			if verr := graph.VerifyCoarsening(cur, cg, cmap); verr != nil {
+				return nil, fmt.Errorf("core: multi-GPU coarsen level %d: %w", len(levels), verr)
+			}
+		}
 		var rate float64
 		if attempts > 0 {
 			rate = float64(conflicts) / float64(attempts)
@@ -181,11 +267,18 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	res.GPULevels = len(levels)
 
 	// --- Single-GPU pipeline from here down ---
-	sub, err := partitionRun(cur, k, o, m, root, res.Timeline.Total())
+	subOff := res.Timeline.Total()
+	sub, err := partitionRun(cur, k, o, m, root, subOff)
 	if err != nil {
 		return nil, fmt.Errorf("core: single-GPU stage: %w", err)
 	}
 	res.Timeline.Merge(&sub.Timeline)
+	res.Degraded = sub.Degraded
+	res.DegradedReason = sub.DegradedReason
+	for _, e := range sub.Events {
+		e.Seconds += subOff
+		res.Events = append(res.Events, e)
+	}
 	res.CPULevels = sub.CPULevels
 	res.MatchConflicts += sub.MatchConflicts
 	res.MatchAttempts += sub.MatchAttempts
@@ -194,6 +287,10 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	// --- Multi-GPU projection + refinement back to the input ---
 	for i := len(levels) - 1; i >= 0; i-- {
 		lvl := levels[i]
+		if err := lose(lvl.fine, i); err != nil {
+			return nil, err
+		}
+		dl, sl := fleet()
 		n := lvl.fine.NumVertices()
 		lvlSpan := sink.Begin(obs.SpanUncoarsenLevel, res.Timeline.Total(),
 			obs.Str("side", "multigpu"),
@@ -201,27 +298,35 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 			obs.Int("vertices", int64(n)),
 			obs.Int("edges", int64(lvl.fine.NumEdges())))
 		fine := make([]int, n)
-		for d := 0; d < devices; d++ {
-			dd := d
-			lo, hi := d*n/devices, (d+1)*n/devices
-			sa := shards[dd]
-			devs[dd].Launch("mg.project", threadsFor(hi-lo, o.MaxThreads), func(c *gpu.Ctx) {
+		for li := range dl {
+			lo, hi := li*n/len(dl), (li+1)*n/len(dl)
+			sa := sl[li]
+			dl[li].Launch("mg.project", threadsFor(hi-lo, o.MaxThreads), func(c *gpu.Ctx) {
 				T := threadsFor(hi-lo, o.MaxThreads)
 				j := 0
 				for v := lo + c.TID(); v < hi; v += T {
 					c.Converge(j)
 					j++
-					c.Load(sa.cmap, v-lo)
+					c.Load(sa.cmap, (v-lo)%sa.span)
 					c.Load(sa.part, lvl.cmap[v]%sa.span) // scattered gather
 					fine[v] = part[lvl.cmap[v]]
-					c.Store(sa.part, v-lo)
+					c.Store(sa.part, (v-lo)%sa.span)
 					c.Op(2)
 				}
 			})
 		}
 		phase("mg.project")
+		if o.Verify {
+			coarseG := cur
+			if i+1 < len(levels) {
+				coarseG = levels[i+1].fine
+			}
+			if verr := graph.VerifyProjection(lvl.fine, coarseG, lvl.cmap, fine, part); verr != nil {
+				return nil, fmt.Errorf("core: multi-GPU uncoarsen level %d: %w", i, verr)
+			}
+		}
 		part = fine
-		moves, rejected := multiRefine(devs, shards, lvl.fine, part, k, o, m, res, devices, sink)
+		moves, rejected := multiRefine(dl, sl, lvl.fine, part, k, o, m, res, len(dl), sink)
 		phase("mg.refine")
 		met.Add("refine.moves", float64(moves))
 		met.Add("refine.rejected", float64(rejected))
@@ -229,8 +334,8 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 			obs.Int("moves", int64(moves)),
 			obs.Int("rejected", int64(rejected)))
 	}
-	for d := range devs {
-		devs[d].ToHost("mg.d2h.part", int64(4*g.NumVertices()/devices))
+	for _, d := range live {
+		devs[d].ToHost("mg.d2h.part", int64(4*g.NumVertices()/len(live)))
 		shards[d].free(devs[d])
 	}
 	phase("mg.download")
@@ -250,11 +355,26 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	met.Add("pcie.bytes_to_device", float64(res.KernelStats.BytesToDevice))
 	met.Add("pcie.bytes_to_host", float64(res.KernelStats.BytesToHost))
 	res.KernelStats = res.KernelStats.Add(sub.KernelStats)
+	if o.Faults != nil {
+		for _, s := range fault.Sites {
+			if n := o.Faults.Fires(s); n > 0 {
+				met.Set("fault.fires."+string(s), float64(n))
+			}
+		}
+	}
 	if root != nil {
 		root.Set(
 			obs.Int("edge_cut", int64(res.EdgeCut)),
 			obs.Float("modeled_seconds", res.ModeledSeconds()),
 			obs.Float("conflict_rate", res.MatchConflictRate()))
+		if res.Degraded {
+			root.Set(
+				obs.Bool("degraded", true),
+				obs.Str("degraded_reason", res.DegradedReason))
+		}
+		if len(res.Events) > 0 {
+			root.Set(obs.Int("fault_events", int64(len(res.Events))))
+		}
 		root.EndAt(res.Timeline.Total())
 	}
 	return res, nil

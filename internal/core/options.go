@@ -27,10 +27,34 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"gpmetis/internal/fault"
 	"gpmetis/internal/graph"
 	"gpmetis/internal/obs"
+)
+
+// Sentinel errors, distinguishable with errors.Is. Usage errors (bad k,
+// bad imbalance, malformed options) mean the call can never succeed as
+// written; ErrGraphTooLarge is a capacity error — the same call can
+// succeed on a bigger device, with more devices, or via CPU degradation
+// (Options.Degrade).
+var (
+	// ErrBadK reports a partition count that is out of range for the
+	// graph.
+	ErrBadK = errors.New("core: invalid partition count")
+	// ErrEmptyGraph reports an attempt to partition a graph with no
+	// vertices.
+	ErrEmptyGraph = errors.New("core: empty graph")
+	// ErrBadImbalance reports a UBFactor below 1.0.
+	ErrBadImbalance = errors.New("core: invalid imbalance factor")
+	// ErrBadOption reports any other malformed Options field.
+	ErrBadOption = errors.New("core: invalid option")
+	// ErrGraphTooLarge reports that the graph does not fit the modeled
+	// device memory (single- or multi-GPU) and degradation was off or
+	// impossible.
+	ErrGraphTooLarge = errors.New("core: graph exceeds device capacity")
 )
 
 // MergeStrategy selects how the contraction kernel merges the adjacency
@@ -118,6 +142,26 @@ type Options struct {
 	// The nil default disables tracing at the cost of one pointer check
 	// per hook point.
 	Tracer *obs.Tracer
+	// Faults, when non-nil, injects deterministic failures at the
+	// substrate's named sites (see internal/fault). Nil disables all
+	// fault paths at zero cost.
+	Faults *fault.Injector
+	// Retry bounds in-place retries of transient kernel/transfer faults;
+	// the zero value means no retries (first transient fault kills the
+	// device). Ignored when Faults is nil.
+	Retry fault.RetryPolicy
+	// Degrade enables the resilience ladder: capacity faults and device
+	// death fall back to the mt-metis CPU pipeline instead of failing
+	// the run (the result is then flagged Result.Degraded). Off by
+	// default so capacity errors stay errors, matching the paper's
+	// single-device assumption.
+	Degrade bool
+	// Verify enables paranoid invariant checking at every level
+	// boundary: CSR well-formedness, cmap surjectivity, weight
+	// conservation across contraction, and edge-cut conservation across
+	// projection. Verification runs on the host and does not charge the
+	// modeled timeline.
+	Verify bool
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -138,27 +182,27 @@ func DefaultOptions() Options {
 func (o *Options) validate(g *graph.Graph, k int) error {
 	switch {
 	case k < 1:
-		return fmt.Errorf("core: k must be >= 1, got %d", k)
+		return fmt.Errorf("%w: k must be >= 1, got %d", ErrBadK, k)
 	case g.NumVertices() == 0:
-		return fmt.Errorf("core: cannot partition an empty graph")
+		return fmt.Errorf("%w: cannot partition it", ErrEmptyGraph)
 	case k > g.NumVertices():
-		return fmt.Errorf("core: k=%d exceeds vertex count %d", k, g.NumVertices())
+		return fmt.Errorf("%w: k=%d exceeds vertex count %d", ErrBadK, k, g.NumVertices())
 	case o.UBFactor < 1.0:
-		return fmt.Errorf("core: UBFactor %g must be >= 1.0", o.UBFactor)
+		return fmt.Errorf("%w: UBFactor %g must be >= 1.0", ErrBadImbalance, o.UBFactor)
 	case o.GPUThreshold < 1:
-		return fmt.Errorf("core: GPUThreshold %d must be >= 1", o.GPUThreshold)
+		return fmt.Errorf("%w: GPUThreshold %d must be >= 1", ErrBadOption, o.GPUThreshold)
 	case o.CoarsenTo < 1:
-		return fmt.Errorf("core: CoarsenTo %d must be >= 1", o.CoarsenTo)
+		return fmt.Errorf("%w: CoarsenTo %d must be >= 1", ErrBadOption, o.CoarsenTo)
 	case o.RefineIters < 0:
-		return fmt.Errorf("core: RefineIters %d must be >= 0", o.RefineIters)
+		return fmt.Errorf("%w: RefineIters %d must be >= 0", ErrBadOption, o.RefineIters)
 	case o.MaxThreads < 32:
-		return fmt.Errorf("core: MaxThreads %d must be >= one warp", o.MaxThreads)
+		return fmt.Errorf("%w: MaxThreads %d must be >= one warp", ErrBadOption, o.MaxThreads)
 	case o.CPUThreads < 1:
-		return fmt.Errorf("core: CPUThreads %d must be >= 1", o.CPUThreads)
+		return fmt.Errorf("%w: CPUThreads %d must be >= 1", ErrBadOption, o.CPUThreads)
 	case o.Merge != HashMerge && o.Merge != SortMerge:
-		return fmt.Errorf("core: unknown merge strategy %d", int(o.Merge))
+		return fmt.Errorf("%w: unknown merge strategy %d", ErrBadOption, int(o.Merge))
 	case o.Distribution != Cyclic && o.Distribution != Blocked:
-		return fmt.Errorf("core: unknown distribution %d", int(o.Distribution))
+		return fmt.Errorf("%w: unknown distribution %d", ErrBadOption, int(o.Distribution))
 	}
 	return nil
 }

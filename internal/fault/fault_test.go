@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	in.Arm(SiteKernel, Rule{P: 1})
+	if e := in.Check(SiteKernel); e != nil {
+		t.Fatalf("nil injector fired: %v", e)
+	}
+	if e := in.CheckAt(SiteMPIRank, 1); e != nil {
+		t.Fatalf("nil injector fired: %v", e)
+	}
+	if in.MemCap() != 0 || in.Fires(SiteKernel) != 0 || in.Evals(SiteKernel) != 0 || in.Armed(SiteKernel) {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestNilInjectorCheckAllocs(t *testing.T) {
+	var in *Injector
+	n := testing.AllocsPerRun(100, func() {
+		in.Check(SiteKernel)
+		in.CheckAt(SiteDevice, 1)
+	})
+	if n != 0 {
+		t.Fatalf("nil Check allocates %v times per run", n)
+	}
+}
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if e := in.Check(SiteKernel); e != nil {
+			t.Fatalf("unarmed site fired at eval %d", i+1)
+		}
+	}
+}
+
+func TestRuleAt(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteTransfer, Rule{At: 3})
+	for i := 1; i <= 5; i++ {
+		e := in.Check(SiteTransfer)
+		if (i == 3) != (e != nil) {
+			t.Fatalf("eval %d: fired=%v", i, e != nil)
+		}
+		if e != nil && (e.Site != SiteTransfer || e.Seq != 3) {
+			t.Fatalf("bad error: %+v", e)
+		}
+	}
+	if in.Fires(SiteTransfer) != 1 || in.Evals(SiteTransfer) != 5 {
+		t.Fatalf("fires=%d evals=%d", in.Fires(SiteTransfer), in.Evals(SiteTransfer))
+	}
+}
+
+func TestRuleProbabilityDeterministic(t *testing.T) {
+	runs := func() []int64 {
+		in := New(42)
+		in.Arm(SiteKernel, Rule{P: 0.3})
+		var seqs []int64
+		for i := 0; i < 200; i++ {
+			if e := in.Check(SiteKernel); e != nil {
+				seqs = append(seqs, e.Seq)
+			}
+		}
+		return seqs
+	}
+	a, b := runs(), runs()
+	if len(a) == 0 {
+		t.Fatal("p=0.3 over 200 evals never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire %d at seq %d vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed should give a different fire pattern.
+	in2 := New(43)
+	in2.Arm(SiteKernel, Rule{P: 0.3})
+	var c []int64
+	for i := 0; i < 200; i++ {
+		if e := in2.Check(SiteKernel); e != nil {
+			c = append(c, e.Seq)
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fire patterns")
+	}
+}
+
+func TestRuleAfterAndLimit(t *testing.T) {
+	in := New(7)
+	in.Arm(SiteTransfer, Rule{P: 1, After: 10, Limit: 2})
+	fires := 0
+	for i := 1; i <= 20; i++ {
+		if e := in.Check(SiteTransfer); e != nil {
+			fires++
+			if e.Seq <= 10 {
+				t.Fatalf("fired at seq %d despite after=10", e.Seq)
+			}
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("fires=%d, want 2 (limit)", fires)
+	}
+}
+
+func TestCheckAtUsesCallerSequence(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteMPIRank, Rule{At: 3})
+	if e := in.CheckAt(SiteMPIRank, 1); e != nil {
+		t.Fatal("rank 0 (seq 1) fired")
+	}
+	if e := in.CheckAt(SiteMPIRank, 3); e == nil {
+		t.Fatal("rank 2 (seq 3) did not fire")
+	}
+}
+
+func TestMemCap(t *testing.T) {
+	in := New(1)
+	if in.MemCap() != 0 {
+		t.Fatal("unarmed memcap non-zero")
+	}
+	in.Arm(SiteGPUMemCap, Rule{Cap: 1 << 20})
+	if in.MemCap() != 1<<20 {
+		t.Fatalf("memcap=%d", in.MemCap())
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if !SiteKernel.Transient() || !SiteTransfer.Transient() {
+		t.Fatal("kernel/transfer should be transient")
+	}
+	if SiteGPUAlloc.Transient() || SiteDevice.Transient() || SiteMPIRank.Transient() {
+		t.Fatal("alloc/device/rank should not be transient")
+	}
+	e := &Error{Site: SiteTransfer, Seq: 1}
+	if !e.Transient() {
+		t.Fatal("transfer error not transient")
+	}
+}
+
+func TestDeviceLostUnwrap(t *testing.T) {
+	inner := &Error{Site: SiteKernel, Seq: 4}
+	var err error = &DeviceLost{Err: inner}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Seq != 4 {
+		t.Fatalf("errors.As through DeviceLost failed: %v", err)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{Max: 3, BackoffSec: 10e-6, Multiplier: 2}
+	want := []float64{10e-6, 20e-6, 40e-6}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Fatalf("Backoff(%d)=%g want %g", i+1, got, w)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse(9, "pcie.transfer:p=0.5,limit=2; gpu.memcap:cap=256M ;gpu.kernel:at=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Armed(SiteTransfer) || !in.Armed(SiteKernel) {
+		t.Fatal("sites not armed")
+	}
+	if in.MemCap() != 256<<20 {
+		t.Fatalf("memcap=%d", in.MemCap())
+	}
+	if e := in.CheckAt(SiteKernel, 5); e == nil {
+		t.Fatal("kernel at=5 did not fire")
+	}
+}
+
+func TestParseEmptyIsNil(t *testing.T) {
+	in, err := Parse(1, "  ")
+	if err != nil || in != nil {
+		t.Fatalf("empty spec: in=%v err=%v", in, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nosuchsite:p=1",
+		"gpu.kernel",
+		"gpu.kernel:p",
+		"gpu.kernel:p=2",
+		"gpu.kernel:at=0",
+		"gpu.kernel:bogus=1",
+		"gpu.kernel:p=0",
+		"gpu.memcap:p=1",
+		"gpu.memcap:cap=abc",
+	} {
+		if _, err := Parse(1, spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseByteSuffixes(t *testing.T) {
+	for spec, want := range map[string]int64{
+		"gpu.memcap:cap=1024": 1024,
+		"gpu.memcap:cap=4K":   4 << 10,
+		"gpu.memcap:cap=2m":   2 << 20,
+		"gpu.memcap:cap=1G":   1 << 30,
+	} {
+		in, err := Parse(1, spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if in.MemCap() != want {
+			t.Errorf("Parse(%q): cap=%d want %d", spec, in.MemCap(), want)
+		}
+	}
+}

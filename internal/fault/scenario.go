@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds an injector from a scenario spec, the format behind the
+// gpmetis -faults flag. A spec is ';'-separated entries, each
+//
+//	site:key=val[,key=val...]
+//
+// with keys p (probability), at (1-based evaluation), after, limit, and
+// cap (bytes, with optional K/M/G suffix; only meaningful for
+// gpu.memcap). Examples:
+//
+//	pcie.transfer:p=0.2
+//	gpu.memcap:cap=256M
+//	gpu.kernel:at=5;multigpu.device:at=2
+//
+// An empty spec returns a nil injector (no-op).
+func Parse(seed int64, spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: entry %q: want site:key=val[,key=val]", entry)
+		}
+		s := Site(strings.TrimSpace(site))
+		if !knownSite(s) {
+			return nil, fmt.Errorf("fault: unknown site %q (want one of %s)", site, knownSiteList())
+		}
+		var r Rule
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: entry %q: bad key=val %q", entry, kv)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			switch key {
+			case "p":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("fault: entry %q: p=%q not a probability", entry, val)
+				}
+				r.P = p
+			case "at":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("fault: entry %q: at=%q not a positive integer", entry, val)
+				}
+				r.At = n
+			case "after":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: entry %q: after=%q not a non-negative integer", entry, val)
+				}
+				r.After = n
+			case "limit":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: entry %q: limit=%q not a non-negative integer", entry, val)
+				}
+				r.Limit = n
+			case "cap":
+				n, err := parseBytes(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: entry %q: %v", entry, err)
+				}
+				r.Cap = n
+			default:
+				return nil, fmt.Errorf("fault: entry %q: unknown key %q (want p, at, after, limit, or cap)", entry, key)
+			}
+		}
+		if r == (Rule{}) {
+			return nil, fmt.Errorf("fault: entry %q arms nothing", entry)
+		}
+		if s == SiteGPUMemCap && r.Cap == 0 {
+			return nil, fmt.Errorf("fault: entry %q: %s needs cap=<bytes>", entry, SiteGPUMemCap)
+		}
+		in.Arm(s, r)
+	}
+	return in, nil
+}
+
+func knownSite(s Site) bool {
+	for _, k := range Sites {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+func knownSiteList() string {
+	names := make([]string, len(Sites))
+	for i, s := range Sites {
+		names[i] = string(s)
+	}
+	return strings.Join(names, ", ")
+}
+
+// parseBytes parses a byte count with an optional K/M/G binary suffix.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("cap %q not a positive byte count", s)
+	}
+	return n * mult, nil
+}

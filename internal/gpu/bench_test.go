@@ -66,8 +66,8 @@ func BenchmarkInclusiveScan(b *testing.B) {
 				for j := range data {
 					data[j] = 1
 				}
-				if got := d.InclusiveScan("scan", data, a); got != n {
-					b.Fatalf("scan total = %d, want %d", got, n)
+				if got, err := d.InclusiveScan("scan", data, a); err != nil || got != n {
+					b.Fatalf("scan total = %d, err = %v, want %d", got, err, n)
 				}
 			}
 		})

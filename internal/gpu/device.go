@@ -22,11 +22,18 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 
+	"gpmetis/internal/fault"
 	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
+
+// ErrDeviceMemory is the sentinel wrapped by every allocation failure —
+// real capacity overflow or an injected one — so callers can classify
+// the error as capacity pressure (degradable) with errors.Is.
+var ErrDeviceMemory = errors.New("gpu: out of device memory")
 
 // Array identifies one device allocation for the access-cost model. The
 // actual data lives in ordinary Go slices captured by kernel closures; an
@@ -57,6 +64,9 @@ type Device struct {
 
 	stats Stats
 	sink  *obs.TimelineSink
+
+	inj   *fault.Injector
+	retry fault.RetryPolicy
 }
 
 // Stats aggregates device activity since the last ResetStats, for tests,
@@ -154,6 +164,53 @@ func (d *Device) TraceSink() *obs.TimelineSink { return d.sink }
 // spans around device work should use.
 func (d *Device) Now() float64 { return d.tl.Total() }
 
+// SetFaults installs a fault injector and the retry policy for transient
+// faults. A nil injector restores the unfaulted fast path: with inj ==
+// nil no fault code runs at all, so existing modeled times are
+// bit-identical.
+func (d *Device) SetFaults(inj *fault.Injector, retry fault.RetryPolicy) {
+	d.inj = inj
+	d.retry = retry
+}
+
+// Faults returns the device's installed injector (nil when unfaulted).
+func (d *Device) Faults() *fault.Injector { return d.inj }
+
+// preflight evaluates a transient fault site before a launch or
+// transfer. Each fired evaluation models one failed attempt: it charges
+// attemptSec (the wasted launch overhead or bus latency) plus
+// exponential backoff to the timeline, then re-evaluates. When the retry
+// budget is exhausted the device is modeled as lost and the call unwinds
+// with *fault.DeviceLost for the pipeline's recover barrier.
+func (d *Device) preflight(site fault.Site, name string, loc perfmodel.Location, attemptSec float64) {
+	for attempt := 1; ; attempt++ {
+		fe := d.inj.Check(site)
+		if fe == nil {
+			return
+		}
+		if attempt > d.retry.Max {
+			panic(&fault.DeviceLost{Err: fe})
+		}
+		sec := attemptSec + d.retry.Backoff(attempt)
+		rname := "fault.retry." + string(site)
+		if d.sink == nil {
+			d.tl.Append(rname, loc, sec)
+		} else {
+			d.sink.Metrics().Add("fault.retries", 1)
+			sp := d.sink.Leaf(rname, d.tl.Total(), sec,
+				obs.Str("loc", loc.String()),
+				obs.Str("site", string(site)),
+				obs.Str("op", name),
+				obs.Int("attempt", int64(attempt)))
+			var id int64
+			if sp != nil {
+				id = sp.ID
+			}
+			d.tl.AppendTagged(rname, loc, sec, id)
+		}
+	}
+}
+
 // Allocated returns the bytes currently allocated on the device.
 func (d *Device) Allocated() int64 { return d.allocated }
 
@@ -166,9 +223,17 @@ func (d *Device) Malloc(n int, elemBytes int) (Array, error) {
 		return Array{}, fmt.Errorf("gpu: Malloc(%d,%d): invalid size", n, elemBytes)
 	}
 	bytes := int64(n) * int64(elemBytes)
-	if d.allocated+bytes > d.m.GPU.GlobalMemBytes {
-		return Array{}, fmt.Errorf("gpu: out of device memory: %d + %d > %d bytes (graph does not fit; the paper defers this case to multi-GPU future work)",
-			d.allocated, bytes, d.m.GPU.GlobalMemBytes)
+	limit := d.m.GPU.GlobalMemBytes
+	if capBytes := d.inj.MemCap(); capBytes > 0 && capBytes < limit {
+		// Artificial memory pressure: the injector shrinks the device.
+		limit = capBytes
+	}
+	if fe := d.inj.Check(fault.SiteGPUAlloc); fe != nil {
+		return Array{}, fmt.Errorf("%w: %w", ErrDeviceMemory, fe)
+	}
+	if d.allocated+bytes > limit {
+		return Array{}, fmt.Errorf("%w: %d + %d > %d bytes (graph does not fit; the paper defers this case to multi-GPU future work)",
+			ErrDeviceMemory, d.allocated, bytes, limit)
 	}
 	d.allocated += bytes
 	d.nextArrayID++
@@ -208,6 +273,10 @@ func (d *Device) ToHost(name string, bytes int64) {
 // transfer charges one PCIe copy and, when tracing, mirrors it as a span
 // carrying the byte count and direction.
 func (d *Device) transfer(name, dir string, bytes int64) {
+	if d.inj != nil {
+		// A failed transfer wastes one bus latency before the retry.
+		d.preflight(fault.SiteTransfer, name, perfmodel.LocPCIe, d.m.PCIe.LatencySec)
+	}
 	sec := d.m.PCIeSec(float64(bytes))
 	if d.sink == nil {
 		d.tl.Append(name, perfmodel.LocPCIe, sec)

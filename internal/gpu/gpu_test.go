@@ -224,7 +224,10 @@ func TestInclusiveScanCorrectness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		total := d.InclusiveScan("scan", data, a)
+		total, err := d.InclusiveScan("scan", data, a)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if total != sum {
 			t.Errorf("n=%d: total = %d, want %d", n, total, sum)
 		}
@@ -241,7 +244,10 @@ func TestExclusiveScanCorrectness(t *testing.T) {
 	d, _ := newTestDevice()
 	data := []int{3, 1, 4, 1, 5, 9, 2, 6}
 	a, _ := d.Malloc(len(data), 4)
-	total := d.ExclusiveScan("scan", data, a)
+	total, err := d.ExclusiveScan("scan", data, a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if total != 31 {
 		t.Errorf("total = %d, want 31", total)
 	}
@@ -260,7 +266,9 @@ func TestScanChargesKernels(t *testing.T) {
 		data[i] = 1
 	}
 	a, _ := d.Malloc(len(data), 4)
-	d.InclusiveScan("cmap.pv", data, a)
+	if _, err := d.InclusiveScan("cmap.pv", data, a); err != nil {
+		t.Fatal(err)
+	}
 	if d.Stats().Kernels < 3 {
 		t.Errorf("scan issued %d kernels, want >= 3 (reduce/spine/downsweep)", d.Stats().Kernels)
 	}
@@ -296,7 +304,7 @@ func TestScanMatchesSequentialProperty(t *testing.T) {
 			return false
 		}
 		defer d.Free(a)
-		if got := d.InclusiveScan("s", data, a); got != sum {
+		if got, err := d.InclusiveScan("s", data, a); err != nil || got != sum {
 			return false
 		}
 		for i := range data {
@@ -416,11 +424,11 @@ func TestLoadNSegmentBoundaries(t *testing.T) {
 func TestExclusiveScanEmpty(t *testing.T) {
 	d, _ := newTestDevice()
 	a, _ := d.Malloc(1, 4)
-	if got := d.ExclusiveScan("s", nil, a); got != 0 {
-		t.Errorf("empty exclusive scan total = %d", got)
+	if got, err := d.ExclusiveScan("s", nil, a); err != nil || got != 0 {
+		t.Errorf("empty exclusive scan total = %d, err = %v", got, err)
 	}
-	if got := d.InclusiveScan("s", nil, a); got != 0 {
-		t.Errorf("empty inclusive scan total = %d", got)
+	if got, err := d.InclusiveScan("s", nil, a); err != nil || got != 0 {
+		t.Errorf("empty inclusive scan total = %d, err = %v", got, err)
 	}
 }
 

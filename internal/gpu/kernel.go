@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"gpmetis/internal/fault"
 	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
 )
@@ -187,6 +188,10 @@ func (w *warpState) reset() {
 func (d *Device) Launch(name string, nThreads int, k Kernel) float64 {
 	if nThreads < 0 {
 		panic(fmt.Sprintf("gpu: Launch(%q, %d): negative thread count", name, nThreads))
+	}
+	if d.inj != nil {
+		// A failed launch wastes one launch overhead before the retry.
+		d.preflight(fault.SiteKernel, name, perfmodel.LocGPU, d.m.GPU.LaunchSec)
 	}
 	ws := d.m.GPU.WarpSize
 	w := warpState{segBytes: d.m.GPU.TransactionBytes}

@@ -11,30 +11,37 @@ const scanTile = 8
 // CUB DeviceScan the paper uses for its cmap construction, and charging
 // each kernel to the device timeline under names derived from name.
 // Array a must be the device allocation holding data. It returns the
-// total (the last element of the scan).
+// total (the last element of the scan). The error is non-nil when a
+// spine allocation fails — the device is under memory pressure — and
+// leaves data partially scanned; callers must not use it.
 //
 // Accounting note: threads own contiguous tiles for correctness, but the
 // accesses are charged at CUB's striped (coalesced) addresses, because
 // that is the access pattern CUB actually produces via its shared-memory
 // exchange.
-func (d *Device) InclusiveScan(name string, data []int, a Array) int {
+func (d *Device) InclusiveScan(name string, data []int, a Array) (int, error) {
 	n := len(data)
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	d.scanInPlace(name, data, a, 0)
-	return data[n-1]
+	if err := d.scanInPlace(name, data, a, 0); err != nil {
+		return 0, err
+	}
+	return data[n-1], nil
 }
 
 // ExclusiveScan computes the in-place exclusive prefix sum of data (the
 // paper uses one over the temp/temp2 index arrays of the contraction
 // step) and returns the total of the original values.
-func (d *Device) ExclusiveScan(name string, data []int, a Array) int {
+func (d *Device) ExclusiveScan(name string, data []int, a Array) (int, error) {
 	n := len(data)
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	total := d.InclusiveScan(name, data, a)
+	total, err := d.InclusiveScan(name, data, a)
+	if err != nil {
+		return 0, err
+	}
 	// Shift right by one on the device: one more coalesced pass.
 	d.Launch(name+".shift", (n+scanTile-1)/scanTile, func(c *Ctx) {
 		g := (n + scanTile - 1) / scanTile
@@ -53,11 +60,13 @@ func (d *Device) ExclusiveScan(name string, data []int, a Array) int {
 	for i := 0; i < n; i++ {
 		data[i], prev = prev, data[i]
 	}
-	return total
+	return total, nil
 }
 
-// scanInPlace runs one level of the recursive reduce-then-scan.
-func (d *Device) scanInPlace(name string, data []int, a Array, depth int) {
+// scanInPlace runs one level of the recursive reduce-then-scan. A spine
+// allocation failure propagates as an error so device-memory pressure
+// surfaces to the pipeline instead of killing the process.
+func (d *Device) scanInPlace(name string, data []int, a Array, depth int) error {
 	n := len(data)
 	g := (n + scanTile - 1) / scanTile // number of threads / tiles
 	if g <= 1 {
@@ -72,15 +81,13 @@ func (d *Device) scanInPlace(name string, data []int, a Array, depth int) {
 				c.Op(2)
 			}
 		})
-		return
+		return nil
 	}
 
 	partial := make([]int, g)
 	pa, err := d.Malloc(g, 4)
 	if err != nil {
-		// The spine is tiny compared to data, which already fit;
-		// running out here means the device model is misconfigured.
-		panic(fmt.Sprintf("gpu: scan spine allocation failed: %v", err))
+		return fmt.Errorf("gpu: scan %s spine allocation (depth %d): %w", name, depth, err)
 	}
 	defer d.Free(pa)
 
@@ -102,7 +109,9 @@ func (d *Device) scanInPlace(name string, data []int, a Array, depth int) {
 	})
 
 	// Spine: scan the per-tile sums (recursing for very large spines).
-	d.scanInPlace(name, partial, pa, depth+1)
+	if err := d.scanInPlace(name, partial, pa, depth+1); err != nil {
+		return err
+	}
 
 	// Downsweep: each thread rescans its tile seeded with the exclusive
 	// spine prefix.
@@ -125,6 +134,7 @@ func (d *Device) scanInPlace(name string, data []int, a Array, depth int) {
 			c.Op(2)
 		}
 	})
+	return nil
 }
 
 func scanKernelName(name string, depth int, stage string) string {

@@ -20,7 +20,19 @@ import (
 	"gpmetis/internal/graph"
 )
 
-// Read parses a Chaco/Metis format graph.
+// MaxVertices and MaxEdges bound the header counts Read and ReadGR
+// accept, so a malicious or corrupt header cannot force a huge
+// allocation before any adjacency data is seen. Variables (not
+// constants) so tests and fuzzing can lower them.
+var (
+	MaxVertices = 1 << 27
+	MaxEdges    = 1 << 29
+)
+
+// Read parses a Chaco/Metis format graph. Malformed input — out-of-range
+// or duplicate neighbors, self loops, one-sided arc listings, asymmetric
+// edge weights, or a header edge count that disagrees with the file —
+// yields an error, never a panic.
 func Read(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -36,9 +48,15 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	if err != nil || n < 0 {
 		return nil, fmt.Errorf("gio: bad vertex count %q", fields[0])
 	}
+	if n > MaxVertices {
+		return nil, fmt.Errorf("gio: vertex count %d exceeds limit %d", n, MaxVertices)
+	}
 	m, err := strconv.Atoi(fields[1])
 	if err != nil || m < 0 {
 		return nil, fmt.Errorf("gio: bad edge count %q", fields[1])
+	}
+	if m > MaxEdges {
+		return nil, fmt.Errorf("gio: edge count %d exceeds limit %d", m, MaxEdges)
 	}
 	hasVWgt, hasEWgt := false, false
 	ncon := 0
@@ -64,6 +82,9 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	}
 
 	b := graph.NewBuilder(n)
+	// arcs records every directed listing so one-sided edges, duplicate
+	// neighbors, and asymmetric weights can be rejected after the scan.
+	arcs := make(map[[2]int]int)
 	for v := 0; v < n; v++ {
 		line, err := nextLine(sc)
 		if err != nil {
@@ -104,6 +125,14 @@ func Read(r io.Reader) (*graph.Graph, error) {
 				}
 				i++
 			}
+			if u-1 == v {
+				return nil, fmt.Errorf("gio: vertex %d: self loop", v+1)
+			}
+			key := [2]int{v, u - 1}
+			if _, dup := arcs[key]; dup {
+				return nil, fmt.Errorf("gio: vertex %d: duplicate neighbor %d", v+1, u)
+			}
+			arcs[key] = w
 			// Each undirected edge appears on both endpoint lines; add it
 			// once from the lower endpoint.
 			if u-1 > v {
@@ -111,6 +140,17 @@ func Read(r io.Reader) (*graph.Graph, error) {
 					return nil, fmt.Errorf("gio: vertex %d: %w", v+1, err)
 				}
 			}
+		}
+	}
+	for key, w := range arcs {
+		rw, ok := arcs[[2]int{key[1], key[0]}]
+		if !ok {
+			return nil, fmt.Errorf("gio: edge %d-%d listed by vertex %d but not by vertex %d",
+				key[0]+1, key[1]+1, key[0]+1, key[1]+1)
+		}
+		if rw != w {
+			return nil, fmt.Errorf("gio: asymmetric weights for edge %d-%d: %d and %d",
+				key[0]+1, key[1]+1, w, rw)
 		}
 	}
 	g, err := b.Build()

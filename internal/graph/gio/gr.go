@@ -44,6 +44,9 @@ func ReadGR(r io.Reader) (*graph.Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("gio: bad vertex count in %q", line)
 			}
+			if n > MaxVertices {
+				return nil, fmt.Errorf("gio: vertex count %d exceeds limit %d", n, MaxVertices)
+			}
 			b = graph.NewBuilder(n)
 		case 'a':
 			if b == nil {

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVerify is the sentinel wrapped by every invariant violation the
+// paranoid verification mode detects, so callers can distinguish "the
+// pipeline corrupted its state" from ordinary usage or capacity errors.
+var ErrVerify = errors.New("graph: invariant violation")
+
+// VerifyCoarsening checks the invariants that tie one coarsening level
+// together: cmap maps every fine vertex into [0, coarse.n) and is
+// surjective (every coarse vertex has at least one fine preimage), the
+// coarse graph is a well-formed CSR, and total vertex weight is
+// conserved. Total edge weight can only shrink — contraction folds the
+// collapsed pairs' internal edges into vertex identity — and must shrink
+// by no more than the weight the matching collapsed. The checks run on
+// the host and charge nothing to the modeled timeline.
+func VerifyCoarsening(fine, coarse *Graph, cmap []int) error {
+	cn := coarse.NumVertices()
+	if len(cmap) < fine.NumVertices() {
+		return fmt.Errorf("%w: cmap has %d entries for %d fine vertices", ErrVerify, len(cmap), fine.NumVertices())
+	}
+	hit := make([]bool, cn)
+	for v := 0; v < fine.NumVertices(); v++ {
+		cv := cmap[v]
+		if cv < 0 || cv >= cn {
+			return fmt.Errorf("%w: cmap[%d] = %d, want [0,%d)", ErrVerify, v, cv, cn)
+		}
+		hit[cv] = true
+	}
+	for cv, ok := range hit {
+		if !ok {
+			return fmt.Errorf("%w: coarse vertex %d has no fine preimage (cmap not surjective)", ErrVerify, cv)
+		}
+	}
+	if err := coarse.Validate(); err != nil {
+		return fmt.Errorf("%w: coarse graph: %v", ErrVerify, err)
+	}
+	if fw, cw := fine.TotalVertexWeight(), coarse.TotalVertexWeight(); fw != cw {
+		return fmt.Errorf("%w: vertex weight not conserved: fine %d, coarse %d", ErrVerify, fw, cw)
+	}
+	// Edge weight conservation: coarse edge weight = fine edge weight
+	// minus the weight of edges internal to collapsed groups. Without
+	// re-deriving the internal weight we can still bound it: it never
+	// grows, and any weight lost must connect vertices that share a
+	// coarse id.
+	fe, ce := fine.TotalEdgeWeight(), coarse.TotalEdgeWeight()
+	if ce > fe {
+		return fmt.Errorf("%w: edge weight grew under contraction: fine %d, coarse %d", ErrVerify, fe, ce)
+	}
+	internal := 0
+	for v := 0; v < fine.NumVertices(); v++ {
+		adj, wgt := fine.Neighbors(v)
+		for i, u := range adj {
+			if cmap[u] == cmap[v] {
+				internal += wgt[i]
+			}
+		}
+	}
+	internal /= 2 // both endpoints counted each internal edge
+	if ce != fe-internal {
+		return fmt.Errorf("%w: edge weight not conserved: fine %d - internal %d != coarse %d", ErrVerify, fe, internal, ce)
+	}
+	return nil
+}
+
+// VerifyProjection checks that projecting coarsePart through cmap yields
+// finePart (before any refinement moves) — equivalently, that the edge
+// cut is conserved exactly across the projection step.
+func VerifyProjection(fine, coarse *Graph, cmap, finePart, coarsePart []int) error {
+	for v := 0; v < fine.NumVertices(); v++ {
+		if finePart[v] != coarsePart[cmap[v]] {
+			return fmt.Errorf("%w: projection mismatch at vertex %d: part %d, coarse part %d", ErrVerify, v, finePart[v], coarsePart[cmap[v]])
+		}
+	}
+	if fc, cc := EdgeCut(fine, finePart), EdgeCut(coarse, coarsePart); fc != cc {
+		return fmt.Errorf("%w: edge cut not conserved across projection: fine %d, coarse %d", ErrVerify, fc, cc)
+	}
+	return nil
+}
+
+// VerifyPartition checks that part is a complete k-way partition of g
+// within the allowed imbalance. ubfactor <= 0 skips the balance check
+// (useful mid-pipeline, where only the final level guarantees balance).
+func VerifyPartition(g *Graph, part []int, k int, ubfactor float64) error {
+	if err := CheckPartition(g, part, k); err != nil {
+		return fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	if ubfactor > 0 && !IsBalanced(g, part, k, ubfactor) {
+		return fmt.Errorf("%w: imbalance %.4f exceeds %.4f", ErrVerify, Imbalance(g, part, k), ubfactor)
+	}
+	return nil
+}

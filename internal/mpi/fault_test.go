@@ -1,0 +1,91 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"gpmetis/internal/fault"
+	"gpmetis/internal/perfmodel"
+)
+
+// killRank builds an injector whose mpi.rank site fires on exactly the
+// given 1-based evaluation, i.e. kills rank at-1 at launch.
+func killRank(at int64) *fault.Injector {
+	inj := fault.New(7)
+	inj.Arm(fault.SiteMPIRank, fault.Rule{At: at})
+	return inj
+}
+
+// TestRunInjectedNilMatchesRun pins the zero-overhead contract: a nil
+// injector must reproduce Run exactly, clock included.
+func TestRunInjectedNilMatchesRun(t *testing.T) {
+	body := func(r *Rank) {
+		out := make([][]int, r.Size())
+		for p := range out {
+			out[p] = []int{r.ID(), p}
+		}
+		r.AllToAll(out)
+		r.Barrier()
+	}
+	want, err := Run(perfmodel.Default(), 4, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunInjected(perfmodel.Default(), 4, nil, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("nil injector changed the clock: %v vs %v", got, want)
+	}
+}
+
+// TestRankFailureAbortsJob checks fail-stop semantics: one dead rank
+// aborts the whole job with a typed error, and no survivor deadlocks in
+// Send, Recv, or Barrier while waiting on the corpse.
+func TestRankFailureAbortsJob(t *testing.T) {
+	_, err := RunInjected(perfmodel.Default(), 4, killRank(2), func(r *Rank) {
+		// Ring exchange plus a barrier: every communication pattern that
+		// could block forever on the dead rank 1.
+		next, prev := (r.ID()+1)%4, (r.ID()+3)%4
+		r.Send(next, []int{r.ID()})
+		r.Recv(prev)
+		r.Barrier()
+	})
+	if !errors.Is(err, ErrRankFailure) {
+		t.Fatalf("want ErrRankFailure, got %v", err)
+	}
+}
+
+// TestRankFailureDeterministic runs the same scenario twice and expects
+// the identical error, including which rank died.
+func TestRankFailureDeterministic(t *testing.T) {
+	die := func() error {
+		inj := fault.New(42)
+		inj.Arm(fault.SiteMPIRank, fault.Rule{P: 0.5})
+		_, err := RunInjected(perfmodel.Default(), 8, inj, func(r *Rank) { r.Barrier() })
+		return err
+	}
+	a, b := die(), die()
+	if a == nil || b == nil {
+		t.Fatalf("p=0.5 over 8 ranks with seed 42 should kill at least one rank: %v, %v", a, b)
+	}
+	if a.Error() != b.Error() {
+		t.Errorf("rank failure not deterministic:\n  %v\n  %v", a, b)
+	}
+}
+
+// TestSurvivorsUnwindFromCollectives floods the communicator with work
+// before the failure is noticed, so the abort path has to interrupt ranks
+// already parked inside collectives.
+func TestSurvivorsUnwindFromCollectives(t *testing.T) {
+	_, err := RunInjected(perfmodel.Default(), 6, killRank(6), func(r *Rank) {
+		for i := 0; i < 4; i++ {
+			r.AllGather([]int{r.ID()})
+			r.AllReduceSum(1)
+		}
+	})
+	if !errors.Is(err, ErrRankFailure) {
+		t.Fatalf("want ErrRankFailure, got %v", err)
+	}
+}

@@ -13,11 +13,18 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"gpmetis/internal/fault"
 	"gpmetis/internal/perfmodel"
 )
+
+// ErrRankFailure marks a job aborted because a rank died (fail-stop MPI
+// semantics: the communicator does not survive a member). Test with
+// errors.Is.
+var ErrRankFailure = errors.New("mpi: rank failure")
 
 // message carries an int payload plus the sender's virtual send time.
 type message struct {
@@ -37,6 +44,37 @@ type Comm struct {
 	barrierN    int
 	barrierGen  int
 	barrierMax  float64
+
+	// Abort state: the first failing rank records its error and closes
+	// abortCh; every rank blocked in Send/Recv/Barrier wakes up and
+	// unwinds, so a dead rank can never deadlock the survivors.
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	abortErr  error
+	aborted   bool // guarded by barrierMu, for the barrier wait loop
+}
+
+// abortPanic unwinds a rank's goroutine after the job aborted; Run
+// recognizes it and reports the recorded abort error instead of a panic.
+type abortPanic struct{}
+
+func (c *Comm) abort(err error) {
+	c.abortOnce.Do(func() {
+		c.abortErr = err
+		c.barrierMu.Lock()
+		c.aborted = true
+		c.barrierMu.Unlock()
+		close(c.abortCh)
+		c.barrierCond.Broadcast()
+	})
+}
+
+// Fail kills the calling rank with err, aborting the whole job: the
+// communicator does not survive a member, so every other rank unwinds at
+// its next communication call.
+func (r *Rank) Fail(err error) {
+	r.comm.abort(err)
+	panic(abortPanic{})
 }
 
 // Rank is one process's handle to the communicator. Each Rank is used
@@ -58,10 +96,24 @@ const intBytes = 4
 // runtime: the maximum final virtual clock across ranks. A panic in any
 // rank is recovered and returned as an error.
 func Run(m *perfmodel.Machine, nprocs int, body func(r *Rank)) (float64, error) {
+	return runRanks(m, nprocs, nil, body)
+}
+
+// RunInjected is Run under fault injection: before executing body, each
+// rank p evaluates the fault.SiteMPIRank site with 1-based sequence p+1
+// (so at=2 deterministically kills rank 1, and p=0.1 gives each rank an
+// independent seeded coin). A killed rank fails the whole job with an
+// error wrapping ErrRankFailure — fail-stop semantics, no recovery. A nil
+// injector makes RunInjected identical to Run.
+func RunInjected(m *perfmodel.Machine, nprocs int, inj *fault.Injector, body func(r *Rank)) (float64, error) {
+	return runRanks(m, nprocs, inj, body)
+}
+
+func runRanks(m *perfmodel.Machine, nprocs int, inj *fault.Injector, body func(r *Rank)) (float64, error) {
 	if nprocs <= 0 {
 		return 0, fmt.Errorf("mpi: nprocs must be positive, got %d", nprocs)
 	}
-	c := &Comm{m: m, size: nprocs}
+	c := &Comm{m: m, size: nprocs, abortCh: make(chan struct{})}
 	c.barrierCond = sync.NewCond(&c.barrierMu)
 	c.chans = make([][]chan message, nprocs)
 	for s := range c.chans {
@@ -69,6 +121,22 @@ func Run(m *perfmodel.Machine, nprocs int, body func(r *Rank)) (float64, error) 
 		for d := range c.chans[s] {
 			// Buffered so simple exchange patterns cannot deadlock.
 			c.chans[s][d] = make(chan message, 4)
+		}
+	}
+	// Rank-death coins are flipped serially before any goroutine starts,
+	// so when several ranks are doomed the recorded failure is always the
+	// lowest-numbered one — the reported error is deterministic even
+	// though goroutine scheduling is not.
+	doomed := make([]error, nprocs)
+	for p := 0; p < nprocs; p++ {
+		if fe := inj.CheckAt(fault.SiteMPIRank, int64(p+1)); fe != nil {
+			doomed[p] = fmt.Errorf("%w: rank %d died: %w", ErrRankFailure, p, fe)
+		}
+	}
+	for p := 0; p < nprocs; p++ {
+		if doomed[p] != nil {
+			c.abort(doomed[p])
+			break
 		}
 	}
 	clocks := make([]float64, nprocs)
@@ -80,10 +148,16 @@ func Run(m *perfmodel.Machine, nprocs int, body func(r *Rank)) (float64, error) 
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); ok {
+						return // job-level abort, reported via abortErr
+					}
 					errs[p] = fmt.Errorf("mpi: rank %d panicked: %v", p, r)
 				}
 			}()
 			r := &Rank{comm: c, id: p}
+			if doomed[p] != nil {
+				panic(abortPanic{})
+			}
 			body(r)
 			clocks[p] = r.clock
 		}(p)
@@ -93,6 +167,9 @@ func Run(m *perfmodel.Machine, nprocs int, body func(r *Rank)) (float64, error) 
 		if err != nil {
 			return 0, err
 		}
+	}
+	if c.abortErr != nil {
+		return 0, c.abortErr
 	}
 	var max float64
 	for _, t := range clocks {
@@ -137,10 +214,14 @@ func (r *Rank) Send(dst int, data []int) {
 	// The sender pays the injection overhead (alpha); the wire time is
 	// carried on the message for the receiver's causal clock.
 	r.clock += r.comm.m.Net.LatencySec
-	r.comm.chans[r.id][dst] <- message{
+	select {
+	case r.comm.chans[r.id][dst] <- message{
 		data:     cp,
 		sentAt:   r.clock,
 		transfer: float64(bytes) / r.comm.m.Net.BytesPerSec,
+	}:
+	case <-r.comm.abortCh:
+		panic(abortPanic{})
 	}
 }
 
@@ -150,7 +231,12 @@ func (r *Rank) Recv(src int) []int {
 	if src < 0 || src >= r.comm.size {
 		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
 	}
-	msg := <-r.comm.chans[src][r.id]
+	var msg message
+	select {
+	case msg = <-r.comm.chans[src][r.id]:
+	case <-r.comm.abortCh:
+		panic(abortPanic{})
+	}
 	arrive := msg.sentAt + msg.transfer
 	if arrive > r.clock {
 		r.clock = arrive
@@ -163,6 +249,10 @@ func (r *Rank) Recv(src int) []int {
 func (r *Rank) Barrier() {
 	c := r.comm
 	c.barrierMu.Lock()
+	if c.aborted {
+		c.barrierMu.Unlock()
+		panic(abortPanic{})
+	}
 	gen := c.barrierGen
 	if r.clock > c.barrierMax {
 		c.barrierMax = r.clock
@@ -174,8 +264,12 @@ func (r *Rank) Barrier() {
 		c.barrierMax += c.m.Net.LatencySec
 		c.barrierCond.Broadcast()
 	} else {
-		for gen == c.barrierGen {
+		for gen == c.barrierGen && !c.aborted {
 			c.barrierCond.Wait()
+		}
+		if c.aborted {
+			c.barrierMu.Unlock()
+			panic(abortPanic{})
 		}
 	}
 	r.clock = c.barrierMax

@@ -45,6 +45,11 @@ type Options struct {
 	RefineIters int
 	// Threads is the number of modeled CPU threads (paper: 8).
 	Threads int
+	// Verify enables paranoid invariant checking at every level
+	// boundary (cmap surjectivity, weight conservation, projection
+	// cut conservation); violations fail the run with an error
+	// wrapping graph.ErrVerify. Checks run outside the modeled clock.
+	Verify bool
 	// Trace, when non-nil, is the parent span under which the run emits
 	// its per-level spans (standalone mt-metis runs and the CPU phase of
 	// GP-metis both use this). Nil disables tracing.
@@ -123,6 +128,13 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	res.Levels = len(levels)
 	res.MatchConflicts = conflicts
 	res.MatchAttempts = attempts
+	if o.Verify {
+		for i, l := range levels {
+			if err := graph.VerifyCoarsening(l.Fine, l.Coarse, l.CMap); err != nil {
+				return nil, fmt.Errorf("mtmetis: coarsen level %d: %w", i, err)
+			}
+		}
+	}
 
 	coarsest := g
 	if len(levels) > 0 {
@@ -136,7 +148,13 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 			obs.Int("level", int64(i)),
 			obs.Int("vertices", int64(levels[i].Fine.NumVertices())),
 			obs.Int("edges", int64(levels[i].Fine.NumEdges())))
+		cpart := part
 		part = projectParallel(levels[i], part, o, m, &res.Timeline)
+		if o.Verify {
+			if err := graph.VerifyProjection(levels[i].Fine, levels[i].Coarse, levels[i].CMap, part, cpart); err != nil {
+				return nil, fmt.Errorf("mtmetis: uncoarsen level %d: %w", i, err)
+			}
+		}
 		Refine(levels[i].Fine, part, k, o, m, &res.Timeline)
 		sink.End(lvl, res.Timeline.Total())
 	}
@@ -145,6 +163,11 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	metis.BalancePartition(g, part, k, o.UBFactor, &acct)
 	res.Timeline.Append("balance", perfmodel.LocCPU, m.CPUPhaseSeconds([]perfmodel.ThreadCost{acct}))
 
+	if o.Verify {
+		if err := graph.VerifyPartition(g, part, k, 0); err != nil {
+			return nil, fmt.Errorf("mtmetis: final partition: %w", err)
+		}
+	}
 	res.Part = part
 	res.EdgeCut = graph.EdgeCut(g, part)
 	return res, nil

@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"gpmetis/internal/fault"
 	"gpmetis/internal/graph"
 	"gpmetis/internal/metis"
 	"gpmetis/internal/mpi"
@@ -52,6 +53,10 @@ type Options struct {
 	// MatchPasses is the number of alternating-direction request passes
 	// per coarsening level.
 	MatchPasses int
+	// Faults, when non-nil, injects rank failures (fault.SiteMPIRank):
+	// a killed rank aborts the job with mpi.ErrRankFailure. Nil disables
+	// injection.
+	Faults *fault.Injector
 }
 
 // DefaultOptions mirrors the paper's setup: 8 ranks, 3% imbalance.
@@ -116,7 +121,7 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	var finalPart []int
 	var levelsOut int
 
-	_, err := mpi.Run(m, o.Procs, func(r *mpi.Rank) {
+	_, err := mpi.RunInjected(m, o.Procs, o.Faults, func(r *mpi.Rank) {
 		P := r.Size()
 		record := func(name string) {
 			r.Barrier()

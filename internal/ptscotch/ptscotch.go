@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"gpmetis/internal/graph"
+	"gpmetis/internal/fault"
 	"gpmetis/internal/metis"
 	"gpmetis/internal/mpi"
 	"gpmetis/internal/perfmodel"
@@ -52,6 +53,10 @@ type Options struct {
 	// BandWidth is the BFS distance from the separator kept in the
 	// refinement band (PT-Scotch uses a small constant).
 	BandWidth int
+	// Faults, when non-nil, injects rank failures (fault.SiteMPIRank):
+	// a killed rank aborts the job with mpi.ErrRankFailure. Nil disables
+	// injection.
+	Faults *fault.Injector
 }
 
 // DefaultOptions mirrors the ParMetis setup with PT-Scotch's knobs.
@@ -122,7 +127,7 @@ func Partition(g *graph.Graph, k int, o Options, m *perfmodel.Machine) (*Result,
 	var finalPart []int
 	var levelsOut, foldedAt int
 
-	_, err := mpi.Run(m, o.Procs, func(r *mpi.Rank) {
+	_, err := mpi.RunInjected(m, o.Procs, o.Faults, func(r *mpi.Rank) {
 		P := r.Size()
 		record := func(name string) {
 			r.Barrier()

@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"gpmetis/internal/core"
+	"gpmetis/internal/fault"
 	"gpmetis/internal/gmetis"
 	"gpmetis/internal/graph"
 	"gpmetis/internal/graph/gen"
@@ -85,6 +86,40 @@ func LevelTable(t *Tracer) string { return obs.LevelTable(t) }
 
 // NewBuilder returns a Builder for a graph with n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FaultInjector deterministically injects failures at the pipeline's
+// named fault sites (GPU allocations, kernel launches, PCIe transfers,
+// whole devices, MPI ranks, contraction hash tables). Two runs with the
+// same graph, options, and injector seed behave identically — same
+// partition, same modeled time, same fault events.
+type FaultInjector = fault.Injector
+
+// FaultEvent records one fault the pipeline absorbed (retry exhaustion,
+// hash fallback, CPU degradation, shard redistribution) and what it did
+// about it.
+type FaultEvent = core.FaultEvent
+
+// NewFaultInjector returns an empty injector; arm sites on it directly or
+// use ParseFaultScenario for the textual form.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
+
+// ParseFaultScenario builds an injector from a scenario spec, the format
+// behind the gpmetis -faults flag: ';'-separated site:key=val[,key=val]
+// entries, e.g. "pcie.transfer:p=0.2;gpu.memcap:cap=256M". An empty spec
+// returns a nil injector (injection disabled).
+func ParseFaultScenario(seed int64, spec string) (*FaultInjector, error) {
+	return fault.Parse(seed, spec)
+}
+
+// Typed validation and capacity errors, testable with errors.Is: usage
+// errors (bad k, bad imbalance) are permanent, while ErrGraphTooLarge
+// marks a capacity failure that a larger device — or Options.Degrade —
+// could absorb.
+var (
+	ErrBadK          = core.ErrBadK
+	ErrBadImbalance  = core.ErrBadImbalance
+	ErrGraphTooLarge = core.ErrGraphTooLarge
+)
 
 // ReadGraph parses a graph in the Chaco/Metis text format used by the
 // DIMACS challenges.
@@ -221,6 +256,20 @@ type Options struct {
 	// modeled timeline (GPMetis and MtMetis; other algorithms ignore it).
 	// Nil disables instrumentation entirely.
 	Tracer *Tracer
+	// Faults, when non-nil, injects deterministic failures at the
+	// pipeline's fault sites (GPMetis single- and multi-GPU, ParMetis,
+	// PTScotch; other algorithms ignore it). Nil disables injection with
+	// zero overhead.
+	Faults *FaultInjector
+	// Degrade lets GP-metis absorb GPU capacity failures and device
+	// deaths by degrading to the CPU pipeline (Result.Degraded reports
+	// it) instead of failing the run.
+	Degrade bool
+	// Verify enables paranoid invariant checking at every level boundary
+	// (GPMetis, MtMetis): cmap surjectivity, weight conservation, and
+	// edge-cut conservation across projection. Violations fail the run;
+	// checks run outside the modeled clock.
+	Verify bool
 }
 
 // Result reports a partitioning run.
@@ -237,6 +286,14 @@ type Result struct {
 	// conflict counts for the algorithms that track them (GPMetis,
 	// MtMetis); both stay 0 elsewhere.
 	MatchConflicts, MatchAttempts int
+	// Degraded reports that GP-metis abandoned the GPU mid-run and
+	// finished on the CPU pipeline; DegradedReason says why and at which
+	// level ("gpu-oom@coarsen.L3", "device-lost@uncoarsen.L1").
+	Degraded       bool
+	DegradedReason string
+	// FaultEvents lists every fault the run absorbed, in order, with the
+	// modeled time at which each fired.
+	FaultEvents []FaultEvent
 }
 
 // MatchConflictRate returns the fraction of lock-free match proposals the
@@ -277,6 +334,9 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 			co.CPUThreads = o.Threads
 		}
 		co.Tracer = o.Tracer
+		co.Faults = o.Faults
+		co.Degrade = o.Degrade
+		co.Verify = o.Verify
 		var r *core.Result
 		var err error
 		if o.Devices > 1 {
@@ -288,7 +348,8 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline,
-			MatchConflicts: r.MatchConflicts, MatchAttempts: r.MatchAttempts}, nil
+			MatchConflicts: r.MatchConflicts, MatchAttempts: r.MatchAttempts,
+			Degraded: r.Degraded, DegradedReason: r.DegradedReason, FaultEvents: r.Events}, nil
 	case Metis:
 		mo := metis.DefaultOptions()
 		mo.Seed = seed
@@ -305,6 +366,7 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		if o.Threads > 0 {
 			mo.Threads = o.Threads
 		}
+		mo.Verify = o.Verify
 		root := o.Tracer.Root("mtmetis.run", "host", 0,
 			obs.Int("vertices", int64(g.NumVertices())),
 			obs.Int("edges", int64(g.NumEdges())),
@@ -328,6 +390,7 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		po := parmetis.DefaultOptions()
 		po.Seed = seed
 		po.UBFactor = ub
+		po.Faults = o.Faults
 		if o.Procs > 0 {
 			po.Procs = o.Procs
 		}
@@ -340,6 +403,7 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		po := ptscotch.DefaultOptions()
 		po.Seed = seed
 		po.UBFactor = ub
+		po.Faults = o.Faults
 		if o.Procs > 0 {
 			po.Procs = o.Procs
 		}
