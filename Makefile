@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test check vet race bench fuzz
+.PHONY: build test check vet race bench bench-snapshot serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the race detector over every internal package: the tracer, the
-# simulated multi-GPU fleet, and the MPI abort path all thread goroutines
-# through shared structures.
+# race runs the race detector over every internal package and command: the
+# tracer, the simulated multi-GPU fleet, the MPI abort path, and the
+# partition-serving daemon all thread goroutines through shared structures.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/... ./cmd/...
 
 # check is the PR gate: static analysis plus the race detector.
 check: vet race
+
+# serve-smoke boots a real gpmetisd on a random port, submits a job with
+# the gpmetis client, and asserts the resubmission is a cache hit.
+serve-smoke: build
+	./scripts/serve_smoke.sh
 
 # fuzz exercises the hardened graph readers for FUZZTIME per target.
 fuzz:
@@ -28,3 +33,9 @@ fuzz:
 
 bench:
 	$(GO) run ./cmd/bench
+
+# bench-snapshot regenerates the committed perf trajectory record. The
+# modeled clock is deterministic, so a diff in BENCH_baseline.json means
+# an algorithm or machine-model change moved performance.
+bench-snapshot:
+	$(GO) run ./cmd/bench -scale 40 -runs 1 -snapshot BENCH_baseline.json table2

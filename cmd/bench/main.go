@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	metricsDir := flag.String("metrics", "", "write one BENCH_<input>.json per input graph into this directory")
+	snapshot := flag.String("snapshot", "", "write a single-file perf trajectory record (see BENCH_baseline.json) to this path")
 	flag.Parse()
 
 	var progress io.Writer
@@ -54,7 +55,7 @@ func main() {
 			"extended-ptscotch", "extended-multigpu", "extended-classic", "extended-ksweep"}
 	}
 
-	needRows := *metricsDir != ""
+	needRows := *metricsDir != "" || *snapshot != ""
 	for _, w := range want {
 		switch w {
 		case "fig5", "table2", "table3", "shape":
@@ -72,6 +73,11 @@ func main() {
 	}
 	if *metricsDir != "" {
 		if err := experiments.WriteBenchMetrics(*metricsDir, cfg, rows); err != nil {
+			fail(err)
+		}
+	}
+	if *snapshot != "" {
+		if err := experiments.WriteBenchSnapshot(*snapshot, cfg, rows); err != nil {
 			fail(err)
 		}
 	}

@@ -1,15 +1,32 @@
 // Command gpmetis partitions a graph in Chaco/Metis format with any of
-// the four partitioners and writes the partition vector (one partition id
-// per line, in vertex order), plus a summary of cut, balance, and modeled
-// runtime on stderr.
+// the bundled partitioners and writes the partition vector (one partition
+// id per line, in vertex order), plus a summary of cut, balance, and
+// modeled runtime on stderr.
 //
 // Usage:
 //
 //	gpmetis -k 64 [-algo gp|metis|mt|par|ptscotch|gmetis|jostle|spectral] \
-//	        [-ub 1.03] [-seed 1] [-o out.part] \
+//	        [-ub 1.03] [-seed 1] [-o out.part] [-json] \
+//	        [-server http://host:port] \
 //	        [-trace trace.json] [-metrics metrics.json] [-report] \
 //	        [-faults scenario] [-faultseed n] [-verify] [-degrade=false] \
 //	        graph.metis|graph.gr
+//
+// -server submits the job to a running gpmetisd daemon instead of
+// partitioning in-process: the graph is posted to /jobs, polled to
+// completion, and the result (possibly a cache hit) is printed exactly
+// like a local run. -trace downloads the job's trace from the daemon;
+// -metrics and -report need the in-process tracer and are local-only.
+//
+// -json replaces the human summary with one machine-readable JSON object
+// on stdout (input, algo, k, edge cut, imbalance, modeled seconds,
+// degraded reason, cache/job metadata in server mode). With -json the
+// partition vector is written only when -o is given, so stdout stays
+// pure JSON.
+//
+// Exit status: 0 on success, 1 on error, 2 on usage, and 3 when the run
+// finished but degraded to the CPU pipeline (Result.Degraded) even
+// though -degrade=false asked for failures instead.
 //
 // -trace writes a Chrome trace_event JSON of the run's span tree over the
 // modeled clock (open in chrome://tracing or ui.perfetto.dev); -metrics
@@ -31,6 +48,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,15 +57,39 @@ import (
 	"gpmetis"
 )
 
+// outcome is the algorithm-independent result of one run, local or
+// remote, from which the vector, the summary, and the exit code derive.
+type outcome struct {
+	Input          string  `json:"input"`
+	Algo           string  `json:"algo"`
+	K              int     `json:"k"`
+	EdgeCut        int     `json:"edge_cut"`
+	Imbalance      float64 `json:"imbalance"`
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	ConflictRate   float64 `json:"match_conflict_rate,omitempty"`
+	FaultEvents    int     `json:"fault_events,omitempty"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	// Server-mode metadata.
+	Server string `json:"server,omitempty"`
+	JobID  string `json:"job_id,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+
+	part         []int
+	hasConflicts bool
+}
+
 func main() {
 	k := flag.Int("k", 64, "number of partitions")
 	algo := flag.String("algo", "gp", "partitioner: gp, metis, mt, par, ptscotch, gmetis, jostle, or spectral")
 	ub := flag.Float64("ub", 1.03, "allowed imbalance factor")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file for the partition vector (default stdout)")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON on stdout (vector only with -o)")
+	serverURL := flag.String("server", "", "submit to a gpmetisd daemon at this base URL instead of running locally")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run (gp/mt)")
-	metricsOut := flag.String("metrics", "", "write a flat JSON metrics report (gp/mt)")
-	report := flag.Bool("report", false, "print a per-level table on stderr (gp/mt)")
+	metricsOut := flag.String("metrics", "", "write a flat JSON metrics report (gp/mt, local only)")
+	report := flag.Bool("report", false, "print a per-level table on stderr (gp/mt, local only)")
 	faults := flag.String("faults", "", "fault scenario, e.g. 'gpu.memcap:cap=64M;pcie.transfer:p=0.01'")
 	faultSeed := flag.Int64("faultseed", 0, "seed for fault injection coins (default: -seed)")
 	verify := flag.Bool("verify", false, "check partition invariants at every level boundary (gp/mt)")
@@ -59,122 +101,199 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *faultSeed == 0 {
+		*faultSeed = *seed
+	}
 
-	f, err := os.Open(flag.Arg(0))
+	var (
+		oc  *outcome
+		err error
+	)
+	if *serverURL != "" {
+		if *metricsOut != "" || *report {
+			fail(fmt.Errorf("-metrics and -report need the in-process tracer; use them without -server"))
+		}
+		oc, err = runRemote(remoteArgs{
+			base: strings.TrimRight(*serverURL, "/"), path: flag.Arg(0),
+			k: *k, algo: *algo, ub: *ub, seed: *seed,
+			faults: *faults, faultSeed: *faultSeed,
+			degrade: *degrade, verify: *verify, traceOut: *traceOut,
+		})
+	} else {
+		oc, err = runLocal(*k, *algo, *ub, *seed, *faults, *faultSeed,
+			*degrade, *verify, *traceOut, *metricsOut, *report)
+	}
 	if err != nil {
 		fail(err)
 	}
+
+	// Partition vector: stdout by default; with -json, only to -o so
+	// stdout stays machine-readable.
+	if *out != "" || !*jsonOut {
+		dst := os.Stdout
+		if *out != "" {
+			dst, err = os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer dst.Close()
+		}
+		w := bufio.NewWriter(dst)
+		for _, p := range oc.part {
+			fmt.Fprintln(w, p)
+		}
+		if err := w.Flush(); err != nil {
+			fail(err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(oc); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, oc.summaryLine())
+	}
+
+	// A degraded run when the caller explicitly opted out of degradation
+	// still produced a valid partition, but must be visible to scripts.
+	if oc.Degraded && !*degrade {
+		os.Exit(3)
+	}
+}
+
+// runLocal partitions in-process, exactly as before the daemon existed.
+func runLocal(k int, algoName string, ub float64, seed int64, faults string, faultSeed int64,
+	degrade, verify bool, traceOut, metricsOut string, report bool) (*outcome, error) {
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
 	var g *gpmetis.Graph
-	if strings.HasSuffix(flag.Arg(0), ".gr") {
+	if strings.HasSuffix(path, ".gr") {
 		g, err = gpmetis.ReadGraphGR(f) // DIMACS9 road-network format
 	} else {
 		g, err = gpmetis.ReadGraph(f) // Chaco/Metis format
 	}
 	f.Close()
 	if err != nil {
-		fail(err)
+		return nil, err
 	}
 
-	var a gpmetis.Algorithm
-	switch *algo {
-	case "gp":
-		a = gpmetis.GPMetis
-	case "metis":
-		a = gpmetis.Metis
-	case "mt":
-		a = gpmetis.MtMetis
-	case "par":
-		a = gpmetis.ParMetis
-	case "ptscotch":
-		a = gpmetis.PTScotch
-	case "gmetis":
-		a = gpmetis.Gmetis
-	case "jostle":
-		a = gpmetis.Jostle
-	case "spectral":
-		a = gpmetis.Spectral
-	default:
-		fail(fmt.Errorf("unknown algorithm %q (want gp, metis, mt, par, ptscotch, gmetis, jostle, or spectral)", *algo))
+	a, err := parseAlgo(algoName)
+	if err != nil {
+		return nil, err
 	}
-
 	var tracer *gpmetis.Tracer
-	if *traceOut != "" || *metricsOut != "" || *report {
+	if traceOut != "" || metricsOut != "" || report {
 		tracer = gpmetis.NewTracer()
 	}
-
-	if *faultSeed == 0 {
-		*faultSeed = *seed
-	}
-	injector, err := gpmetis.ParseFaultScenario(*faultSeed, *faults)
+	injector, err := gpmetis.ParseFaultScenario(faultSeed, faults)
 	if err != nil {
-		fail(err)
+		return nil, err
 	}
 
-	res, err := gpmetis.Partition(g, *k, gpmetis.Options{
+	res, err := gpmetis.Partition(g, k, gpmetis.Options{
 		Algorithm: a,
-		Seed:      *seed,
-		UBFactor:  *ub,
+		Seed:      seed,
+		UBFactor:  ub,
 		Tracer:    tracer,
 		Faults:    injector,
-		Degrade:   *degrade,
-		Verify:    *verify,
+		Degrade:   degrade,
+		Verify:    verify,
 	})
 	if err != nil {
-		fail(err)
+		return nil, err
 	}
 
-	if *traceOut != "" {
-		if err := writeFile(*traceOut, func(w *bufio.Writer) error {
+	if traceOut != "" {
+		if err := writeFile(traceOut, func(w *bufio.Writer) error {
 			return gpmetis.WriteChromeTrace(w, tracer)
 		}); err != nil {
-			fail(err)
+			return nil, err
 		}
 	}
-	if *metricsOut != "" {
+	if metricsOut != "" {
 		extra := map[string]any{
 			"edge_cut":            res.EdgeCut,
 			"modeled_seconds":     res.ModeledSeconds,
-			"imbalance":           gpmetis.Imbalance(g, res.Part, *k),
+			"imbalance":           gpmetis.Imbalance(g, res.Part, k),
 			"match_conflict_rate": res.MatchConflictRate(),
 		}
-		if err := writeFile(*metricsOut, func(w *bufio.Writer) error {
+		if err := writeFile(metricsOut, func(w *bufio.Writer) error {
 			return gpmetis.WriteMetricsJSON(w, tracer, extra)
 		}); err != nil {
-			fail(err)
+			return nil, err
 		}
 	}
-	if *report {
+	if report {
 		fmt.Fprint(os.Stderr, gpmetis.LevelTable(tracer))
 	}
 
-	dst := os.Stdout
-	if *out != "" {
-		dst, err = os.Create(*out)
-		if err != nil {
-			fail(err)
-		}
-		defer dst.Close()
-	}
-	w := bufio.NewWriter(dst)
-	for _, p := range res.Part {
-		fmt.Fprintln(w, p)
-	}
-	if err := w.Flush(); err != nil {
-		fail(err)
-	}
+	return &outcome{
+		Input:          path,
+		Algo:           a.String(),
+		K:              k,
+		EdgeCut:        res.EdgeCut,
+		Imbalance:      gpmetis.Imbalance(g, res.Part, k),
+		ModeledSeconds: res.ModeledSeconds,
+		ConflictRate:   res.MatchConflictRate(),
+		FaultEvents:    len(res.FaultEvents),
+		Degraded:       res.Degraded,
+		DegradedReason: res.DegradedReason,
+		part:           res.Part,
+		hasConflicts:   res.MatchAttempts > 0,
+	}, nil
+}
 
-	summary := fmt.Sprintf("%s: %s k=%d cut=%d imbalance=%.4f modeled=%.3fs",
-		flag.Arg(0), a, *k, res.EdgeCut, gpmetis.Imbalance(g, res.Part, *k), res.ModeledSeconds)
-	if res.MatchAttempts > 0 {
-		summary += fmt.Sprintf(" conflict_rate=%.2f%%", 100*res.MatchConflictRate())
+// parseAlgo maps the CLI algorithm names onto the library enum.
+func parseAlgo(name string) (gpmetis.Algorithm, error) {
+	switch name {
+	case "gp":
+		return gpmetis.GPMetis, nil
+	case "metis":
+		return gpmetis.Metis, nil
+	case "mt":
+		return gpmetis.MtMetis, nil
+	case "par":
+		return gpmetis.ParMetis, nil
+	case "ptscotch":
+		return gpmetis.PTScotch, nil
+	case "gmetis":
+		return gpmetis.Gmetis, nil
+	case "jostle":
+		return gpmetis.Jostle, nil
+	case "spectral":
+		return gpmetis.Spectral, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want gp, metis, mt, par, ptscotch, gmetis, jostle, or spectral)", name)
 	}
-	if len(res.FaultEvents) > 0 {
-		summary += fmt.Sprintf(" fault_events=%d", len(res.FaultEvents))
+}
+
+// summaryLine renders the classic one-line stderr summary.
+func (oc *outcome) summaryLine() string {
+	where := oc.Input
+	if oc.Server != "" {
+		where = fmt.Sprintf("%s@%s[%s]", oc.Input, oc.Server, oc.JobID)
 	}
-	if res.Degraded {
-		summary += fmt.Sprintf(" DEGRADED(%s)", res.DegradedReason)
+	s := fmt.Sprintf("%s: %s k=%d cut=%d imbalance=%.4f modeled=%.3fs",
+		where, oc.Algo, oc.K, oc.EdgeCut, oc.Imbalance, oc.ModeledSeconds)
+	if oc.hasConflicts {
+		s += fmt.Sprintf(" conflict_rate=%.2f%%", 100*oc.ConflictRate)
 	}
-	fmt.Fprintln(os.Stderr, summary)
+	if oc.Cached {
+		s += " CACHED"
+	}
+	if oc.FaultEvents > 0 {
+		s += fmt.Sprintf(" fault_events=%d", oc.FaultEvents)
+	}
+	if oc.Degraded {
+		s += fmt.Sprintf(" DEGRADED(%s)", oc.DegradedReason)
+	}
+	return s
 }
 
 // writeFile creates path and streams fn's output through a buffered writer.

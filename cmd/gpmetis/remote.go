@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gpmetis/internal/server"
+)
+
+// remoteArgs bundles the CLI flags the daemon client forwards.
+type remoteArgs struct {
+	base, path      string
+	k               int
+	algo            string
+	ub              float64
+	seed            int64
+	faults          string
+	faultSeed       int64
+	degrade, verify bool
+	traceOut        string
+}
+
+// runRemote submits the graph to a gpmetisd daemon, polls the job to a
+// terminal state, and returns the result in the same shape as a local
+// run. Queue overload (HTTP 429, code "overloaded") is reported as a
+// retryable error; a canceled or failed job becomes an error carrying
+// the daemon's reason.
+func runRemote(a remoteArgs) (*outcome, error) {
+	text, err := os.ReadFile(a.path)
+	if err != nil {
+		return nil, err
+	}
+	format := "metis"
+	if strings.HasSuffix(a.path, ".gr") {
+		format = "gr"
+	}
+	req := server.SubmitRequest{
+		Graph:     string(text),
+		Format:    format,
+		K:         a.k,
+		Algo:      a.algo,
+		Seed:      a.seed,
+		UB:        a.ub,
+		Faults:    a.faults,
+		FaultSeed: a.faultSeed,
+		Degrade:   a.degrade,
+		Verify:    a.verify,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(a.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", a.base, err)
+	}
+	st, err := decodeJob(resp)
+	if err != nil {
+		return nil, err
+	}
+
+	for st.State == server.StateQueued || st.State == server.StateRunning {
+		time.Sleep(100 * time.Millisecond)
+		resp, err := http.Get(a.base + "/jobs/" + st.ID)
+		if err != nil {
+			return nil, err
+		}
+		if st, err = decodeJob(resp); err != nil {
+			return nil, err
+		}
+	}
+	switch st.State {
+	case server.StateDone:
+	case server.StateCanceled:
+		return nil, fmt.Errorf("job %s was canceled: %s", st.ID, st.Error)
+	default:
+		return nil, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	if st.Result == nil {
+		return nil, fmt.Errorf("job %s is done but carries no result", st.ID)
+	}
+
+	if a.traceOut != "" {
+		if err := fetchTrace(a.base, st.ID, a.traceOut); err != nil {
+			return nil, err
+		}
+	}
+
+	algoName := a.algo
+	if parsed, err := parseAlgo(a.algo); err == nil {
+		algoName = parsed.String()
+	}
+	return &outcome{
+		Input:          a.path,
+		Algo:           algoName,
+		K:              a.k,
+		EdgeCut:        st.Result.EdgeCut,
+		Imbalance:      st.Result.Imbalance,
+		ModeledSeconds: st.Result.ModeledSeconds,
+		FaultEvents:    st.Result.FaultEvents,
+		Degraded:       st.Result.Degraded,
+		DegradedReason: st.Result.DegradedReason,
+		Server:         a.base,
+		JobID:          st.ID,
+		Cached:         st.Cached,
+		part:           st.Result.Part,
+	}, nil
+}
+
+// decodeJob reads a job status or translates the daemon's typed error.
+func decodeJob(resp *http.Response) (server.JobStatus, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			return server.JobStatus{}, fmt.Errorf("daemon returned HTTP %d", resp.StatusCode)
+		}
+		if e.Code == server.CodeOverloaded {
+			return server.JobStatus{}, fmt.Errorf("daemon overloaded (queue full), retry later: %s", e.Error)
+		}
+		return server.JobStatus{}, fmt.Errorf("daemon rejected the job (%s): %s", e.Code, e.Error)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// fetchTrace downloads the job's Chrome trace JSON from the daemon.
+func fetchTrace(base, id, path string) error {
+	resp, err := http.Get(base + "/jobs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace download: HTTP %d", resp.StatusCode)
+	}
+	return writeFile(path, func(w *bufio.Writer) error {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	})
+}

@@ -1,0 +1,90 @@
+// Command gpmetisd is the partition-serving daemon: it accepts
+// concurrent partition jobs over HTTP+JSON, runs them through a bounded
+// queue onto a pool of modeled GPU devices, and serves repeated requests
+// from a content-addressed result cache (see internal/server and
+// DESIGN.md §9).
+//
+// Usage:
+//
+//	gpmetisd [-addr 127.0.0.1:8080] [-devices 2] [-queue 64] \
+//	         [-cache 128] [-deadline 0] [-maxjobs 4096]
+//
+// API:
+//
+//	POST   /jobs            submit a job (202 queued, 200 cache hit,
+//	                        429 + code "overloaded" when the queue is full)
+//	GET    /jobs            list jobs
+//	GET    /jobs/{id}       job status; the result once done
+//	DELETE /jobs/{id}       cancel a queued or running job
+//	GET    /jobs/{id}/trace Chrome trace_event JSON of the job's run
+//	GET    /metrics         counters: queue depth, wait time, cache hit
+//	                        rate, jobs by outcome, modeled seconds
+//	GET    /healthz         liveness and occupancy
+//
+// Submit with the gpmetis client (gpmetis -server http://...) or curl:
+//
+//	curl -s -X POST localhost:8080/jobs \
+//	     -d "{\"graph\": $(jq -Rs . < graph.metis), \"k\": 64}"
+//
+// The daemon passes -addr to net.Listen verbatim, so -addr 127.0.0.1:0
+// picks a random free port; the chosen address is printed on startup.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpmetis/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a random port)")
+	devices := flag.Int("devices", 2, "modeled GPU device slots: jobs running concurrently")
+	queueCap := flag.Int("queue", 64, "job queue capacity; submissions beyond it get 429")
+	cacheCap := flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
+	deadline := flag.Duration("deadline", 0, "default per-job deadline, e.g. 30s (0 = unbounded)")
+	maxJobs := flag.Int("maxjobs", 4096, "retained job statuses before the oldest terminal jobs are forgotten")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Devices:         *devices,
+		QueueCap:        *queueCap,
+		CacheCap:        *cacheCap,
+		DefaultDeadline: *deadline,
+		MaxJobs:         *maxJobs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmetisd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gpmetisd: listening on http://%s (devices=%d queue=%d cache=%d)\n",
+		ln.Addr(), *devices, *queueCap, *cacheCap)
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "gpmetisd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+		s.Close()
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "gpmetisd:", err)
+		s.Close()
+		os.Exit(1)
+	}
+}

@@ -215,6 +215,19 @@ func (r *run) event(site fault.Site, action string, level int, detail string) {
 
 // coarsenGPU uploads the graph and runs GPU coarsening level by level
 // down to the threshold (pipeline steps 1-2).
+// canceled polls the cooperative cancellation hook; a non-nil return
+// wraps both ErrCanceled and the hook's cause so callers can test for
+// either with errors.Is.
+func (r *run) canceled() error {
+	if r.o.Cancel == nil {
+		return nil
+	}
+	if err := r.o.Cancel(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
 func (r *run) coarsenGPU() error {
 	// Initially, the graph information is copied to the GPU's global
 	// memory (Section III).
@@ -229,6 +242,9 @@ func (r *run) coarsenGPU() error {
 	maxVWgt := metis.MaxVertexWeight(r.g, r.k, r.o.CoarsenTo)
 	o, d := r.o, r.d
 	for r.cur.g.NumVertices() > o.GPUThreshold {
+		if err := r.canceled(); err != nil {
+			return err
+		}
 		cur := r.cur
 		lvlIdx := len(r.levels)
 		fineN := cur.g.NumVertices()
@@ -309,6 +325,9 @@ func (r *run) coarsenGPU() error {
 // coarsening, computes the initial partitioning, and refines the coarse
 // levels (pipeline step 3).
 func (r *run) cpuPhase() error {
+	if err := r.canceled(); err != nil {
+		return err
+	}
 	r.d.ToHost("d2h.coarse", r.cur.g.Bytes())
 	cpuSpan := r.sink.Begin("cpu.phase", r.res.Timeline.Total(),
 		obs.Str("side", "cpu"), obs.Int("vertices", int64(r.cur.g.NumVertices())))
@@ -360,6 +379,9 @@ func (r *run) uncoarsenGPU() error {
 	r.segment("handoff")
 
 	for i := len(r.levels) - 1; i >= 0; i-- {
+		if err := r.canceled(); err != nil {
+			return err
+		}
 		lvl := r.levels[i]
 		lvlSpan := r.sink.Begin(obs.SpanUncoarsenLevel, r.res.Timeline.Total(),
 			obs.Str("side", "gpu"),

@@ -55,6 +55,9 @@ var (
 	// device memory (single- or multi-GPU) and degradation was off or
 	// impossible.
 	ErrGraphTooLarge = errors.New("core: graph exceeds device capacity")
+	// ErrCanceled reports that Options.Cancel stopped the run at a level
+	// boundary before it completed.
+	ErrCanceled = errors.New("core: run canceled")
 )
 
 // MergeStrategy selects how the contraction kernel merges the adjacency
@@ -162,6 +165,14 @@ type Options struct {
 	// projection. Verification runs on the host and does not charge the
 	// modeled timeline.
 	Verify bool
+	// Cancel, when non-nil, is polled at every level boundary (each GPU
+	// coarsening level, the CPU handoff, each uncoarsening level). A
+	// non-nil return aborts the run with an error wrapping both
+	// ErrCanceled and the returned cause (so errors.Is works against
+	// either, e.g. context.Canceled from a serving layer). Cancellation
+	// is cooperative: the run stops at the next boundary, never
+	// mid-kernel, and is never absorbed by the Degrade ladder.
+	Cancel func() error
 }
 
 // DefaultOptions mirrors the paper's experimental setup.

@@ -65,6 +65,65 @@ func WriteBenchMetrics(dir string, cfg Config, rows []Row) error {
 	return nil
 }
 
+// BenchSnapshot is the single-file performance trajectory record: every
+// input's modeled seconds and cut for the four compared partitioners,
+// under one pinned configuration. The committed BENCH_baseline.json is
+// one of these; `make bench-snapshot` regenerates it so a PR that moves
+// modeled time shows up as a one-line JSON diff.
+type BenchSnapshot struct {
+	Schema   string          `json:"schema"`
+	K        int             `json:"k"`
+	ScaleDiv int             `json:"scale_div"`
+	Runs     int             `json:"runs"`
+	Seed     int64           `json:"seed"`
+	Inputs   []SnapshotInput `json:"inputs"`
+}
+
+// SnapshotInput is one input graph's slice of the snapshot.
+type SnapshotInput struct {
+	Input    string            `json:"input"`
+	Vertices int               `json:"vertices"`
+	Edges    int               `json:"edges"`
+	Results  map[string]result `json:"results"`
+}
+
+// BuildBenchSnapshot assembles the trajectory record from measured rows.
+func BuildBenchSnapshot(cfg Config, rows []Row) BenchSnapshot {
+	cfg = cfg.withDefaults()
+	snap := BenchSnapshot{
+		Schema:   "gpmetis-bench-v1",
+		K:        cfg.K,
+		ScaleDiv: cfg.ScaleDiv,
+		Runs:     cfg.Runs,
+		Seed:     cfg.Seed,
+	}
+	for _, r := range rows {
+		snap.Inputs = append(snap.Inputs, SnapshotInput{
+			Input:    r.Class.String(),
+			Vertices: r.V,
+			Edges:    r.E,
+			Results: map[string]result{
+				"metis":    toResult(r, r.Metis),
+				"parmetis": toResult(r, r.ParMetis),
+				"mtmetis":  toResult(r, r.MtMetis),
+				"gpmetis":  toResult(r, r.GPMetis),
+			},
+		})
+	}
+	return snap
+}
+
+// WriteBenchSnapshot writes the trajectory record to path as indented
+// JSON. Modeled seconds are deterministic for a given configuration, so
+// the file only changes when the algorithms or the machine model do.
+func WriteBenchSnapshot(path string, cfg Config, rows []Row) error {
+	data, err := json.MarshalIndent(BuildBenchSnapshot(cfg, rows), "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func toResult(r Row, m Measurement) result {
 	return result{
 		ModeledSeconds: m.Seconds,

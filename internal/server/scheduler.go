@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gpmetis"
+)
+
+// ErrQueueFull is the typed admission-control rejection: the bounded job
+// queue is at capacity and the submission was refused. The HTTP layer
+// maps it to 429 with code "overloaded"; direct callers retry later.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// pool is the device-pool scheduler: one worker goroutine per modeled
+// GPU slot, each owning a private clone of the machine model. A slot
+// runs one job at a time, so jobs never share a modeled device — the
+// modeled-clock isolation invariant — while up to len(machines) jobs
+// progress concurrently in wall-clock time.
+type pool struct {
+	s        *Server
+	machines []*gpmetis.Machine
+}
+
+func newPool(s *Server, devices int, base *gpmetis.Machine) *pool {
+	p := &pool{s: s}
+	for i := 0; i < devices; i++ {
+		m := *base // private clone per slot: no cross-job model sharing
+		p.machines = append(p.machines, &m)
+	}
+	return p
+}
+
+// start launches the workers; they exit when ctx is canceled.
+func (p *pool) start(ctx context.Context) {
+	for i := range p.machines {
+		p.s.wg.Add(1)
+		go func(slot int) {
+			defer p.s.wg.Done()
+			p.worker(ctx, slot)
+		}(i)
+	}
+}
+
+// worker drains the queue: pop, discard if the job died while queued,
+// otherwise run it on this slot's private machine. The slot is freed —
+// by returning to the top of the loop — on every outcome, including
+// cancellation and failure, so one misbehaving job can never leak a
+// device.
+func (p *pool) worker(ctx context.Context, slot int) {
+	for {
+		var job *Job
+		select {
+		case <-ctx.Done():
+			return
+		case job = <-p.s.queue:
+		}
+		p.s.reg.Add("queue.depth", -1)
+		if hook := p.s.beforeRun; hook != nil {
+			hook(job)
+		}
+		if err := job.ctx.Err(); err != nil {
+			p.finishDead(job, err)
+			continue
+		}
+		wait := time.Since(job.queuedAt).Seconds()
+		p.s.reg.Add("queue.wait_seconds", wait)
+		job.markRunning(slot, wait)
+		p.s.reg.Add("devices.busy", 1)
+		p.runJob(job, slot)
+		p.s.reg.Add("devices.busy", -1)
+	}
+}
+
+// finishDead retires a job whose context expired before it ran.
+func (p *pool) finishDead(job *Job, cause error) {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		p.s.reg.Add("jobs.failed", 1)
+		job.finish(StateFailed, nil, "deadline exceeded while queued")
+		return
+	}
+	p.s.reg.Add("jobs.canceled", 1)
+	job.finish(StateCanceled, nil, "canceled while queued")
+}
+
+// runJob executes one job on this slot. The run gets its own tracer,
+// its own machine clone, and a Cancel hook bound to the job context, so
+// a DELETE or a deadline stops it at the next level boundary.
+func (p *pool) runJob(job *Job, slot int) {
+	tracer := gpmetis.NewTracer()
+	job.setTracer(tracer)
+	o := job.opts
+	o.Tracer = tracer
+	o.Machine = p.machines[slot]
+	o.Cancel = job.ctx.Err
+
+	res, err := gpmetis.Partition(job.g, job.k, o)
+	switch {
+	case err == nil:
+		jr := &JobResult{
+			Part:           res.Part,
+			EdgeCut:        res.EdgeCut,
+			Imbalance:      gpmetis.Imbalance(job.g, res.Part, job.k),
+			ModeledSeconds: res.ModeledSeconds,
+			Degraded:       res.Degraded,
+			DegradedReason: res.DegradedReason,
+			FaultEvents:    len(res.FaultEvents),
+		}
+		p.s.reg.Add("jobs.completed", 1)
+		p.s.reg.Add("modeled.seconds", res.ModeledSeconds)
+		if res.Degraded {
+			p.s.reg.Add("jobs.degraded", 1)
+		}
+		if job.key != "" {
+			p.s.cache.Put(job.key, &CachedResult{Result: *jr, Tracer: tracer})
+		}
+		job.finish(StateDone, jr, "")
+	case errors.Is(err, gpmetis.ErrCanceled):
+		if errors.Is(job.ctx.Err(), context.DeadlineExceeded) {
+			p.s.reg.Add("jobs.failed", 1)
+			job.finish(StateFailed, nil, fmt.Sprintf("deadline exceeded: %v", err))
+			return
+		}
+		p.s.reg.Add("jobs.canceled", 1)
+		job.finish(StateCanceled, nil, err.Error())
+	default:
+		p.s.reg.Add("jobs.failed", 1)
+		job.finish(StateFailed, nil, err.Error())
+	}
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpmetis"
+	"gpmetis/internal/obs"
+)
+
+// Config sizes the serving subsystem. Zero values take the defaults
+// noted per field.
+type Config struct {
+	// Devices is the scheduler pool size: how many jobs run concurrently,
+	// each on a private clone of the machine model (default 2).
+	Devices int
+	// QueueCap bounds the job queue; submissions beyond it are rejected
+	// with ErrQueueFull (default 64).
+	QueueCap int
+	// CacheCap bounds the result cache in entries; < 0 disables caching
+	// (default 128).
+	CacheCap int
+	// Machine is the base machine model each device slot clones; nil
+	// means gpmetis.DefaultMachine().
+	Machine *gpmetis.Machine
+	// DefaultDeadline bounds jobs that set no deadline_ms; 0 means
+	// unbounded.
+	DefaultDeadline time.Duration
+	// MaxJobs bounds the in-memory job index; the oldest terminal jobs
+	// are forgotten beyond it (default 4096).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Devices == 0 {
+		c.Devices = 2
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 128
+	}
+	if c.CacheCap < 0 {
+		c.CacheCap = 0
+	}
+	if c.Machine == nil {
+		c.Machine = gpmetis.DefaultMachine()
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Server owns the queue, the device pool, the result cache, and the job
+// index. Create with New, serve its Handler, and Close on shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *Cache
+	queue chan *Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listing and retention
+	seq   int
+
+	start time.Time
+
+	// beforeRun, when non-nil, is called by a worker after popping a job
+	// and before checking its context — a test seam that makes queue-full
+	// and cancellation scenarios deterministic.
+	beforeRun func(*Job)
+}
+
+// New builds a Server and starts its device-pool workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   &obs.Registry{},
+		cache: NewCache(cfg.CacheCap),
+		queue: make(chan *Job, cfg.QueueCap),
+		jobs:  map[string]*Job{},
+		start: time.Now(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.reg.Set("devices.total", float64(cfg.Devices))
+	s.reg.Set("queue.cap", float64(cfg.QueueCap))
+	newPool(s, cfg.Devices, cfg.Machine).start(s.baseCtx)
+	return s
+}
+
+// Close stops the workers. Queued jobs are abandoned in place; running
+// jobs finish their current level and stop at the next boundary only if
+// their own contexts are canceled, so callers wanting a hard stop should
+// cancel jobs first.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// Metrics returns the server's counter registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Submit validates req, consults the result cache, and either completes
+// the job instantly (hit) or admits it to the bounded queue. It returns
+// ErrQueueFull when the queue is at capacity and a *requestError for
+// invalid submissions.
+func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
+	job, err := resolveRequest(req)
+	if err != nil {
+		s.reg.Add("jobs.bad_request", 1)
+		return nil, err
+	}
+	s.reg.Add("jobs.submitted", 1)
+
+	deadline := time.Duration(req.DeadlineMs) * time.Millisecond
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if deadline > 0 {
+		job.ctx, job.cancel = context.WithTimeout(s.baseCtx, deadline)
+	} else {
+		job.ctx, job.cancel = context.WithCancel(s.baseCtx)
+	}
+
+	// The cache is its own hit/miss bookkeeper; /metrics merges its
+	// counts into the registry snapshot.
+	if job.key != "" {
+		if hit, ok := s.cache.Get(job.key); ok {
+			s.register(job)
+			job.finishCached(hit)
+			return job, nil
+		}
+	}
+
+	// Admission control: the job is either in the queue or rejected; it
+	// is registered only after the queue accepted it, so a rejected
+	// submission leaves no trace beyond the counter.
+	job.queuedAt = time.Now()
+	select {
+	case s.queue <- job:
+		s.reg.Add("queue.depth", 1)
+	default:
+		s.reg.Add("jobs.rejected", 1)
+		job.cancel()
+		return nil, fmt.Errorf("%w: capacity %d", ErrQueueFull, s.cfg.QueueCap)
+	}
+	s.register(job)
+	return job, nil
+}
+
+// register assigns the job its ID and indexes it, forgetting the oldest
+// terminal jobs beyond the retention cap.
+func (s *Server) register(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j.ID = fmt.Sprintf("j%06d", s.seq)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.order) > s.cfg.MaxJobs {
+		old := s.jobs[s.order[0]]
+		if old != nil {
+			st := old.Status().State
+			if st == StateQueued || st == StateRunning {
+				break // never forget a live job
+			}
+			delete(s.jobs, s.order[0])
+		}
+		s.order = s.order[1:]
+	}
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /jobs            submit (202 queued, 200 cache hit, 429 full)
+//	GET    /jobs            list job statuses, oldest first
+//	GET    /jobs/{id}       one job's status (result when done)
+//	DELETE /jobs/{id}       cancel
+//	GET    /jobs/{id}/trace Chrome trace_event JSON of the job's run
+//	GET    /metrics         counter registry snapshot
+//	GET    /healthz         liveness + pool/queue occupancy
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	job, err := s.Submit(&req)
+	switch {
+	case err == nil:
+		st := job.Status()
+		code := http.StatusAccepted
+		if st.State == StateDone {
+			code = http.StatusOK // cache hit: born done
+		}
+		writeJSON(w, code, st)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		st.Result = nil // listing stays light; fetch one job for the vector
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.Job(r.PathValue("id")); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
+		return
+	}
+	t := j.Tracer()
+	if t == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "job has not started; no trace yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := gpmetis.WriteChromeTrace(w, t); err != nil {
+		// Headers are gone; the truncated body is the best signal left.
+		return
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, evicted := s.cache.Stats()
+	extra := map[string]float64{
+		"cache.hits":     float64(hits),
+		"cache.misses":   float64(misses),
+		"cache.evicted":  float64(evicted),
+		"cache.entries":  float64(s.cache.Len()),
+		"uptime.seconds": time.Since(s.start).Seconds(),
+	}
+	var rate float64
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	extra["cache.hit_rate"] = rate
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteRegistryJSON(w, s.reg, extra)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     "ok",
+		Devices:    s.cfg.Devices,
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueCap,
+		Jobs:       n,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, apiCode, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg, Code: apiCode})
+}

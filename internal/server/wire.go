@@ -1,0 +1,131 @@
+// Package server implements the partition-serving subsystem behind the
+// gpmetisd daemon: a bounded job queue with admission control, a
+// device-pool scheduler that maps accepted jobs onto a fleet of modeled
+// GPUs, and a content-addressed result cache keyed by graph digest plus
+// canonicalized options (DESIGN.md §9).
+//
+// The serving layer sits strictly above the partitioning core: it speaks
+// HTTP+JSON on the outside and the public gpmetis API on the inside.
+// Three invariants hold throughout:
+//
+//   - Modeled-clock isolation. Every job runs against a private clone of
+//     the machine model and carries its own Timeline, so concurrent jobs
+//     never interleave modeled time; a job's ModeledSeconds is identical
+//     to what a direct Partition call would report.
+//   - Admission before work. A job is either accepted into the bounded
+//     queue at submit time or rejected with the typed ErrQueueFull
+//     (HTTP 429); accepted jobs cannot be lost, only completed, failed,
+//     or canceled.
+//   - Cache transparency. A cache hit returns the byte-identical
+//     partition of the original run at zero additional modeled cost and
+//     is marked Cached in the job status.
+package server
+
+import "fmt"
+
+// SubmitRequest is the wire form of one partition job. Graph carries the
+// graph text inline (Chaco/Metis by default, DIMACS9 ".gr" with
+// Format="gr"); the remaining fields mirror the gpmetis CLI flags. Zero
+// values take the library defaults (algo "gp", seed 1, ub 1.03).
+type SubmitRequest struct {
+	Graph   string  `json:"graph"`
+	Format  string  `json:"format,omitempty"` // "metis" (default) or "gr"
+	K       int     `json:"k"`
+	Algo    string  `json:"algo,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	UB      float64 `json:"ub,omitempty"`
+	Threads int     `json:"threads,omitempty"`
+	// Devices > 1 runs the job in GP-metis's multi-GPU mode. The job
+	// still occupies one scheduler slot: a slot models the host-side
+	// device context, not an individual GPU board.
+	Devices int    `json:"devices,omitempty"`
+	Merge   string `json:"merge,omitempty"` // "hash" (default) or "sort"
+	// Faults is a per-job fault scenario in the gpmetis -faults syntax,
+	// e.g. "gpu.memcap:cap=64M;pcie.transfer:p=0.01". FaultSeed seeds
+	// the injection coins (0 means Seed).
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+	Degrade   bool   `json:"degrade,omitempty"`
+	Verify    bool   `json:"verify,omitempty"`
+	// DeadlineMs bounds the job's total wall-clock lifetime (queue wait
+	// plus run). 0 means the server default. Expired jobs fail with a
+	// deadline error; a queued job whose deadline fires never runs.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// NoCache skips the result cache in both directions.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Job states. A job moves queued -> running -> done/failed, or to
+// canceled from either live state. Cache hits are born done.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobResult is the outcome of a completed job, mirroring gpmetis.Result
+// plus the achieved imbalance.
+type JobResult struct {
+	Part           []int   `json:"part"`
+	EdgeCut        int     `json:"edge_cut"`
+	Imbalance      float64 `json:"imbalance"`
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	FaultEvents    int     `json:"fault_events,omitempty"`
+}
+
+// JobStatus is the wire form of one job's current state.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Cached marks a job served from the result cache; its result is the
+	// original run's, at zero additional modeled cost.
+	Cached bool `json:"cached,omitempty"`
+	// Device is the pool slot the job ran on, -1 before scheduling and
+	// for cache hits.
+	Device int `json:"device"`
+	// WaitSeconds is the wall-clock time the job spent queued before a
+	// device picked it up.
+	WaitSeconds float64 `json:"wait_seconds"`
+	Error       string  `json:"error,omitempty"`
+	// Result is set once State is done.
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// ErrorResponse is the wire form of every non-2xx answer. Code is
+// machine-readable: "overloaded" (queue full, retryable), "bad_request",
+// "not_found".
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Error codes carried by ErrorResponse.
+const (
+	CodeOverloaded = "overloaded"
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+)
+
+// HealthResponse is the wire form of GET /healthz.
+type HealthResponse struct {
+	Status     string `json:"status"`
+	Devices    int    `json:"devices"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Jobs       int    `json:"jobs"`
+}
+
+// badRequest builds a client-usage error that the HTTP layer maps to 400.
+func badRequest(format string, args ...any) error {
+	return &requestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// requestError marks client-usage failures (unparsable graph, bad k,
+// unknown algorithm) as distinct from server-side faults.
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string { return e.msg }

@@ -112,13 +112,17 @@ func ParseFaultScenario(seed int64, spec string) (*FaultInjector, error) {
 }
 
 // Typed validation and capacity errors, testable with errors.Is: usage
-// errors (bad k, bad imbalance) are permanent, while ErrGraphTooLarge
-// marks a capacity failure that a larger device — or Options.Degrade —
-// could absorb.
+// errors (bad k, bad imbalance, empty graph, malformed option) are
+// permanent, ErrGraphTooLarge marks a capacity failure that a larger
+// device — or Options.Degrade — could absorb, and ErrCanceled reports a
+// run stopped by Options.Cancel before completing.
 var (
 	ErrBadK          = core.ErrBadK
 	ErrBadImbalance  = core.ErrBadImbalance
+	ErrEmptyGraph    = core.ErrEmptyGraph
+	ErrBadOption     = core.ErrBadOption
 	ErrGraphTooLarge = core.ErrGraphTooLarge
+	ErrCanceled      = core.ErrCanceled
 )
 
 // ReadGraph parses a graph in the Chaco/Metis text format used by the
@@ -270,6 +274,11 @@ type Options struct {
 	// edge-cut conservation across projection. Violations fail the run;
 	// checks run outside the modeled clock.
 	Verify bool
+	// Cancel, when non-nil, is polled at level boundaries (GPMetis; other
+	// algorithms run to completion once started). A non-nil return aborts
+	// the run with an error matching both ErrCanceled and the returned
+	// cause — pass ctx.Err to make a run honor a context.Context.
+	Cancel func() error
 }
 
 // Result reports a partitioning run.
@@ -308,6 +317,18 @@ func (r *Result) MatchConflictRate() float64 {
 // Partition divides g into k balanced parts minimizing edge cut, using
 // the selected algorithm on the modeled machine.
 func Partition(g *Graph, k int, o Options) (*Result, error) {
+	// Validate the inputs common to every algorithm here, so the exported
+	// sentinels hold uniformly: each bundled partitioner has its own
+	// internal checks, but only the GP-metis core wraps the typed errors.
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("%w: cannot partition it", ErrEmptyGraph)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k must be >= 1, got %d", ErrBadK, k)
+	}
+	if o.UBFactor != 0 && o.UBFactor < 1 {
+		return nil, fmt.Errorf("%w: UBFactor %g must be >= 1.0", ErrBadImbalance, o.UBFactor)
+	}
 	m := o.Machine
 	if m == nil {
 		m = DefaultMachine()
@@ -337,6 +358,7 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		co.Faults = o.Faults
 		co.Degrade = o.Degrade
 		co.Verify = o.Verify
+		co.Cancel = o.Cancel
 		var r *core.Result
 		var err error
 		if o.Devices > 1 {

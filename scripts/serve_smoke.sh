@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# serve_smoke.sh - end-to-end smoke test of the partition-serving daemon.
+#
+# Boots gpmetisd on a random port, submits a job through the gpmetis
+# client, asserts it completes, resubmits the identical job, and asserts
+# the second run is a cache hit with the same result. Run via
+# `make serve-smoke` or directly from the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building binaries"
+go build -o "$workdir/gpmetisd" ./cmd/gpmetisd
+go build -o "$workdir/gpmetis" ./cmd/gpmetis
+go run ./cmd/graphgen -family delaunay -n 20000 -seed 1 -o "$workdir/smoke.metis"
+
+echo "serve-smoke: starting gpmetisd on a random port"
+"$workdir/gpmetisd" -addr 127.0.0.1:0 -devices 2 >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon prints "gpmetisd: listening on http://HOST:PORT (...)".
+base=""
+for _ in $(seq 1 50); do
+    base="$(sed -n 's/^gpmetisd: listening on \(http:\/\/[^ ]*\).*/\1/p' "$workdir/daemon.log")"
+    [[ -n "$base" ]] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/daemon.log"; echo "serve-smoke: FAIL daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$base" ]] || { echo "serve-smoke: FAIL daemon never reported its address"; exit 1; }
+echo "serve-smoke: daemon at $base"
+
+echo "serve-smoke: submitting job"
+"$workdir/gpmetis" -server "$base" -k 16 -json -o "$workdir/run1.part" \
+    "$workdir/smoke.metis" >"$workdir/run1.json"
+grep -q '"edge_cut"' "$workdir/run1.json" || { cat "$workdir/run1.json"; echo "serve-smoke: FAIL first run carries no result"; exit 1; }
+if grep -q '"cached": true' "$workdir/run1.json"; then
+    echo "serve-smoke: FAIL first submission must not be a cache hit"
+    exit 1
+fi
+
+echo "serve-smoke: resubmitting identical job"
+"$workdir/gpmetis" -server "$base" -k 16 -json -o "$workdir/run2.part" \
+    "$workdir/smoke.metis" >"$workdir/run2.json"
+grep -q '"cached": true' "$workdir/run2.json" || { cat "$workdir/run2.json"; echo "serve-smoke: FAIL resubmission was not served from the cache"; exit 1; }
+cmp -s "$workdir/run1.part" "$workdir/run2.part" || { echo "serve-smoke: FAIL cached partition differs from the original"; exit 1; }
+
+# The daemon's own counters must agree: exactly one hit, one miss.
+curl -sf "$base/metrics" >"$workdir/metrics.json"
+grep -q '"cache.hits": 1' "$workdir/metrics.json" || { cat "$workdir/metrics.json"; echo "serve-smoke: FAIL expected cache.hits = 1"; exit 1; }
+curl -sf "$base/healthz" >/dev/null || { echo "serve-smoke: FAIL healthz"; exit 1; }
+
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "serve-smoke: OK"
