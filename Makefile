@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
+CHAOS_RUNS ?= 25
+CHAOS_SEED ?= 1
 
-.PHONY: build test check vet race bench bench-snapshot serve-smoke fuzz
+.PHONY: build test check vet race bench bench-snapshot serve-smoke restart-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -22,9 +24,23 @@ race:
 check: vet race
 
 # serve-smoke boots a real gpmetisd on a random port, submits a job with
-# the gpmetis client, and asserts the resubmission is a cache hit.
+# the gpmetis client, and asserts the resubmission is a cache hit; it then
+# runs the kill -9 / restart recovery smoke on a journaled daemon.
 serve-smoke: build
 	./scripts/serve_smoke.sh
+	./scripts/restart_smoke.sh
+
+# restart-smoke runs only the crash-recovery end-to-end: SIGKILL a
+# journaled gpmetisd mid-job, restart it on the same journal, and assert
+# the interrupted job resumes from its checkpoint.
+restart-smoke: build
+	./scripts/restart_smoke.sh
+
+# chaos soaks the pipeline and daemon with seeded random fault scenarios,
+# interruptions, and restarts (see cmd/chaos). Failures print a replay
+# line: make chaos CHAOS_SEED=<seed> reproduces any round exactly.
+chaos:
+	$(GO) run ./cmd/chaos -runs $(CHAOS_RUNS) -seed $(CHAOS_SEED)
 
 # fuzz exercises the hardened graph readers for FUZZTIME per target.
 fuzz:

@@ -7,7 +7,8 @@
 //
 //	gpmetis -k 64 [-algo gp|metis|mt|par|ptscotch|gmetis|jostle|spectral] \
 //	        [-ub 1.03] [-seed 1] [-o out.part] [-json] \
-//	        [-server http://host:port] \
+//	        [-server http://host:port] [-retries 3] \
+//	        [-checkpoint-dir ckpt/] \
 //	        [-trace trace.json] [-metrics metrics.json] [-report] \
 //	        [-faults scenario] [-faultseed n] [-verify] [-degrade=false] \
 //	        graph.metis|graph.gr
@@ -15,8 +16,18 @@
 // -server submits the job to a running gpmetisd daemon instead of
 // partitioning in-process: the graph is posted to /jobs, polled to
 // completion, and the result (possibly a cache hit) is printed exactly
-// like a local run. -trace downloads the job's trace from the daemon;
-// -metrics and -report need the in-process tracer and are local-only.
+// like a local run. When the daemon answers 429 (queue full) the client
+// honors its Retry-After and re-submits up to -retries times with
+// jittered exponential backoff. -trace downloads the job's trace from
+// the daemon; -metrics and -report need the in-process tracer and are
+// local-only.
+//
+// -checkpoint-dir (local gp runs) snapshots the run at every level
+// boundary under <dir>/<input>.k<k>.s<seed>.ckpt. Rerunning the same
+// command after an interruption resumes from the snapshot and produces
+// the bit-identical partition, edge cut, and modeled seconds; a
+// completed run deletes its snapshot. A snapshot that does not match
+// the graph or options is discarded with a warning.
 //
 // -json replaces the human summary with one machine-readable JSON object
 // on stdout (input, algo, k, edge cut, imbalance, modeled seconds,
@@ -49,9 +60,12 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gpmetis"
@@ -94,6 +108,8 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 0, "seed for fault injection coins (default: -seed)")
 	verify := flag.Bool("verify", false, "check partition invariants at every level boundary (gp/mt)")
 	degrade := flag.Bool("degrade", true, "fall back to the CPU pipeline on GPU failure (gp)")
+	ckptDir := flag.String("checkpoint-dir", "", "snapshot gp runs here and auto-resume an interrupted run (local only)")
+	retries := flag.Int("retries", 3, "with -server: re-submissions after a 429, honoring Retry-After with backoff")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -118,10 +134,11 @@ func main() {
 			k: *k, algo: *algo, ub: *ub, seed: *seed,
 			faults: *faults, faultSeed: *faultSeed,
 			degrade: *degrade, verify: *verify, traceOut: *traceOut,
+			retries: *retries,
 		})
 	} else {
 		oc, err = runLocal(*k, *algo, *ub, *seed, *faults, *faultSeed,
-			*degrade, *verify, *traceOut, *metricsOut, *report)
+			*degrade, *verify, *traceOut, *metricsOut, *report, *ckptDir)
 	}
 	if err != nil {
 		fail(err)
@@ -165,8 +182,12 @@ func main() {
 }
 
 // runLocal partitions in-process, exactly as before the daemon existed.
+// With checkpointDir set (gp only), the run snapshots at every level
+// boundary under a name derived from the input, k, and seed; a later
+// invocation of the same run finds the snapshot and resumes from it
+// bit-identically, and a completed run removes it.
 func runLocal(k int, algoName string, ub float64, seed int64, faults string, faultSeed int64,
-	degrade, verify bool, traceOut, metricsOut string, report bool) (*outcome, error) {
+	degrade, verify bool, traceOut, metricsOut string, report bool, checkpointDir string) (*outcome, error) {
 	path := flag.Arg(0)
 	f, err := os.Open(path)
 	if err != nil {
@@ -196,7 +217,7 @@ func runLocal(k int, algoName string, ub float64, seed int64, faults string, fau
 		return nil, err
 	}
 
-	res, err := gpmetis.Partition(g, k, gpmetis.Options{
+	o := gpmetis.Options{
 		Algorithm: a,
 		Seed:      seed,
 		UBFactor:  ub,
@@ -204,9 +225,44 @@ func runLocal(k int, algoName string, ub float64, seed int64, faults string, fau
 		Faults:    injector,
 		Degrade:   degrade,
 		Verify:    verify,
-	})
+	}
+	var ckptPath string
+	if checkpointDir != "" && a == gpmetis.GPMetis {
+		ckptPath = filepath.Join(checkpointDir,
+			fmt.Sprintf("%s.k%d.s%d.ckpt", filepath.Base(path), k, seed))
+		if c, rerr := gpmetis.ReadCheckpointFile(ckptPath); rerr == nil {
+			o.Resume = c
+			fmt.Fprintf(os.Stderr, "gpmetis: resuming from %s (%s)\n", ckptPath, c.Describe())
+		} else if !errors.Is(rerr, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "gpmetis: ignoring unreadable checkpoint %s: %v\n", ckptPath, rerr)
+		}
+		warned := false
+		o.Checkpoint = func(c *gpmetis.Checkpoint) error {
+			if werr := gpmetis.WriteCheckpointFile(ckptPath, c); werr != nil {
+				// Durability degradation: keep computing, warn once.
+				if !warned {
+					warned = true
+					fmt.Fprintf(os.Stderr, "gpmetis: checkpointing disabled: %v\n", werr)
+				}
+			}
+			return nil
+		}
+	}
+
+	res, err := gpmetis.Partition(g, k, o)
+	if err != nil && o.Resume != nil &&
+		(errors.Is(err, gpmetis.ErrCheckpointMismatch) || errors.Is(err, gpmetis.ErrCheckpointCorrupt)) {
+		// A snapshot from a different graph/options (or a damaged one)
+		// must never block the run: drop it and start from scratch.
+		fmt.Fprintf(os.Stderr, "gpmetis: checkpoint %s is stale; rerunning from scratch\n", ckptPath)
+		o.Resume = nil
+		res, err = gpmetis.Partition(g, k, o)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if ckptPath != "" {
+		os.Remove(ckptPath) // the run is done; the snapshot is dead weight
 	}
 
 	if traceOut != "" {

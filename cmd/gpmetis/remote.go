@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +27,7 @@ type remoteArgs struct {
 	faultSeed       int64
 	degrade, verify bool
 	traceOut        string
+	retries         int // re-submissions after a 429 before giving up
 }
 
 // runRemote submits the graph to a gpmetisd daemon, polls the job to a
@@ -57,11 +60,7 @@ func runRemote(a remoteArgs) (*outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := http.Post(a.base+"/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("submit to %s: %w", a.base, err)
-	}
-	st, err := decodeJob(resp)
+	st, err := submitJob(a.base, body, a.retries)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +111,58 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		Cached:         st.Cached,
 		part:           st.Result.Part,
 	}, nil
+}
+
+// retrySleep is the backoff clock, a seam for the retry test.
+var retrySleep = time.Sleep
+
+// submitJob posts the job to the daemon. A 429 (queue full) is retried
+// up to retries times with exponential backoff, honoring the daemon's
+// Retry-After as the floor and adding jitter so a herd of overloaded
+// clients does not re-stampede in lockstep.
+func submitJob(base string, body []byte, retries int) (server.JobStatus, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return server.JobStatus{}, fmt.Errorf("submit to %s: %w", base, err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
+			floor := parseRetryAfter(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			d := retryDelay(attempt, floor)
+			fmt.Fprintf(os.Stderr, "gpmetis: daemon overloaded; retrying in %v (%d/%d)\n",
+				d.Round(time.Millisecond), attempt+1, retries)
+			retrySleep(d)
+			continue
+		}
+		return decodeJob(resp)
+	}
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header;
+// anything else (HTTP-date, garbage, absent) falls back to 0.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryDelay doubles a base delay per attempt and adds up to 50%
+// jitter. The server's Retry-After (when present) replaces the default
+// base, so the jittered result never undercuts the server's floor.
+func retryDelay(attempt int, floor time.Duration) time.Duration {
+	base := 500 * time.Millisecond
+	if floor > 0 {
+		base = floor
+	}
+	if attempt > 6 {
+		attempt = 6 // cap the exponent; with the default base this is 32s
+	}
+	d := base << uint(attempt)
+	return d + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // decodeJob reads a job status or translates the daemon's typed error.

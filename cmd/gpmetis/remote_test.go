@@ -1,0 +1,120 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeTempGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tiny.metis")
+	if err := os.WriteFile(path, []byte("3 2\n2\n1 3\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSubmitRetriesOn429: the client must honor Retry-After on queue
+// overload and re-submit with backoff until the daemon admits the job.
+func TestSubmitRetriesOn429(t *testing.T) {
+	posts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		posts++
+		if posts <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"server: job queue full","code":"overloaded"}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"id":"j000042","state":"done","device":0,"wait_seconds":0,` +
+			`"result":{"part":[0,1,0],"edge_cut":2,"imbalance":1.0,"modeled_seconds":0.001}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var slept []time.Duration
+	retrySleep = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { retrySleep = time.Sleep }()
+
+	oc, err := runRemote(remoteArgs{
+		base: ts.URL, path: writeTempGraph(t), k: 2, algo: "gp", retries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posts != 3 {
+		t.Errorf("posted %d times, want 3 (2 rejections + 1 admit)", posts)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		// Attempt i backs off from the server's 1s Retry-After floor:
+		// floor<<i plus up to 50% jitter.
+		lo := time.Second << uint(i)
+		hi := lo + lo/2
+		if d < lo || d > hi {
+			t.Errorf("retry %d slept %v, want within [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if oc.JobID != "j000042" || oc.EdgeCut != 2 || len(oc.part) != 3 {
+		t.Errorf("outcome = %+v", oc)
+	}
+}
+
+// TestSubmitGivesUpAfterRetries: a daemon that stays overloaded
+// exhausts the budget and surfaces the typed overload error.
+func TestSubmitGivesUpAfterRetries(t *testing.T) {
+	posts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		posts++
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"server: job queue full","code":"overloaded"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	retrySleep = func(time.Duration) {}
+	defer func() { retrySleep = time.Sleep }()
+
+	_, err := runRemote(remoteArgs{
+		base: ts.URL, path: writeTempGraph(t), k: 2, algo: "gp", retries: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("err = %v, want the overload error after exhausting retries", err)
+	}
+	if posts != 2 {
+		t.Errorf("posted %d times, want 2 (initial + 1 retry)", posts)
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	for attempt := 0; attempt < 8; attempt++ {
+		for _, floor := range []time.Duration{0, 2 * time.Second} {
+			base := 500 * time.Millisecond
+			if floor > 0 {
+				base = floor
+			}
+			exp := attempt
+			if exp > 6 {
+				exp = 6
+			}
+			lo := base << uint(exp)
+			hi := lo + lo/2
+			for i := 0; i < 50; i++ {
+				if d := retryDelay(attempt, floor); d < lo || d > hi {
+					t.Fatalf("retryDelay(%d, %v) = %v, want within [%v, %v]", attempt, floor, d, lo, hi)
+				}
+			}
+		}
+	}
+}

@@ -7,7 +7,9 @@
 // Usage:
 //
 //	gpmetisd [-addr 127.0.0.1:8080] [-devices 2] [-queue 64] \
-//	         [-cache 128] [-deadline 0] [-maxjobs 4096]
+//	         [-cache 128] [-deadline 0] [-maxjobs 4096] \
+//	         [-journal jobs.jsonl] [-checkpoint-dir ckpt/] \
+//	         [-quarantine-threshold 3] [-quarantine-backoff 0.002]
 //
 // API:
 //
@@ -20,6 +22,18 @@
 //	GET    /metrics         counters: queue depth, wait time, cache hit
 //	                        rate, jobs by outcome, modeled seconds
 //	GET    /healthz         liveness and occupancy
+//	GET    /admin/devices   device-pool quarantine states
+//	POST   /admin/devices/{slot}/reinstate  force a slot back into service
+//
+// -journal makes the daemon durable: every accepted job and its outcome
+// is fsynced to the given JSONL file, and a restarted daemon replays it
+// — completed results are served from the rebuilt cache, interrupted
+// jobs are re-admitted under their original IDs. -checkpoint-dir makes
+// single-device gp jobs snapshot at every level boundary so re-admitted
+// jobs resume mid-run instead of starting over. A journal or checkpoint
+// write failure costs durability, never availability: the daemon logs
+// once, flips journal.degraded/checkpoint.degraded in /metrics, and
+// keeps serving.
 //
 // Submit with the gpmetis client (gpmetis -server http://...) or curl:
 //
@@ -51,14 +65,22 @@ func main() {
 	cacheCap := flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
 	deadline := flag.Duration("deadline", 0, "default per-job deadline, e.g. 30s (0 = unbounded)")
 	maxJobs := flag.Int("maxjobs", 4096, "retained job statuses before the oldest terminal jobs are forgotten")
+	journal := flag.String("journal", "", "durable job journal (JSONL); replayed on restart")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for per-job crash-recovery checkpoints")
+	qThreshold := flag.Int("quarantine-threshold", 3, "consecutive device faults before a slot is quarantined")
+	qBackoff := flag.Float64("quarantine-backoff", 0.002, "base modeled-seconds probation budget; doubles per quarantine")
 	flag.Parse()
 
 	s := server.New(server.Config{
-		Devices:         *devices,
-		QueueCap:        *queueCap,
-		CacheCap:        *cacheCap,
-		DefaultDeadline: *deadline,
-		MaxJobs:         *maxJobs,
+		Devices:             *devices,
+		QueueCap:            *queueCap,
+		CacheCap:            *cacheCap,
+		DefaultDeadline:     *deadline,
+		MaxJobs:             *maxJobs,
+		JournalPath:         *journal,
+		CheckpointDir:       *ckptDir,
+		QuarantineThreshold: *qThreshold,
+		QuarantineBackoff:   *qBackoff,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -66,8 +88,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gpmetisd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("gpmetisd: listening on http://%s (devices=%d queue=%d cache=%d)\n",
-		ln.Addr(), *devices, *queueCap, *cacheCap)
+	durable := "none"
+	if *journal != "" {
+		durable = *journal
+	}
+	fmt.Printf("gpmetisd: listening on http://%s (devices=%d queue=%d cache=%d journal=%s)\n",
+		ln.Addr(), *devices, *queueCap, *cacheCap, durable)
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,229 @@
+// Package checkpoint snapshots the GP-metis pipeline at its natural
+// consistency points — the level boundaries where work hands between the
+// GPU and the CPU — so a run that dies mid-pipeline (fault budget
+// exhausted, cooperative cancel, process kill) can be resumed from the
+// last boundary and produce a bit-identical partition and modeled time
+// to an uninterrupted run.
+//
+// A State captures everything the remaining pipeline stages read: the
+// CSR graph chain of the live levels, the cmap chain, the current
+// partition vector when one exists, the modeled timeline, the device
+// activity counters, and the fault injector's per-site coin counters.
+// Restoring a State rebuilds the modeled device allocations without
+// charging the modeled clock and without burning fault coins, so the
+// resumed run replays the exact decision sequence the uninterrupted run
+// would have made.
+//
+// The on-disk form is a versioned, checksummed binary codec (see
+// codec.go). Decoding rejects truncation, bit flips, and version skew
+// with ErrCorrupt; resuming against the wrong graph or options is
+// rejected with ErrMismatch before any work happens.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gpmetis/internal/fault"
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/perfmodel"
+)
+
+// Typed errors, testable with errors.Is.
+var (
+	// ErrCorrupt reports a checkpoint that failed decoding: bad magic,
+	// unsupported version, truncation, or a checksum mismatch.
+	ErrCorrupt = errors.New("checkpoint: corrupt or truncated checkpoint")
+	// ErrMismatch reports a checkpoint that decoded cleanly but belongs
+	// to a different (graph, options) pair than the resuming run.
+	ErrMismatch = errors.New("checkpoint: checkpoint does not match this run")
+	// ErrDurability reports that persistent state (a checkpoint file, a
+	// journal append) could not be made durable — ENOSPC, a vanished
+	// directory, an fsync failure. Callers are expected to degrade to
+	// non-durable operation rather than crash.
+	ErrDurability = errors.New("durability: cannot persist state")
+)
+
+// Phase says which pipeline stage the snapshot closed.
+type Phase uint8
+
+// Snapshot phases, in pipeline order.
+const (
+	// PhaseCoarsen marks the boundary after GPU coarsening level
+	// Level-1 completed (Level levels exist).
+	PhaseCoarsen Phase = 1
+	// PhaseCPUDone marks the boundary after the CPU middle phase: the
+	// coarsest graph is partitioned, un-coarsening has not started.
+	PhaseCPUDone Phase = 2
+	// PhaseUncoarsen marks the boundary after GPU uncoarsening level
+	// Level completed: Part partitions that level's fine graph.
+	PhaseUncoarsen Phase = 3
+)
+
+// String names the phase for logs.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCoarsen:
+		return "coarsen"
+	case PhaseCPUDone:
+		return "cpu-done"
+	case PhaseUncoarsen:
+		return "uncoarsen"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Event mirrors one absorbed fault event (core.FaultEvent) without
+// importing the core package.
+type Event struct {
+	Site    string
+	Action  string
+	Level   int
+	Seconds float64
+	Detail  string
+}
+
+// State is one pipeline snapshot. All slices are private copies: the
+// snapshot stays valid after the run that produced it moves on.
+type State struct {
+	// GraphDigest and OptionsSig fingerprint the (input graph, options)
+	// pair the snapshot belongs to; Resume verifies both.
+	GraphDigest uint64
+	OptionsSig  uint64
+
+	Phase Phase
+	// Level is the number of completed GPU coarsening levels
+	// (PhaseCoarsen/PhaseCPUDone) or the just-completed uncoarsening
+	// level index (PhaseUncoarsen).
+	Level int
+
+	// GPULevels/CPULevels are the result counters valid from
+	// PhaseCPUDone onward.
+	GPULevels, CPULevels int
+	// MatchConflicts/MatchAttempts accumulate the lock-free matching
+	// counters up to the boundary.
+	MatchConflicts, MatchAttempts int
+
+	// Graphs is the coarse-graph chain of the still-live levels:
+	// Graphs[j] is level j's coarse graph (level j+1's fine graph).
+	// For PhaseUncoarsen only levels below Level remain live.
+	Graphs []*graph.Graph
+	// Cmaps[j] maps level j's fine vertices to Graphs[j] vertices.
+	Cmaps [][]int
+	// Part is the current partition vector (nil during coarsening).
+	Part []int
+
+	// Timeline is the modeled-phase record up to the boundary. Clock is
+	// the run's accumulated total at the boundary, carried explicitly
+	// rather than re-derived: merged sub-timelines fold into the total
+	// with a different floating-point grouping than a flat re-sum, and
+	// bit-identical resume needs the exact accumulated value.
+	Timeline []perfmodel.Phase
+	Clock    float64
+	// Stats is the device activity snapshot at the boundary.
+	Stats gpu.Stats
+	// Events lists the faults absorbed before the boundary.
+	Events []Event
+	// Fault carries the injector's per-site evaluation/fire counters,
+	// nil when the run is unfaulted.
+	Fault *fault.Counters
+}
+
+// ModeledSeconds returns the modeled clock at the snapshot boundary.
+func (st *State) ModeledSeconds() float64 { return st.Clock }
+
+// Describe summarizes the snapshot for logs: "uncoarsen.L2 @ 0.0123s".
+func (st *State) Describe() string {
+	switch st.Phase {
+	case PhaseUncoarsen:
+		return fmt.Sprintf("uncoarsen.L%d @ %.4gs", st.Level, st.ModeledSeconds())
+	case PhaseCPUDone:
+		return fmt.Sprintf("cpu-done @ %.4gs", st.ModeledSeconds())
+	default:
+		return fmt.Sprintf("coarsen.L%d @ %.4gs", st.Level-1, st.ModeledSeconds())
+	}
+}
+
+// DigestGraph fingerprints a graph's CSR arrays with FNV-1a. It is not
+// cryptographic — it guards against honest mistakes (resuming the wrong
+// input), not adversaries.
+func DigestGraph(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		putU64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(len(g.XAdj))
+	writeInt(len(g.Adjncy))
+	for _, s := range [][]int{g.XAdj, g.Adjncy, g.AdjWgt, g.VWgt} {
+		for _, v := range s {
+			writeInt(v)
+		}
+	}
+	return h.Sum64()
+}
+
+// SigHash folds an ordered tuple of option words into one fingerprint,
+// for building OptionsSig values.
+func SigHash(words ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range words {
+		putU64(buf[:], w)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Float64Bits exposes the IEEE-754 bits of f for SigHash words.
+func Float64Bits(f float64) uint64 { return math.Float64bits(f) }
+
+// WriteFile atomically persists st at path: the codec stream goes to a
+// temp file in the same directory which is then fsynced and renamed
+// into place, so a crash mid-write can never leave a half checkpoint
+// under the final name. Any I/O failure wraps ErrDurability.
+func WriteFile(path string, st *State) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	if err := Write(tmp, st); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// ReadFile loads a checkpoint written by WriteFile.
+func ReadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gpmetis/internal/checkpoint"
+	"gpmetis/internal/fault"
+	"gpmetis/internal/graph"
+	"gpmetis/internal/graph/gen"
+)
+
+// captureRun partitions g with a Checkpoint hook installed and returns
+// the result plus every snapshot, each round-tripped through the binary
+// codec so the test covers exactly what a crash-recovery would read back
+// from disk.
+func captureRun(t *testing.T, g *graph.Graph, k int, o Options) (*Result, []*checkpoint.State) {
+	t.Helper()
+	var snaps []*checkpoint.State
+	o.Checkpoint = func(st *checkpoint.State) error {
+		var buf bytes.Buffer
+		if err := checkpoint.Write(&buf, st); err != nil {
+			return err
+		}
+		decoded, err := checkpoint.Read(&buf)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, decoded)
+		return nil
+	}
+	res, err := Partition(g, k, o, machine())
+	if err != nil {
+		t.Fatalf("checkpointed run failed: %v", err)
+	}
+	return res, snaps
+}
+
+// requireIdentical asserts the bit-identical acceptance criterion:
+// same partition vector, same edge cut, same modeled seconds.
+func requireIdentical(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.EdgeCut != want.EdgeCut {
+		t.Errorf("%s: edge cut %d, want %d", label, got.EdgeCut, want.EdgeCut)
+	}
+	if got.ModeledSeconds() != want.ModeledSeconds() {
+		t.Errorf("%s: modeled seconds %.12g, want %.12g (diff %g)",
+			label, got.ModeledSeconds(), want.ModeledSeconds(),
+			got.ModeledSeconds()-want.ModeledSeconds())
+	}
+	if len(got.Part) != len(want.Part) {
+		t.Fatalf("%s: partition length %d, want %d", label, len(got.Part), len(want.Part))
+	}
+	for i := range want.Part {
+		if got.Part[i] != want.Part[i] {
+			t.Errorf("%s: partition diverged at vertex %d (%d vs %d)",
+				label, i, got.Part[i], want.Part[i])
+			break
+		}
+	}
+	if got.GPULevels != want.GPULevels || got.CPULevels != want.CPULevels {
+		t.Errorf("%s: level counts (%d,%d), want (%d,%d)",
+			label, got.GPULevels, got.CPULevels, want.GPULevels, want.CPULevels)
+	}
+}
+
+// interruptPoints picks a representative spread of snapshots: the first
+// coarsening boundary, a mid-coarsening one, the CPU handoff, and the
+// first and last uncoarsening boundaries.
+func interruptPoints(t *testing.T, snaps []*checkpoint.State) map[string]*checkpoint.State {
+	t.Helper()
+	points := map[string]*checkpoint.State{}
+	var coarsen, uncoarsen []*checkpoint.State
+	for _, st := range snaps {
+		switch st.Phase {
+		case checkpoint.PhaseCoarsen:
+			coarsen = append(coarsen, st)
+		case checkpoint.PhaseCPUDone:
+			points["cpu-done"] = st
+		case checkpoint.PhaseUncoarsen:
+			uncoarsen = append(uncoarsen, st)
+		}
+	}
+	if len(coarsen) == 0 || points["cpu-done"] == nil || len(uncoarsen) == 0 {
+		t.Fatalf("snapshot phases missing: %d coarsen, cpu-done=%v, %d uncoarsen",
+			len(coarsen), points["cpu-done"] != nil, len(uncoarsen))
+	}
+	points["coarsen-first"] = coarsen[0]
+	if len(coarsen) > 1 {
+		points["coarsen-mid"] = coarsen[len(coarsen)/2]
+	}
+	points["uncoarsen-first"] = uncoarsen[0]
+	points["uncoarsen-last"] = uncoarsen[len(uncoarsen)-1]
+	return points
+}
+
+// TestResumeDeterminism is the tentpole acceptance test: for every graph
+// and every interrupt point, a resumed run must be bit-identical to the
+// uninterrupted one — same partition, same edge cut, same modeled time.
+func TestResumeDeterminism(t *testing.T) {
+	grid, err := gen.Grid2D(70, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := gen.Delaunay(6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"grid-70x70", grid, 4},
+		{"delaunay-6k", del, 8},
+	}
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Partition(tc.g, tc.k, smallOpts(), machine())
+			if err != nil {
+				t.Fatal(err)
+			}
+			withHook, snaps := captureRun(t, tc.g, tc.k, smallOpts())
+			// The hook itself must be free: same result as no hook.
+			requireIdentical(t, "checkpointed-run", base, withHook)
+			if len(snaps) < 4 {
+				t.Fatalf("only %d snapshots; pipeline too shallow for the test", len(snaps))
+			}
+			for name, st := range interruptPoints(t, snaps) {
+				o := smallOpts()
+				o.Resume = st
+				res, err := Partition(tc.g, tc.k, o, machine())
+				if err != nil {
+					t.Fatalf("resume at %s (%s): %v", name, st.Describe(), err)
+				}
+				requireIdentical(t, "resume at "+name, base, res)
+				checkValid(t, tc.g, res, tc.k, o.UBFactor)
+			}
+		})
+	}
+}
+
+// TestResumeDeterminismWithFaults repeats the criterion under an armed
+// fault injector: the snapshot carries the per-site coin counters, so
+// the resumed run flips the exact same coins the uninterrupted run
+// would have flipped after the boundary.
+func TestResumeDeterminismWithFaults(t *testing.T) {
+	g, err := gen.Delaunay(8000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const spec = "pcie.transfer:p=0.05;contract.hash:at=1"
+	opts := func() Options {
+		o := smallOpts()
+		inj, err := fault.Parse(11, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Faults = inj
+		o.Degrade = true
+		return o
+	}
+	base, err := Partition(g, 8, opts(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Degraded {
+		t.Fatalf("scenario unexpectedly degraded: %s", base.DegradedReason)
+	}
+	_, snaps := captureRun(t, g, 8, opts())
+	for name, st := range interruptPoints(t, snaps) {
+		o := opts() // fresh injector, same seed and rules
+		o.Resume = st
+		res, err := Partition(g, 8, o, machine())
+		if err != nil {
+			t.Fatalf("resume at %s: %v", name, err)
+		}
+		requireIdentical(t, "faulted resume at "+name, base, res)
+		if len(res.Events) != len(base.Events) {
+			t.Errorf("resume at %s: %d events, want %d", name, len(res.Events), len(base.Events))
+		}
+	}
+}
+
+// TestResumeAfterCancel models the serving-layer crash story: a run is
+// cooperatively canceled mid-pipeline, then resumed from its last
+// snapshot and must converge to the uninterrupted answer.
+func TestResumeAfterCancel(t *testing.T) {
+	g, err := gen.Delaunay(6000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Partition(g, 8, smallOpts(), machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []*checkpoint.State
+	stop := errors.New("shutting down")
+	o := smallOpts()
+	o.Checkpoint = func(st *checkpoint.State) error {
+		var buf bytes.Buffer
+		if err := checkpoint.Write(&buf, st); err != nil {
+			return err
+		}
+		decoded, err := checkpoint.Read(&buf)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, decoded)
+		return nil
+	}
+	o.Cancel = func() error {
+		if len(snaps) >= 3 {
+			return stop
+		}
+		return nil
+	}
+	if _, err := Partition(g, 8, o, machine()); !errors.Is(err, ErrCanceled) || !errors.Is(err, stop) {
+		t.Fatalf("got %v, want cancellation wrapping both sentinels", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots before cancellation")
+	}
+
+	r := smallOpts()
+	r.Resume = snaps[len(snaps)-1]
+	res, err := Partition(g, 8, r, machine())
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	requireIdentical(t, "resume after cancel", base, res)
+}
+
+// TestResumeRejectsMismatch pins the safety checks: a snapshot resumed
+// against the wrong graph or different determinism-relevant options must
+// fail fast with checkpoint.ErrMismatch.
+func TestResumeRejectsMismatch(t *testing.T) {
+	g, err := gen.Grid2D(60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := gen.Delaunay(4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snaps := captureRun(t, g, 4, smallOpts())
+	st := snaps[len(snaps)/2]
+
+	t.Run("wrong graph", func(t *testing.T) {
+		o := smallOpts()
+		o.Resume = st
+		if _, err := Partition(other, 4, o, machine()); !errors.Is(err, checkpoint.ErrMismatch) {
+			t.Errorf("got %v, want ErrMismatch", err)
+		}
+	})
+	t.Run("wrong seed", func(t *testing.T) {
+		o := smallOpts()
+		o.Seed++
+		o.Resume = st
+		if _, err := Partition(g, 4, o, machine()); !errors.Is(err, checkpoint.ErrMismatch) {
+			t.Errorf("got %v, want ErrMismatch", err)
+		}
+	})
+	t.Run("wrong k", func(t *testing.T) {
+		o := smallOpts()
+		o.Resume = st
+		if _, err := Partition(g, 8, o, machine()); !errors.Is(err, checkpoint.ErrMismatch) {
+			t.Errorf("got %v, want ErrMismatch", err)
+		}
+	})
+}
+
+// TestMultiGPUIgnoresCheckpoint: the multi-device path runs its embedded
+// single-GPU stage on a derived sub-graph, so checkpoint hooks must be
+// silently dropped rather than producing unusable snapshots.
+func TestMultiGPUIgnoresCheckpoint(t *testing.T) {
+	g, err := gen.Delaunay(9000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	called := 0
+	o.Checkpoint = func(*checkpoint.State) error {
+		called++
+		return fmt.Errorf("must not be called")
+	}
+	res, err := PartitionMulti(g, 8, 2, o, machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != 0 {
+		t.Errorf("checkpoint hook called %d times on the multi-GPU path", called)
+	}
+	checkValid(t, g, res, 8, o.UBFactor)
+}
+
+// TestCheckpointHookErrorFailsRun: a hook that cannot persist (and does
+// not choose to continue non-durably) aborts the run with its error.
+func TestCheckpointHookErrorFailsRun(t *testing.T) {
+	g, err := gen.Grid2D(60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	o.Checkpoint = func(*checkpoint.State) error {
+		return checkpoint.ErrDurability
+	}
+	if _, err := Partition(g, 4, o, machine()); !errors.Is(err, checkpoint.ErrDurability) {
+		t.Fatalf("got %v, want ErrDurability surfaced", err)
+	}
+}

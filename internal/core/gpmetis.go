@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gpmetis/internal/checkpoint"
 	"gpmetis/internal/fault"
 	"gpmetis/internal/gpu"
 	"gpmetis/internal/graph"
@@ -111,6 +112,9 @@ type run struct {
 	cur    devGraph   // current coarsest graph on the device
 	part   []int      // current partition vector
 	pl     int        // part is a partition of levels[pl].fine (len(levels) = of cur)
+	cpart  gpu.Array  // device mirror of part during uncoarsening
+
+	digest uint64 // input-graph fingerprint, for checkpoint/resume
 
 	deviceDead bool // a DeviceLost unwound: the GPU is gone for this run
 }
@@ -132,8 +136,10 @@ func partitionRun(g *graph.Graph, k int, o Options, m *perfmodel.Machine, parent
 	}
 	res := &Result{}
 	d := gpu.NewDevice(m, &res.Timeline)
-	d.SetFaults(o.Faults, o.Retry)
 	r := &run{g: g, k: k, o: o, m: m, res: res, d: d, off: offset}
+	if o.Checkpoint != nil || o.Resume != nil {
+		r.digest = checkpoint.DigestGraph(g)
+	}
 
 	// --- Tracing setup: one pointer check per hook when disabled ---
 	r.met = o.Tracer.Metrics()
@@ -153,16 +159,36 @@ func partitionRun(g *graph.Graph, k int, o Options, m *perfmodel.Machine, parent
 		d.SetTraceSink(r.sink)
 	}
 
-	if err := r.guard(r.coarsenGPU); err != nil {
-		if aerr := r.absorbCoarsenFault(err); aerr != nil {
-			return nil, aerr
+	// Restore runs before the injector is installed so rebuilding device
+	// state burns no fault coins; the restored coin counters then line
+	// the injector up with the interrupted run's sequence.
+	var resumedFrom checkpoint.Phase
+	if o.Resume != nil {
+		resumedFrom = o.Resume.Phase
+		if err := r.restore(o.Resume); err != nil {
+			return nil, err
 		}
-		return r.finish()
 	}
-	if err := r.cpuPhase(); err != nil {
-		return nil, err
+	d.SetFaults(o.Faults, o.Retry)
+
+	if resumedFrom < checkpoint.PhaseCPUDone {
+		if err := r.guard(func() error { return r.coarsenGPU(resumedFrom == checkpoint.PhaseCoarsen) }); err != nil {
+			if aerr := r.absorbCoarsenFault(err); aerr != nil {
+				return nil, aerr
+			}
+			return r.finish()
+		}
+		if err := r.cpuPhase(); err != nil {
+			return nil, err
+		}
 	}
-	if err := r.guard(r.uncoarsenGPU); err != nil {
+	uncoarsen := r.uncoarsenGPU
+	if resumedFrom == checkpoint.PhaseUncoarsen {
+		// The handoff happened before the snapshot: continue straight
+		// into the remaining levels with the restored device partition.
+		uncoarsen = func() error { return r.uncoarsenFrom(r.pl) }
+	}
+	if err := r.guard(uncoarsen); err != nil {
 		if aerr := r.absorbUncoarsenFault(err); aerr != nil {
 			return nil, aerr
 		}
@@ -228,16 +254,18 @@ func (r *run) canceled() error {
 	return nil
 }
 
-func (r *run) coarsenGPU() error {
-	// Initially, the graph information is copied to the GPU's global
-	// memory (Section III).
-	dg, err := allocGraph(r.d, r.g)
-	if err != nil {
-		return fmt.Errorf("core: input graph exceeds device memory: %w", err)
+func (r *run) coarsenGPU(resumed bool) error {
+	if !resumed {
+		// Initially, the graph information is copied to the GPU's global
+		// memory (Section III).
+		dg, err := allocGraph(r.d, r.g)
+		if err != nil {
+			return fmt.Errorf("core: input graph exceeds device memory: %w", err)
+		}
+		r.d.ToDevice("h2d.graph", dg.bytes())
+		r.segment("upload")
+		r.cur = dg
 	}
-	r.d.ToDevice("h2d.graph", dg.bytes())
-	r.segment("upload")
-	r.cur = dg
 
 	maxVWgt := metis.MaxVertexWeight(r.g, r.k, r.o.CoarsenTo)
 	o, d := r.o, r.d
@@ -315,6 +343,9 @@ func (r *run) coarsenGPU() error {
 			obs.Int("conflicts", int64(conflicts)),
 			obs.Int("attempts", int64(attempts)),
 			obs.Float("conflict_rate", rate))
+		if err := r.snapshot(checkpoint.PhaseCoarsen, len(r.levels)); err != nil {
+			return err
+		}
 	}
 	r.res.GPULevels = len(r.levels)
 	r.met.Set("coarsen.gpu_levels", float64(r.res.GPULevels))
@@ -350,7 +381,7 @@ func (r *run) cpuPhase() error {
 	r.part = mtRes.Part
 	r.pl = len(r.levels)
 	r.sink.End(cpuSpan, r.res.Timeline.Total(), obs.Int("levels", int64(mtRes.Levels)))
-	return nil
+	return r.snapshot(checkpoint.PhaseCPUDone, len(r.levels))
 }
 
 // mtOptions builds the mt-metis options for a CPU phase rooted at span.
@@ -370,15 +401,23 @@ func (r *run) mtOptions(span *obs.Span) mtmetis.Options {
 // uncoarsenGPU returns to the GPU for the remaining un-coarsening levels
 // (pipeline step 4) and downloads the final partition.
 func (r *run) uncoarsenGPU() error {
-	d, o := r.d, r.o
+	d := r.d
 	cpartArr, err := d.Malloc(r.cur.g.NumVertices(), 4)
 	if err != nil {
 		return fmt.Errorf("core: partition vector: %w", err)
 	}
 	d.ToDevice("h2d.part", int64(4*r.cur.g.NumVertices()))
 	r.segment("handoff")
+	r.cpart = cpartArr
+	return r.uncoarsenFrom(len(r.levels))
+}
 
-	for i := len(r.levels) - 1; i >= 0; i-- {
+// uncoarsenFrom projects and refines levels top-1 down to 0, with the
+// current coarse partition already on the device in r.cpart. It is the
+// shared tail of a fresh handoff and a mid-uncoarsening resume.
+func (r *run) uncoarsenFrom(top int) error {
+	d, o := r.d, r.o
+	for i := top - 1; i >= 0; i-- {
 		if err := r.canceled(); err != nil {
 			return err
 		}
@@ -393,7 +432,7 @@ func (r *run) uncoarsenGPU() error {
 			return fmt.Errorf("core: fine partition vector: %w", err)
 		}
 		cpart := r.part
-		r.part = projectKernel(d, lvl, cpart, o, partArr, cpartArr)
+		r.part = projectKernel(d, lvl, cpart, o, partArr, r.cpart)
 		r.pl = i
 		if o.Verify {
 			if err := graph.VerifyProjection(lvl.fine.g, lvl.coarse.g, lvl.cmap, r.part, cpart); err != nil {
@@ -413,10 +452,10 @@ func (r *run) uncoarsenGPU() error {
 		r.met.Add("refine.rejected", float64(ref.rejected))
 		r.met.Add("refine.boundary", float64(ref.boundary))
 		// This level's coarse-side resources are no longer needed.
-		d.Free(cpartArr)
+		d.Free(r.cpart)
 		d.Free(lvl.cmapArr)
 		lvl.coarse.free(d)
-		cpartArr = partArr
+		r.cpart = partArr
 
 		delta := r.segment(fmt.Sprintf("uncoarsen.L%d", i))
 		if lvlSpan != nil {
@@ -427,9 +466,12 @@ func (r *run) uncoarsenGPU() error {
 			obs.Int("rejected", int64(ref.rejected)),
 			obs.Int("boundary", int64(ref.boundary)),
 			obs.Int("passes", int64(ref.passes)))
+		if err := r.snapshot(checkpoint.PhaseUncoarsen, i); err != nil {
+			return err
+		}
 	}
 	d.ToHost("d2h.part", int64(4*r.g.NumVertices()))
-	d.Free(cpartArr)
+	d.Free(r.cpart)
 	if len(r.levels) > 0 {
 		r.levels[0].fine.free(d)
 	} else {

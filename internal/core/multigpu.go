@@ -39,6 +39,10 @@ func PartitionMulti(g *graph.Graph, k, devices int, o Options, m *perfmodel.Mach
 	if devices == 1 {
 		return Partition(g, k, o, m)
 	}
+	// Checkpoint/resume covers the single-GPU pipeline only; the embedded
+	// single-GPU stage below runs on a derived sub-graph whose digest
+	// would never match a caller-supplied snapshot.
+	o.Checkpoint, o.Resume = nil, nil
 
 	res := &Result{}
 	// Per-device simulators with private timelines; phase maxima go to

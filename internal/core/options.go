@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gpmetis/internal/checkpoint"
 	"gpmetis/internal/fault"
 	"gpmetis/internal/graph"
 	"gpmetis/internal/obs"
@@ -173,6 +174,24 @@ type Options struct {
 	// is cooperative: the run stops at the next boundary, never
 	// mid-kernel, and is never absorbed by the Degrade ladder.
 	Cancel func() error
+	// Checkpoint, when non-nil, receives a pipeline snapshot at every
+	// completed level boundary (each GPU coarsening level, the end of
+	// the CPU middle phase, each GPU uncoarsening level). Snapshotting
+	// runs on the host outside the modeled clock, so a checkpointed run
+	// reports the same modeled seconds as an unhooked one. A non-nil
+	// return fails the run; hooks that prefer to continue non-durably
+	// (e.g. on ErrDurability) should swallow the error and return nil.
+	// Degraded (CPU-fallback) execution does not checkpoint: it is
+	// already running on the host from rescued state.
+	Checkpoint func(*checkpoint.State) error
+	// Resume, when non-nil, restores the run from a snapshot instead of
+	// starting from the input graph. The snapshot must come from a run
+	// with the same graph, k, and determinism-relevant options
+	// (checkpoint.ErrMismatch otherwise); the resumed run then produces
+	// a bit-identical partition and modeled time to an uninterrupted
+	// one. Restoration itself charges nothing to the modeled clock and
+	// burns no fault coins.
+	Resume *checkpoint.State
 }
 
 // DefaultOptions mirrors the paper's experimental setup.

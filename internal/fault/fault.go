@@ -209,6 +209,63 @@ func (in *Injector) Evals(site Site) int64 {
 	return in.evals[site]
 }
 
+// Seed returns the seed driving the injector's coins. Nil-safe (0).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Counters is a portable snapshot of an injector's per-site evaluation
+// and fire counts — the complete mutable state of an injector besides
+// its rules, which are configuration. Checkpoint/restore uses it to
+// resume a run at the exact coin the interrupted run would have flipped
+// next.
+type Counters struct {
+	Evals map[Site]int64
+	Fires map[Site]int64
+}
+
+// ExportCounters snapshots the injector's counters. Nil-safe (nil).
+func (in *Injector) ExportCounters() *Counters {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := &Counters{
+		Evals: make(map[Site]int64, len(in.evals)),
+		Fires: make(map[Site]int64, len(in.fires)),
+	}
+	for s, v := range in.evals {
+		c.Evals[s] = v
+	}
+	for s, v := range in.fires {
+		c.Fires[s] = v
+	}
+	return c
+}
+
+// RestoreCounters overwrites the injector's counters with a snapshot
+// taken by ExportCounters. The armed rules are untouched: restoring is
+// about where in the coin sequence the run is, not about what can fail.
+func (in *Injector) RestoreCounters(c *Counters) {
+	if in == nil || c == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.evals = make(map[Site]int64, len(c.Evals))
+	in.fires = make(map[Site]int64, len(c.Fires))
+	for s, v := range c.Evals {
+		in.evals[s] = v
+	}
+	for s, v := range c.Fires {
+		in.fires[s] = v
+	}
+}
+
 // Armed reports whether any rule is armed for site. Nil-safe.
 func (in *Injector) Armed(site Site) bool {
 	if in == nil {

@@ -151,6 +151,11 @@ func (d *Device) Stats() Stats { return d.stats }
 // ResetStats clears the activity counters.
 func (d *Device) ResetStats() { d.stats = Stats{} }
 
+// RestoreStats overwrites the activity counters with a checkpoint
+// snapshot, so a resumed run's final totals match the uninterrupted
+// run's instead of counting only post-resume activity.
+func (d *Device) RestoreStats(s Stats) { d.stats = s }
+
 // SetTraceSink installs (or, with nil, removes) the trace sink the device
 // emits kernel-launch and transfer spans into. Spans nest under the
 // sink's current parent, so the pipeline's level spans automatically

@@ -160,6 +160,19 @@ func (t *Timeline) TotalAt(loc Location) float64 {
 	return s
 }
 
+// Restore replaces the timeline's contents with the given phases and
+// accumulated total (a checkpoint snapshot). The total is taken as
+// given, not re-summed: merged sub-timelines fold in with a different
+// floating-point grouping than a flat re-sum, and a resumed run must
+// restart from the bit-exact clock. The observer is not consulted:
+// restored phases were observed by the run that recorded them, and
+// re-announcing them would double-count spans.
+func (t *Timeline) Restore(phases []Phase, total float64) {
+	t.phases = make([]Phase, len(phases))
+	copy(t.phases, phases)
+	t.total = total
+}
+
 // Merge appends all phases of other to t in order, keeping their span
 // tags. The phases are not re-observed.
 func (t *Timeline) Merge(other *Timeline) {

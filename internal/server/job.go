@@ -24,6 +24,16 @@ type Job struct {
 	opts    gpmetis.Options // resolved: defaults applied, no Tracer/Machine yet
 	key     string          // content address; "" when NoCache
 	noCache bool
+	req     *SubmitRequest // original wire request, retained for the journal
+
+	// resume, when non-nil, is a checkpoint loaded during crash recovery;
+	// the scheduler feeds it to the run so the job continues from the
+	// boundary the previous process reached.
+	resume *gpmetis.Checkpoint
+	// recovered marks jobs reconstructed from the journal at startup;
+	// their terminal records are already journaled, so the finish watcher
+	// must not append duplicates.
+	recovered bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -31,6 +41,8 @@ type Job struct {
 	mu          sync.Mutex
 	state       string
 	cached      bool
+	coalesced   bool
+	resumed     bool
 	device      int
 	queuedAt    time.Time
 	waitSeconds float64
@@ -121,6 +133,7 @@ func resolveRequest(req *SubmitRequest) (*Job, error) {
 		algo:    algo,
 		opts:    o,
 		noCache: req.NoCache,
+		req:     req,
 		state:   StateQueued,
 		device:  -1,
 		done:    make(chan struct{}),
@@ -163,6 +176,8 @@ func (j *Job) Status() JobStatus {
 		ID:          j.ID,
 		State:       j.state,
 		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		Resumed:     j.resumed,
 		Device:      j.device,
 		WaitSeconds: j.waitSeconds,
 		Error:       j.errMsg,
@@ -230,4 +245,30 @@ func (j *Job) finishCached(c *CachedResult) {
 	j.mu.Unlock()
 	res := c.Result // shallow copy; Part is shared and immutable
 	j.finish(StateDone, &res, "")
+}
+
+// finishCoalesced completes a single-flight follower with its leader's
+// result: identical answer, no device slot consumed.
+func (j *Job) finishCoalesced(res *JobResult) {
+	cp := *res // shallow copy; Part is shared and immutable
+	j.finish(StateDone, &cp, "")
+}
+
+// terminalJob reconstructs an already-finished job from its journal
+// records at startup: born terminal, queryable over the API, never
+// scheduled.
+func terminalJob(id, state string, res *JobResult, errMsg string) *Job {
+	j := &Job{
+		ID:        id,
+		state:     state,
+		result:    res,
+		errMsg:    errMsg,
+		device:    -1,
+		recovered: true,
+		done:      make(chan struct{}),
+		ctx:       context.Background(),
+		cancel:    func() {},
+	}
+	close(j.done)
+	return j
 }

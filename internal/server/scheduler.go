@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"gpmetis"
+	"gpmetis/internal/fault"
 )
 
 // ErrQueueFull is the typed admission-control rejection: the bounded job
@@ -18,10 +21,14 @@ var ErrQueueFull = errors.New("server: job queue full")
 // GPU slot, each owning a private clone of the machine model. A slot
 // runs one job at a time, so jobs never share a modeled device — the
 // modeled-clock isolation invariant — while up to len(machines) jobs
-// progress concurrently in wall-clock time.
+// progress concurrently in wall-clock time. Slots additionally carry
+// quarantine state (see quarantine.go): a slot that keeps dying with
+// modeled device faults is pulled from the queue and runs health probes
+// until its probation backoff is served.
 type pool struct {
 	s        *Server
 	machines []*gpmetis.Machine
+	health   []*slotHealth
 }
 
 func newPool(s *Server, devices int, base *gpmetis.Machine) *pool {
@@ -29,6 +36,7 @@ func newPool(s *Server, devices int, base *gpmetis.Machine) *pool {
 	for i := 0; i < devices; i++ {
 		m := *base // private clone per slot: no cross-job model sharing
 		p.machines = append(p.machines, &m)
+		p.health = append(p.health, newSlotHealth())
 	}
 	return p
 }
@@ -48,9 +56,19 @@ func (p *pool) start(ctx context.Context) {
 // otherwise run it on this slot's private machine. The slot is freed —
 // by returning to the top of the loop — on every outcome, including
 // cancellation and failure, so one misbehaving job can never leak a
-// device.
+// device. A quarantined slot takes no jobs; it runs health probes until
+// reinstated.
 func (p *pool) worker(ctx context.Context, slot int) {
 	for {
+		if p.health[slot].quarantined() {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			p.probe(slot)
+			continue
+		}
 		var job *Job
 		select {
 		case <-ctx.Done():
@@ -68,13 +86,15 @@ func (p *pool) worker(ctx context.Context, slot int) {
 		wait := time.Since(job.queuedAt).Seconds()
 		p.s.reg.Add("queue.wait_seconds", wait)
 		job.markRunning(slot, wait)
+		p.s.journalAppend(Record{Type: RecRunning, ID: job.ID})
 		p.s.reg.Add("devices.busy", 1)
 		p.runJob(job, slot)
 		p.s.reg.Add("devices.busy", -1)
 	}
 }
 
-// finishDead retires a job whose context expired before it ran.
+// finishDead retires a job whose context expired before it ran (or, via
+// runJob, one whose context expired while it ran).
 func (p *pool) finishDead(job *Job, cause error) {
 	if errors.Is(cause, context.DeadlineExceeded) {
 		p.s.reg.Add("jobs.failed", 1)
@@ -85,10 +105,29 @@ func (p *pool) finishDead(job *Job, cause error) {
 	job.finish(StateCanceled, nil, "canceled while queued")
 }
 
+// checkpointPath returns where a job's crash-recovery snapshot lives,
+// "" when checkpointing is off or the job's shape is not resumable
+// (only single-device GP-metis runs checkpoint).
+func (p *pool) checkpointPath(job *Job) string {
+	if p.s.cfg.CheckpointDir == "" || job.algo != gpmetis.GPMetis || job.opts.Devices > 1 {
+		return ""
+	}
+	return filepath.Join(p.s.cfg.CheckpointDir, job.ID+".ckpt")
+}
+
 // runJob executes one job on this slot. The run gets its own tracer,
 // its own machine clone, and a Cancel hook bound to the job context, so
-// a DELETE or a deadline stops it at the next level boundary.
+// a DELETE or a deadline stops it at the next level boundary. When
+// checkpointing is configured the run snapshots at every boundary, and
+// a job carrying a recovery checkpoint resumes from it.
 func (p *pool) runJob(job *Job, slot int) {
+	// Every exit from runJob leaves the job terminal, so its snapshot is
+	// dead weight on all paths; recovery must not see it.
+	defer func() {
+		if path := p.checkpointPath(job); path != "" {
+			os.Remove(path)
+		}
+	}()
 	tracer := gpmetis.NewTracer()
 	job.setTracer(tracer)
 	o := job.opts
@@ -96,9 +135,54 @@ func (p *pool) runJob(job *Job, slot int) {
 	o.Machine = p.machines[slot]
 	o.Cancel = job.ctx.Err
 
+	if path := p.checkpointPath(job); path != "" {
+		warned := false
+		o.Checkpoint = func(c *gpmetis.Checkpoint) error {
+			if err := gpmetis.WriteCheckpointFile(path, c); err != nil {
+				// Durability degradation: keep computing, stop promising
+				// resumability, say so once.
+				p.s.reg.Add("checkpoint.errors", 1)
+				if !warned {
+					warned = true
+					p.s.reg.Set("checkpoint.degraded", 1)
+					p.s.logf("gpmetisd: checkpointing degraded for %s: %v", job.ID, err)
+				}
+				return nil
+			}
+			p.s.reg.Add("checkpoint.writes", 1)
+			return nil
+		}
+		if job.resume != nil {
+			o.Resume = job.resume
+			job.mu.Lock()
+			job.resumed = true
+			job.mu.Unlock()
+		}
+	}
+
 	res, err := gpmetis.Partition(job.g, job.k, o)
+	if err != nil && o.Resume != nil &&
+		(errors.Is(err, gpmetis.ErrCheckpointMismatch) || errors.Is(err, gpmetis.ErrCheckpointCorrupt)) {
+		// A stale or damaged snapshot must never lose the job: drop it
+		// and run from scratch.
+		p.s.reg.Add("checkpoint.rejected", 1)
+		o.Resume = nil
+		job.mu.Lock()
+		job.resumed = false
+		job.mu.Unlock()
+		res, err = gpmetis.Partition(job.g, job.k, o)
+	}
 	switch {
 	case err == nil:
+		if cerr := job.ctx.Err(); cerr != nil {
+			// The run completed despite an expired context (algorithms
+			// without boundary polling, or a cancel racing the last
+			// level). The submitter canceled this job; its result must
+			// not enter the cache — a later identical submit is a fresh
+			// computation, not a hit off a canceled job.
+			p.finishDead(job, cerr)
+			return
+		}
 		jr := &JobResult{
 			Part:           res.Part,
 			EdgeCut:        res.EdgeCut,
@@ -113,6 +197,10 @@ func (p *pool) runJob(job *Job, slot int) {
 		if res.Degraded {
 			p.s.reg.Add("jobs.degraded", 1)
 		}
+		if job.Status().Resumed {
+			p.s.reg.Add("jobs.resumed_completed", 1)
+		}
+		p.health[slot].clearStrikes()
 		if job.key != "" {
 			p.s.cache.Put(job.key, &CachedResult{Result: *jr, Tracer: tracer})
 		}
@@ -126,6 +214,16 @@ func (p *pool) runJob(job *Job, slot int) {
 		p.s.reg.Add("jobs.canceled", 1)
 		job.finish(StateCanceled, nil, err.Error())
 	default:
+		var lost *fault.DeviceLost
+		if errors.As(err, &lost) {
+			p.s.reg.Add("devices.faults", 1)
+			if p.health[slot].strike(p.s.cfg.QuarantineThreshold, p.s.cfg.QuarantineBackoff) {
+				p.s.reg.Add("devices.quarantined", 1)
+				p.s.reg.Add("quarantine.entered", 1)
+				p.s.logf("gpmetisd: device slot %d quarantined after %d consecutive device faults",
+					slot, p.s.cfg.QuarantineThreshold)
+			}
+		}
 		p.s.reg.Add("jobs.failed", 1)
 		job.finish(StateFailed, nil, err.Error())
 	}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,6 +36,29 @@ type Config struct {
 	// MaxJobs bounds the in-memory job index; the oldest terminal jobs
 	// are forgotten beyond it (default 4096).
 	MaxJobs int
+	// JournalPath, when non-empty, enables the durable job journal: every
+	// accepted job and its outcome is appended (fsynced) to this JSONL
+	// file, and a restarted server replays it — completed results are
+	// served again, interrupted jobs are re-admitted.
+	JournalPath string
+	// CheckpointDir, when non-empty, makes single-device GP-metis jobs
+	// snapshot at every level boundary; after a crash the replayed jobs
+	// resume from their last snapshot instead of starting over.
+	CheckpointDir string
+	// JournalRotateEvery compacts the journal after this many appends
+	// (default 4096): terminal jobs collapse to submit+outcome pairs and
+	// forgotten jobs drop out.
+	JournalRotateEvery int
+	// QuarantineThreshold is how many consecutive modeled device faults
+	// put a pool slot into probation (default 3).
+	QuarantineThreshold int
+	// QuarantineBackoff is the base modeled-seconds probation budget a
+	// quarantined slot must spend on health probes before reinstatement;
+	// it doubles with every quarantine of the same slot (default 0.002).
+	QuarantineBackoff float64
+	// Logf receives operational log lines (journal degradation, slot
+	// quarantine); nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -55,25 +80,43 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 4096
 	}
+	if c.JournalRotateEvery == 0 {
+		c.JournalRotateEvery = 4096
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.QuarantineBackoff == 0 {
+		c.QuarantineBackoff = 0.002
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
-// Server owns the queue, the device pool, the result cache, and the job
-// index. Create with New, serve its Handler, and Close on shutdown.
+// Server owns the queue, the device pool, the result cache, the job
+// index, and (when configured) the durable journal. Create with New,
+// serve its Handler, and Close on shutdown.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *Cache
-	queue chan *Job
+	cfg     Config
+	reg     *obs.Registry
+	cache   *Cache
+	queue   chan *Job
+	pool    *pool
+	journal *Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // submission order, for listing and retention
-	seq   int
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and retention
+	seq      int
+	inflight map[string]*Job // cache key -> live leader (single-flight)
+
+	journalWarn sync.Once
 
 	start time.Time
 
@@ -83,40 +126,153 @@ type Server struct {
 	beforeRun func(*Job)
 }
 
-// New builds a Server and starts its device-pool workers.
+// New builds a Server, replays its journal if one is configured, and
+// starts the device-pool workers.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   &obs.Registry{},
-		cache: NewCache(cfg.CacheCap),
-		queue: make(chan *Job, cfg.QueueCap),
-		jobs:  map[string]*Job{},
-		start: time.Now(),
+		cfg:      cfg,
+		reg:      &obs.Registry{},
+		cache:    NewCache(cfg.CacheCap),
+		queue:    make(chan *Job, cfg.QueueCap),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+		start:    time.Now(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.reg.Set("devices.total", float64(cfg.Devices))
 	s.reg.Set("queue.cap", float64(cfg.QueueCap))
-	newPool(s, cfg.Devices, cfg.Machine).start(s.baseCtx)
+	s.pool = newPool(s, cfg.Devices, cfg.Machine)
+	if cfg.JournalPath != "" {
+		// Recover before the workers start so re-admitted jobs keep their
+		// submission order, then open the journal for appending and
+		// compact away the replayed history (including any torn tail).
+		s.recover()
+		j, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			s.journalDegraded(err)
+		} else {
+			s.journal = j
+			if err := s.journal.Rotate(s.compactRecords()); err != nil {
+				s.journalDegraded(err)
+			}
+		}
+	}
+	s.pool.start(s.baseCtx)
 	return s
 }
 
-// Close stops the workers. Queued jobs are abandoned in place; running
+// Close stops the workers and closes the journal. Queued jobs are
+// abandoned in place (the journal re-admits them on restart); running
 // jobs finish their current level and stop at the next boundary only if
 // their own contexts are canceled, so callers wanting a hard stop should
 // cancel jobs first.
 func (s *Server) Close() {
 	s.baseCancel()
 	s.wg.Wait()
+	s.journal.Close()
+}
+
+// logf emits one operational log line through the configured sink.
+func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+
+// journalAppend appends one record, degrading to non-durable operation
+// on the first failure: the error is logged once, the journal.degraded
+// gauge flips, and the server keeps serving.
+func (s *Server) journalAppend(rec Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.journalDegraded(err)
+		return
+	}
+	s.reg.Add("journal.appends", 1)
+	if s.journal.Appends() >= int64(s.cfg.JournalRotateEvery) {
+		if err := s.journal.Rotate(s.compactRecords()); err != nil {
+			s.journalDegraded(err)
+		} else {
+			s.reg.Add("journal.rotations", 1)
+		}
+	}
+}
+
+// journalDegraded records a durability failure: counted always, logged
+// loudly once. The daemon stays up — losing durability must not lose
+// availability.
+func (s *Server) journalDegraded(err error) {
+	s.reg.Add("journal.errors", 1)
+	s.reg.Set("journal.degraded", 1)
+	s.journalWarn.Do(func() {
+		s.logf("gpmetisd: journal degraded, continuing WITHOUT durability: %v", err)
+	})
+}
+
+// compactRecords rewrites the live job index as a minimal record
+// sequence: submit(+running) for live jobs, submit+outcome for terminal
+// ones. It is the rotation image of the journal.
+func (s *Server) compactRecords() []Record {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	var recs []Record
+	for _, j := range jobs {
+		st := j.Status()
+		recs = append(recs, Record{Type: RecSubmit, ID: j.ID, Seq: seqOf(j.ID), Req: j.req})
+		switch st.State {
+		case StateDone:
+			recs = append(recs, Record{Type: RecDone, ID: j.ID, Key: j.key, Result: st.Result})
+		case StateFailed:
+			recs = append(recs, Record{Type: RecFailed, ID: j.ID, Error: st.Error})
+		case StateCanceled:
+			recs = append(recs, Record{Type: RecCanceled, ID: j.ID, Error: st.Error})
+		case StateRunning:
+			recs = append(recs, Record{Type: RecRunning, ID: j.ID})
+		}
+	}
+	return recs
+}
+
+// watch follows a job to its terminal state: it releases the job's
+// single-flight leadership and journals the outcome. Recovered jobs
+// skip journaling of states that replay already proved.
+func (s *Server) watch(j *Job) {
+	select {
+	case <-j.Done():
+	case <-s.baseCtx.Done():
+		// Shutdown: jobs abandoned in the queue never finish; their
+		// journal records already mark them live for the next process.
+		return
+	}
+	s.mu.Lock()
+	if j.key != "" && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	st := j.Status()
+	switch st.State {
+	case StateDone:
+		s.journalAppend(Record{Type: RecDone, ID: j.ID, Key: j.key, Result: st.Result})
+	case StateFailed:
+		s.journalAppend(Record{Type: RecFailed, ID: j.ID, Error: st.Error})
+	case StateCanceled:
+		s.journalAppend(Record{Type: RecCanceled, ID: j.ID, Error: st.Error})
+	}
 }
 
 // Metrics returns the server's counter registry.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// Submit validates req, consults the result cache, and either completes
-// the job instantly (hit) or admits it to the bounded queue. It returns
-// ErrQueueFull when the queue is at capacity and a *requestError for
-// invalid submissions.
+// Submit validates req, consults the result cache and the in-flight
+// index, and either completes the job instantly (hit), attaches it to an
+// identical in-flight job (single-flight coalescing), or admits it to
+// the bounded queue. It returns ErrQueueFull when the queue is at
+// capacity and a *requestError for invalid submissions.
 func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	job, err := resolveRequest(req)
 	if err != nil {
@@ -140,25 +296,149 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	if job.key != "" {
 		if hit, ok := s.cache.Get(job.key); ok {
 			s.register(job)
+			s.journalSubmit(job)
 			job.finishCached(hit)
+			s.spawnWatch(job)
 			return job, nil
 		}
 	}
 
-	// Admission control: the job is either in the queue or rejected; it
-	// is registered only after the queue accepted it, so a rejected
-	// submission leaves no trace beyond the counter.
+	// Single-flight: an identical cacheable request already in flight
+	// makes this job a follower — it adopts the leader's result instead
+	// of occupying a second device slot. Leadership is claimed before
+	// admission so two racing identical submits can never both run.
+	claimed := false
+	if job.key != "" {
+		s.mu.Lock()
+		if leader, ok := s.inflight[job.key]; ok {
+			s.registerLocked(job)
+			job.coalesced = true
+			s.mu.Unlock()
+			s.reg.Add("jobs.coalesced", 1)
+			s.journalSubmit(job)
+			go s.watch(job)
+			go s.follow(job, leader)
+			return job, nil
+		}
+		s.inflight[job.key] = job
+		claimed = true
+		s.mu.Unlock()
+	}
+
+	// The ID must exist before a worker can pop the job (its running
+	// journal record carries it; the channel handoff orders the write),
+	// but the job is indexed only after the queue accepted it, so a
+	// rejected submission leaves no trace beyond the counter and a
+	// burned sequence number.
+	s.mu.Lock()
+	s.seq++
+	job.ID = fmt.Sprintf("j%06d", s.seq)
+	s.mu.Unlock()
+
 	job.queuedAt = time.Now()
 	select {
 	case s.queue <- job:
 		s.reg.Add("queue.depth", 1)
 	default:
+		if claimed {
+			s.mu.Lock()
+			if s.inflight[job.key] == job {
+				delete(s.inflight, job.key)
+			}
+			s.mu.Unlock()
+		}
 		s.reg.Add("jobs.rejected", 1)
 		job.cancel()
 		return nil, fmt.Errorf("%w: capacity %d", ErrQueueFull, s.cfg.QueueCap)
 	}
-	s.register(job)
+	s.mu.Lock()
+	s.indexLocked(job)
+	s.mu.Unlock()
+	s.journalSubmit(job)
+	s.spawnWatch(job)
 	return job, nil
+}
+
+// spawnWatch and spawnFollow run their goroutines under the server
+// WaitGroup so Close drains them before closing the journal.
+func (s *Server) spawnWatch(j *Job) {
+	s.wg.Add(1)
+	go func() { defer s.wg.Done(); s.watch(j) }()
+}
+
+func (s *Server) spawnFollow(j, leader *Job) {
+	s.wg.Add(1)
+	go func() { defer s.wg.Done(); s.follow(j, leader) }()
+}
+
+// follow resolves a single-flight follower against its leader: adopt
+// the result on success, otherwise re-follow or become the new leader
+// and run for real. The follower's own context still cancels it.
+func (s *Server) follow(j, leader *Job) {
+	for {
+		select {
+		case <-j.ctx.Done():
+			if errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
+				s.reg.Add("jobs.failed", 1)
+				j.finish(StateFailed, nil, "deadline exceeded while coalesced")
+			} else {
+				s.reg.Add("jobs.canceled", 1)
+				j.finish(StateCanceled, nil, "canceled while coalesced")
+			}
+			return
+		case <-leader.Done():
+		}
+		if st := leader.Status(); st.State == StateDone && st.Result != nil {
+			s.reg.Add("jobs.completed", 1)
+			j.finishCoalesced(st.Result)
+			return
+		}
+		// The leader failed or was canceled; its outcome must not bind
+		// the follower. Check the cache (another leader may have landed),
+		// then re-follow or take over.
+		if hit, ok := s.cache.Get(j.key); ok {
+			j.finishCached(hit)
+			return
+		}
+		s.mu.Lock()
+		if l2, ok := s.inflight[j.key]; ok && l2 != j {
+			leader = l2
+			s.mu.Unlock()
+			continue
+		}
+		s.inflight[j.key] = j
+		s.mu.Unlock()
+		j.queuedAt = time.Now()
+		select {
+		case s.queue <- j:
+			s.reg.Add("queue.depth", 1)
+		default:
+			s.mu.Lock()
+			if s.inflight[j.key] == j {
+				delete(s.inflight, j.key)
+			}
+			s.mu.Unlock()
+			s.reg.Add("jobs.failed", 1)
+			j.finish(StateFailed, nil, "queue full after coalesced leader aborted")
+		}
+		return
+	}
+}
+
+// journalSubmit appends a job's admission record.
+func (s *Server) journalSubmit(j *Job) {
+	s.journalAppend(Record{Type: RecSubmit, ID: j.ID, Seq: seqOf(j.ID), Req: j.req})
+}
+
+// seqOf extracts the numeric sequence from a job ID ("j000042" -> 42).
+func seqOf(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
 }
 
 // register assigns the job its ID and indexes it, forgetting the oldest
@@ -166,8 +446,18 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 func (s *Server) register(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.registerLocked(j)
+}
+
+func (s *Server) registerLocked(j *Job) {
 	s.seq++
 	j.ID = fmt.Sprintf("j%06d", s.seq)
+	s.indexLocked(j)
+}
+
+// indexLocked inserts an already-named job into the index and applies
+// the retention cap.
+func (s *Server) indexLocked(j *Job) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	for len(s.order) > s.cfg.MaxJobs {
@@ -200,6 +490,8 @@ func (s *Server) Job(id string) (*Job, bool) {
 //	GET    /jobs/{id}/trace Chrome trace_event JSON of the job's run
 //	GET    /metrics         counter registry snapshot
 //	GET    /healthz         liveness + pool/queue occupancy
+//	GET    /admin/devices   device-pool quarantine states
+//	POST   /admin/devices/{slot}/reinstate  force a slot back into service
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -209,7 +501,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /admin/devices", s.handleDevices)
+	mux.HandleFunc("POST /admin/devices/{slot}/reinstate", s.handleReinstate)
 	return mux
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
+	out := make([]DeviceStatus, len(s.pool.health))
+	for i, h := range s.pool.health {
+		out[i] = h.status(i)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReinstate(w http.ResponseWriter, r *http.Request) {
+	slot, err := strconv.Atoi(r.PathValue("slot"))
+	if err != nil || slot < 0 || slot >= len(s.pool.health) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such device slot")
+		return
+	}
+	if s.pool.health[slot].reinstate() {
+		s.reg.Add("devices.quarantined", -1)
+		s.reg.Add("quarantine.reinstated", 1)
+		s.logf("gpmetisd: device slot %d force-reinstated via admin API", slot)
+	}
+	writeJSON(w, http.StatusOK, s.pool.health[slot].status(slot))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

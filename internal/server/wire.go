@@ -84,6 +84,13 @@ type JobStatus struct {
 	// Cached marks a job served from the result cache; its result is the
 	// original run's, at zero additional modeled cost.
 	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a single-flight follower: an identical request was
+	// already in flight, and this job adopted its result instead of
+	// occupying a second device slot.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Resumed marks a job continued from a crash-recovery checkpoint
+	// rather than started from scratch.
+	Resumed bool `json:"resumed,omitempty"`
 	// Device is the pool slot the job ran on, -1 before scheduling and
 	// for cache hits.
 	Device int `json:"device"`
@@ -109,6 +116,23 @@ const (
 	CodeBadRequest = "bad_request"
 	CodeNotFound   = "not_found"
 )
+
+// DeviceStatus is the wire form of one device-pool slot in GET
+// /admin/devices: its quarantine state and the probe progress toward
+// reinstatement.
+type DeviceStatus struct {
+	Slot    int    `json:"slot"`
+	State   string `json:"state"` // "healthy" or "quarantined"
+	Strikes int    `json:"strikes"`
+	// Quarantines counts how many times this slot has been quarantined;
+	// the reinstatement backoff doubles with each.
+	Quarantines int `json:"quarantines"`
+	// Probes counts successful health probes in the current quarantine;
+	// ProbeSeconds/RequiredSeconds show the modeled-clock backoff budget.
+	Probes          int     `json:"probes,omitempty"`
+	ProbeSeconds    float64 `json:"probe_seconds,omitempty"`
+	RequiredSeconds float64 `json:"required_seconds,omitempty"`
+}
 
 // HealthResponse is the wire form of GET /healthz.
 type HealthResponse struct {

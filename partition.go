@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 
+	"gpmetis/internal/checkpoint"
 	"gpmetis/internal/core"
 	"gpmetis/internal/fault"
 	"gpmetis/internal/gmetis"
@@ -124,6 +125,34 @@ var (
 	ErrGraphTooLarge = core.ErrGraphTooLarge
 	ErrCanceled      = core.ErrCanceled
 )
+
+// Checkpoint is one GP-metis pipeline snapshot, taken at a level
+// boundary by Options.Checkpoint and fed back through Options.Resume.
+// See internal/checkpoint for the state it carries; the on-disk form is
+// a versioned, checksummed binary codec.
+type Checkpoint = checkpoint.State
+
+// Recovery errors, testable with errors.Is.
+var (
+	// ErrCheckpointCorrupt reports a checkpoint that failed decoding
+	// (bad magic, version skew, truncation, checksum mismatch).
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointMismatch reports a checkpoint that decoded cleanly
+	// but belongs to a different (graph, options) pair.
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+	// ErrDurability reports that persistent state (a checkpoint file, a
+	// journal append) could not be made durable; callers are expected to
+	// degrade to non-durable operation rather than crash.
+	ErrDurability = checkpoint.ErrDurability
+)
+
+// WriteCheckpointFile atomically persists a snapshot (temp file + fsync
+// + rename). Failures wrap ErrDurability.
+func WriteCheckpointFile(path string, c *Checkpoint) error { return checkpoint.WriteFile(path, c) }
+
+// ReadCheckpointFile loads a snapshot written by WriteCheckpointFile;
+// decode failures wrap ErrCheckpointCorrupt.
+func ReadCheckpointFile(path string) (*Checkpoint, error) { return checkpoint.ReadFile(path) }
 
 // ReadGraph parses a graph in the Chaco/Metis text format used by the
 // DIMACS challenges.
@@ -279,6 +308,19 @@ type Options struct {
 	// the run with an error matching both ErrCanceled and the returned
 	// cause — pass ctx.Err to make a run honor a context.Context.
 	Cancel func() error
+	// Checkpoint, when non-nil, receives a pipeline snapshot at every
+	// completed level boundary (GPMetis single-GPU only; the multi-GPU
+	// and baseline paths ignore it). Snapshotting runs outside the
+	// modeled clock. Persist snapshots with WriteCheckpointFile; a
+	// non-nil return fails the run, so hooks that prefer to continue
+	// non-durably should swallow ErrDurability and return nil.
+	Checkpoint func(*Checkpoint) error
+	// Resume, when non-nil, restores a GPMetis run from a snapshot
+	// instead of starting over. The snapshot must come from a run with
+	// the same graph, k, and determinism-relevant options (ErrMismatch
+	// otherwise); the resumed run is bit-identical — same partition,
+	// same edge cut, same modeled seconds — to an uninterrupted one.
+	Resume *Checkpoint
 }
 
 // Result reports a partitioning run.
@@ -359,6 +401,8 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		co.Degrade = o.Degrade
 		co.Verify = o.Verify
 		co.Cancel = o.Cancel
+		co.Checkpoint = o.Checkpoint
+		co.Resume = o.Resume
 		var r *core.Result
 		var err error
 		if o.Devices > 1 {
