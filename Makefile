@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 25
 CHAOS_SEED ?= 1
 
-.PHONY: build test check vet race bench bench-snapshot serve-smoke restart-smoke chaos fuzz
+.PHONY: build test check vet race bench bench-snapshot perf-gate serve-smoke restart-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,16 @@ vet:
 race:
 	$(GO) test -race ./internal/... ./cmd/...
 
-# check is the PR gate: static analysis plus the race detector.
-check: vet race
+# check is the PR gate: static analysis, the race detector, and the
+# perf-regression gate against the committed baseline.
+check: vet race perf-gate
+
+# perf-gate re-runs the benchmark at BENCH_baseline.json's own scale,
+# k, runs, and seed and fails (exit 2) when any input regresses modeled
+# time by more than 10% or edge cut by more than 2%. Intentional perf
+# changes update the baseline via `make bench-snapshot`.
+perf-gate:
+	$(GO) run ./cmd/bench -compare BENCH_baseline.json
 
 # serve-smoke boots a real gpmetisd on a random port, submits a job with
 # the gpmetis client, and asserts the resubmission is a cache hit; it then

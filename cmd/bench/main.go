@@ -4,9 +4,17 @@
 // Usage:
 //
 //	bench [-scale N] [-k K] [-runs R] [-seed S] [-v] [-metrics dir] [experiments...]
+//	bench -compare baseline.json [-v]
 //
 // -metrics writes one machine-readable BENCH_<input>.json per input graph
 // into dir alongside whatever tables were requested.
+//
+// -compare is the perf-regression gate: it loads a snapshot written by
+// -snapshot, re-runs the benchmark at the snapshot's own scale, k, runs,
+// and seed (the -scale/-k/-runs/-seed flags are ignored so the
+// comparison is apples-to-apples by construction), and exits 2 when any
+// input×algorithm pair regresses — modeled seconds more than 10% over
+// baseline, or edge cut more than 2% over. Improvements never fail.
 //
 // Experiments: table1, fig5, table2, table3, shape, ablation-merge,
 // ablation-threshold, ablation-coalescing, ablation-conflicts,
@@ -31,11 +39,16 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress")
 	metricsDir := flag.String("metrics", "", "write one BENCH_<input>.json per input graph into this directory")
 	snapshot := flag.String("snapshot", "", "write a single-file perf trajectory record (see BENCH_baseline.json) to this path")
+	compare := flag.String("compare", "", "perf-regression gate: re-run at this baseline snapshot's config and exit 2 on regression")
 	flag.Parse()
 
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
+	}
+	if *compare != "" {
+		runCompare(*compare, progress)
+		return
 	}
 	cfg := experiments.Config{
 		ScaleDiv: *scale,
@@ -158,6 +171,37 @@ func main() {
 			fail(fmt.Errorf("unknown experiment %q", w))
 		}
 	}
+}
+
+// runCompare executes the perf-regression gate against a baseline
+// snapshot and terminates the process: exit 0 on pass, 2 on regression,
+// 1 on operational errors (unreadable baseline, benchmark failure). The
+// distinct exit code lets CI tell "the gate tripped" from "the gate
+// could not run".
+func runCompare(path string, progress io.Writer) {
+	base, err := experiments.ReadBenchSnapshot(path)
+	if err != nil {
+		fail(err)
+	}
+	cfg := experiments.SnapshotConfig(base)
+	cfg.Progress = progress
+	fmt.Printf("bench: comparing against %s (scale=1/%d k=%d runs=%d seed=%d)\n",
+		path, cfg.ScaleDiv, cfg.K, cfg.Runs, cfg.Seed)
+	rows, err := experiments.RunAll(cfg)
+	if err != nil {
+		fail(err)
+	}
+	cur := experiments.BuildBenchSnapshot(cfg, rows)
+	regs := experiments.CompareSnapshots(base, &cur)
+	if len(regs) == 0 {
+		fmt.Println("bench: perf gate PASSED — no regressions against the baseline.")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bench: perf gate FAILED — %d regression(s) against %s:\n", len(regs), path)
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "  -", r)
+	}
+	os.Exit(2)
 }
 
 func fail(err error) {

@@ -10,6 +10,7 @@
 //	        [-server http://host:port] [-retries 3] \
 //	        [-checkpoint-dir ckpt/] \
 //	        [-trace trace.json] [-metrics metrics.json] [-report] \
+//	        [-profile] [-profile-top 12] [-profile-json profile.json] \
 //	        [-faults scenario] [-faultseed n] [-verify] [-degrade=false] \
 //	        graph.metis|graph.gr
 //
@@ -43,6 +44,16 @@
 // modeled clock (open in chrome://tracing or ui.perfetto.dev); -metrics
 // writes a flat JSON metrics report; -report prints a per-level table on
 // stderr. All three are available for the gp and mt algorithms.
+//
+// -profile (gp only) turns on the kernel-level profiler: the run records
+// one sample per kernel launch and prints the top -profile-top kernels as
+// a roofline table on stderr — modeled seconds, coalescing efficiency,
+// warp divergence, atomic serialization, achieved bandwidth, the dominant
+// cost-model term, and rule-derived optimization hints. -profile-json
+// writes the full report (per-kernel rollups, machine roofline
+// parameters, reconciliation against the GPU timeline) as JSON and
+// implies profiling. Both work with -server too: the job is submitted
+// with profiling on and the report is downloaded from the daemon.
 //
 // -faults injects deterministic failures into the modeled substrate; a
 // scenario is ';'-separated site:key=val[,key=val] entries, e.g.
@@ -104,6 +115,9 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run (gp/mt)")
 	metricsOut := flag.String("metrics", "", "write a flat JSON metrics report (gp/mt, local only)")
 	report := flag.Bool("report", false, "print a per-level table on stderr (gp/mt, local only)")
+	profile := flag.Bool("profile", false, "print a per-kernel roofline table on stderr (gp)")
+	profileTop := flag.Int("profile-top", 12, "kernels shown in the -profile table (0 = all)")
+	profileJSON := flag.String("profile-json", "", "write the full kernel profile as JSON (gp; implies profiling)")
 	faults := flag.String("faults", "", "fault scenario, e.g. 'gpu.memcap:cap=64M;pcie.transfer:p=0.01'")
 	faultSeed := flag.Int64("faultseed", 0, "seed for fault injection coins (default: -seed)")
 	verify := flag.Bool("verify", false, "check partition invariants at every level boundary (gp/mt)")
@@ -125,6 +139,10 @@ func main() {
 		oc  *outcome
 		err error
 	)
+	prof := profileArgs{enabled: *profile || *profileJSON != "", top: *profileTop, jsonOut: *profileJSON, table: *profile}
+	if prof.enabled && *algo != "gp" {
+		fail(fmt.Errorf("-profile records kernel launches and needs the gp algorithm, not %q", *algo))
+	}
 	if *serverURL != "" {
 		if *metricsOut != "" || *report {
 			fail(fmt.Errorf("-metrics and -report need the in-process tracer; use them without -server"))
@@ -134,11 +152,12 @@ func main() {
 			k: *k, algo: *algo, ub: *ub, seed: *seed,
 			faults: *faults, faultSeed: *faultSeed,
 			degrade: *degrade, verify: *verify, traceOut: *traceOut,
+			prof:    prof,
 			retries: *retries,
 		})
 	} else {
 		oc, err = runLocal(*k, *algo, *ub, *seed, *faults, *faultSeed,
-			*degrade, *verify, *traceOut, *metricsOut, *report, *ckptDir)
+			*degrade, *verify, *traceOut, *metricsOut, *report, *ckptDir, prof)
 	}
 	if err != nil {
 		fail(err)
@@ -181,13 +200,38 @@ func main() {
 	}
 }
 
+// profileArgs bundles the kernel-profiling flags: whether profiling is
+// on at all, whether the roofline table goes to stderr, how many kernels
+// it shows, and where (if anywhere) the JSON report lands.
+type profileArgs struct {
+	enabled bool
+	table   bool
+	top     int
+	jsonOut string
+}
+
+// emit renders a completed run's profile per the flags.
+func (pa profileArgs) emit(rep *gpmetis.ProfileReport) error {
+	if rep == nil {
+		return nil
+	}
+	if pa.table {
+		fmt.Fprint(os.Stderr, rep.Table(pa.top))
+	}
+	if pa.jsonOut != "" {
+		return writeFile(pa.jsonOut, func(w *bufio.Writer) error { return rep.WriteJSON(w) })
+	}
+	return nil
+}
+
 // runLocal partitions in-process, exactly as before the daemon existed.
 // With checkpointDir set (gp only), the run snapshots at every level
 // boundary under a name derived from the input, k, and seed; a later
 // invocation of the same run finds the snapshot and resumes from it
 // bit-identically, and a completed run removes it.
 func runLocal(k int, algoName string, ub float64, seed int64, faults string, faultSeed int64,
-	degrade, verify bool, traceOut, metricsOut string, report bool, checkpointDir string) (*outcome, error) {
+	degrade, verify bool, traceOut, metricsOut string, report bool, checkpointDir string,
+	prof profileArgs) (*outcome, error) {
 	path := flag.Arg(0)
 	f, err := os.Open(path)
 	if err != nil {
@@ -222,6 +266,7 @@ func runLocal(k int, algoName string, ub float64, seed int64, faults string, fau
 		Seed:      seed,
 		UBFactor:  ub,
 		Tracer:    tracer,
+		Profile:   prof.enabled,
 		Faults:    injector,
 		Degrade:   degrade,
 		Verify:    verify,
@@ -287,6 +332,9 @@ func runLocal(k int, algoName string, ub float64, seed int64, faults string, fau
 	}
 	if report {
 		fmt.Fprint(os.Stderr, gpmetis.LevelTable(tracer))
+	}
+	if err := prof.emit(res.Profile); err != nil {
+		return nil, err
 	}
 
 	return &outcome{

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"gpmetis"
 	"gpmetis/internal/server"
 )
 
@@ -27,6 +28,7 @@ type remoteArgs struct {
 	faultSeed       int64
 	degrade, verify bool
 	traceOut        string
+	prof            profileArgs
 	retries         int // re-submissions after a 429 before giving up
 }
 
@@ -55,6 +57,7 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		FaultSeed: a.faultSeed,
 		Degrade:   a.degrade,
 		Verify:    a.verify,
+		Profile:   a.prof.enabled,
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -88,6 +91,15 @@ func runRemote(a remoteArgs) (*outcome, error) {
 
 	if a.traceOut != "" {
 		if err := fetchTrace(a.base, st.ID, a.traceOut); err != nil {
+			return nil, err
+		}
+	}
+	if a.prof.enabled {
+		rep, err := fetchProfile(a.base, st.ID)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.prof.emit(rep); err != nil {
 			return nil, err
 		}
 	}
@@ -183,6 +195,23 @@ func decodeJob(resp *http.Response) (server.JobStatus, error) {
 		return server.JobStatus{}, err
 	}
 	return st, nil
+}
+
+// fetchProfile downloads the job's kernel-profile report from the daemon.
+func fetchProfile(base, id string) (*gpmetis.ProfileReport, error) {
+	resp, err := http.Get(base + "/jobs/" + id + "/profile")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("profile download: HTTP %d", resp.StatusCode)
+	}
+	var rep gpmetis.ProfileReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("profile download: %w", err)
+	}
+	return &rep, nil
 }
 
 // fetchTrace downloads the job's Chrome trace JSON from the daemon.

@@ -9,7 +9,8 @@
 //	gpmetisd [-addr 127.0.0.1:8080] [-devices 2] [-queue 64] \
 //	         [-cache 128] [-deadline 0] [-maxjobs 4096] \
 //	         [-journal jobs.jsonl] [-checkpoint-dir ckpt/] \
-//	         [-quarantine-threshold 3] [-quarantine-backoff 0.002]
+//	         [-quarantine-threshold 3] [-quarantine-backoff 0.002] \
+//	         [-debug-addr 127.0.0.1:6060]
 //
 // API:
 //
@@ -19,9 +20,13 @@
 //	GET    /jobs/{id}       job status; the result once done
 //	DELETE /jobs/{id}       cancel a queued or running job
 //	GET    /jobs/{id}/trace Chrome trace_event JSON of the job's run
-//	GET    /metrics         counters: queue depth, wait time, cache hit
-//	                        rate, jobs by outcome, modeled seconds
-//	GET    /healthz         liveness and occupancy
+//	GET    /jobs/{id}/profile kernel-level roofline profile, for jobs
+//	                        submitted with "profile": true
+//	GET    /metrics         Prometheus text exposition: queue depth, wait
+//	                        and latency histograms, cache hit rate, jobs
+//	                        by outcome, per-slot utilization, build info
+//	GET    /metrics.json    the same counters as flat JSON
+//	GET    /healthz         liveness, occupancy, and build info
 //	GET    /admin/devices   device-pool quarantine states
 //	POST   /admin/devices/{slot}/reinstate  force a slot back into service
 //
@@ -42,6 +47,13 @@
 //
 // The daemon passes -addr to net.Listen verbatim, so -addr 127.0.0.1:0
 // picks a random free port; the chosen address is printed on startup.
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ (goroutine dumps, heap and CPU profiles of the daemon
+// process itself — wall-clock profiling, distinct from the modeled
+// kernel profiles at /jobs/{id}/profile). It is off by default and
+// should stay on a loopback or otherwise private address: the pprof
+// endpoints expose internals and are not meant for untrusted networks.
 package main
 
 import (
@@ -50,6 +62,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +82,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for per-job crash-recovery checkpoints")
 	qThreshold := flag.Int("quarantine-threshold", 3, "consecutive device faults before a slot is quarantined")
 	qBackoff := flag.Float64("quarantine-backoff", 0.002, "base modeled-seconds probation budget; doubles per quarantine")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address (empty = off)")
 	flag.Parse()
 
 	s := server.New(server.Config{
@@ -95,6 +109,28 @@ func main() {
 	fmt.Printf("gpmetisd: listening on http://%s (devices=%d queue=%d cache=%d journal=%s)\n",
 		ln.Addr(), *devices, *queueCap, *cacheCap, durable)
 
+	// The pprof listener is separate from the API listener so operators
+	// can keep it loopback-only while the API serves the network. The
+	// default ServeMux is avoided on both: the debug mux carries exactly
+	// the pprof handlers and nothing else.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmetisd: debug listener:", err)
+			os.Exit(1)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		fmt.Printf("gpmetisd: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go debugSrv.Serve(dln)
+	}
+
 	httpSrv := &http.Server{Handler: s.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -107,6 +143,9 @@ func main() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutCtx)
+		if debugSrv != nil {
+			debugSrv.Shutdown(shutCtx)
+		}
 		s.Close()
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "gpmetisd:", err)

@@ -11,6 +11,7 @@ import (
 	"gpmetis/internal/mtmetis"
 	"gpmetis/internal/obs"
 	"gpmetis/internal/perfmodel"
+	"gpmetis/internal/prof"
 )
 
 // PhaseStats attributes a slice of the device activity to one named
@@ -61,6 +62,12 @@ type Result struct {
 	// sum to KernelStats, making per-level attribution possible without
 	// resetting the run-total counters.
 	LevelStats []PhaseStats
+	// Profile is the per-kernel roofline report, non-nil only when
+	// Options.Profiler was set. Its KernelSeconds reconcile exactly with
+	// the GPU portion of Timeline for unfaulted, un-resumed single-GPU
+	// runs; fault retries and pre-crash phases of a resumed run charge
+	// GPU time outside any observed launch.
+	Profile *prof.Report
 	// Degraded reports that a GPU-side fault forced the run onto the
 	// mt-metis CPU pipeline (Options.Degrade); the partition is still
 	// valid, the modeled time includes the wasted GPU work.
@@ -170,6 +177,12 @@ func partitionRun(g *graph.Graph, k int, o Options, m *perfmodel.Machine, parent
 		}
 	}
 	d.SetFaults(o.Faults, o.Retry)
+	// Like the injector, the profiler attaches after restore: rebuilding
+	// device state replays no kernels, so a resumed profile holds only the
+	// launches this process actually ran.
+	if o.Profiler != nil {
+		d.SetLaunchObserver(o.Profiler)
+	}
 
 	if resumedFrom < checkpoint.PhaseCPUDone {
 		if err := r.guard(func() error { return r.coarsenGPU(resumedFrom == checkpoint.PhaseCoarsen) }); err != nil {
@@ -255,6 +268,7 @@ func (r *run) canceled() error {
 }
 
 func (r *run) coarsenGPU(resumed bool) error {
+	r.o.Profiler.SetSegment("upload", -1)
 	if !resumed {
 		// Initially, the graph information is copied to the GPU's global
 		// memory (Section III).
@@ -275,6 +289,9 @@ func (r *run) coarsenGPU(resumed bool) error {
 		}
 		cur := r.cur
 		lvlIdx := len(r.levels)
+		if r.o.Profiler.Enabled() {
+			r.o.Profiler.SetSegment(fmt.Sprintf("coarsen.L%d", lvlIdx), lvlIdx)
+		}
 		fineN := cur.g.NumVertices()
 		lvlSpan := r.sink.Begin(obs.SpanCoarsenLevel, r.res.Timeline.Total(),
 			obs.Str("side", "gpu"),
@@ -401,6 +418,7 @@ func (r *run) mtOptions(span *obs.Span) mtmetis.Options {
 // uncoarsenGPU returns to the GPU for the remaining un-coarsening levels
 // (pipeline step 4) and downloads the final partition.
 func (r *run) uncoarsenGPU() error {
+	r.o.Profiler.SetSegment("handoff", -1)
 	d := r.d
 	cpartArr, err := d.Malloc(r.cur.g.NumVertices(), 4)
 	if err != nil {
@@ -422,6 +440,9 @@ func (r *run) uncoarsenFrom(top int) error {
 			return err
 		}
 		lvl := r.levels[i]
+		if r.o.Profiler.Enabled() {
+			r.o.Profiler.SetSegment(fmt.Sprintf("uncoarsen.L%d", i), i)
+		}
 		lvlSpan := r.sink.Begin(obs.SpanUncoarsenLevel, r.res.Timeline.Total(),
 			obs.Str("side", "gpu"),
 			obs.Int("level", int64(i)),
@@ -484,6 +505,7 @@ func (r *run) uncoarsenFrom(top int) error {
 // runs the final paranoid verification, and seals the result.
 func (r *run) finish() (*Result, error) {
 	res := r.res
+	r.o.Profiler.SetSegment("download", -1)
 	// Final balance safety net on the CPU ("the balance of partitions is
 	// guaranteed by continuing the refinement at the finer graph levels";
 	// we enforce the bound explicitly at the finest level).
@@ -509,6 +531,9 @@ func (r *run) finish() (*Result, error) {
 	res.Part = r.part
 	res.EdgeCut = graph.EdgeCut(r.g, r.part)
 	res.KernelStats = r.d.Stats()
+	if r.o.Profiler.Enabled() {
+		res.Profile = r.o.Profiler.Report(res.Timeline.TotalAt(perfmodel.LocGPU), false)
+	}
 	r.met.Add("pcie.bytes_to_device", float64(res.KernelStats.BytesToDevice))
 	r.met.Add("pcie.bytes_to_host", float64(res.KernelStats.BytesToHost))
 	if res.Degraded {

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Perf-gate tolerances: a current measurement may exceed its baseline by
+// at most these fractions before the comparison fails. Modeled seconds
+// get slack for intentional cost-model tweaks riding along in a PR; edge
+// cut is tighter because quality regressions are rarely intentional.
+const (
+	// SecondsTolerance allows modeled time up to 10% over baseline.
+	SecondsTolerance = 0.10
+	// CutTolerance allows edge cut up to 2% over baseline.
+	CutTolerance = 0.02
+)
+
+// Regression is one perf-gate failure: a (input, algorithm, metric)
+// triple whose current value exceeds its baseline beyond tolerance, or a
+// baseline measurement the current run no longer produces.
+type Regression struct {
+	Input  string  `json:"input"`
+	Algo   string  `json:"algo"`
+	Metric string  `json:"metric"` // "modeled_seconds", "edge_cut", "missing"
+	Base   float64 `json:"baseline"`
+	Cur    float64 `json:"current"`
+	// Tolerance is the allowed fractional increase the value exceeded.
+	Tolerance float64 `json:"tolerance"`
+}
+
+// String renders the regression for the gate's failure listing.
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s/%s: present in baseline, missing from current run", r.Input, r.Algo)
+	}
+	return fmt.Sprintf("%s/%s %s: %.6g -> %.6g (+%.1f%%, tolerance %.0f%%)",
+		r.Input, r.Algo, r.Metric, r.Base, r.Cur,
+		100*(r.Cur/r.Base-1), 100*r.Tolerance)
+}
+
+// ReadBenchSnapshot loads and validates a trajectory record written by
+// WriteBenchSnapshot.
+func ReadBenchSnapshot(path string) (*BenchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s BenchSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != "gpmetis-bench-v1" {
+		return nil, fmt.Errorf("%s: unknown snapshot schema %q (want gpmetis-bench-v1)", path, s.Schema)
+	}
+	if len(s.Inputs) == 0 {
+		return nil, fmt.Errorf("%s: snapshot carries no inputs", path)
+	}
+	return &s, nil
+}
+
+// SnapshotConfig reproduces the experiment configuration a snapshot was
+// measured under, so a comparison runs apples-to-apples by construction.
+func SnapshotConfig(s *BenchSnapshot) Config {
+	return Config{ScaleDiv: s.ScaleDiv, K: s.K, Runs: s.Runs, Seed: s.Seed}
+}
+
+// CompareSnapshots checks every (input, algorithm) measurement of base
+// against cur: modeled seconds may grow at most SecondsTolerance, edge
+// cut at most CutTolerance, and nothing measured in the baseline may
+// vanish. Improvements and additions never fail. The returned slice is
+// sorted (input, algo, metric) and empty when the gate passes.
+func CompareSnapshots(base, cur *BenchSnapshot) []Regression {
+	curInputs := map[string]SnapshotInput{}
+	for _, in := range cur.Inputs {
+		curInputs[in.Input] = in
+	}
+	var regs []Regression
+	for _, bin := range base.Inputs {
+		cin, ok := curInputs[bin.Input]
+		if !ok {
+			regs = append(regs, Regression{Input: bin.Input, Algo: "*", Metric: "missing"})
+			continue
+		}
+		for algo, br := range bin.Results {
+			cr, ok := cin.Results[algo]
+			if !ok {
+				regs = append(regs, Regression{Input: bin.Input, Algo: algo, Metric: "missing"})
+				continue
+			}
+			if br.ModeledSeconds > 0 && cr.ModeledSeconds > br.ModeledSeconds*(1+SecondsTolerance) {
+				regs = append(regs, Regression{
+					Input: bin.Input, Algo: algo, Metric: "modeled_seconds",
+					Base: br.ModeledSeconds, Cur: cr.ModeledSeconds, Tolerance: SecondsTolerance,
+				})
+			}
+			if br.EdgeCut > 0 && float64(cr.EdgeCut) > float64(br.EdgeCut)*(1+CutTolerance) {
+				regs = append(regs, Regression{
+					Input: bin.Input, Algo: algo, Metric: "edge_cut",
+					Base: float64(br.EdgeCut), Cur: float64(cr.EdgeCut), Tolerance: CutTolerance,
+				})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		a, b := regs[i], regs[j]
+		if a.Input != b.Input {
+			return a.Input < b.Input
+		}
+		if a.Algo != b.Algo {
+			return a.Algo < b.Algo
+		}
+		return a.Metric < b.Metric
+	})
+	return regs
+}

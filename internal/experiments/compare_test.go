@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snapPair builds a baseline snapshot and an identical current copy the
+// individual tests then perturb. Deep-copies the results maps so a test
+// mutating cur never touches base.
+func snapPair() (base, cur *BenchSnapshot) {
+	mk := func() *BenchSnapshot {
+		return &BenchSnapshot{
+			Schema: "gpmetis-bench-v1", K: 64, ScaleDiv: 20, Runs: 3, Seed: 1,
+			Inputs: []SnapshotInput{
+				{Input: "ldoor", Vertices: 47635, Edges: 1131063, Results: map[string]result{
+					"metis":   {ModeledSeconds: 2.0, EdgeCut: 10000},
+					"gpmetis": {ModeledSeconds: 0.25, EdgeCut: 11000},
+				}},
+				{Input: "cage15", Vertices: 257847, Edges: 4732455, Results: map[string]result{
+					"metis":   {ModeledSeconds: 9.0, EdgeCut: 90000},
+					"gpmetis": {ModeledSeconds: 1.1, EdgeCut: 99000},
+				}},
+			},
+		}
+	}
+	return mk(), mk()
+}
+
+func TestCompareSnapshotsPassesOnEqualAndImproved(t *testing.T) {
+	base, cur := snapPair()
+	if regs := CompareSnapshots(base, cur); len(regs) != 0 {
+		t.Fatalf("identical snapshots regressed: %v", regs)
+	}
+	// Improvements and within-tolerance drift never fail.
+	r := cur.Inputs[0].Results["gpmetis"]
+	r.ModeledSeconds *= 0.5
+	r.EdgeCut = int(float64(r.EdgeCut) * 0.9)
+	cur.Inputs[0].Results["gpmetis"] = r
+	r2 := cur.Inputs[1].Results["gpmetis"]
+	r2.ModeledSeconds *= 1.0 + SecondsTolerance - 0.01
+	cur.Inputs[1].Results["gpmetis"] = r2
+	// Extra measurements in the current run are additions, not failures.
+	cur.Inputs[1].Results["ptscotch"] = result{ModeledSeconds: 3, EdgeCut: 95000}
+	if regs := CompareSnapshots(base, cur); len(regs) != 0 {
+		t.Fatalf("improved snapshot regressed: %v", regs)
+	}
+}
+
+// TestCompareSnapshotsCatchesRegressions perturbs a synthetic baseline
+// the way a real perf regression would and checks the gate trips — this
+// is the decision `bench -compare` exits 2 on.
+func TestCompareSnapshotsCatchesRegressions(t *testing.T) {
+	base, cur := snapPair()
+	r := cur.Inputs[0].Results["gpmetis"]
+	r.ModeledSeconds *= 1.2 // > 10% slower
+	cur.Inputs[0].Results["gpmetis"] = r
+	r2 := cur.Inputs[1].Results["metis"]
+	r2.EdgeCut = int(float64(r2.EdgeCut) * 1.05) // > 2% worse cut
+	cur.Inputs[1].Results["metis"] = r2
+
+	regs := CompareSnapshots(base, cur)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	// Sorted by (input, algo, metric): cage15 before ldoor.
+	if regs[0].Input != "cage15" || regs[0].Algo != "metis" || regs[0].Metric != "edge_cut" {
+		t.Errorf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].Input != "ldoor" || regs[1].Algo != "gpmetis" || regs[1].Metric != "modeled_seconds" {
+		t.Errorf("regs[1] = %+v", regs[1])
+	}
+	for _, r := range regs {
+		if !strings.Contains(r.String(), r.Input) || !strings.Contains(r.String(), r.Metric) {
+			t.Errorf("unreadable regression line %q", r.String())
+		}
+	}
+}
+
+func TestCompareSnapshotsCatchesMissing(t *testing.T) {
+	base, cur := snapPair()
+	delete(cur.Inputs[0].Results, "gpmetis")
+	cur.Inputs = cur.Inputs[:1]
+	regs := CompareSnapshots(base, cur)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (missing algo + missing input): %v", len(regs), regs)
+	}
+	for _, r := range regs {
+		if r.Metric != "missing" {
+			t.Errorf("regression %+v, want metric=missing", r)
+		}
+	}
+}
+
+// TestCompareAgainstRealRun closes the loop with the actual benchmark:
+// a snapshot measured at tiny scale compares clean against itself, and
+// a synthetically slowed baseline copy makes the same run fail — the
+// end-to-end property the CI perf gate relies on.
+func TestCompareAgainstRealRun(t *testing.T) {
+	cfg := tinyCfg()
+	rows, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := BuildBenchSnapshot(cfg, rows)
+	if regs := CompareSnapshots(&snap, &snap); len(regs) != 0 {
+		t.Fatalf("snapshot regressed against itself: %v", regs)
+	}
+
+	// A baseline that remembers everything being 30% faster than today
+	// is what a 30% slowdown looks like to the gate.
+	faster := snap
+	faster.Inputs = nil
+	for _, in := range snap.Inputs {
+		cp := in
+		cp.Results = map[string]result{}
+		for algo, r := range in.Results {
+			r.ModeledSeconds *= 0.7
+			cp.Results[algo] = r
+		}
+		faster.Inputs = append(faster.Inputs, cp)
+	}
+	regs := CompareSnapshots(&faster, &snap)
+	if len(regs) == 0 {
+		t.Fatal("30% modeled-time regression passed the gate")
+	}
+	for _, r := range regs {
+		if r.Metric != "modeled_seconds" {
+			t.Errorf("unexpected regression %+v", r)
+		}
+	}
+}
+
+func TestReadBenchSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "base.json")
+	data := `{"schema":"gpmetis-bench-v1","k":8,"scale_div":777,"runs":2,"seed":42,` +
+		`"inputs":[{"input":"ldoor","results":{"gpmetis":{"modeled_seconds":1,"edge_cut":5}}}]}`
+	if err := os.WriteFile(good, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadBenchSnapshot(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SnapshotConfig(s)
+	if got.ScaleDiv != 777 || got.K != 8 || got.Runs != 2 || got.Seed != 42 {
+		t.Errorf("SnapshotConfig = %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"other-v9","inputs":[{}]}`), 0o644)
+	if _, err := ReadBenchSnapshot(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong-schema error = %v", err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"schema":"gpmetis-bench-v1"}`), 0o644)
+	if _, err := ReadBenchSnapshot(empty); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := ReadBenchSnapshot(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -62,8 +62,9 @@ type Device struct {
 	// when only the computational result matters (tests, examples).
 	Accounting bool
 
-	stats Stats
-	sink  *obs.TimelineSink
+	stats     Stats
+	sink      *obs.TimelineSink
+	launchObs LaunchObserver
 
 	inj   *fault.Injector
 	retry fault.RetryPolicy
@@ -144,6 +145,60 @@ func (s Stats) Attrs(prefix string) []obs.Attr {
 		obs.Int(prefix+"bytes_to_host", s.BytesToHost),
 	}
 }
+
+// CoalescingEfficiency returns Transactions/Accesses: the fraction of raw
+// lane-level accesses that survived coalescing as real global-memory
+// transactions. 1/WarpSize (~3%) is a perfectly coalesced warp (32
+// accesses merge into one transaction); 100% is fully scattered traffic
+// where every access pays its own transaction. Atomic traffic issues
+// transactions without raw accesses, so atomic-heavy kernels can exceed
+// 1.0. Returns 0 when no accesses were charged.
+func (s Stats) CoalescingEfficiency() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Transactions) / float64(s.Accesses)
+}
+
+// DivergenceFactor returns WarpSize*WarpInstructions/LaneInstructions:
+// how much longer the warps ran than their average lane. 1.0 means every
+// lane of every warp did identical work (no divergence); WarpSize means
+// one lane per warp did everything while 31 idled. Returns 0 when no
+// instructions were charged.
+func (s Stats) DivergenceFactor() float64 {
+	if s.LaneInstructions == 0 {
+		return 0
+	}
+	return float64(warpSize) * float64(s.WarpInstructions) / float64(s.LaneInstructions)
+}
+
+// AtomicSerializationRatio returns AtomicSerial/AtomicOps: the fraction
+// of atomic operations that paid serialized conflict cost. 0 means every
+// warp's atomics hit distinct addresses; 1.0 means every atomic landed in
+// a same-address pile-up. Returns 0 when no atomics were issued.
+func (s Stats) AtomicSerializationRatio() float64 {
+	if s.AtomicOps == 0 {
+		return 0
+	}
+	return float64(s.AtomicSerial) / float64(s.AtomicOps)
+}
+
+// warpSize is the SIMT width the divergence ratio normalizes against.
+// Every modeled machine uses 32-wide warps (perfmodel.Default and the
+// paper's GTX Titan); the per-warp segSlot arrays hard-code it too.
+const warpSize = 32
+
+// LaunchObserver receives one callback per kernel launch with that
+// launch's modeled duration and counter deltas. It is the profiler's hook
+// into the device (see internal/prof); a nil observer costs one pointer
+// check per launch and nothing else.
+type LaunchObserver interface {
+	ObserveLaunch(name string, threads int, seconds float64, delta Stats)
+}
+
+// SetLaunchObserver installs (or, with nil, removes) the per-launch
+// observer.
+func (d *Device) SetLaunchObserver(o LaunchObserver) { d.launchObs = o }
 
 // Stats returns the activity counters accumulated so far.
 func (d *Device) Stats() Stats { return d.stats }

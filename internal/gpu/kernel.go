@@ -258,6 +258,18 @@ func (d *Device) Launch(name string, nThreads int, k Kernel) float64 {
 	d.stats.Accesses += accesses
 	d.stats.AtomicOps += atomicOps
 	d.stats.AtomicSerial += atomicSerial
+	if d.launchObs != nil {
+		d.launchObs.ObserveLaunch(name, nThreads, sec, Stats{
+			Kernels:          1,
+			Threads:          int64(nThreads),
+			WarpInstructions: warpInstr,
+			LaneInstructions: laneInstr,
+			Transactions:     transactions,
+			Accesses:         accesses,
+			AtomicOps:        atomicOps,
+			AtomicSerial:     atomicSerial,
+		})
+	}
 	return sec
 }
 

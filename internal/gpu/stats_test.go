@@ -1,0 +1,56 @@
+package gpu
+
+import "testing"
+
+// TestStatsRatioZeroGuards pins the zero-denominator contract: every
+// derived ratio returns 0 (not NaN, not a panic) on empty counters, so
+// callers can render them unconditionally.
+func TestStatsRatioZeroGuards(t *testing.T) {
+	var s Stats
+	if v := s.CoalescingEfficiency(); v != 0 {
+		t.Errorf("CoalescingEfficiency() on zero stats = %v", v)
+	}
+	if v := s.DivergenceFactor(); v != 0 {
+		t.Errorf("DivergenceFactor() on zero stats = %v", v)
+	}
+	if v := s.AtomicSerializationRatio(); v != 0 {
+		t.Errorf("AtomicSerializationRatio() on zero stats = %v", v)
+	}
+}
+
+func TestStatsRatioValues(t *testing.T) {
+	s := Stats{
+		WarpInstructions: 200,
+		LaneInstructions: 3200,
+		Transactions:     250,
+		Accesses:         1000,
+		AtomicOps:        400,
+		AtomicSerial:     100,
+	}
+	if v := s.CoalescingEfficiency(); v != 0.25 {
+		t.Errorf("CoalescingEfficiency() = %v, want 0.25", v)
+	}
+	if v := s.DivergenceFactor(); v != 2 {
+		t.Errorf("DivergenceFactor() = %v, want 2 (32*200/3200)", v)
+	}
+	if v := s.AtomicSerializationRatio(); v != 0.25 {
+		t.Errorf("AtomicSerializationRatio() = %v, want 0.25", v)
+	}
+}
+
+// TestStatsAddSubRoundTrip checks Sub is Add's exact inverse, which the
+// per-level snapshot attribution in core depends on.
+func TestStatsAddSubRoundTrip(t *testing.T) {
+	a := Stats{Kernels: 3, Threads: 96, WarpInstructions: 7, LaneInstructions: 200,
+		Transactions: 11, Accesses: 40, AtomicOps: 5, AtomicSerial: 2,
+		BytesToDevice: 1 << 20, BytesToHost: 1 << 10}
+	b := Stats{Kernels: 1, Threads: 32, WarpInstructions: 2, LaneInstructions: 64,
+		Transactions: 4, Accesses: 16, AtomicOps: 1, AtomicSerial: 1,
+		BytesToDevice: 512, BytesToHost: 128}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Add/Sub round trip: got %+v, want %+v", got, a)
+	}
+	if got := a.Sub(a); got != (Stats{}) {
+		t.Errorf("a.Sub(a) = %+v, want zero", got)
+	}
+}

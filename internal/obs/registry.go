@@ -5,14 +5,45 @@ import (
 	"sync"
 )
 
-// Registry is a flat metrics registry: named float64 counters that any
-// pipeline stage can bump. Counter names are dot-separated
-// ("match.conflicts", "refine.moves", "pcie.bytes_to_device"). All
+// Registry is a flat metrics registry: named float64 counters plus named
+// bucketed histograms that any pipeline stage can bump. Names are
+// dot-separated ("match.conflicts", "refine.moves", "job.seconds"). All
 // methods are safe for concurrent use and no-ops on a nil receiver, so
 // instrumented code never branches on whether metrics are enabled.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]float64
+	mu         sync.Mutex
+	counters   map[string]float64
+	histograms map[string]*histogram
+}
+
+// DefBuckets are the default histogram bucket upper bounds, an
+// exponential ladder from 1 ms to 100 s suiting modeled and wall
+// duration observations alike.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// histogram is one bucketed distribution. counts has one slot per bound
+// plus a final overflow (+Inf) slot; slots are per-bucket, not
+// cumulative — exposition cumulates.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds, strictly ascending.
+	Bounds []float64
+	// Counts holds per-bucket observation counts: Counts[i] observations
+	// fell in (Bounds[i-1], Bounds[i]]; the final slot is the +Inf
+	// overflow. len(Counts) == len(Bounds)+1.
+	Counts []uint64
+	// Sum and Count are the running total and number of observations.
+	Sum   float64
+	Count uint64
 }
 
 // Add increments counter name by v (creating it at zero first).
@@ -74,6 +105,89 @@ func (r *Registry) Names() []string {
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters))
 	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DeclareHistogram creates histogram name with the given bucket bounds
+// (strictly ascending; a trailing +Inf overflow bucket is implicit). An
+// existing histogram keeps its buckets and observations. Observing an
+// undeclared histogram declares it with DefBuckets, so declaration is
+// only needed for custom bounds.
+func (r *Registry) DeclareHistogram(name string, bounds []float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.histogram(name, bounds)
+	r.mu.Unlock()
+}
+
+// histogram finds or creates a histogram; the caller holds r.mu.
+func (r *Registry) histogram(name string, bounds []float64) *histogram {
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if r.histograms == nil {
+		r.histograms = map[string]*histogram{}
+	}
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h := &histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// Observe records one observation in histogram name, declaring it with
+// DefBuckets if absent.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.histogram(name, nil)
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: (..., bound] buckets
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	r.mu.Unlock()
+}
+
+// Histogram returns a snapshot of histogram name; ok is false when the
+// histogram does not exist (or r is nil).
+func (r *Registry) Histogram(name string) (snap HistogramSnapshot, ok bool) {
+	if r == nil {
+		return HistogramSnapshot{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}, true
+}
+
+// HistogramNames returns the sorted histogram names.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.histograms))
+	for k := range r.histograms {
 		names = append(names, k)
 	}
 	sort.Strings(names)

@@ -1,0 +1,130 @@
+// Package prof is the kernel-level profiler of the GP-metis pipeline: it
+// hooks the simulated device's per-launch callback (gpu.LaunchObserver),
+// records one sample per kernel invocation — name, pipeline segment,
+// grid size, modeled seconds, and the launch's counter deltas — and rolls
+// the samples up into per-kernel profiles classified against the modeled
+// machine's roofline (see roofline.go).
+//
+// The profiler reuses the cost model's own decomposition: a kernel's
+// modeled duration is launch overhead plus the max of its compute,
+// memory-bandwidth, and latency-hiding terms, plus serialized atomic
+// time. Re-deriving those terms from the recorded counters tells you
+// *why* a kernel is slow (memory-bound at 41% coalescing vs compute-bound
+// with 3x divergence), not just that it is.
+//
+// Everything is nil-safe: a nil *Profiler swallows every call without
+// allocating, so the instrumented launch path pays one pointer check when
+// profiling is off — the same contract internal/obs gives tracing.
+package prof
+
+import (
+	"sync"
+
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/perfmodel"
+)
+
+// Sample is one kernel invocation as the device reported it.
+type Sample struct {
+	// Kernel is the launch name ("coarsen.match.r0", "uncoarsen.project").
+	Kernel string `json:"kernel"`
+	// Segment is the pipeline segment the launch ran in ("upload",
+	// "coarsen.L2", "handoff", "uncoarsen.L0", ...), "" when the launch
+	// happened outside any declared segment.
+	Segment string `json:"segment,omitempty"`
+	// Level is the coarsening/uncoarsening level of the segment, -1 when
+	// the segment is not level-shaped (upload, handoff, download).
+	Level int `json:"level"`
+	// Threads is the launch's logical grid size.
+	Threads int `json:"threads"`
+	// Seconds is the launch's modeled duration, exactly what the device
+	// charged the run timeline.
+	Seconds float64 `json:"seconds"`
+	// Stats is this launch's counter delta (Kernels is always 1).
+	Stats gpu.Stats `json:"stats"`
+}
+
+// Profiler collects launch samples. Create with New, install on a device
+// with gpu.Device.SetLaunchObserver, and move the segment cursor with
+// SetSegment as the pipeline crosses level boundaries. All methods are
+// safe for concurrent use and no-ops on a nil receiver.
+type Profiler struct {
+	mu      sync.Mutex
+	machine *perfmodel.Machine
+	samples []Sample
+	segment string
+	level   int
+}
+
+// New returns an enabled Profiler classifying against machine m.
+func New(m *perfmodel.Machine) *Profiler {
+	return &Profiler{machine: m, level: -1}
+}
+
+// Enabled reports whether the profiler records anything.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// SetSegment moves the segment cursor: launches observed from now on are
+// attributed to the named pipeline segment and level (-1 for segments
+// that are not level-shaped).
+func (p *Profiler) SetSegment(name string, level int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.segment = name
+	p.level = level
+	p.mu.Unlock()
+}
+
+// ObserveLaunch implements gpu.LaunchObserver: one sample per launch.
+func (p *Profiler) ObserveLaunch(name string, threads int, seconds float64, delta gpu.Stats) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.samples = append(p.samples, Sample{
+		Kernel:  name,
+		Segment: p.segment,
+		Level:   p.level,
+		Threads: threads,
+		Seconds: seconds,
+		Stats:   delta,
+	})
+	p.mu.Unlock()
+}
+
+// Samples returns a copy of the recorded samples in launch order.
+func (p *Profiler) Samples() []Sample {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Sample(nil), p.samples...)
+}
+
+// KernelSeconds returns the summed modeled duration of every recorded
+// launch. For a single-GPU run it reconciles exactly with the GPU portion
+// of the run timeline (Timeline.TotalAt(LocGPU)) as long as no injected
+// fault charged retry time outside a launch.
+func (p *Profiler) KernelSeconds() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s float64
+	for i := range p.samples {
+		s += p.samples[i].Seconds
+	}
+	return s
+}
+
+// Machine returns the machine model the profiler classifies against.
+func (p *Profiler) Machine() *perfmodel.Machine {
+	if p == nil {
+		return nil
+	}
+	return p.machine
+}

@@ -1,0 +1,354 @@
+package prof_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gpmetis/internal/core"
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/perfmodel"
+	"gpmetis/internal/prof"
+)
+
+// profiledRun partitions a mid-sized Delaunay mesh with the profiler
+// attached and returns both, so the property tests below see every
+// kernel of a real end-to-end run (GPU coarsening, handoff, refinement).
+func profiledRun(t *testing.T) (*prof.Profiler, *core.Result) {
+	t.Helper()
+	g, err := gen.Delaunay(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := perfmodel.Default()
+	o := core.DefaultOptions()
+	o.GPUThreshold = 256
+	o.Profiler = prof.New(m)
+	res, err := core.Partition(g, 16, o, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o.Profiler, res
+}
+
+// TestReportReconcilesWithTimeline pins the profiler's core accounting
+// guarantee: in an unfaulted single-GPU run every GPU-located timeline
+// phase comes from exactly one observed launch, so the summed sample
+// seconds equal the timeline's GPU portion bit for bit — not within a
+// tolerance, exactly.
+func TestReportReconcilesWithTimeline(t *testing.T) {
+	p, res := profiledRun(t)
+	gpuSec := res.Timeline.TotalAt(perfmodel.LocGPU)
+	if got := p.KernelSeconds(); got != gpuSec {
+		t.Errorf("KernelSeconds() = %v, timeline GPU portion = %v (diff %g)",
+			got, gpuSec, got-gpuSec)
+	}
+	if res.Profile == nil {
+		t.Fatal("Result.Profile is nil with a profiler attached")
+	}
+	if res.Profile.KernelSeconds != res.Profile.GPUTimelineSeconds {
+		t.Errorf("report does not reconcile: kernel %v vs timeline %v",
+			res.Profile.KernelSeconds, res.Profile.GPUTimelineSeconds)
+	}
+	if res.Profile.Schema != "gpmetis-profile-v1" {
+		t.Errorf("schema = %q", res.Profile.Schema)
+	}
+}
+
+// TestSampleInvariants property-checks every kernel launch of a full
+// partition against the counter invariants the cost model maintains.
+//
+// Two non-obvious bounds, pinned deliberately: atomics charge their
+// transaction slots without raw accesses, so Transactions is bounded by
+// Accesses+AtomicOps (not Accesses alone); and AtomicSerial counts
+// same-address pile-up depth within access slots — a conflict-free
+// atomic costs 0 (so the floor is 0, not AtomicOps/WarpSize), while a
+// divergent warp mixing loads and atomics at one access index can pile
+// loads into an atomic slot (so the ceiling is Accesses+AtomicOps, not
+// AtomicOps alone).
+func TestSampleInvariants(t *testing.T) {
+	p, _ := profiledRun(t)
+	samples := p.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for i, s := range samples {
+		if s.Kernel == "" {
+			t.Fatalf("sample %d: empty kernel name", i)
+		}
+		if s.Seconds <= 0 {
+			t.Errorf("%s: non-positive modeled seconds %v", s.Kernel, s.Seconds)
+		}
+		st := s.Stats
+		if st.Kernels != 1 {
+			t.Errorf("%s: per-launch delta has Kernels = %d", s.Kernel, st.Kernels)
+		}
+		if s.Threads <= 0 || st.Threads != int64(s.Threads) {
+			t.Errorf("%s: threads %d vs stats %d", s.Kernel, s.Threads, st.Threads)
+		}
+		// Each warp's charged instructions are the max over its lanes:
+		// at most the lane sum, at least a WarpSize-th of it.
+		if st.WarpInstructions > st.LaneInstructions {
+			t.Errorf("%s: warp instructions %d exceed lane instructions %d",
+				s.Kernel, st.WarpInstructions, st.LaneInstructions)
+		}
+		if 32*st.WarpInstructions < st.LaneInstructions {
+			t.Errorf("%s: lane instructions %d exceed 32x warp instructions %d",
+				s.Kernel, st.LaneInstructions, st.WarpInstructions)
+		}
+		if st.AtomicSerial < 0 || st.AtomicSerial > st.Accesses+st.AtomicOps {
+			t.Errorf("%s: atomic serialization %d outside [0, %d]",
+				s.Kernel, st.AtomicSerial, st.Accesses+st.AtomicOps)
+		}
+		if st.AtomicOps == 0 && st.AtomicSerial != 0 {
+			t.Errorf("%s: serialization %d charged without atomics",
+				s.Kernel, st.AtomicSerial)
+		}
+		// Coalescing merges, never splits: a transaction needs at least
+		// one raw access or one atomic behind it.
+		if st.Transactions > st.Accesses+st.AtomicOps {
+			t.Errorf("%s: transactions %d exceed accesses %d + atomics %d",
+				s.Kernel, st.Transactions, st.Accesses, st.AtomicOps)
+		}
+		if st.Transactions < 0 || st.Accesses < 0 || st.AtomicOps < 0 {
+			t.Errorf("%s: negative counters %+v", s.Kernel, st)
+		}
+		// Launches move no PCIe bytes; transfers are not launches.
+		if st.BytesToDevice != 0 || st.BytesToHost != 0 {
+			t.Errorf("%s: launch charged transfer bytes %+v", s.Kernel, st)
+		}
+		for name, v := range map[string]float64{
+			"coalescing": st.CoalescingEfficiency(),
+			"divergence": st.DivergenceFactor(),
+			"atomicser":  st.AtomicSerializationRatio(),
+		} {
+			if v < 0 || v != v {
+				t.Errorf("%s: %s ratio = %v", s.Kernel, name, v)
+			}
+		}
+		if f := st.DivergenceFactor(); st.LaneInstructions > 0 && (f < 1 || f > 32) {
+			t.Errorf("%s: divergence factor %v outside [1, 32]", s.Kernel, f)
+		}
+	}
+}
+
+// TestSampleDeltasSumToRunTotals checks the per-launch deltas are a
+// complete decomposition: summed across every sample they equal the
+// device's run-total Stats on all launch-charged counters. (Transfer
+// bytes are charged by uploads/downloads, not launches, so those two
+// fields stay zero in the sample sum.)
+func TestSampleDeltasSumToRunTotals(t *testing.T) {
+	p, res := profiledRun(t)
+	var sum gpu.Stats
+	for _, s := range p.Samples() {
+		sum = sum.Add(s.Stats)
+	}
+	want := res.KernelStats
+	want.BytesToDevice = 0
+	want.BytesToHost = 0
+	if sum != want {
+		t.Errorf("sample deltas sum to %+v,\nrun totals are   %+v", sum, want)
+	}
+}
+
+// TestSegmentsAttributed checks the pipeline moves the segment cursor:
+// launches land in level-shaped coarsen/uncoarsen segments with their
+// level recorded.
+func TestSegmentsAttributed(t *testing.T) {
+	p, res := profiledRun(t)
+	if res.GPULevels == 0 {
+		t.Fatal("run did no GPU coarsening; segment test needs levels")
+	}
+	var coarsen, uncoarsen bool
+	for _, s := range p.Samples() {
+		switch {
+		case strings.HasPrefix(s.Segment, "coarsen.L"):
+			coarsen = true
+			if s.Level < 0 {
+				t.Errorf("segment %s has level %d", s.Segment, s.Level)
+			}
+		case strings.HasPrefix(s.Segment, "uncoarsen.L"):
+			uncoarsen = true
+			if s.Level < 0 {
+				t.Errorf("segment %s has level %d", s.Segment, s.Level)
+			}
+		}
+	}
+	if !coarsen || !uncoarsen {
+		t.Errorf("missing segments: coarsen=%v uncoarsen=%v", coarsen, uncoarsen)
+	}
+}
+
+// observe feeds one synthetic launch into a fresh profiler and returns
+// its single-kernel profile.
+func observe(t *testing.T, st gpu.Stats, sec float64) prof.KernelProfile {
+	t.Helper()
+	p := prof.New(perfmodel.Default())
+	p.ObserveLaunch("synthetic", int(st.Threads), sec, st)
+	ks := p.Profiles()
+	if len(ks) != 1 {
+		t.Fatalf("got %d profiles, want 1", len(ks))
+	}
+	return ks[0]
+}
+
+// TestRooflineClassification forces each dominant term with hand-built
+// counters and checks the classifier names it.
+func TestRooflineClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		st   gpu.Stats
+		want prof.Bound
+	}{
+		{"compute", gpu.Stats{Kernels: 1, Threads: 1 << 20,
+			WarpInstructions: 1 << 40, LaneInstructions: 32 << 40}, prof.BoundCompute},
+		{"atomic", gpu.Stats{Kernels: 1, Threads: 1 << 20,
+			AtomicOps: 1 << 40, AtomicSerial: 1 << 40}, prof.BoundAtomic},
+		{"launch", gpu.Stats{Kernels: 1, Threads: 32,
+			WarpInstructions: 1, LaneInstructions: 32}, prof.BoundLaunch},
+	}
+	for _, c := range cases {
+		if got := observe(t, c.st, 1).Bound; got != c.want {
+			t.Errorf("%s-heavy kernel classified %s, want %s", c.name, got, c.want)
+		}
+	}
+	// Memory vs latency both scale with Transactions; whichever the
+	// machine model makes larger must win, and it must be one of the two.
+	st := gpu.Stats{Kernels: 1, Threads: 1 << 20,
+		Transactions: 1 << 40, Accesses: 32 << 40}
+	got := observe(t, st, 1).Bound
+	if got != prof.BoundMemory && got != prof.BoundLatency {
+		t.Errorf("transaction-heavy kernel classified %s, want memory or latency", got)
+	}
+}
+
+// TestHints checks each hint rule fires on counters that violate it and
+// stays quiet on a well-behaved kernel.
+func TestHints(t *testing.T) {
+	clean := observe(t, gpu.Stats{Kernels: 1, Threads: 1 << 20,
+		WarpInstructions: 1 << 30, LaneInstructions: 32 << 30,
+		Accesses: 3200, Transactions: 100}, 1)
+	if len(clean.Hints) != 0 {
+		t.Errorf("well-behaved kernel got hints: %v", clean.Hints)
+	}
+	for _, c := range []struct {
+		name string
+		st   gpu.Stats
+		frag string
+	}{
+		{"coalescing", gpu.Stats{Kernels: 1, Threads: 1024,
+			Accesses: 1000, Transactions: 900}, "coalescing"},
+		{"divergence", gpu.Stats{Kernels: 1, Threads: 1024,
+			WarpInstructions: 1000, LaneInstructions: 3200}, "divergence"},
+		{"atomics", gpu.Stats{Kernels: 1, Threads: 1024,
+			AtomicOps: 1000, AtomicSerial: 800}, "atomics serialize"},
+	} {
+		k := observe(t, c.st, 1)
+		found := false
+		for _, h := range k.Hints {
+			if strings.Contains(h, c.frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s rule: no hint containing %q in %v", c.name, c.frag, k.Hints)
+		}
+	}
+}
+
+// TestTable checks the human-readable rendering: header, per-kernel rows,
+// the exact total, and the truncation footer for top-N.
+func TestTable(t *testing.T) {
+	p, res := profiledRun(t)
+	_ = p
+	rep := res.Profile
+	full := rep.Table(0)
+	for _, want := range []string{"KERNEL", "BOUND", "TOTAL", "coarsen.match.r0"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("table missing %q:\n%s", want, full)
+		}
+	}
+	if len(rep.Kernels) < 3 {
+		t.Fatalf("only %d kernels profiled", len(rep.Kernels))
+	}
+	top := rep.Table(2)
+	if !strings.Contains(top, "more kernels") {
+		t.Errorf("top-2 table lacks truncation footer:\n%s", top)
+	}
+	// Rows are sorted by descending seconds.
+	for i := 1; i < len(rep.Kernels); i++ {
+		if rep.Kernels[i].Seconds > rep.Kernels[i-1].Seconds {
+			t.Errorf("kernels not sorted: %q (%v) after %q (%v)",
+				rep.Kernels[i].Kernel, rep.Kernels[i].Seconds,
+				rep.Kernels[i-1].Kernel, rep.Kernels[i-1].Seconds)
+		}
+	}
+}
+
+// TestWriteJSONRoundTrip checks the export decodes back into an
+// equivalent report.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	_, res := profiledRun(t)
+	var buf bytes.Buffer
+	if err := res.Profile.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back prof.Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != res.Profile.Schema || len(back.Kernels) != len(res.Profile.Kernels) {
+		t.Errorf("round trip lost shape: %q %d kernels vs %q %d",
+			back.Schema, len(back.Kernels), res.Profile.Schema, len(res.Profile.Kernels))
+	}
+	if back.KernelSeconds != res.Profile.KernelSeconds {
+		t.Errorf("round trip changed kernel seconds: %v vs %v",
+			back.KernelSeconds, res.Profile.KernelSeconds)
+	}
+	if back.Machine.RidgePointOpsPerByte <= 0 {
+		t.Errorf("machine summary lost ridge point: %+v", back.Machine)
+	}
+}
+
+// TestDisabledNoAlloc pins the disabled-path contract: a nil *Profiler
+// swallows every call without allocating, so un-profiled runs pay one
+// pointer check per launch and nothing else.
+func TestDisabledNoAlloc(t *testing.T) {
+	var p *prof.Profiler
+	st := gpu.Stats{Kernels: 1, Threads: 4096}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.SetSegment("coarsen.L0", 0)
+		p.ObserveLaunch("coarsen.match.r0", 4096, 1e-5, st)
+		if p.Enabled() || p.KernelSeconds() != 0 || p.Samples() != nil {
+			t.Fatal("nil profiler not inert")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled profiler path allocates %v per launch, want 0", allocs)
+	}
+}
+
+// BenchmarkObserveLaunchDisabled measures the per-launch overhead a
+// disabled profiler adds to the hot launch path (expected: nanoseconds,
+// zero allocations).
+func BenchmarkObserveLaunchDisabled(b *testing.B) {
+	var p *prof.Profiler
+	st := gpu.Stats{Kernels: 1, Threads: 4096}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ObserveLaunch("coarsen.match.r0", 4096, 1e-5, st)
+	}
+}
+
+// BenchmarkObserveLaunchEnabled is the enabled counterpart, for sizing
+// the profiling tax itself.
+func BenchmarkObserveLaunchEnabled(b *testing.B) {
+	p := prof.New(perfmodel.Default())
+	st := gpu.Stats{Kernels: 1, Threads: 4096}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ObserveLaunch("coarsen.match.r0", 4096, 1e-5, st)
+	}
+}

@@ -1,0 +1,215 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+
+	"gpmetis/internal/gpu"
+	"gpmetis/internal/perfmodel"
+)
+
+// Bound classifies which roofline term dominates a kernel's modeled time.
+type Bound string
+
+// Roofline classifications, by dominant cost-model term.
+const (
+	// BoundMemory: the transaction-bandwidth term dominates.
+	BoundMemory Bound = "memory"
+	// BoundCompute: the instruction-throughput term dominates.
+	BoundCompute Bound = "compute"
+	// BoundLatency: unhidden transaction latency dominates (too few warps
+	// in flight to cover memory latency).
+	BoundLatency Bound = "latency"
+	// BoundAtomic: serialized atomic conflict time dominates.
+	BoundAtomic Bound = "atomic"
+	// BoundLaunch: fixed per-launch overhead dominates (many tiny grids).
+	BoundLaunch Bound = "launch"
+)
+
+// KernelProfile is the per-kernel rollup: every launch of one kernel name
+// across all levels, with the roofline decomposition re-derived from the
+// counters and the dominant term named.
+type KernelProfile struct {
+	Kernel   string `json:"kernel"`
+	Launches int    `json:"launches"`
+	Threads  int64  `json:"threads"`
+	// Seconds is the summed modeled duration the device actually charged.
+	Seconds float64 `json:"seconds"`
+	// Stats is the summed counter deltas of all launches.
+	Stats gpu.Stats `json:"stats"`
+
+	// Roofline decomposition, in seconds, re-derived from Stats with the
+	// cost model's own formulas (gpu.Device.kernelSeconds). The terms do
+	// not sum to Seconds — the model takes the max of the first three per
+	// launch — they show which wall the kernel ran into.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	MemorySeconds  float64 `json:"memory_seconds"`
+	LatencySeconds float64 `json:"latency_seconds"`
+	AtomicSeconds  float64 `json:"atomic_seconds"`
+	LaunchSeconds  float64 `json:"launch_seconds"`
+
+	// Bound names the dominant term.
+	Bound Bound `json:"bound"`
+
+	// Derived ratios (gpu.Stats accessors).
+	CoalescingEfficiency     float64 `json:"coalescing_efficiency"`
+	DivergenceFactor         float64 `json:"divergence_factor"`
+	AtomicSerializationRatio float64 `json:"atomic_serialization_ratio"`
+
+	// ArithmeticIntensity is charged warp-lane instructions per
+	// transaction byte; the machine's ridge point (lane throughput over
+	// memory bandwidth) separates memory- from compute-bound territory.
+	ArithmeticIntensity float64 `json:"arithmetic_intensity"`
+	// AchievedBandwidth is transaction bytes over the kernel's charged
+	// seconds; PeakFraction is its share of the machine's modeled
+	// bandwidth.
+	AchievedBandwidth float64 `json:"achieved_bandwidth_bytes_per_sec"`
+	PeakFraction      float64 `json:"peak_bandwidth_fraction"`
+
+	// Hints are rule-derived optimization suggestions (see hints).
+	Hints []string `json:"hints,omitempty"`
+}
+
+// rooflineTerms re-derives the cost model's per-launch decomposition from
+// one launch's counters, mirroring gpu.Device.kernelSeconds term by term
+// (minus the slowest-warp critical-path floor, which needs per-warp data
+// the counters do not keep).
+func rooflineTerms(m *perfmodel.Machine, s gpu.Stats) (compute, memory, latency, atomic, launch float64) {
+	g := m.GPU
+	laneThroughput := float64(g.SMs) * float64(g.CoresPerSM) * g.ClockHz
+	compute = float64(s.WarpInstructions) * float64(g.WarpSize) / laneThroughput
+	memory = float64(s.Transactions) * float64(g.TransactionBytes) / g.MemBytesPerSec
+	hiding := float64(g.SMs * g.WarpSlotsPerSM)
+	latency = float64(s.Transactions) * g.MemLatencySec / hiding
+	atomic = float64(s.AtomicSerial) * g.AtomicSec / float64(g.SMs)
+	launch = float64(s.Kernels) * g.LaunchSec
+	return
+}
+
+// classify names the dominant roofline term.
+func classify(compute, memory, latency, atomic, launch float64) Bound {
+	bound, max := BoundCompute, compute
+	for _, c := range []struct {
+		b Bound
+		v float64
+	}{
+		{BoundMemory, memory},
+		{BoundLatency, latency},
+		{BoundAtomic, atomic},
+		{BoundLaunch, launch},
+	} {
+		if c.v > max {
+			bound, max = c.b, c.v
+		}
+	}
+	return bound
+}
+
+// Hint thresholds: a ratio must clear these before the corresponding
+// suggestion is emitted, so well-behaved kernels stay hint-free.
+const (
+	// hintCoalescing: more than one transaction per four raw accesses
+	// means warps are scattering (perfect coalescing is 1/32).
+	hintCoalescing = 0.25
+	// hintDivergence: warps run >= 1.5x their average lane.
+	hintDivergence = 1.5
+	// hintAtomic: over a quarter of atomics pay serialized conflicts.
+	hintAtomic = 0.25
+	// hintPeakBW: a memory-bound kernel already sustaining >= 60% of the
+	// modeled bandwidth cannot be fixed by coalescing alone.
+	hintPeakBW = 0.6
+)
+
+// hints derives the optimization suggestions for one kernel profile.
+func hints(k *KernelProfile) []string {
+	var h []string
+	if k.Stats.Accesses > 0 && k.CoalescingEfficiency > hintCoalescing {
+		h = append(h, fmt.Sprintf(
+			"%.0f%% coalescing — scattered warp access; candidate for sorted adjacency or cyclic distribution",
+			100*k.CoalescingEfficiency))
+	}
+	if k.DivergenceFactor > hintDivergence {
+		h = append(h, fmt.Sprintf(
+			"%.1fx warp divergence — lanes do uneven work; candidate for degree-bucketed launches",
+			k.DivergenceFactor))
+	}
+	if k.AtomicSerializationRatio > hintAtomic {
+		h = append(h, fmt.Sprintf(
+			"%.0f%% of atomics serialize — hot addresses; candidate for privatized per-warp counters",
+			100*k.AtomicSerializationRatio))
+	}
+	if k.Bound == BoundMemory && k.PeakFraction >= hintPeakBW && k.CoalescingEfficiency <= hintCoalescing {
+		h = append(h, fmt.Sprintf(
+			"sustains %.0f%% of modeled bandwidth while coalesced — reduce bytes moved, not access pattern",
+			100*k.PeakFraction))
+	}
+	if k.Bound == BoundLaunch {
+		h = append(h, fmt.Sprintf(
+			"launch overhead dominates across %d launches — candidate for kernel fusion or batching",
+			k.Launches))
+	}
+	if k.Bound == BoundLatency {
+		h = append(h, "unhidden memory latency — grid too small to cover transaction latency; merge levels or widen launches")
+	}
+	return h
+}
+
+// Profiles rolls the samples up by kernel name, classifies each against
+// the machine's roofline, and returns them sorted by descending seconds.
+func (p *Profiler) Profiles() []KernelProfile {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	samples := append([]Sample(nil), p.samples...)
+	m := p.machine
+	p.mu.Unlock()
+	return aggregate(m, samples)
+}
+
+// aggregate is the pure rollup behind Profiles, shared with report
+// rebuilding in tests.
+func aggregate(m *perfmodel.Machine, samples []Sample) []KernelProfile {
+	byName := map[string]*KernelProfile{}
+	var order []string
+	for i := range samples {
+		s := &samples[i]
+		k, ok := byName[s.Kernel]
+		if !ok {
+			k = &KernelProfile{Kernel: s.Kernel}
+			byName[s.Kernel] = k
+			order = append(order, s.Kernel)
+		}
+		k.Launches++
+		k.Threads += int64(s.Threads)
+		k.Seconds += s.Seconds
+		k.Stats = k.Stats.Add(s.Stats)
+	}
+	out := make([]KernelProfile, 0, len(order))
+	for _, name := range order {
+		k := byName[name]
+		k.ComputeSeconds, k.MemorySeconds, k.LatencySeconds, k.AtomicSeconds, k.LaunchSeconds =
+			rooflineTerms(m, k.Stats)
+		k.Bound = classify(k.ComputeSeconds, k.MemorySeconds, k.LatencySeconds, k.AtomicSeconds, k.LaunchSeconds)
+		k.CoalescingEfficiency = k.Stats.CoalescingEfficiency()
+		k.DivergenceFactor = k.Stats.DivergenceFactor()
+		k.AtomicSerializationRatio = k.Stats.AtomicSerializationRatio()
+		bytes := float64(k.Stats.Transactions) * float64(m.GPU.TransactionBytes)
+		if bytes > 0 {
+			k.ArithmeticIntensity = float64(k.Stats.WarpInstructions) * float64(m.GPU.WarpSize) / bytes
+		}
+		if k.Seconds > 0 {
+			k.AchievedBandwidth = bytes / k.Seconds
+			k.PeakFraction = k.AchievedBandwidth / m.GPU.MemBytesPerSec
+		}
+		k.Hints = hints(k)
+		out = append(out, *k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	return out
+}

@@ -63,8 +63,8 @@ func canonicalOptions(algo gpmetis.Algorithm, k int, o gpmetis.Options, faults s
 	if devices < 1 {
 		devices = 1
 	}
-	return fmt.Sprintf("algo=%s&k=%d&seed=%d&ub=%.6g&merge=%d&threads=%d&devices=%d&gputhresh=%d&faults=%s&faultseed=%d&degrade=%t&verify=%t",
-		algo, k, o.Seed, o.UBFactor, int(o.Merge), o.Threads, devices, o.GPUThreshold, faults, faultSeed, o.Degrade, o.Verify)
+	return fmt.Sprintf("algo=%s&k=%d&seed=%d&ub=%.6g&merge=%d&threads=%d&devices=%d&gputhresh=%d&faults=%s&faultseed=%d&degrade=%t&verify=%t&profile=%t",
+		algo, k, o.Seed, o.UBFactor, int(o.Merge), o.Threads, devices, o.GPUThreshold, faults, faultSeed, o.Degrade, o.Verify, o.Profile)
 }
 
 // CacheKey is the content address of one (graph, k, options) request:
@@ -79,11 +79,13 @@ func CacheKey(graphDigest string, canonical string) string {
 }
 
 // CachedResult is one cache value: the completed result plus the tracer
-// of the run that produced it, so /jobs/<id>/trace works for hits too.
-// Values are immutable once stored; readers must not mutate Result.Part.
+// and (for profiled jobs) the kernel profile of the run that produced it,
+// so /jobs/<id>/trace and /jobs/<id>/profile work for hits too. Values
+// are immutable once stored; readers must not mutate Result.Part.
 type CachedResult struct {
-	Result JobResult
-	Tracer *gpmetis.Tracer
+	Result  JobResult
+	Tracer  *gpmetis.Tracer
+	Profile *gpmetis.ProfileReport
 }
 
 // Cache is a content-addressed LRU result cache, safe for concurrent

@@ -48,6 +48,7 @@ type Job struct {
 	waitSeconds float64
 	errMsg      string
 	tracer      *gpmetis.Tracer
+	profile     *gpmetis.ProfileReport
 	result      *JobResult
 
 	done chan struct{} // closed on any terminal state
@@ -95,6 +96,7 @@ func resolveRequest(req *SubmitRequest) (*Job, error) {
 		Devices:   req.Devices,
 		Degrade:   req.Degrade,
 		Verify:    req.Verify,
+		Profile:   req.Profile,
 	}
 	// Apply the library defaults here, not in Partition, so the
 	// canonical option string never contains an unresolved zero.
@@ -196,6 +198,22 @@ func (j *Job) Tracer() *gpmetis.Tracer {
 	return j.tracer
 }
 
+// Profile returns the job's kernel profile: non-nil only once a job
+// submitted with "profile": true has completed (the original run's
+// report for cache hits).
+func (j *Job) Profile() *gpmetis.ProfileReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.profile
+}
+
+// setProfile installs the completed run's kernel profile.
+func (j *Job) setProfile(p *gpmetis.ProfileReport) {
+	j.mu.Lock()
+	j.profile = p
+	j.mu.Unlock()
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -242,14 +260,20 @@ func (j *Job) finishCached(c *CachedResult) {
 	j.mu.Lock()
 	j.cached = true
 	j.tracer = c.Tracer
+	j.profile = c.Profile
 	j.mu.Unlock()
 	res := c.Result // shallow copy; Part is shared and immutable
 	j.finish(StateDone, &res, "")
 }
 
 // finishCoalesced completes a single-flight follower with its leader's
-// result: identical answer, no device slot consumed.
-func (j *Job) finishCoalesced(res *JobResult) {
+// result: identical answer, no device slot consumed. The leader's kernel
+// profile comes along (profiled and unprofiled requests never coalesce —
+// the cache key separates them — so profile presence always matches).
+func (j *Job) finishCoalesced(res *JobResult, p *gpmetis.ProfileReport) {
+	j.mu.Lock()
+	j.profile = p
+	j.mu.Unlock()
 	cp := *res // shallow copy; Part is shared and immutable
 	j.finish(StateDone, &cp, "")
 }

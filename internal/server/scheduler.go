@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"gpmetis"
@@ -29,6 +30,12 @@ type pool struct {
 	s        *Server
 	machines []*gpmetis.Machine
 	health   []*slotHealth
+
+	// Per-slot utilization, for the /metrics exposition: cumulative wall
+	// seconds each slot spent running jobs, and how many jobs it ran.
+	statMu   sync.Mutex
+	slotBusy []float64
+	slotJobs []int64
 }
 
 func newPool(s *Server, devices int, base *gpmetis.Machine) *pool {
@@ -38,7 +45,16 @@ func newPool(s *Server, devices int, base *gpmetis.Machine) *pool {
 		p.machines = append(p.machines, &m)
 		p.health = append(p.health, newSlotHealth())
 	}
+	p.slotBusy = make([]float64, devices)
+	p.slotJobs = make([]int64, devices)
 	return p
+}
+
+// slotStats snapshots the per-slot utilization counters.
+func (p *pool) slotStats() (busy []float64, jobs []int64) {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	return append([]float64(nil), p.slotBusy...), append([]int64(nil), p.slotJobs...)
 }
 
 // start launches the workers; they exit when ctx is canceled.
@@ -85,11 +101,19 @@ func (p *pool) worker(ctx context.Context, slot int) {
 		}
 		wait := time.Since(job.queuedAt).Seconds()
 		p.s.reg.Add("queue.wait_seconds", wait)
+		p.s.reg.Observe("job.queue_seconds", wait)
 		job.markRunning(slot, wait)
 		p.s.journalAppend(Record{Type: RecRunning, ID: job.ID})
 		p.s.reg.Add("devices.busy", 1)
+		t0 := time.Now()
 		p.runJob(job, slot)
+		ran := time.Since(t0).Seconds()
 		p.s.reg.Add("devices.busy", -1)
+		p.s.reg.Observe("job.run_seconds", ran)
+		p.statMu.Lock()
+		p.slotBusy[slot] += ran
+		p.slotJobs[slot]++
+		p.statMu.Unlock()
 	}
 }
 
@@ -194,6 +218,7 @@ func (p *pool) runJob(job *Job, slot int) {
 		}
 		p.s.reg.Add("jobs.completed", 1)
 		p.s.reg.Add("modeled.seconds", res.ModeledSeconds)
+		p.s.reg.Observe("job.modeled_seconds", res.ModeledSeconds)
 		if res.Degraded {
 			p.s.reg.Add("jobs.degraded", 1)
 		}
@@ -201,8 +226,9 @@ func (p *pool) runJob(job *Job, slot int) {
 			p.s.reg.Add("jobs.resumed_completed", 1)
 		}
 		p.health[slot].clearStrikes()
+		job.setProfile(res.Profile)
 		if job.key != "" {
-			p.s.cache.Put(job.key, &CachedResult{Result: *jr, Tracer: tracer})
+			p.s.cache.Put(job.key, &CachedResult{Result: *jr, Tracer: tracer, Profile: res.Profile})
 		}
 		job.finish(StateDone, jr, "")
 	case errors.Is(err, gpmetis.ErrCanceled):

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -14,6 +15,10 @@ import (
 	"gpmetis"
 	"gpmetis/internal/obs"
 )
+
+// Version identifies the serving subsystem build, reported by /healthz
+// and the gpmetisd_build_info metric.
+const Version = "0.5.0"
 
 // Config sizes the serving subsystem. Zero values take the defaults
 // noted per field.
@@ -390,7 +395,7 @@ func (s *Server) follow(j, leader *Job) {
 		}
 		if st := leader.Status(); st.State == StateDone && st.Result != nil {
 			s.reg.Add("jobs.completed", 1)
-			j.finishCoalesced(st.Result)
+			j.finishCoalesced(st.Result, leader.Profile())
 			return
 		}
 		// The leader failed or was canceled; its outcome must not bind
@@ -488,8 +493,10 @@ func (s *Server) Job(id string) (*Job, bool) {
 //	GET    /jobs/{id}       one job's status (result when done)
 //	DELETE /jobs/{id}       cancel
 //	GET    /jobs/{id}/trace Chrome trace_event JSON of the job's run
-//	GET    /metrics         counter registry snapshot
-//	GET    /healthz         liveness + pool/queue occupancy
+//	GET    /jobs/{id}/profile kernel-level roofline profile (profiled jobs)
+//	GET    /metrics         Prometheus text exposition
+//	GET    /metrics.json    counter registry snapshot as flat JSON
+//	GET    /healthz         liveness + pool/queue occupancy + build info
 //	GET    /admin/devices   device-pool quarantine states
 //	POST   /admin/devices/{slot}/reinstate  force a slot back into service
 func (s *Server) Handler() http.Handler {
@@ -499,7 +506,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /admin/devices", s.handleDevices)
 	mux.HandleFunc("POST /admin/devices/{slot}/reinstate", s.handleReinstate)
@@ -606,7 +615,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// cacheExtra derives the cache-layer metric values merged into both
+// metrics expositions.
+func (s *Server) cacheExtra() map[string]float64 {
 	hits, misses, evicted := s.cache.Stats()
 	extra := map[string]float64{
 		"cache.hits":     float64(hits),
@@ -620,8 +631,81 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	extra["cache.hit_rate"] = rate
+	return extra
+}
+
+// handleMetrics serves the Prometheus text exposition: every registry
+// counter and histogram under the gpmetisd_ prefix, plus build info,
+// cache and uptime gauges, and the per-slot utilization/quarantine
+// series. The JSON form lives at /metrics.json.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var extra []obs.PromSample
+	extra = append(extra, obs.PromSample{
+		Name: "build_info",
+		Labels: []obs.Label{
+			{Key: "version", Value: Version},
+			{Key: "go_version", Value: runtime.Version()},
+		},
+		Value: 1,
+		Help:  "Build metadata; the value is always 1.",
+	})
+	ce := s.cacheExtra()
+	for _, name := range []string{
+		"cache.hits", "cache.misses", "cache.evicted", "cache.entries",
+		"cache.hit_rate", "uptime.seconds",
+	} {
+		extra = append(extra, obs.PromSample{Name: name, Value: ce[name]})
+	}
+	busy, jobs := s.pool.slotStats()
+	for slot := range busy {
+		extra = append(extra, obs.PromSample{
+			Name:   "slot_busy_seconds",
+			Labels: []obs.Label{{Key: "slot", Value: strconv.Itoa(slot)}},
+			Value:  busy[slot],
+		})
+	}
+	for slot := range jobs {
+		extra = append(extra, obs.PromSample{
+			Name:   "slot_jobs",
+			Labels: []obs.Label{{Key: "slot", Value: strconv.Itoa(slot)}},
+			Value:  float64(jobs[slot]),
+		})
+	}
+	for slot, h := range s.pool.health {
+		var q float64
+		if h.quarantined() {
+			q = 1
+		}
+		extra = append(extra, obs.PromSample{
+			Name:   "slot_quarantined",
+			Labels: []obs.Label{{Key: "slot", Value: strconv.Itoa(slot)}},
+			Value:  q,
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.reg, "gpmetisd_", extra)
+}
+
+// handleMetricsJSON serves the flat JSON registry snapshot that /metrics
+// carried before the Prometheus exposition took that path over.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	obs.WriteRegistryJSON(w, s.reg, extra)
+	obs.WriteRegistryJSON(w, s.reg, s.cacheExtra())
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
+		return
+	}
+	p := j.Profile()
+	if p == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			`no kernel profile for this job (submit with "profile": true and wait for completion)`)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -629,11 +713,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	n := len(s.jobs)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:     "ok",
-		Devices:    s.cfg.Devices,
-		QueueDepth: len(s.queue),
-		QueueCap:   s.cfg.QueueCap,
-		Jobs:       n,
+		Status:         "ok",
+		Devices:        s.cfg.Devices,
+		QueueDepth:     len(s.queue),
+		QueueCap:       s.cfg.QueueCap,
+		Jobs:           n,
+		Version:        Version,
+		GoVersion:      runtime.Version(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		ModeledSeconds: s.reg.Get("modeled.seconds"),
 	})
 }
 

@@ -68,7 +68,7 @@ func httpPoll(t *testing.T, base, id string) JobStatus {
 
 func httpMetrics(t *testing.T, base string) map[string]float64 {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

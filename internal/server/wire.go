@@ -47,6 +47,10 @@ type SubmitRequest struct {
 	FaultSeed int64  `json:"fault_seed,omitempty"`
 	Degrade   bool   `json:"degrade,omitempty"`
 	Verify    bool   `json:"verify,omitempty"`
+	// Profile enables the kernel-level profiler for this job (GP-metis
+	// only); the roofline report is then served at GET /jobs/{id}/profile.
+	// Profiled and unprofiled submissions cache and coalesce separately.
+	Profile bool `json:"profile,omitempty"`
 	// DeadlineMs bounds the job's total wall-clock lifetime (queue wait
 	// plus run). 0 means the server default. Expired jobs fail with a
 	// deadline error; a queued job whose deadline fires never runs.
@@ -134,13 +138,22 @@ type DeviceStatus struct {
 	RequiredSeconds float64 `json:"required_seconds,omitempty"`
 }
 
-// HealthResponse is the wire form of GET /healthz.
+// HealthResponse is the wire form of GET /healthz: liveness, occupancy,
+// and build info.
 type HealthResponse struct {
 	Status     string `json:"status"`
 	Devices    int    `json:"devices"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
 	Jobs       int    `json:"jobs"`
+	// Version is the daemon version; GoVersion the toolchain it was built
+	// with.
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// UptimeSeconds is wall-clock time since the server started;
+	// ModeledSeconds is the cumulative modeled time of every completed job.
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	ModeledSeconds float64 `json:"modeled_seconds"`
 }
 
 // badRequest builds a client-usage error that the HTTP layer maps to 400.

@@ -47,6 +47,7 @@ import (
 	"gpmetis/internal/obs"
 	"gpmetis/internal/parmetis"
 	"gpmetis/internal/perfmodel"
+	"gpmetis/internal/prof"
 	"gpmetis/internal/ptscotch"
 	"gpmetis/internal/spectral"
 )
@@ -70,6 +71,16 @@ type Tracer = obs.Tracer
 
 // NewTracer returns an enabled Tracer ready to pass in Options.Tracer.
 func NewTracer() *Tracer { return obs.New() }
+
+// ProfileReport is one run's kernel-level profile: per-kernel roofline
+// rollups (launches, modeled seconds, derived counter ratios, dominant
+// cost-model term, optimization hints) plus the reconciliation pair
+// tying the profile back to the run timeline. Produced by GP-metis runs
+// with Options.Profile set; see internal/prof.
+type ProfileReport = prof.Report
+
+// KernelProfile is one kernel's rollup within a ProfileReport.
+type KernelProfile = prof.KernelProfile
 
 // WriteChromeTrace serializes a tracer's spans in the Chrome trace_event
 // JSON format (load in chrome://tracing or https://ui.perfetto.dev).
@@ -289,6 +300,12 @@ type Options struct {
 	// modeled timeline (GPMetis and MtMetis; other algorithms ignore it).
 	// Nil disables instrumentation entirely.
 	Tracer *Tracer
+	// Profile enables the kernel-level profiler (GPMetis only; other
+	// algorithms launch no kernels and ignore it). The run then records
+	// one sample per kernel launch and returns the per-kernel roofline
+	// report in Result.Profile. With Devices > 1 only the single-GPU tail
+	// of the pipeline is profiled.
+	Profile bool
 	// Faults, when non-nil, injects deterministic failures at the
 	// pipeline's fault sites (GPMetis single- and multi-GPU, ParMetis,
 	// PTScotch; other algorithms ignore it). Nil disables injection with
@@ -345,6 +362,11 @@ type Result struct {
 	// FaultEvents lists every fault the run absorbed, in order, with the
 	// modeled time at which each fired.
 	FaultEvents []FaultEvent
+	// Profile is the kernel-level roofline report, non-nil only for
+	// GP-metis runs with Options.Profile set. Its KernelSeconds reconcile
+	// exactly with the GPU portion of Timeline for unfaulted, un-resumed
+	// single-GPU runs.
+	Profile *ProfileReport
 }
 
 // MatchConflictRate returns the fraction of lock-free match proposals the
@@ -397,6 +419,9 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 			co.CPUThreads = o.Threads
 		}
 		co.Tracer = o.Tracer
+		if o.Profile {
+			co.Profiler = prof.New(m)
+		}
 		co.Faults = o.Faults
 		co.Degrade = o.Degrade
 		co.Verify = o.Verify
@@ -415,7 +440,8 @@ func Partition(g *Graph, k int, o Options) (*Result, error) {
 		}
 		return &Result{Part: r.Part, EdgeCut: r.EdgeCut, ModeledSeconds: r.ModeledSeconds(), Timeline: r.Timeline,
 			MatchConflicts: r.MatchConflicts, MatchAttempts: r.MatchAttempts,
-			Degraded: r.Degraded, DegradedReason: r.DegradedReason, FaultEvents: r.Events}, nil
+			Degraded: r.Degraded, DegradedReason: r.DegradedReason, FaultEvents: r.Events,
+			Profile: r.Profile}, nil
 	case Metis:
 		mo := metis.DefaultOptions()
 		mo.Seed = seed

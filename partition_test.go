@@ -136,3 +136,45 @@ func TestAlgorithmNames(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicAPIProfile(t *testing.T) {
+	g, err := Delaunay(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPUThreshold lowered so a test-sized graph still launches kernels.
+	res, err := Partition(g, 8, Options{Profile: true, GPUThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("Profile: true produced no Result.Profile")
+	}
+	if len(res.Profile.Kernels) == 0 {
+		t.Fatal("profile has no kernels")
+	}
+	if res.Profile.KernelSeconds != res.Profile.GPUTimelineSeconds {
+		t.Errorf("profile does not reconcile: kernels %v vs timeline %v",
+			res.Profile.KernelSeconds, res.Profile.GPUTimelineSeconds)
+	}
+	var buf bytes.Buffer
+	if err := res.Profile.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || res.Profile.Table(5) == "" {
+		t.Error("empty profile export")
+	}
+
+	// Profiling must not perturb the partition itself.
+	plain, err := Partition(g, 8, Options{GPUThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.EdgeCut != res.EdgeCut || plain.ModeledSeconds != res.ModeledSeconds {
+		t.Errorf("profiling changed the run: cut %d/%d, seconds %v/%v",
+			plain.EdgeCut, res.EdgeCut, plain.ModeledSeconds, res.ModeledSeconds)
+	}
+	if plain.Profile != nil {
+		t.Error("unprofiled run carries a profile")
+	}
+}
