@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 25
 CHAOS_SEED ?= 1
 
-.PHONY: build test check vet race bench bench-snapshot perf-gate serve-smoke restart-smoke chaos fuzz
+.PHONY: build test check vet staticcheck race bench bench-snapshot perf-gate serve-smoke restart-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,19 @@ vet:
 race:
 	$(GO) test -race ./internal/... ./cmd/...
 
+# staticcheck runs honnef.co/go/tools when the binary is on PATH and is
+# a no-op otherwise, so `make check` works in hermetic containers while
+# CI (which installs it) still gets the full analysis.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # check is the PR gate: static analysis, the race detector, and the
 # perf-regression gate against the committed baseline.
-check: vet race perf-gate
+check: vet staticcheck race perf-gate
 
 # perf-gate re-runs the benchmark at BENCH_baseline.json's own scale,
 # k, runs, and seed and fails (exit 2) when any input regresses modeled

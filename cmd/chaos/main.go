@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"gpmetis"
+	"gpmetis/internal/obs"
 	"gpmetis/internal/server"
 )
 
@@ -239,7 +240,7 @@ func chaosDaemon(rng *rand.Rand) error {
 		QueueCap:      64,
 		JournalPath:   filepath.Join(dir, "journal.jsonl"),
 		CheckpointDir: dir,
-		Logf:          func(string, ...any) {}, // chaos output stays clean
+		Logger:        obs.DiscardLogger(), // chaos output stays clean
 	}
 	s1 := server.New(cfg)
 

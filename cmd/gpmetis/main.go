@@ -78,6 +78,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gpmetis"
 )
@@ -124,7 +125,20 @@ func main() {
 	degrade := flag.Bool("degrade", true, "fall back to the CPU pipeline on GPU failure (gp)")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot gp runs here and auto-resume an interrupted run (local only)")
 	retries := flag.Int("retries", 3, "with -server: re-submissions after a 429, honoring Retry-After with backoff")
+	top := flag.Bool("top", false, "with -server: live terminal ops view of the daemon (no graph argument)")
+	topInterval := flag.Duration("top-interval", 2*time.Second, "refresh interval for -top")
+	topIterations := flag.Int("top-iterations", 0, "frames -top draws before exiting (0 = until interrupted)")
 	flag.Parse()
+
+	if *top {
+		if *serverURL == "" {
+			fail(fmt.Errorf("-top polls a daemon; it needs -server http://host:port"))
+		}
+		if err := runTop(strings.TrimRight(*serverURL, "/"), *topInterval, *topIterations); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gpmetis [flags] graph.metis")

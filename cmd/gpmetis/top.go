@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"gpmetis/internal/server"
+)
+
+// runTop is the terminal ops view: it polls the daemon's
+// /admin/status.json at the given interval and redraws a compact
+// dashboard, the curses-flavored sibling of the HTML page at
+// /admin/status. iterations bounds the number of frames (0 = until
+// interrupted); one frame with no screen clearing suits scripts.
+func runTop(base string, interval time.Duration, iterations int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+			fmt.Print("\x1b[2J\x1b[H") // clear + home between frames
+		}
+		st, err := fetchStatus(client, base)
+		if err != nil {
+			return err
+		}
+		renderTop(os.Stdout, base, st)
+	}
+	return nil
+}
+
+func fetchStatus(client *http.Client, base string) (*server.StatusResponse, error) {
+	resp, err := client.Get(base + "/admin/status.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("daemon status: HTTP %d", resp.StatusCode)
+	}
+	var st server.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("daemon status: %v", err)
+	}
+	return &st, nil
+}
+
+func renderTop(w *os.File, base string, st *server.StatusResponse) {
+	fmt.Fprintf(w, "gpmetisd %s @ %s — %s, up %s, modeled %.3fs\n",
+		st.Version, base, st.Status, time.Duration(st.UptimeSeconds*float64(time.Second)).Round(time.Second),
+		st.ModeledSeconds)
+	fmt.Fprintf(w, "queue %d/%d  submitted %d  completed %d  failed %d  canceled %d  rejected %d  coalesced %d  degraded %d\n",
+		st.QueueDepth, st.QueueCap, st.JobsSubmitted, st.JobsCompleted, st.JobsFailed,
+		st.JobsCanceled, st.JobsRejected, st.JobsCoalesced, st.JobsDegraded)
+	fmt.Fprintf(w, "cache  hits %d  misses %d  hit-rate %.1f%%  entries %d\n",
+		st.CacheHits, st.CacheMisses, st.CacheHitRate*100, st.CacheEntries)
+
+	fmt.Fprintln(w, "\nSLOT  STATE        RUNNING    JOBS   BUSY")
+	for _, sl := range st.Slots {
+		running := sl.RunningJob
+		if running == "" {
+			running = "-"
+		}
+		fmt.Fprintf(w, "%4d  %-11s  %-9s %5d  %6.2fs\n",
+			sl.Slot, sl.State, running, sl.Jobs, sl.BusySeconds)
+	}
+
+	fmt.Fprintln(w, "\nLATENCY        COUNT      P50       P90       P99")
+	for _, row := range []struct {
+		name string
+		l    server.LatencySummary
+	}{
+		{"queue wait", st.QueueWait},
+		{"run", st.RunSeconds},
+		{"total", st.TotalSeconds},
+	} {
+		fmt.Fprintf(w, "%-12s %7d  %7.3fs  %7.3fs  %7.3fs\n",
+			row.name, row.l.Count, row.l.P50, row.l.P90, row.l.P99)
+	}
+
+	slo := st.SLO
+	fmt.Fprintf(w, "\nSLO %s — latency<=%.2fs@%.0f%% burn fast %.2f slow %.2f; availability@%.0f%% burn fast %.2f slow %.2f (window jobs %d/%d)\n",
+		slo.Status, slo.LatencyThresholdSeconds, slo.LatencyTarget*100,
+		slo.Fast.LatencyBurn, slo.Slow.LatencyBurn,
+		slo.AvailabilityTarget*100, slo.Fast.AvailabilityBurn, slo.Slow.AvailabilityBurn,
+		slo.Fast.Jobs, slo.Slow.Jobs)
+	if st.LastEvent != "" {
+		fmt.Fprintf(w, "events %d, last %s\n", st.EventsTotal, st.LastEvent)
+	}
+}

@@ -10,6 +10,9 @@
 //	         [-cache 128] [-deadline 0] [-maxjobs 4096] \
 //	         [-journal jobs.jsonl] [-checkpoint-dir ckpt/] \
 //	         [-quarantine-threshold 3] [-quarantine-backoff 0.002] \
+//	         [-log-level info] [-log-format text] [-drain-timeout 15s] \
+//	         [-slo-latency 2s] [-slo-latency-target 0.95] \
+//	         [-slo-availability-target 0.99] [-events 256] \
 //	         [-debug-addr 127.0.0.1:6060]
 //
 // API:
@@ -26,9 +29,21 @@
 //	                        and latency histograms, cache hit rate, jobs
 //	                        by outcome, per-slot utilization, build info
 //	GET    /metrics.json    the same counters as flat JSON
-//	GET    /healthz         liveness, occupancy, and build info
+//	GET    /healthz         liveness, occupancy, SLO posture, build info
+//	GET    /slo             SLO evaluation: burn rates over both windows
+//	GET    /admin/status    live ops view (self-refreshing HTML); the
+//	                        JSON behind it at /admin/status.json feeds
+//	                        the gpmetis -top terminal client
+//	GET    /admin/events    flight recorder: recent lifecycle events
 //	GET    /admin/devices   device-pool quarantine states
 //	POST   /admin/devices/{slot}/reinstate  force a slot back into service
+//
+// Logs are structured (-log-format text|json, -log-level debug..error);
+// every job-scoped line carries job_id and trace_id. SIGTERM or SIGINT
+// starts a graceful drain: new submissions get 503 code "draining",
+// in-flight jobs get up to -drain-timeout to finish, then the journal
+// is flushed and the process exits. SIGQUIT dumps the flight recorder
+// to stderr without stopping the daemon.
 //
 // -journal makes the daemon durable: every accepted job and its outcome
 // is fsynced to the given JSONL file, and a restarted daemon replays it
@@ -68,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"gpmetis/internal/obs"
 	"gpmetis/internal/server"
 )
 
@@ -82,8 +98,28 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for per-job crash-recovery checkpoints")
 	qThreshold := flag.Int("quarantine-threshold", 3, "consecutive device faults before a slot is quarantined")
 	qBackoff := flag.Float64("quarantine-backoff", 0.002, "base modeled-seconds probation budget; doubles per quarantine")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", obs.LogText, "log encoding: text or json")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight jobs on SIGTERM")
+	sloLatency := flag.Duration("slo-latency", 2*time.Second, "latency SLO threshold per job")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.95, "fraction of jobs that must finish within -slo-latency")
+	sloAvailability := flag.Float64("slo-availability-target", 0.99, "fraction of jobs that must not fail")
+	sloFastWindow := flag.Duration("slo-fast-window", 5*time.Minute, "fast burn-rate window")
+	sloSlowWindow := flag.Duration("slo-slow-window", time.Hour, "slow burn-rate window")
+	eventBuf := flag.Int("events", 256, "lifecycle flight-recorder capacity (recent events retained)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address (empty = off)")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmetisd:", err)
+		os.Exit(2)
+	}
+	if !obs.ValidLogFormat(*logFormat) {
+		fmt.Fprintf(os.Stderr, "gpmetisd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
 
 	s := server.New(server.Config{
 		Devices:             *devices,
@@ -95,6 +131,15 @@ func main() {
 		CheckpointDir:       *ckptDir,
 		QuarantineThreshold: *qThreshold,
 		QuarantineBackoff:   *qBackoff,
+		Logger:              logger,
+		EventBuffer:         *eventBuf,
+		SLO: obs.SLOConfig{
+			LatencyThreshold:   *sloLatency,
+			LatencyTarget:      *sloLatencyTarget,
+			AvailabilityTarget: *sloAvailability,
+			FastWindow:         *sloFastWindow,
+			SlowWindow:         *sloSlowWindow,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -137,9 +182,27 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
+	// SIGQUIT is the non-fatal post-mortem trigger: dump the flight
+	// recorder to stderr and keep serving.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			logger.Info("SIGQUIT: dumping flight recorder to stderr")
+			if err := s.DumpEvents(os.Stderr); err != nil {
+				logger.Error("flight recorder dump failed", "error", err.Error())
+			}
+		}
+	}()
+
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "gpmetisd: shutting down")
+		// Graceful drain: stop admitting (submits now get 503 while the
+		// listener stays up so pollers can still fetch results), give
+		// in-flight jobs the drain budget, then tear the listener down
+		// and flush the journal.
+		logger.Info("shutdown signal received; draining", "drain_timeout", drainTimeout.String())
+		drained, aborted := s.Drain(*drainTimeout)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutCtx)
@@ -147,8 +210,9 @@ func main() {
 			debugSrv.Shutdown(shutCtx)
 		}
 		s.Close()
+		logger.Info("shutdown complete", "drained", drained, "aborted", aborted)
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "gpmetisd:", err)
+		logger.Error("listener failed", "error", err.Error())
 		s.Close()
 		os.Exit(1)
 	}

@@ -5,10 +5,12 @@ import (
 	"io"
 )
 
-// chromeEvent is one entry of the Chrome trace_event format (the JSON
-// consumed by chrome://tracing and Perfetto). Modeled seconds serve as
-// the clock: ts and dur are modeled microseconds.
-type chromeEvent struct {
+// ChromeEvent is one entry of the Chrome trace_event format (the JSON
+// consumed by chrome://tracing and Perfetto). The clock is whatever the
+// producer chose — modeled microseconds for partition traces, wall-clock
+// microseconds for service lifecycle spans; a merged document carries
+// both on separate process rows.
+type ChromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
@@ -20,32 +22,47 @@ type chromeEvent struct {
 }
 
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace serializes the tracer's spans as a Chrome trace_event
-// JSON document. Each span becomes one complete ("X") event; tracks
-// become named threads of a single process. Open a written file in
-// Perfetto (ui.perfetto.dev) or chrome://tracing.
-func WriteChromeTrace(w io.Writer, t *Tracer) error {
-	spans := t.Spans()
-	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+// ProcessNameEvent labels a pid row in the trace viewer.
+func ProcessNameEvent(pid int, name string) ChromeEvent {
+	return ChromeEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
+}
 
-	// Map tracks to thread ids in order of first appearance, and emit
-	// thread_name metadata so the viewer labels the rows.
+// ThreadNameEvent labels a tid row within a pid.
+func ThreadNameEvent(pid, tid int, name string) ChromeEvent {
+	return ChromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+// WriteChromeJSON serializes events as one Chrome trace_event document.
+func WriteChromeJSON(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+// TraceEvents renders the tracer's spans as complete ("X") events under
+// the given pid: thread_name metadata per track in order of first
+// appearance, then one event per span. Timestamps are the span's modeled
+// microseconds shifted by tsOffsetUS, which lets a caller align a modeled
+// trace under a wall-clock parent. rootArgs, when non-nil, is merged into
+// the args of every root span (ParentID == 0) — the hook the serving
+// layer uses to parent the partition trace under its lifecycle run span.
+func TraceEvents(t *Tracer, pid int, tsOffsetUS float64, rootArgs map[string]any) []ChromeEvent {
+	spans := t.Spans()
+	events := []ChromeEvent{}
+
 	tids := map[string]int{}
 	for _, sp := range spans {
 		if _, ok := tids[sp.Track]; !ok {
 			tid := len(tids)
 			tids[sp.Track] = tid
-			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-				Name: "thread_name",
-				Ph:   "M",
-				Pid:  1,
-				Tid:  tid,
-				Args: map[string]any{"name": sp.Track},
-			})
+			events = append(events, ThreadNameEvent(pid, tid, sp.Track))
 		}
 	}
 
@@ -60,20 +77,28 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 		cat := "detail"
 		if sp.ParentID == 0 {
 			cat = "run"
+			for k, v := range rootArgs {
+				args[k] = v
+			}
 		}
-		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+		events = append(events, ChromeEvent{
 			Name: sp.Name,
 			Cat:  cat,
 			Ph:   "X",
-			Ts:   sp.Start * 1e6, // modeled seconds -> modeled microseconds
+			Ts:   tsOffsetUS + sp.Start*1e6, // modeled seconds -> microseconds
 			Dur:  sp.Dur() * 1e6,
-			Pid:  1,
+			Pid:  pid,
 			Tid:  tids[sp.Track],
 			Args: args,
 		})
 	}
+	return events
+}
 
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(trace)
+// WriteChromeTrace serializes the tracer's spans as a Chrome trace_event
+// JSON document. Each span becomes one complete ("X") event; tracks
+// become named threads of a single process. Open a written file in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	return WriteChromeJSON(w, TraceEvents(t, 1, 0, nil))
 }

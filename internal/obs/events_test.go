@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventRingEvictsOldest(t *testing.T) {
+	r := NewEventRing(3)
+	for i := 0; i < 5; i++ {
+		r.Append(Event{Type: EvAdmit, Job: string(rune('a' + i))})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("Snapshot holds %d events, want 3", len(got))
+	}
+	// Oldest first, sequence numbers stamped monotonically from 1.
+	for i, e := range got {
+		wantSeq := int64(3 + i)
+		if e.Seq != wantSeq || e.Job != string(rune('a'+2+i)) {
+			t.Errorf("event %d = seq %d job %q, want seq %d job %q",
+				i, e.Seq, e.Job, wantSeq, string(rune('a'+2+i)))
+		}
+	}
+}
+
+func TestEventRingStampsTime(t *testing.T) {
+	r := NewEventRing(4)
+	before := time.Now()
+	e := r.Append(Event{Type: EvDone})
+	if e.Time.Before(before) {
+		t.Errorf("Append did not stamp a zero Time: %v < %v", e.Time, before)
+	}
+	if lt := r.LastTime(); lt.IsZero() {
+		t.Error("LastTime is zero after an append")
+	}
+
+	explicit := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	e = r.Append(Event{Type: EvFailed, Time: explicit})
+	if !e.Time.Equal(explicit) {
+		t.Errorf("Append overwrote an explicit Time: %v", e.Time)
+	}
+}
+
+func TestEventRingDumpIsJSON(t *testing.T) {
+	r := NewEventRing(2)
+	r.Append(Event{Type: EvAdmit, Job: "j000001", Trace: "t1"})
+	r.Append(Event{Type: EvDone, Job: "j000001", Trace: "t1"})
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total  int64   `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Total != 2 || len(doc.Events) != 2 || doc.Events[1].Type != EvDone {
+		t.Errorf("dump = total %d, %d events", doc.Total, len(doc.Events))
+	}
+}
+
+func TestEventRingNilSafe(t *testing.T) {
+	var r *EventRing
+	r.Append(Event{Type: EvAdmit})
+	if r.Snapshot() != nil || r.Total() != 0 || !r.LastTime().IsZero() {
+		t.Error("nil ring is not inert")
+	}
+	if err := r.Dump(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil ring Dump: %v", err)
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogJSON, slog.LevelInfo)
+	log.Info("job admitted", "job_id", "j000001")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json logger line is not JSON: %v\n%s", err, buf.String())
+	}
+	if line["job_id"] != "j000001" || line["msg"] != "job admitted" {
+		t.Errorf("json line = %v", line)
+	}
+
+	buf.Reset()
+	log = NewLogger(&buf, LogText, slog.LevelWarn)
+	log.Info("suppressed at warn level")
+	if buf.Len() != 0 {
+		t.Errorf("info line emitted at warn level: %s", buf.String())
+	}
+	log.Warn("kept", "slot", 3)
+	if !strings.Contains(buf.String(), "slot=3") {
+		t.Errorf("text line lost attrs: %s", buf.String())
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"debug":   slog.LevelDebug,
+		"info":    slog.LevelInfo,
+		"warn":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+		"ERROR":   slog.LevelError,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted an unknown level")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := &Registry{}
+	r.DeclareHistogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3} {
+		r.Observe("lat", v)
+	}
+	h, ok := r.Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	// Buckets: (0,1]=1, (1,2]=2, (2,4]=1. p50 rank=2 lands at the end of
+	// the (1,2] bucket's first half: 1 + (2-1)*(2-1)/2 = 1.5.
+	if got := h.Quantile(0.5); got < 1.49 || got > 1.51 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	// p100 lands in the last finite bucket's end.
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+
+	// +Inf overflow clamps to the largest finite bound.
+	r.Observe("lat", 100)
+	h, _ = r.Histogram("lat")
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("p99 with overflow = %v, want clamp to 4", got)
+	}
+
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

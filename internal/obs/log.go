@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured service logging. The daemon and the serving subsystem log
+// through a single *slog.Logger built here: leveled, machine-parsable
+// (text or JSON, one line per record), and correlated — every line about
+// a job carries its job_id and trace_id attributes, so one job's whole
+// lifecycle is a single grep. The modeled-clock tracer (obs.Tracer)
+// answers "where did the modeled time go"; this logger answers "what did
+// the service do, when, on the wall clock".
+
+// Log formats accepted by NewLogger and the gpmetisd -log-format flag.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds a leveled structured logger writing to w. Format is
+// LogText ("text", logfmt-style key=value) or LogJSON ("json", one JSON
+// object per line). An unknown format falls back to text: a logger is
+// the one subsystem that must never fail to construct.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case LogJSON:
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// DiscardLogger returns a logger that drops everything — the nil object
+// for callers (tests, the chaos harness) that want a silent server.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// ParseLogLevel maps the CLI spellings onto slog levels: debug, info,
+// warn (or warning), and error, case-insensitively.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// ValidLogFormat reports whether s names a supported log format.
+func ValidLogFormat(s string) bool { return s == LogText || s == LogJSON }

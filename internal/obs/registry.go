@@ -179,6 +179,40 @@ func (r *Registry) Histogram(name string) (snap HistogramSnapshot, ok bool) {
 	}, true
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations by
+// linear interpolation within the bucket the quantile falls in, the same
+// estimate Prometheus's histogram_quantile computes. The +Inf bucket
+// clamps to the largest finite bound; an empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1] // +Inf bucket clamps
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // HistogramNames returns the sorted histogram names.
 func (r *Registry) HistogramNames() []string {
 	if r == nil {

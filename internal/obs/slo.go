@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO statuses, ordered by severity.
+const (
+	SLOOk     = "ok"
+	SLOWarn   = "warn"
+	SLOBreach = "breach"
+)
+
+// SLOConfig declares the service-level objectives the daemon is held to.
+// Two objectives are tracked over the same pair of rolling windows:
+//
+//   - Latency: at least LatencyTarget of completed jobs finish within
+//     LatencyThreshold of wall-clock time (admission to terminal state).
+//   - Availability: at least AvailabilityTarget of finished jobs succeed
+//     (client cancellations are excluded — they are not service failures).
+//
+// Burn rate is the standard multi-window formulation: the observed error
+// rate divided by the error budget (1 - target). A burn rate of 1 means
+// the budget is being spent exactly as fast as it accrues; above 1 the
+// budget is shrinking. The fast window catches sharp regressions, the
+// slow window filters noise: SLOWarn fires when the fast window alone
+// burns, SLOBreach when both windows burn together.
+type SLOConfig struct {
+	// LatencyThreshold is the per-job wall-clock latency objective
+	// (default 2s).
+	LatencyThreshold time.Duration
+	// LatencyTarget is the fraction of completed jobs that must meet the
+	// threshold (default 0.95).
+	LatencyTarget float64
+	// AvailabilityTarget is the fraction of finished jobs that must
+	// succeed (default 0.99).
+	AvailabilityTarget float64
+	// FastWindow and SlowWindow are the rolling evaluation windows
+	// (defaults 5m and 1h).
+	FastWindow, SlowWindow time.Duration
+	// Now is the clock, injectable for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// WithDefaults fills unset fields with the documented defaults.
+func (c SLOConfig) WithDefaults() SLOConfig {
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 2 * time.Second
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.95
+	}
+	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
+		c.AvailabilityTarget = 0.99
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = c.FastWindow
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// sloSample is one finished job: when it finished, how long it took, and
+// whether it failed.
+type sloSample struct {
+	t       time.Time
+	latency time.Duration
+	failed  bool
+}
+
+// SLO evaluates the configured objectives over rolling windows. All
+// methods are safe for concurrent use and no-ops on a nil receiver.
+type SLO struct {
+	mu      sync.Mutex
+	cfg     SLOConfig
+	samples []sloSample // ordered by recording time; evicted from the front
+
+	totalJobs       int64
+	totalFailed     int64
+	totalViolations int64
+}
+
+// NewSLO builds an SLO evaluator with cfg (zero fields take defaults).
+func NewSLO(cfg SLOConfig) *SLO {
+	return &SLO{cfg: cfg.WithDefaults()}
+}
+
+// Config returns the resolved objective configuration.
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return SLOConfig{}.WithDefaults()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// Record accounts one finished job: its wall-clock latency (admission to
+// terminal state) and whether it failed. Canceled jobs must not be
+// recorded — a client giving up is not a service error.
+func (s *SLO) Record(latency time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	s.totalJobs++
+	if failed {
+		s.totalFailed++
+	} else if latency > s.cfg.LatencyThreshold {
+		s.totalViolations++
+	}
+	s.samples = append(s.samples, sloSample{t: now, latency: latency, failed: failed})
+	s.evictLocked(now)
+}
+
+// evictLocked drops samples that fell out of the slow (largest) window.
+// Windows are half-open: a sample exactly window-old is out. A sample
+// stamped after now (the wall clock stepped backwards under us) is kept —
+// its age clamps to zero rather than going negative.
+func (s *SLO) evictLocked(now time.Time) {
+	cut := 0
+	for cut < len(s.samples) {
+		age := now.Sub(s.samples[cut].t)
+		if age < s.cfg.SlowWindow {
+			break
+		}
+		cut++
+	}
+	if cut > 0 {
+		s.samples = append(s.samples[:0], s.samples[cut:]...)
+	}
+}
+
+// SLOWindow is one rolling window's evaluation.
+type SLOWindow struct {
+	// Seconds is the window length.
+	Seconds float64 `json:"seconds"`
+	// Jobs, Failed, and LatencyViolations count the finished jobs the
+	// window holds, how many failed, and how many completed over the
+	// latency threshold.
+	Jobs              int `json:"jobs"`
+	Failed            int `json:"failed"`
+	LatencyViolations int `json:"latency_violations"`
+	// LatencyBurn and AvailabilityBurn are the burn rates: observed error
+	// rate over error budget. Zero when the window is empty.
+	LatencyBurn      float64 `json:"latency_burn"`
+	AvailabilityBurn float64 `json:"availability_burn"`
+}
+
+// SLOSnapshot is a point-in-time evaluation of both objectives over both
+// windows, the payload of GET /slo.
+type SLOSnapshot struct {
+	LatencyThresholdSeconds float64 `json:"latency_threshold_seconds"`
+	LatencyTarget           float64 `json:"latency_target"`
+	AvailabilityTarget      float64 `json:"availability_target"`
+
+	Fast SLOWindow `json:"fast"`
+	Slow SLOWindow `json:"slow"`
+
+	// Lifetime totals, unwindowed.
+	TotalJobs       int64 `json:"total_jobs"`
+	TotalFailed     int64 `json:"total_failed"`
+	TotalViolations int64 `json:"total_latency_violations"`
+
+	// Status is "ok", "warn" (the fast window of some objective burns
+	// above 1), or "breach" (fast and slow burn together).
+	Status string `json:"status"`
+}
+
+// Snapshot evaluates both objectives now.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{Status: SLOOk}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	s.evictLocked(now)
+	snap := SLOSnapshot{
+		LatencyThresholdSeconds: s.cfg.LatencyThreshold.Seconds(),
+		LatencyTarget:           s.cfg.LatencyTarget,
+		AvailabilityTarget:      s.cfg.AvailabilityTarget,
+		Fast:                    s.windowLocked(now, s.cfg.FastWindow),
+		Slow:                    s.windowLocked(now, s.cfg.SlowWindow),
+		TotalJobs:               s.totalJobs,
+		TotalFailed:             s.totalFailed,
+		TotalViolations:         s.totalViolations,
+	}
+	snap.Status = sloStatus(snap.Fast, snap.Slow)
+	return snap
+}
+
+// windowLocked evaluates one half-open window ending now.
+func (s *SLO) windowLocked(now time.Time, w time.Duration) SLOWindow {
+	out := SLOWindow{Seconds: w.Seconds()}
+	completed := 0
+	for _, sm := range s.samples {
+		age := now.Sub(sm.t)
+		if age < 0 {
+			age = 0 // clock stepped backwards; the sample is "just now"
+		}
+		if age >= w {
+			continue
+		}
+		out.Jobs++
+		if sm.failed {
+			out.Failed++
+			continue
+		}
+		completed++
+		if sm.latency > s.cfg.LatencyThreshold {
+			out.LatencyViolations++
+		}
+	}
+	if completed > 0 {
+		out.LatencyBurn = burnRate(float64(out.LatencyViolations)/float64(completed), s.cfg.LatencyTarget)
+	}
+	if out.Jobs > 0 {
+		out.AvailabilityBurn = burnRate(float64(out.Failed)/float64(out.Jobs), s.cfg.AvailabilityTarget)
+	}
+	return out
+}
+
+// burnRate divides the observed error rate by the error budget.
+func burnRate(errRate, target float64) float64 {
+	budget := 1 - target
+	if budget <= 0 {
+		return 0
+	}
+	return errRate / budget
+}
+
+// sloStatus applies the multi-window rule: breach when some objective
+// burns above 1 in both windows, warn when only the fast window burns.
+func sloStatus(fast, slow SLOWindow) string {
+	if (fast.LatencyBurn > 1 && slow.LatencyBurn > 1) ||
+		(fast.AvailabilityBurn > 1 && slow.AvailabilityBurn > 1) {
+		return SLOBreach
+	}
+	if fast.LatencyBurn > 1 || fast.AvailabilityBurn > 1 {
+		return SLOWarn
+	}
+	return SLOOk
+}
+
+// StatusValue maps an SLO status onto the numeric gauge exposed at
+// /metrics (0 ok, 1 warn, 2 breach).
+func StatusValue(status string) float64 {
+	switch status {
+	case SLOWarn:
+		return 1
+	case SLOBreach:
+		return 2
+	default:
+		return 0
+	}
+}

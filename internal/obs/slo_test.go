@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for SLO window tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func (c *fakeClock) rewind(d time.Duration)  { c.t = c.t.Add(-d) }
+
+func newTestSLO(fast, slow time.Duration) (*SLO, *fakeClock) {
+	clk := &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+	s := NewSLO(SLOConfig{
+		LatencyThreshold:   time.Second,
+		LatencyTarget:      0.9, // 10% latency budget
+		AvailabilityTarget: 0.9, // 10% availability budget
+		FastWindow:         fast,
+		SlowWindow:         slow,
+		Now:                clk.now,
+	})
+	return s, clk
+}
+
+func TestSLOEmptyWindow(t *testing.T) {
+	s, _ := newTestSLO(time.Minute, time.Hour)
+	snap := s.Snapshot()
+	if snap.Status != SLOOk {
+		t.Errorf("empty SLO status = %q, want ok", snap.Status)
+	}
+	if snap.Fast.Jobs != 0 || snap.Slow.Jobs != 0 {
+		t.Errorf("empty windows hold jobs: fast=%d slow=%d", snap.Fast.Jobs, snap.Slow.Jobs)
+	}
+	if snap.Fast.LatencyBurn != 0 || snap.Fast.AvailabilityBurn != 0 {
+		t.Errorf("empty window burns: latency=%v availability=%v",
+			snap.Fast.LatencyBurn, snap.Fast.AvailabilityBurn)
+	}
+
+	// A nil SLO evaluates like an empty one — instrumented code never
+	// branches on whether SLOs are enabled.
+	var nilSLO *SLO
+	nilSLO.Record(time.Second, false)
+	if got := nilSLO.Snapshot().Status; got != SLOOk {
+		t.Errorf("nil SLO status = %q, want ok", got)
+	}
+}
+
+// TestSLOExactBoundaryEviction pins the half-open window semantics: a
+// sample exactly window-old is already outside it.
+func TestSLOExactBoundaryEviction(t *testing.T) {
+	s, clk := newTestSLO(time.Minute, time.Hour)
+	s.Record(10*time.Millisecond, false)
+
+	clk.advance(time.Hour - time.Nanosecond)
+	if got := s.Snapshot().Slow.Jobs; got != 1 {
+		t.Errorf("1ns before the boundary: slow window holds %d jobs, want 1", got)
+	}
+
+	clk.advance(time.Nanosecond) // age == SlowWindow exactly
+	snap := s.Snapshot()
+	if got := snap.Slow.Jobs; got != 0 {
+		t.Errorf("exactly window-old sample still counted: slow window holds %d jobs", got)
+	}
+	if snap.TotalJobs != 1 {
+		t.Errorf("eviction touched lifetime totals: TotalJobs = %d, want 1", snap.TotalJobs)
+	}
+}
+
+// TestSLOBurnRates drives failures through the fast window only, then
+// through both, checking the warn -> breach escalation and the burn
+// arithmetic (error rate / error budget).
+func TestSLOBurnRates(t *testing.T) {
+	s, clk := newTestSLO(time.Minute, time.Hour)
+
+	// 30 minutes ago: a healthy era. These land in the slow window only.
+	for i := 0; i < 90; i++ {
+		s.Record(10*time.Millisecond, false)
+	}
+	clk.advance(30 * time.Minute)
+
+	// Now: a sharp regression. 5 failures + 5 successes land in both
+	// windows.
+	for i := 0; i < 5; i++ {
+		s.Record(10*time.Millisecond, true)
+		s.Record(10*time.Millisecond, false)
+	}
+
+	snap := s.Snapshot()
+	// Fast window: 10 jobs, 5 failed -> error rate 0.5, budget 0.1, burn 5.
+	if snap.Fast.Jobs != 10 || snap.Fast.Failed != 5 {
+		t.Fatalf("fast window = %d jobs / %d failed, want 10/5", snap.Fast.Jobs, snap.Fast.Failed)
+	}
+	if got := snap.Fast.AvailabilityBurn; got < 4.99 || got > 5.01 {
+		t.Errorf("fast availability burn = %v, want 5", got)
+	}
+	// Slow window: 100 jobs, 5 failed -> error rate 0.05, burn 0.5 <= 1.
+	if got := snap.Slow.AvailabilityBurn; got < 0.49 || got > 0.51 {
+		t.Errorf("slow availability burn = %v, want 0.5", got)
+	}
+	if snap.Status != SLOWarn {
+		t.Errorf("fast-only burn status = %q, want warn", snap.Status)
+	}
+
+	// Keep failing until the slow window burns too: breach.
+	for i := 0; i < 20; i++ {
+		s.Record(10*time.Millisecond, true)
+	}
+	snap = s.Snapshot()
+	if snap.Status != SLOBreach {
+		t.Errorf("two-window burn status = %q (slow burn %v), want breach",
+			snap.Status, snap.Slow.AvailabilityBurn)
+	}
+}
+
+// TestSLOLatencyBurnCompletedOnly checks that the latency objective is
+// computed over completed jobs only — failures consume the availability
+// budget, not the latency budget.
+func TestSLOLatencyBurnCompletedOnly(t *testing.T) {
+	s, _ := newTestSLO(time.Minute, time.Hour)
+	// 8 fast completions, 2 slow completions, 10 failures.
+	for i := 0; i < 8; i++ {
+		s.Record(10*time.Millisecond, false)
+	}
+	for i := 0; i < 2; i++ {
+		s.Record(3*time.Second, false) // over the 1s threshold
+	}
+	for i := 0; i < 10; i++ {
+		s.Record(10*time.Millisecond, true)
+	}
+	snap := s.Snapshot()
+	if snap.Fast.LatencyViolations != 2 {
+		t.Fatalf("latency violations = %d, want 2", snap.Fast.LatencyViolations)
+	}
+	// Violation rate over completions: 2/10 = 0.2; budget 0.1 -> burn 2.
+	if got := snap.Fast.LatencyBurn; got < 1.99 || got > 2.01 {
+		t.Errorf("latency burn = %v, want 2 (violations over completed jobs only)", got)
+	}
+}
+
+// TestSLOClockStall simulates a wall clock that stalls and then steps
+// backwards: samples must never age negatively, and evaluation must not
+// panic or evict the future-stamped samples.
+func TestSLOClockStall(t *testing.T) {
+	s, clk := newTestSLO(time.Minute, time.Hour)
+	s.Record(10*time.Millisecond, false)
+
+	// Stall: many evaluations at the same instant stay stable.
+	for i := 0; i < 3; i++ {
+		if got := s.Snapshot().Fast.Jobs; got != 1 {
+			t.Fatalf("stalled clock evaluation %d: fast jobs = %d, want 1", i, got)
+		}
+	}
+
+	// The clock steps backwards past the sample's stamp: the sample is
+	// now "from the future". Its age clamps to zero — still in-window.
+	clk.rewind(10 * time.Minute)
+	snap := s.Snapshot()
+	if got := snap.Fast.Jobs; got != 1 {
+		t.Errorf("backwards clock: fast jobs = %d, want 1 (age clamps to 0)", got)
+	}
+
+	// Once the clock recovers and moves past the slow window, the sample
+	// finally evicts.
+	clk.advance(10*time.Minute + time.Hour)
+	if got := s.Snapshot().Slow.Jobs; got != 0 {
+		t.Errorf("recovered clock: slow jobs = %d, want 0", got)
+	}
+}
+
+func TestSLOStatusValue(t *testing.T) {
+	for status, want := range map[string]float64{SLOOk: 0, SLOWarn: 1, SLOBreach: 2, "junk": 0} {
+		if got := StatusValue(status); got != want {
+			t.Errorf("StatusValue(%q) = %v, want %v", status, got, want)
+		}
+	}
+}

@@ -51,6 +51,14 @@ type Job struct {
 	profile     *gpmetis.ProfileReport
 	result      *JobResult
 
+	// traceID correlates logs, lifecycle events, and the merged trace;
+	// submittedAt anchors the wall clock of the job's lifecycle spans,
+	// runStartAt the modeled sub-trace's position within them.
+	traceID     string
+	submittedAt time.Time
+	runStartAt  time.Time
+	lifeSpans   []LifeSpan
+
 	done chan struct{} // closed on any terminal state
 }
 
@@ -176,6 +184,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:          j.ID,
+		TraceID:     j.traceID,
 		State:       j.state,
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+
+	"gpmetis/internal/obs"
+)
+
+// ErrDraining is the typed graceful-shutdown rejection: the server is
+// draining and admits nothing new. The HTTP layer maps it to 503 with
+// code "draining"; clients retry against another node or wait.
+var ErrDraining = errors.New("server: draining, not accepting new jobs")
+
+// Lifecycle span names. Together they tile a job's wall-clock path
+// through the service: admission (validation + cache consultation),
+// queue wait, the scheduling handoff, the run itself, and the terminal
+// journal append.
+const (
+	lifeAdmit     = "admit"
+	lifeCacheLook = "cache-lookup"
+	lifeQueueWait = "queue-wait"
+	lifeSchedule  = "schedule"
+	lifeRun       = "run"
+	lifeJournal   = "journal-append"
+	lifeCoalesced = "coalesced-wait"
+)
+
+// LifeSpan is one wall-clock span of a job's service lifecycle, the
+// service-tier counterpart of the modeled-clock obs.Span. Spans are
+// recorded closed (start and end known) and serialized into the merged
+// Chrome trace at GET /jobs/{id}/trace.
+type LifeSpan struct {
+	Name       string
+	Start, End time.Time
+	Attrs      map[string]any
+}
+
+// addLifeSpan appends one closed lifecycle span to the job.
+func (j *Job) addLifeSpan(name string, start, end time.Time, attrs map[string]any) {
+	j.mu.Lock()
+	j.lifeSpans = append(j.lifeSpans, LifeSpan{Name: name, Start: start, End: end, Attrs: attrs})
+	j.mu.Unlock()
+}
+
+// lifeSnapshot copies the job's lifecycle spans and clock anchors.
+func (j *Job) lifeSnapshot() (spans []LifeSpan, submitted, runStart time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]LifeSpan(nil), j.lifeSpans...), j.submittedAt, j.runStartAt
+}
+
+// markRunStart stamps the wall-clock instant the partition run began,
+// the anchor that places the modeled sub-trace inside the run span.
+func (j *Job) markRunStart(t time.Time) {
+	j.mu.Lock()
+	j.runStartAt = t
+	j.mu.Unlock()
+}
+
+// assignIDLocked names the job and derives its trace ID; the caller
+// holds s.mu. Trace IDs are unique across restarts (the journal reuses
+// job IDs, never trace IDs).
+func (s *Server) assignIDLocked(j *Job) {
+	s.seq++
+	j.ID = fmt.Sprintf("j%06d", s.seq)
+	j.traceID = fmt.Sprintf("%08x-%06d", uint32(s.start.UnixNano())+uint32(time.Now().UnixNano()>>10), s.seq)
+}
+
+// jlog returns the job-correlated logger: every line it emits carries
+// the job and trace IDs, so one job's lifecycle is a single grep.
+func (s *Server) jlog(j *Job) *slog.Logger {
+	return s.log.With("job_id", j.ID, "trace_id", j.traceID)
+}
+
+// event appends one lifecycle event to the flight recorder. Job-scoped
+// events carry the job and trace IDs; server-scoped events pass nil.
+func (s *Server) event(typ string, j *Job, slot int, detail string) {
+	e := obs.Event{Type: typ, Slot: slot, Detail: detail}
+	if j != nil {
+		e.Job, e.Trace = j.ID, j.traceID
+	}
+	s.events.Append(e)
+	s.reg.Add("events.recorded", 1)
+}
+
+// observeTerminal is the single account-closing point for every job the
+// server watched to a terminal state: the end-to-end latency histogram,
+// the SLO sample, the lifecycle event, and the outcome log line all
+// originate here.
+func (s *Server) observeTerminal(j *Job) {
+	st := j.Status()
+	now := time.Now()
+	_, submitted, _ := j.lifeSnapshot()
+	var total float64
+	if !submitted.IsZero() {
+		total = now.Sub(submitted).Seconds()
+	}
+	s.reg.Observe("job.total_seconds", total)
+	if st.Coalesced {
+		j.addLifeSpan(lifeCoalesced, submitted, now, map[string]any{"leader_result": st.State})
+	}
+
+	log := s.jlog(j).With("state", st.State, "total_seconds", total,
+		"cached", st.Cached, "coalesced", st.Coalesced, "device", st.Device)
+	switch st.State {
+	case StateDone:
+		s.slo.Record(time.Duration(total*float64(time.Second)), false)
+		detail := ""
+		if st.Result != nil {
+			detail = fmt.Sprintf("cut=%d modeled=%.6fs", st.Result.EdgeCut, st.Result.ModeledSeconds)
+			log = log.With("edge_cut", st.Result.EdgeCut, "modeled_seconds", st.Result.ModeledSeconds,
+				"degraded", st.Result.Degraded)
+		}
+		s.event(obs.EvDone, j, st.Device, detail)
+		log.Info("job done")
+	case StateFailed:
+		s.slo.Record(time.Duration(total*float64(time.Second)), true)
+		s.event(obs.EvFailed, j, st.Device, st.Error)
+		log.Warn("job failed", "error", st.Error)
+	case StateCanceled:
+		// A client giving up is not a service failure: no SLO sample.
+		s.event(obs.EvCanceled, j, st.Device, st.Error)
+		log.Info("job canceled", "error", st.Error)
+	}
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// StartDrain flips the server into draining mode: every subsequent
+// Submit is rejected with ErrDraining (HTTP 503) while queued and
+// running jobs keep making progress and every read endpoint stays up.
+func (s *Server) StartDrain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.reg.Set("draining", 1)
+	s.event(obs.EvDrainBegin, nil, -1, "admission stopped")
+	s.log.Info("drain started: admission stopped, letting in-flight jobs finish")
+}
+
+// Drain performs graceful shutdown: stop admission, then wait up to
+// timeout for every queued and running job to reach a terminal state.
+// It returns how many live jobs drained cleanly and how many were still
+// live at the deadline (those are abandoned by Close and, on a journaled
+// daemon, re-admitted by the next process). The journal is flushed by
+// the Close that should follow.
+func (s *Server) Drain(timeout time.Duration) (drained, aborted int) {
+	s.StartDrain()
+	s.mu.Lock()
+	var live []*Job
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			if st := j.Status().State; st == StateQueued || st == StateRunning {
+				live = append(live, j)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for _, j := range live {
+		select {
+		case <-j.Done():
+			drained++
+		case <-deadline.C:
+			// Deadline reached; everything not already done is aborted.
+			for _, rest := range live[drained+aborted:] {
+				select {
+				case <-rest.Done():
+					drained++
+				default:
+					aborted++
+				}
+			}
+			s.finishDrain(drained, aborted)
+			return drained, aborted
+		}
+	}
+	s.finishDrain(drained, aborted)
+	return drained, aborted
+}
+
+func (s *Server) finishDrain(drained, aborted int) {
+	detail := fmt.Sprintf("drained=%d aborted=%d", drained, aborted)
+	s.event(obs.EvDrainEnd, nil, -1, detail)
+	s.log.Info("drain finished", "drained", drained, "aborted", aborted)
+	if aborted > 0 {
+		s.log.Warn("drain deadline hit with live jobs; the journal re-admits them on restart",
+			"aborted", aborted)
+	}
+}
+
+// DumpEvents writes the flight recorder's retained tail as JSON — the
+// daemon's SIGQUIT post-mortem artifact.
+func (s *Server) DumpEvents(w io.Writer) error { return s.events.Dump(w) }
+
+// wallUS converts a wall instant to microseconds after base, the merged
+// trace's clock.
+func wallUS(base, t time.Time) float64 { return float64(t.Sub(base)) / float64(time.Microsecond) }
+
+// lifeSpanIDBase keeps service span IDs disjoint from the modeled
+// tracer's span IDs inside one merged document.
+const lifeSpanIDBase = 1_000_000
+
+// writeJobTrace serializes the job's merged timeline as one Chrome
+// trace_event document with two process rows:
+//
+//	pid 1 "service (wall clock)"     — the lifecycle spans, microseconds
+//	                                   since admission
+//	pid 2 "partition (modeled clock)" — the run's modeled span tree,
+//	                                   shifted to start at the run span's
+//	                                   wall offset
+//
+// Every modeled root span's args carry service_parent — the ID of the
+// lifecycle span that caused it (the run span, or the cache-lookup span
+// for cache hits, whose trace is the original run's) — so one document
+// shows HTTP-to-kernel causality.
+func writeJobTrace(w io.Writer, j *Job) error {
+	spans, submitted, runStart := j.lifeSnapshot()
+	st := j.Status()
+
+	events := []obs.ChromeEvent{
+		obs.ProcessNameEvent(1, "service (wall clock)"),
+		obs.ThreadNameEvent(1, 0, "lifecycle"),
+	}
+	base := submitted
+	if base.IsZero() && len(spans) > 0 {
+		base = spans[0].Start
+	}
+	parentID := int64(0)
+	for i, sp := range spans {
+		id := int64(lifeSpanIDBase + i)
+		switch sp.Name {
+		case lifeRun:
+			parentID = id
+		case lifeCacheLook:
+			if parentID == 0 {
+				parentID = id
+			}
+		}
+		args := map[string]any{"span": id, "job_id": st.ID, "trace_id": st.TraceID}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		events = append(events, obs.ChromeEvent{
+			Name: sp.Name,
+			Cat:  "service",
+			Ph:   "X",
+			Ts:   wallUS(base, sp.Start),
+			Dur:  wallUS(sp.Start, sp.End),
+			Pid:  1,
+			Tid:  0,
+			Args: args,
+		})
+	}
+
+	if t := j.Tracer(); t != nil {
+		offset := 0.0
+		if !runStart.IsZero() {
+			offset = wallUS(base, runStart)
+		}
+		rootArgs := map[string]any{"job_id": st.ID, "trace_id": st.TraceID}
+		if parentID != 0 {
+			rootArgs["service_parent"] = parentID
+		}
+		events = append(events, obs.ProcessNameEvent(2, "partition (modeled clock)"))
+		events = append(events, obs.TraceEvents(t, 2, offset, rootArgs)...)
+	}
+	return obs.WriteChromeJSON(w, events)
+}

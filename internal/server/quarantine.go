@@ -5,6 +5,7 @@ import (
 
 	"gpmetis"
 	"gpmetis/internal/graph/gen"
+	"gpmetis/internal/obs"
 )
 
 // Slot quarantine states.
@@ -151,6 +152,7 @@ func (s *Server) slotProbeDone(slot int, modeledSeconds float64, ok bool) {
 	if s.pool.health[slot].probeResult(modeledSeconds, ok) {
 		s.reg.Add("devices.quarantined", -1)
 		s.reg.Add("quarantine.reinstated", 1)
-		s.logf("gpmetisd: device slot %d reinstated after probation", slot)
+		s.event(obs.EvReinstate, nil, slot, "probation served")
+		s.log.Info("device slot reinstated after probation", "slot", slot)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gpmetis"
+	"gpmetis/internal/obs"
 )
 
 // foldedJob is one job's state after folding its journal records: the
@@ -40,7 +41,7 @@ func (s *Server) recover() {
 	}
 	if dropped > 0 {
 		s.reg.Add("journal.replay_dropped", float64(dropped))
-		s.logf("gpmetisd: journal replay dropped %d corrupt trailing line(s)", dropped)
+		s.log.Warn("journal replay dropped corrupt trailing lines", "dropped", dropped)
 	}
 	if len(recs) == 0 {
 		return
@@ -113,8 +114,12 @@ func (s *Server) recover() {
 	if results > 0 {
 		s.reg.Add("jobs.recovered_results", float64(results))
 	}
-	s.logf("gpmetisd: journal replay: %d job(s) recovered, %d result(s) cached, %d re-admitted, %d resumed from checkpoint",
-		len(order), results, readmitted, resumed)
+	s.event(obs.EvRecovered, nil, -1,
+		fmt.Sprintf("%d recovered, %d results cached, %d re-admitted, %d resumed",
+			len(order), results, readmitted, resumed))
+	s.log.Info("journal replay complete",
+		"jobs_recovered", len(order), "results_cached", results,
+		"readmitted", readmitted, "resumed_from_checkpoint", resumed)
 }
 
 // readmit rebuilds one interrupted job from its submit record and puts
@@ -132,6 +137,11 @@ func (s *Server) readmit(id string, f *foldedJob, readmitted, resumed *int) {
 	}
 	job.ID = id
 	job.recovered = true
+	// A recovered job gets a fresh trace ID (the journal does not record
+	// them) and a lifecycle clock restarting at recovery, mirroring the
+	// deadline decision below.
+	job.traceID = fmt.Sprintf("recovered-%08x-%s", uint32(time.Now().UnixNano()>>10), id)
+	job.submittedAt = time.Now()
 
 	// The deadline clock restarts at recovery: the journal records no
 	// submit timestamp, and charging crash downtime against the job
@@ -164,8 +174,8 @@ func (s *Server) readmit(id string, f *foldedJob, readmitted, resumed *int) {
 			} else {
 				// A missing file just means the run never snapshotted; a
 				// corrupt one is dropped — the rerun starts from scratch.
-				s.logf("gpmetisd: no usable checkpoint for %s (%v); rerunning from scratch",
-					id, err)
+				s.jlog(job).Warn("no usable checkpoint; rerunning from scratch",
+					"error", err.Error())
 			}
 		}
 	}

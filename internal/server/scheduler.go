@@ -11,6 +11,7 @@ import (
 
 	"gpmetis"
 	"gpmetis/internal/fault"
+	"gpmetis/internal/obs"
 )
 
 // ErrQueueFull is the typed admission-control rejection: the bounded job
@@ -31,11 +32,13 @@ type pool struct {
 	machines []*gpmetis.Machine
 	health   []*slotHealth
 
-	// Per-slot utilization, for the /metrics exposition: cumulative wall
-	// seconds each slot spent running jobs, and how many jobs it ran.
-	statMu   sync.Mutex
-	slotBusy []float64
-	slotJobs []int64
+	// Per-slot utilization, for the /metrics exposition and the ops
+	// view: cumulative wall seconds each slot spent running jobs, how
+	// many jobs it ran, and the job it is running right now ("" idle).
+	statMu      sync.Mutex
+	slotBusy    []float64
+	slotJobs    []int64
+	slotRunning []string
 }
 
 func newPool(s *Server, devices int, base *gpmetis.Machine) *pool {
@@ -47,6 +50,7 @@ func newPool(s *Server, devices int, base *gpmetis.Machine) *pool {
 	}
 	p.slotBusy = make([]float64, devices)
 	p.slotJobs = make([]int64, devices)
+	p.slotRunning = make([]string, devices)
 	return p
 }
 
@@ -55,6 +59,13 @@ func (p *pool) slotStats() (busy []float64, jobs []int64) {
 	p.statMu.Lock()
 	defer p.statMu.Unlock()
 	return append([]float64(nil), p.slotBusy...), append([]int64(nil), p.slotJobs...)
+}
+
+// slotOccupancy snapshots which job each slot is running ("" idle).
+func (p *pool) slotOccupancy() []string {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	return append([]string(nil), p.slotRunning...)
 }
 
 // start launches the workers; they exit when ctx is canceled.
@@ -99,20 +110,35 @@ func (p *pool) worker(ctx context.Context, slot int) {
 			p.finishDead(job, err)
 			continue
 		}
-		wait := time.Since(job.queuedAt).Seconds()
+		pop := time.Now()
+		wait := pop.Sub(job.queuedAt).Seconds()
 		p.s.reg.Add("queue.wait_seconds", wait)
 		p.s.reg.Observe("job.queue_seconds", wait)
+		job.addLifeSpan(lifeQueueWait, job.queuedAt, pop, nil)
 		job.markRunning(slot, wait)
+		p.s.event(obs.EvScheduled, job, slot, "")
+		p.s.jlog(job).Info("job scheduled", "slot", slot, "wait_seconds", wait)
 		p.s.journalAppend(Record{Type: RecRunning, ID: job.ID})
 		p.s.reg.Add("devices.busy", 1)
+		p.statMu.Lock()
+		p.slotRunning[slot] = job.ID
+		p.statMu.Unlock()
 		t0 := time.Now()
+		job.addLifeSpan(lifeSchedule, pop, t0, map[string]any{"slot": slot})
+		job.markRunStart(t0)
+		p.s.event(obs.EvRunStart, job, slot, "")
 		p.runJob(job, slot)
-		ran := time.Since(t0).Seconds()
+		t1 := time.Now()
+		ran := t1.Sub(t0).Seconds()
+		job.addLifeSpan(lifeRun, t0, t1, map[string]any{
+			"slot": slot, "outcome": job.Status().State,
+		})
 		p.s.reg.Add("devices.busy", -1)
 		p.s.reg.Observe("job.run_seconds", ran)
 		p.statMu.Lock()
 		p.slotBusy[slot] += ran
 		p.slotJobs[slot]++
+		p.slotRunning[slot] = ""
 		p.statMu.Unlock()
 	}
 }
@@ -169,7 +195,8 @@ func (p *pool) runJob(job *Job, slot int) {
 				if !warned {
 					warned = true
 					p.s.reg.Set("checkpoint.degraded", 1)
-					p.s.logf("gpmetisd: checkpointing degraded for %s: %v", job.ID, err)
+					p.s.jlog(job).Warn("checkpointing degraded; job keeps running without snapshots",
+						"error", err.Error())
 				}
 				return nil
 			}
@@ -246,8 +273,10 @@ func (p *pool) runJob(job *Job, slot int) {
 			if p.health[slot].strike(p.s.cfg.QuarantineThreshold, p.s.cfg.QuarantineBackoff) {
 				p.s.reg.Add("devices.quarantined", 1)
 				p.s.reg.Add("quarantine.entered", 1)
-				p.s.logf("gpmetisd: device slot %d quarantined after %d consecutive device faults",
-					slot, p.s.cfg.QuarantineThreshold)
+				p.s.event(obs.EvQuarantine, nil, slot,
+					fmt.Sprintf("%d consecutive device faults", p.s.cfg.QuarantineThreshold))
+				p.s.log.Warn("device slot quarantined",
+					"slot", slot, "consecutive_faults", p.s.cfg.QuarantineThreshold)
 			}
 		}
 		p.s.reg.Add("jobs.failed", 1)

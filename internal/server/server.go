@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpmetis"
@@ -61,9 +63,18 @@ type Config struct {
 	// quarantined slot must spend on health probes before reinstatement;
 	// it doubles with every quarantine of the same slot (default 0.002).
 	QuarantineBackoff float64
-	// Logf receives operational log lines (journal degradation, slot
-	// quarantine); nil means log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs. Every job-scoped line
+	// carries job_id and trace_id attributes. Nil means a text handler on
+	// os.Stderr at info level; use obs.DiscardLogger to silence.
+	Logger *slog.Logger
+	// SLO configures the service-level objectives evaluated at GET /slo
+	// and exported as gpmetisd_slo_* metrics; zero fields take the
+	// obs.SLOConfig defaults (2s latency at 95%, 99% availability, 5m/1h
+	// burn windows).
+	SLO obs.SLOConfig
+	// EventBuffer sizes the lifecycle flight recorder: how many recent
+	// events GET /admin/events retains (default 256).
+	EventBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,8 +105,12 @@ func (c Config) withDefaults() Config {
 	if c.QuarantineBackoff == 0 {
 		c.QuarantineBackoff = 0.002
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Logger == nil {
+		c.Logger = obs.NewLogger(os.Stderr, obs.LogText, slog.LevelInfo)
+	}
+	c.SLO = c.SLO.WithDefaults()
+	if c.EventBuffer == 0 {
+		c.EventBuffer = 256
 	}
 	return c
 }
@@ -110,6 +125,11 @@ type Server struct {
 	queue   chan *Job
 	pool    *pool
 	journal *Journal
+
+	log      *slog.Logger
+	slo      *obs.SLO
+	events   *obs.EventRing
+	draining atomic.Bool
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -144,9 +164,20 @@ func New(cfg Config) *Server {
 		inflight: map[string]*Job{},
 		start:    time.Now(),
 	}
+	s.log = cfg.Logger
+	s.slo = obs.NewSLO(cfg.SLO)
+	s.events = obs.NewEventRing(cfg.EventBuffer)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.reg.Set("devices.total", float64(cfg.Devices))
 	s.reg.Set("queue.cap", float64(cfg.QueueCap))
+	s.reg.Set("draining", 0)
+	// Declare the lifecycle latency histograms eagerly so their series
+	// exist in /metrics from the first scrape, not the first job.
+	for _, h := range []string{
+		"job.queue_seconds", "job.run_seconds", "job.total_seconds", "job.modeled_seconds",
+	} {
+		s.reg.DeclareHistogram(h, nil)
+	}
 	s.pool = newPool(s, cfg.Devices, cfg.Machine)
 	if cfg.JournalPath != "" {
 		// Recover before the workers start so re-admitted jobs keep their
@@ -178,8 +209,9 @@ func (s *Server) Close() {
 	s.journal.Close()
 }
 
-// logf emits one operational log line through the configured sink.
-func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+// SLO evaluates the service-level objectives now, the same snapshot
+// GET /slo serves.
+func (s *Server) SLO() obs.SLOSnapshot { return s.slo.Snapshot() }
 
 // journalAppend appends one record, degrading to non-durable operation
 // on the first failure: the error is logged once, the journal.degraded
@@ -209,7 +241,7 @@ func (s *Server) journalDegraded(err error) {
 	s.reg.Add("journal.errors", 1)
 	s.reg.Set("journal.degraded", 1)
 	s.journalWarn.Do(func() {
-		s.logf("gpmetisd: journal degraded, continuing WITHOUT durability: %v", err)
+		s.log.Error("journal degraded, continuing WITHOUT durability", "error", err.Error())
 	})
 }
 
@@ -244,8 +276,10 @@ func (s *Server) compactRecords() []Record {
 }
 
 // watch follows a job to its terminal state: it releases the job's
-// single-flight leadership and journals the outcome. Recovered jobs
-// skip journaling of states that replay already proved.
+// single-flight leadership, journals the outcome, and closes the job's
+// observability account (lifecycle spans, SLO sample, flight-recorder
+// event, outcome log line). Recovered jobs skip journaling of states
+// that replay already proved.
 func (s *Server) watch(j *Job) {
 	select {
 	case <-j.Done():
@@ -260,14 +294,22 @@ func (s *Server) watch(j *Job) {
 	}
 	s.mu.Unlock()
 	st := j.Status()
+	var rec Record
 	switch st.State {
 	case StateDone:
-		s.journalAppend(Record{Type: RecDone, ID: j.ID, Key: j.key, Result: st.Result})
+		rec = Record{Type: RecDone, ID: j.ID, Key: j.key, Result: st.Result}
 	case StateFailed:
-		s.journalAppend(Record{Type: RecFailed, ID: j.ID, Error: st.Error})
+		rec = Record{Type: RecFailed, ID: j.ID, Error: st.Error}
 	case StateCanceled:
-		s.journalAppend(Record{Type: RecCanceled, ID: j.ID, Error: st.Error})
+		rec = Record{Type: RecCanceled, ID: j.ID, Error: st.Error}
 	}
+	if rec.Type != "" && s.journal != nil {
+		jt0 := time.Now()
+		s.journalAppend(rec)
+		j.addLifeSpan(lifeJournal, jt0, time.Now(), map[string]any{"record": rec.Type})
+		s.event(obs.EvJournalAppend, j, -1, rec.Type)
+	}
+	s.observeTerminal(j)
 }
 
 // Metrics returns the server's counter registry.
@@ -277,13 +319,20 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // index, and either completes the job instantly (hit), attaches it to an
 // identical in-flight job (single-flight coalescing), or admits it to
 // the bounded queue. It returns ErrQueueFull when the queue is at
-// capacity and a *requestError for invalid submissions.
+// capacity, ErrDraining during graceful shutdown, and a *requestError
+// for invalid submissions.
 func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
+	if s.draining.Load() {
+		s.reg.Add("jobs.rejected_draining", 1)
+		return nil, ErrDraining
+	}
+	t0 := time.Now()
 	job, err := resolveRequest(req)
 	if err != nil {
 		s.reg.Add("jobs.bad_request", 1)
 		return nil, err
 	}
+	job.submittedAt = t0
 	s.reg.Add("jobs.submitted", 1)
 
 	deadline := time.Duration(req.DeadlineMs) * time.Millisecond
@@ -299,8 +348,16 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	// The cache is its own hit/miss bookkeeper; /metrics merges its
 	// counts into the registry snapshot.
 	if job.key != "" {
-		if hit, ok := s.cache.Get(job.key); ok {
+		lookT0 := time.Now()
+		hit, ok := s.cache.Get(job.key)
+		lookT1 := time.Now()
+		job.addLifeSpan(lifeCacheLook, lookT0, lookT1, map[string]any{"hit": ok})
+		if ok {
 			s.register(job)
+			job.addLifeSpan(lifeAdmit, t0, lookT1, admitAttrs(job, "cache-hit"))
+			s.event(obs.EvAdmit, job, -1, "cache hit")
+			s.event(obs.EvCacheHit, job, -1, "")
+			s.jlog(job).Info("job admitted", "outcome", "cache-hit", "k", job.k)
 			s.journalSubmit(job)
 			job.finishCached(hit)
 			s.spawnWatch(job)
@@ -320,6 +377,10 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 			job.coalesced = true
 			s.mu.Unlock()
 			s.reg.Add("jobs.coalesced", 1)
+			job.addLifeSpan(lifeAdmit, t0, time.Now(), admitAttrs(job, "coalesced"))
+			s.event(obs.EvAdmit, job, -1, "coalesced behind "+leader.ID)
+			s.event(obs.EvCoalesced, job, -1, "leader "+leader.ID)
+			s.jlog(job).Info("job admitted", "outcome", "coalesced", "leader", leader.ID)
 			s.journalSubmit(job)
 			go s.watch(job)
 			go s.follow(job, leader)
@@ -336,8 +397,7 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	// rejected submission leaves no trace beyond the counter and a
 	// burned sequence number.
 	s.mu.Lock()
-	s.seq++
-	job.ID = fmt.Sprintf("j%06d", s.seq)
+	s.assignIDLocked(job)
 	s.mu.Unlock()
 
 	job.queuedAt = time.Now()
@@ -353,15 +413,26 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 			s.mu.Unlock()
 		}
 		s.reg.Add("jobs.rejected", 1)
+		s.event(obs.EvRejected, job, -1, "queue full")
+		s.jlog(job).Warn("job rejected: queue full", "queue_cap", s.cfg.QueueCap)
 		job.cancel()
 		return nil, fmt.Errorf("%w: capacity %d", ErrQueueFull, s.cfg.QueueCap)
 	}
 	s.mu.Lock()
 	s.indexLocked(job)
 	s.mu.Unlock()
+	job.addLifeSpan(lifeAdmit, t0, time.Now(), admitAttrs(job, "queued"))
+	s.event(obs.EvAdmit, job, -1, "queued")
+	s.jlog(job).Info("job admitted", "outcome", "queued", "k", job.k,
+		"vertices", job.g.NumVertices(), "queue_depth", len(s.queue))
 	s.journalSubmit(job)
 	s.spawnWatch(job)
 	return job, nil
+}
+
+// admitAttrs builds the admit span's trace args.
+func admitAttrs(j *Job, outcome string) map[string]any {
+	return map[string]any{"outcome": outcome, "k": j.k, "vertices": j.g.NumVertices()}
 }
 
 // spawnWatch and spawnFollow run their goroutines under the server
@@ -455,8 +526,7 @@ func (s *Server) register(j *Job) {
 }
 
 func (s *Server) registerLocked(j *Job) {
-	s.seq++
-	j.ID = fmt.Sprintf("j%06d", s.seq)
+	s.assignIDLocked(j)
 	s.indexLocked(j)
 }
 
@@ -496,7 +566,11 @@ func (s *Server) Job(id string) (*Job, bool) {
 //	GET    /jobs/{id}/profile kernel-level roofline profile (profiled jobs)
 //	GET    /metrics         Prometheus text exposition
 //	GET    /metrics.json    counter registry snapshot as flat JSON
-//	GET    /healthz         liveness + pool/queue occupancy + build info
+//	GET    /healthz         liveness + occupancy + SLO posture + build info
+//	GET    /slo             full SLO evaluation (burn rates, windows)
+//	GET    /admin/status    live ops view (self-refreshing HTML)
+//	GET    /admin/status.json  the ops view's data, for gpmetis -top
+//	GET    /admin/events    flight recorder: recent lifecycle events
 //	GET    /admin/devices   device-pool quarantine states
 //	POST   /admin/devices/{slot}/reinstate  force a slot back into service
 func (s *Server) Handler() http.Handler {
@@ -510,6 +584,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("GET /admin/status", s.handleStatusHTML)
+	mux.HandleFunc("GET /admin/status.json", s.handleStatusJSON)
+	mux.HandleFunc("GET /admin/events", s.handleEvents)
 	mux.HandleFunc("GET /admin/devices", s.handleDevices)
 	mux.HandleFunc("POST /admin/devices/{slot}/reinstate", s.handleReinstate)
 	return mux
@@ -532,7 +610,8 @@ func (s *Server) handleReinstate(w http.ResponseWriter, r *http.Request) {
 	if s.pool.health[slot].reinstate() {
 		s.reg.Add("devices.quarantined", -1)
 		s.reg.Add("quarantine.reinstated", 1)
-		s.logf("gpmetisd: device slot %d force-reinstated via admin API", slot)
+		s.event(obs.EvReinstate, nil, slot, "forced via admin API")
+		s.log.Info("device slot force-reinstated via admin API", "slot", slot)
 	}
 	writeJSON(w, http.StatusOK, s.pool.health[slot].status(slot))
 }
@@ -556,6 +635,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, CodeOverloaded, err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	}
@@ -597,19 +679,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// handleTrace serves the job's merged timeline: wall-clock service
+// lifecycle spans plus, once the run started, the modeled-clock
+// partition trace parented under the run span. A queued job already has
+// a trace (its admission spans); the document grows as the job moves.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
 		return
 	}
-	t := j.Tracer()
-	if t == nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, "job has not started; no trace yet")
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := gpmetis.WriteChromeTrace(w, t); err != nil {
+	if err := writeJobTrace(w, j); err != nil {
 		// Headers are gone; the truncated body is the best signal left.
 		return
 	}
@@ -656,6 +737,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	} {
 		extra = append(extra, obs.PromSample{Name: name, Value: ce[name]})
 	}
+	slo := s.slo.Snapshot()
+	extra = append(extra,
+		obs.PromSample{Name: "slo.latency_threshold_seconds", Value: slo.LatencyThresholdSeconds,
+			Help: "Latency objective threshold in seconds."},
+		obs.PromSample{Name: "slo.latency_target", Value: slo.LatencyTarget},
+		obs.PromSample{Name: "slo.availability_target", Value: slo.AvailabilityTarget},
+		obs.PromSample{Name: "slo.latency_burn_fast", Value: slo.Fast.LatencyBurn,
+			Help: "Latency burn rate over the fast window (>1 consumes budget)."},
+		obs.PromSample{Name: "slo.latency_burn_slow", Value: slo.Slow.LatencyBurn},
+		obs.PromSample{Name: "slo.availability_burn_fast", Value: slo.Fast.AvailabilityBurn,
+			Help: "Availability burn rate over the fast window (>1 consumes budget)."},
+		obs.PromSample{Name: "slo.availability_burn_slow", Value: slo.Slow.AvailabilityBurn},
+		obs.PromSample{Name: "slo.window_jobs_fast", Value: float64(slo.Fast.Jobs)},
+		obs.PromSample{Name: "slo.window_jobs_slow", Value: float64(slo.Slow.Jobs)},
+		obs.PromSample{Name: "slo.status", Value: obs.StatusValue(slo.Status),
+			Help: "Multi-window burn verdict: 0 ok, 1 warn, 2 breach."},
+	)
 	busy, jobs := s.pool.slotStats()
 	for slot := range busy {
 		extra = append(extra, obs.PromSample{
@@ -712,8 +810,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	n := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:         "ok",
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	h := HealthResponse{
+		Status:         status,
 		Devices:        s.cfg.Devices,
 		QueueDepth:     len(s.queue),
 		QueueCap:       s.cfg.QueueCap,
@@ -722,6 +824,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		GoVersion:      runtime.Version(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		ModeledSeconds: s.reg.Get("modeled.seconds"),
+		SLOStatus:      s.slo.Snapshot().Status,
+		EventsTotal:    s.events.Total(),
+	}
+	if lt := s.events.LastTime(); !lt.IsZero() {
+		h.LastEvent = lt.UTC().Format(time.RFC3339Nano)
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleSLO serves the full SLO evaluation: objectives, both burn
+// windows, and the multi-window verdict.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
+}
+
+// handleEvents serves the flight recorder's retained tail, oldest first.
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	evs := s.events.Snapshot()
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	total := s.events.Total()
+	writeJSON(w, http.StatusOK, EventsResponse{
+		Total:   total,
+		Dropped: total - int64(len(evs)),
+		Events:  evs,
 	})
 }
 

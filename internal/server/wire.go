@@ -21,7 +21,11 @@
 //     is marked Cached in the job status.
 package server
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpmetis/internal/obs"
+)
 
 // SubmitRequest is the wire form of one partition job. Graph carries the
 // graph text inline (Chaco/Metis by default, DIMACS9 ".gr" with
@@ -83,8 +87,11 @@ type JobResult struct {
 
 // JobStatus is the wire form of one job's current state.
 type JobStatus struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
+	ID string `json:"id"`
+	// TraceID correlates this job across log lines, lifecycle events, and
+	// the merged trace at /jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
+	State   string `json:"state"`
 	// Cached marks a job served from the result cache; its result is the
 	// original run's, at zero additional modeled cost.
 	Cached bool `json:"cached,omitempty"`
@@ -119,6 +126,10 @@ const (
 	CodeOverloaded = "overloaded"
 	CodeBadRequest = "bad_request"
 	CodeNotFound   = "not_found"
+	// CodeDraining marks submissions rejected because the daemon is
+	// shutting down gracefully (HTTP 503): finish what is in flight,
+	// accept nothing new.
+	CodeDraining = "draining"
 )
 
 // DeviceStatus is the wire form of one device-pool slot in GET
@@ -139,8 +150,9 @@ type DeviceStatus struct {
 }
 
 // HealthResponse is the wire form of GET /healthz: liveness, occupancy,
-// and build info.
+// SLO posture, and build info.
 type HealthResponse struct {
+	// Status is "ok" while serving, "draining" during graceful shutdown.
 	Status     string `json:"status"`
 	Devices    int    `json:"devices"`
 	QueueDepth int    `json:"queue_depth"`
@@ -154,6 +166,81 @@ type HealthResponse struct {
 	// ModeledSeconds is the cumulative modeled time of every completed job.
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	ModeledSeconds float64 `json:"modeled_seconds"`
+	// SLOStatus is the current multi-window burn verdict ("ok", "warn",
+	// "breach"); the full evaluation lives at GET /slo.
+	SLOStatus string `json:"slo_status"`
+	// LastEvent is the RFC3339 wall time of the most recent lifecycle
+	// event (empty before the first), a staleness signal for probes.
+	LastEvent string `json:"last_event,omitempty"`
+	// EventsTotal counts lifecycle events ever recorded.
+	EventsTotal int64 `json:"events_total"`
+}
+
+// SlotStatus is one device slot row of the ops view: identity, live
+// occupancy, quarantine state, and cumulative utilization.
+type SlotStatus struct {
+	Slot        int     `json:"slot"`
+	State       string  `json:"state"` // "healthy" or "quarantined"
+	RunningJob  string  `json:"running_job,omitempty"`
+	Jobs        int64   `json:"jobs"`
+	BusySeconds float64 `json:"busy_seconds"`
+}
+
+// LatencySummary carries interpolated percentiles of one latency
+// histogram, in seconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// StatusResponse is the wire form of GET /admin/status.json, the data
+// behind the live ops view and the gpmetis -top client.
+type StatusResponse struct {
+	Status         string  `json:"status"` // "ok" or "draining"
+	Version        string  `json:"version"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	ModeledSeconds float64 `json:"modeled_seconds"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCoalesced int64 `json:"jobs_coalesced"`
+	JobsDegraded  int64 `json:"jobs_degraded"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	Slots []SlotStatus `json:"slots"`
+
+	// QueueWait, RunSeconds, and TotalSeconds summarize the wall-clock
+	// lifecycle histograms (queue wait, device occupancy, admission to
+	// terminal state).
+	QueueWait    LatencySummary `json:"queue_wait"`
+	RunSeconds   LatencySummary `json:"run_seconds"`
+	TotalSeconds LatencySummary `json:"total_seconds"`
+
+	SLO obs.SLOSnapshot `json:"slo"`
+
+	EventsTotal int64  `json:"events_total"`
+	LastEvent   string `json:"last_event,omitempty"`
+}
+
+// EventsResponse is the wire form of GET /admin/events: the flight
+// recorder's retained tail. Dropped counts events that fell off the ring
+// before this query.
+type EventsResponse struct {
+	Total   int64       `json:"total"`
+	Dropped int64       `json:"dropped"`
+	Events  []obs.Event `json:"events"`
 }
 
 // badRequest builds a client-usage error that the HTTP layer maps to 400.

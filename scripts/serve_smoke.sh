@@ -55,9 +55,27 @@ grep -q '"cached": true' "$workdir/run2.json" || { cat "$workdir/run2.json"; ech
 cmp -s "$workdir/run1.part" "$workdir/run2.part" || { echo "serve-smoke: FAIL cached partition differs from the original"; exit 1; }
 
 # The daemon's own counters must agree: exactly one hit, one miss.
-curl -sf "$base/metrics" >"$workdir/metrics.json"
-grep -q '"cache.hits": 1' "$workdir/metrics.json" || { cat "$workdir/metrics.json"; echo "serve-smoke: FAIL expected cache.hits = 1"; exit 1; }
-curl -sf "$base/healthz" >/dev/null || { echo "serve-smoke: FAIL healthz"; exit 1; }
+curl -sf "$base/metrics" >"$workdir/metrics.prom"
+grep -q '^gpmetisd_cache_hits 1$' "$workdir/metrics.prom" || { cat "$workdir/metrics.prom"; echo "serve-smoke: FAIL expected gpmetisd_cache_hits 1"; exit 1; }
+
+echo "serve-smoke: checking observability surface"
+# The SLO burn-rate series and the job lifecycle histograms must be on
+# the scrape from the first completed job.
+for series in gpmetisd_slo_status gpmetisd_slo_latency_burn_fast \
+              gpmetisd_slo_availability_burn_slow \
+              gpmetisd_job_queue_seconds_bucket gpmetisd_job_run_seconds_bucket \
+              gpmetisd_job_total_seconds_bucket; do
+    grep -q "^$series" "$workdir/metrics.prom" || { echo "serve-smoke: FAIL /metrics missing $series"; exit 1; }
+done
+curl -sf "$base/healthz" | grep -q '"slo_status"' || { echo "serve-smoke: FAIL healthz carries no SLO posture"; exit 1; }
+curl -sf "$base/slo" | grep -q '"fast":' || { echo "serve-smoke: FAIL /slo"; exit 1; }
+curl -sf "$base/admin/status.json" | grep -q '"slots"' || { echo "serve-smoke: FAIL /admin/status.json"; exit 1; }
+curl -sf "$base/admin/status" | grep -qi '<html' || { echo "serve-smoke: FAIL /admin/status is not HTML"; exit 1; }
+curl -sf "$base/admin/events" | grep -q '"type":"admit"' || { echo "serve-smoke: FAIL flight recorder holds no admit event"; exit 1; }
+
+echo "serve-smoke: rendering the terminal ops view"
+"$workdir/gpmetis" -server "$base" -top -top-iterations 1 >"$workdir/top.out"
+grep -q 'SLOT' "$workdir/top.out" || { cat "$workdir/top.out"; echo "serve-smoke: FAIL gpmetis -top rendered no slot table"; exit 1; }
 
 kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
