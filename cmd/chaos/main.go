@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	chaos [-runs 25] [-seed 1] [-start 0] [-only core|resume|daemon] [-v]
+//	chaos [-runs 25] [-seed 1] [-start 0] [-only core|resume|daemon|overload] [-v]
 //
 // Every run derives its private RNG from (-seed, run index), so any
 // failure is replayable in isolation: on failure the harness prints a
@@ -26,9 +26,17 @@
 //	        faults, cancels), is shut down mid-stream, and is restarted
 //	        on the same journal; every job must come back, reach a
 //	        terminal state, and completed results must survive.
+//	overload: a two-tenant open-loop burst overwhelms a one-device
+//	        server; admission control and the brownout ladder must
+//	        hold their contracts — accepted work completes or is shed
+//	        (never stuck), only the over-share tenant loses jobs,
+//	        unmeetable deadlines are rejected up front, and brownout
+//	        begin/end events pair once the storm passes.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,14 +57,14 @@ func main() {
 	runs := flag.Int("runs", 25, "number of chaos rounds")
 	seed := flag.Int64("seed", 1, "master seed; each run derives its own RNG from (seed, run)")
 	start := flag.Int("start", 0, "first run index (for replaying one failing round)")
-	only := flag.String("only", "", "pin one mode: core, resume, or daemon")
+	only := flag.String("only", "", "pin one mode: core, resume, daemon, or overload")
 	flag.BoolVar(&verbose, "v", false, "log each round")
 	flag.Parse()
 
-	modes := []string{"core", "resume", "daemon"}
+	modes := []string{"core", "resume", "daemon", "overload"}
 	if *only != "" {
 		switch *only {
-		case "core", "resume", "daemon":
+		case "core", "resume", "daemon", "overload":
 			modes = []string{*only}
 		default:
 			fmt.Fprintf(os.Stderr, "chaos: unknown mode %q\n", *only)
@@ -76,6 +84,8 @@ func main() {
 			err = chaosResume(rng)
 		case "daemon":
 			err = chaosDaemon(rng)
+		case "overload":
+			err = chaosOverload(rng)
 		}
 		if err != nil {
 			fmt.Printf("CHAOS FAIL seed=%d run=%d mode=%s: %v\n", *seed, r, mode, err)
@@ -336,6 +346,182 @@ func chaosDaemon(rng *rand.Rand) error {
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
+	}
+	return nil
+}
+
+// chaosOverload: an open-loop two-tenant burst against a one-device
+// server with a deliberately unmeetable queue-wait objective. The
+// overload-control invariants must hold on every seed:
+//
+//   - every accepted job reaches a terminal state, and that state is
+//     either done or a brownout shed — nothing gets stuck and nothing
+//     accepted fails a deadline;
+//   - only the low-weight "free" tenant (the one holding more than its
+//     fair share of the queue) is shed; every accepted "paid" job
+//     completes;
+//   - once the estimator has real service times, a 1ms deadline is
+//     rejected at admission with code "deadline_unmeetable";
+//   - after the storm drains and the burn windows empty, the ladder
+//     steps back down: brownout_begin/brownout_end events pair up and
+//     shed events match the shed jobs.
+func chaosOverload(rng *rand.Rand) error {
+	g, err := gpmetis.Delaunay(2500+rng.Intn(2500), rng.Int63n(1000)+1)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	if err := gpmetis.WriteGraph(&sb, g); err != nil {
+		return err
+	}
+	text := sb.String()
+
+	cfg := server.Config{
+		Devices:     1,
+		QueueCap:    8,
+		CacheCap:    -1, // every job must really run, or there is no load
+		EventBuffer: 1024,
+		Logger:      obs.DiscardLogger(),
+		Tenants: server.TenantsConfig{
+			"paid": {Weight: 3},
+			"free": {Weight: 1},
+		},
+		// A 1ns wait objective makes every dequeue a miss, so the ladder
+		// engages deterministically once MinSamples dequeues land; the
+		// short windows let it step back down within the round.
+		Brownout: server.BrownoutConfig{
+			QueueWait:  time.Nanosecond,
+			FastWindow: 300 * time.Millisecond,
+			SlowWindow: 600 * time.Millisecond,
+			MinSamples: 3,
+		},
+	}
+	s := server.New(cfg)
+	defer s.Close()
+
+	type tracked struct {
+		job    *server.Job
+		tenant string
+	}
+	var accepted []tracked
+	rejected := map[string]int{}
+	total := 30 + rng.Intn(21)
+	paidEvery := 3 + rng.Intn(2) // paid is 1/3 or 1/4 of the mix
+	for i := 0; i < total; i++ {
+		tenant := "free"
+		if i%paidEvery == 0 {
+			tenant = "paid"
+		}
+		// High k keeps service time well above the per-submit parse cost,
+		// so the queue actually builds depth during the burst.
+		j, err := s.Submit(&server.SubmitRequest{
+			Graph:   text,
+			K:       8 + rng.Intn(9),
+			Seed:    int64(i + 1),
+			NoCache: true,
+			Tenant:  tenant,
+		})
+		if err != nil {
+			code := server.OverloadCode(err)
+			if code == "" {
+				return fmt.Errorf("burst submit %d (%s): unexpected error: %w", i, tenant, err)
+			}
+			rejected[code]++
+			continue
+		}
+		accepted = append(accepted, tracked{j, tenant})
+	}
+	// Queue-full 429s are possible here but not guaranteed: shedding on
+	// each admission tick can drain the queue as fast as the burst fills
+	// it, which is the ladder working, not a missing rejection.
+	if verbose && len(rejected) > 0 {
+		fmt.Printf("chaos: overload burst rejections: %v\n", rejected)
+	}
+
+	for _, t := range accepted {
+		select {
+		case <-t.job.Done():
+		case <-time.After(60 * time.Second):
+			return fmt.Errorf("job %s (%s) stuck under overload", t.job.ID, t.tenant)
+		}
+	}
+	shed := 0
+	for _, t := range accepted {
+		st := t.job.Status()
+		switch {
+		case st.State == server.StateDone:
+		case st.State == server.StateFailed && strings.HasPrefix(st.Error, "shed"):
+			if t.tenant != "free" {
+				return fmt.Errorf("tenant %q job %s was shed; only the over-share free tenant may be",
+					t.tenant, st.ID)
+			}
+			shed++
+		default:
+			return fmt.Errorf("job %s (%s) ended %s (%q); accepted work must complete or be shed",
+				st.ID, t.tenant, st.State, st.Error)
+		}
+	}
+	if shed == 0 {
+		return errors.New("overload burst shed nothing; the brownout ladder never engaged")
+	}
+
+	// The burst fed the estimator real service times for this graph, so
+	// a 1ms deadline is now provably unmeetable at admission.
+	probes := 1 + rng.Intn(3)
+	for i := 0; i < probes; i++ {
+		_, err := s.Submit(&server.SubmitRequest{
+			Graph: text, K: 2, Seed: 999, NoCache: true, Tenant: "free", DeadlineMs: 1,
+		})
+		if code := server.OverloadCode(err); code != server.CodeDeadlineUnmeetable {
+			return fmt.Errorf("1ms-deadline probe %d: err %v (code %q), want %q",
+				i, err, code, server.CodeDeadlineUnmeetable)
+		}
+	}
+
+	// Outlive both burn windows, then show the ladder steps down: the
+	// next admission re-evaluates an empty window and emits brownout_end.
+	time.Sleep(700 * time.Millisecond)
+	last, err := s.Submit(&server.SubmitRequest{Graph: text, K: 2, Seed: 424242, NoCache: true})
+	if err != nil {
+		return fmt.Errorf("post-storm submit: %w", err)
+	}
+	select {
+	case <-last.Done():
+	case <-time.After(60 * time.Second):
+		return errors.New("post-storm job stuck")
+	}
+	if st := last.Status(); st.State != server.StateDone {
+		return fmt.Errorf("post-storm job ended %s (%q)", st.State, st.Error)
+	}
+
+	var buf bytes.Buffer
+	if err := s.DumpEvents(&buf); err != nil {
+		return err
+	}
+	var dump struct {
+		Events []struct {
+			Type string `json:"type"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		return fmt.Errorf("event dump: %w", err)
+	}
+	begins, ends, shedEvents := 0, 0, 0
+	for _, e := range dump.Events {
+		switch e.Type {
+		case obs.EvBrownoutBegin:
+			begins++
+		case obs.EvBrownoutEnd:
+			ends++
+		case obs.EvShed:
+			shedEvents++
+		}
+	}
+	if begins == 0 || begins != ends {
+		return fmt.Errorf("brownout events unpaired: %d begin / %d end", begins, ends)
+	}
+	if shedEvents != shed {
+		return fmt.Errorf("%d shed events for %d shed jobs", shedEvents, shed)
 	}
 	return nil
 }

@@ -125,6 +125,8 @@ func main() {
 	degrade := flag.Bool("degrade", true, "fall back to the CPU pipeline on GPU failure (gp)")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot gp runs here and auto-resume an interrupted run (local only)")
 	retries := flag.Int("retries", 3, "with -server: re-submissions after a 429, honoring Retry-After with backoff")
+	tenant := flag.String("tenant", "", "with -server: tenant name for multi-tenant fair queueing (default: the daemon's default tenant)")
+	deadlineMs := flag.Int64("deadline-ms", 0, "with -server: job deadline in milliseconds (0 = daemon default); unmeetable deadlines are rejected up front")
 	top := flag.Bool("top", false, "with -server: live terminal ops view of the daemon (no graph argument)")
 	topInterval := flag.Duration("top-interval", 2*time.Second, "refresh interval for -top")
 	topIterations := flag.Int("top-iterations", 0, "frames -top draws before exiting (0 = until interrupted)")
@@ -166,8 +168,10 @@ func main() {
 			k: *k, algo: *algo, ub: *ub, seed: *seed,
 			faults: *faults, faultSeed: *faultSeed,
 			degrade: *degrade, verify: *verify, traceOut: *traceOut,
-			prof:    prof,
-			retries: *retries,
+			prof:       prof,
+			retries:    *retries,
+			tenant:     *tenant,
+			deadlineMs: *deadlineMs,
 		})
 	} else {
 		oc, err = runLocal(*k, *algo, *ub, *seed, *faults, *faultSeed,

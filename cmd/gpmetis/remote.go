@@ -29,7 +29,9 @@ type remoteArgs struct {
 	degrade, verify bool
 	traceOut        string
 	prof            profileArgs
-	retries         int // re-submissions after a 429 before giving up
+	retries         int    // re-submissions after a 429 before giving up
+	tenant          string // fair-queueing tenant ("" = daemon default)
+	deadlineMs      int64  // job deadline forwarded for admission control
 }
 
 // runRemote submits the graph to a gpmetisd daemon, polls the job to a
@@ -55,9 +57,11 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		UB:        a.ub,
 		Faults:    a.faults,
 		FaultSeed: a.faultSeed,
-		Degrade:   a.degrade,
-		Verify:    a.verify,
-		Profile:   a.prof.enabled,
+		Degrade:    a.degrade,
+		Verify:     a.verify,
+		Profile:    a.prof.enabled,
+		Tenant:     a.tenant,
+		DeadlineMs: a.deadlineMs,
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -128,27 +132,84 @@ func runRemote(a remoteArgs) (*outcome, error) {
 // retrySleep is the backoff clock, a seam for the retry test.
 var retrySleep = time.Sleep
 
-// submitJob posts the job to the daemon. A 429 (queue full) is retried
-// up to retries times with exponential backoff, honoring the daemon's
-// Retry-After as the floor and adding jitter so a herd of overloaded
-// clients does not re-stampede in lockstep.
+// shedBreaker is the client's retry budget: a sliding window over recent
+// submit attempts. Once enough attempts have been observed and more than
+// half of them were shed by the daemon (any 429-class rejection), the
+// breaker trips and the client stops re-submitting instead of feeding an
+// overloaded daemon more retries.
+type shedBreaker struct {
+	window []bool // true = the attempt was shed/rejected with 429
+}
+
+const (
+	breakerWindow      = 10 // attempts remembered
+	breakerMinAttempts = 4  // evidence required before the breaker may trip
+)
+
+func (b *shedBreaker) record(shed bool) {
+	b.window = append(b.window, shed)
+	if len(b.window) > breakerWindow {
+		b.window = b.window[len(b.window)-breakerWindow:]
+	}
+}
+
+func (b *shedBreaker) tripped() bool {
+	if len(b.window) < breakerMinAttempts {
+		return false
+	}
+	shed := 0
+	for _, s := range b.window {
+		if s {
+			shed++
+		}
+	}
+	return shed*2 > len(b.window)
+}
+
+// submitJob posts the job to the daemon. A retryable 429 (queue full,
+// tenant quota, rate limit) is retried up to retries times with
+// exponential backoff, honoring the daemon's Retry-After as the floor
+// and adding jitter so a herd of overloaded clients does not re-stampede
+// in lockstep. Two circuit breakers cut the loop short: a
+// deadline_unmeetable rejection is terminal (re-submitting the same
+// deadline cannot make it meetable), and the retry budget trips once
+// more than half of the recent attempts were shed.
 func submitJob(base string, body []byte, retries int) (server.JobStatus, error) {
+	var budget shedBreaker
 	for attempt := 0; ; attempt++ {
 		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return server.JobStatus{}, fmt.Errorf("submit to %s: %w", base, err)
 		}
-		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
-			floor := parseRetryAfter(resp.Header.Get("Retry-After"))
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			d := retryDelay(attempt, floor)
-			fmt.Fprintf(os.Stderr, "gpmetis: daemon overloaded; retrying in %v (%d/%d)\n",
-				d.Round(time.Millisecond), attempt+1, retries)
-			retrySleep(d)
-			continue
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return decodeJob(resp)
 		}
-		return decodeJob(resp)
+		floor := parseRetryAfter(resp.Header.Get("Retry-After"))
+		var e server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e) // best effort; an empty code still retries
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if e.Code == server.CodeDeadlineUnmeetable {
+			return server.JobStatus{}, fmt.Errorf(
+				"daemon rejected the job (%s): %s (relax -deadline or retry after %v)",
+				e.Code, e.Error, floor)
+		}
+		budget.record(true)
+		if budget.tripped() {
+			return server.JobStatus{}, fmt.Errorf(
+				"retry budget exhausted: daemon shed %d consecutive submissions (%s); backing off for good",
+				len(budget.window), e.Code)
+		}
+		if attempt >= retries {
+			if e.Code == server.CodeOverloaded || e.Code == "" {
+				return server.JobStatus{}, fmt.Errorf("daemon overloaded (queue full), retry later: %s", e.Error)
+			}
+			return server.JobStatus{}, fmt.Errorf("daemon rejected the job (%s): %s", e.Code, e.Error)
+		}
+		d := retryDelay(attempt, floor)
+		fmt.Fprintf(os.Stderr, "gpmetis: daemon overloaded; retrying in %v (%d/%d)\n",
+			d.Round(time.Millisecond), attempt+1, retries)
+		retrySleep(d)
 	}
 }
 

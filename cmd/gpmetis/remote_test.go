@@ -97,6 +97,66 @@ func TestSubmitGivesUpAfterRetries(t *testing.T) {
 	}
 }
 
+// TestSubmitRetryBudgetTrips: with a large -retries, the shed-rate
+// breaker still cuts the loop once it has enough evidence (4 attempts)
+// that the daemon is shedding everything — the client must not keep
+// hammering an overloaded daemon just because retries allow it.
+func TestSubmitRetryBudgetTrips(t *testing.T) {
+	posts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		posts++
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"server: job queue full","code":"overloaded"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	retrySleep = func(time.Duration) {}
+	defer func() { retrySleep = time.Sleep }()
+
+	_, err := runRemote(remoteArgs{
+		base: ts.URL, path: writeTempGraph(t), k: 2, algo: "gp", retries: 100,
+	})
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want the retry-budget error", err)
+	}
+	if posts != breakerMinAttempts {
+		t.Errorf("posted %d times, want %d (breaker trips at min evidence when everything is shed)",
+			posts, breakerMinAttempts)
+	}
+}
+
+// TestSubmitDeadlineUnmeetableIsTerminal: a deadline_unmeetable
+// rejection is not retryable — re-submitting the same deadline cannot
+// make it meetable, so the client must fail fast on the first response.
+func TestSubmitDeadlineUnmeetableIsTerminal(t *testing.T) {
+	posts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		posts++
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"deadline 10ms cannot be met","code":"deadline_unmeetable"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	retrySleep = func(time.Duration) { t.Error("slept on a non-retryable rejection") }
+	defer func() { retrySleep = time.Sleep }()
+
+	_, err := runRemote(remoteArgs{
+		base: ts.URL, path: writeTempGraph(t), k: 2, algo: "gp", retries: 5, deadlineMs: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadline_unmeetable") {
+		t.Fatalf("err = %v, want the deadline_unmeetable error", err)
+	}
+	if posts != 1 {
+		t.Errorf("posted %d times, want 1 (no retries on an unmeetable deadline)", posts)
+	}
+}
+
 func TestRetryDelayBounds(t *testing.T) {
 	for attempt := 0; attempt < 8; attempt++ {
 		for _, floor := range []time.Duration{0, 2 * time.Second} {

@@ -13,12 +13,22 @@
 //	         [-log-level info] [-log-format text] [-drain-timeout 15s] \
 //	         [-slo-latency 2s] [-slo-latency-target 0.95] \
 //	         [-slo-availability-target 0.99] [-events 256] \
+//	         [-tenants tenants.json] [-brownout-wait 500ms] \
+//	         [-brownout-target 0.9] [-brownout-fast-window 15s] \
+//	         [-brownout-slow-window 90s] [-brownout-off] \
 //	         [-debug-addr 127.0.0.1:6060]
 //
 // API:
 //
 //	POST   /jobs            submit a job (202 queued, 200 cache hit,
-//	                        429 + code "overloaded" when the queue is full)
+//	                        429 + a typed code when admission refuses it:
+//	                        "overloaded" queue full, "tenant_quota" the
+//	                        tenant's queued quota is spent, "rate_limited"
+//	                        its token bucket is empty, and
+//	                        "deadline_unmeetable" the requested deadline
+//	                        cannot be met at the current queue depth; every
+//	                        429 and the draining 503 carry a Retry-After
+//	                        derived from queued work over device count)
 //	GET    /jobs            list jobs
 //	GET    /jobs/{id}       job status; the result once done
 //	DELETE /jobs/{id}       cancel a queued or running job
@@ -44,6 +54,19 @@
 // in-flight jobs get up to -drain-timeout to finish, then the journal
 // is flushed and the process exits. SIGQUIT dumps the flight recorder
 // to stderr without stopping the daemon.
+//
+// -tenants points at a JSON object mapping tenant names to {"weight",
+// "max_queued", "rate_per_sec", "burst"}: the queue is served
+// weighted-fair over estimated modeled cost (start-time fair queueing),
+// so a weight-3 tenant gets 3x the service of a weight-1 tenant under
+// saturation while an idle queue serves everyone immediately. Unlisted
+// tenants (and jobs submitted without a tenant) run under "default".
+//
+// Sustained queue-wait pressure engages the brownout ladder: level 1
+// sheds queued jobs from tenants over their fair share of the queue,
+// level 2 additionally forces Degrade on new jobs (they take the cheap
+// CPU path). Both transitions appear in the flight recorder as
+// brownout_begin/brownout_end and on /metrics as gpmetisd_brownout_*.
 //
 // -journal makes the daemon durable: every accepted job and its outcome
 // is fsynced to the given JSONL file, and a restarted daemon replays it
@@ -108,6 +131,12 @@ func main() {
 	sloSlowWindow := flag.Duration("slo-slow-window", time.Hour, "slow burn-rate window")
 	eventBuf := flag.Int("events", 256, "lifecycle flight-recorder capacity (recent events retained)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address (empty = off)")
+	tenantsFile := flag.String("tenants", "", "JSON file of per-tenant weights, queue quotas, and rate limits")
+	brownoutWait := flag.Duration("brownout-wait", 500*time.Millisecond, "queue-wait threshold feeding the brownout ladder")
+	brownoutTarget := flag.Float64("brownout-target", 0.9, "fraction of dequeues that must wait less than -brownout-wait")
+	brownoutFast := flag.Duration("brownout-fast-window", 15*time.Second, "brownout fast burn-rate window")
+	brownoutSlow := flag.Duration("brownout-slow-window", 90*time.Second, "brownout slow burn-rate window")
+	brownoutOff := flag.Bool("brownout-off", false, "disable brownout shedding and auto-degrade entirely")
 	flag.Parse()
 
 	level, err := obs.ParseLogLevel(*logLevel)
@@ -121,6 +150,15 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, *logFormat, level)
 
+	var tenants server.TenantsConfig
+	if *tenantsFile != "" {
+		tenants, err = server.LoadTenantsFile(*tenantsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmetisd:", err)
+			os.Exit(2)
+		}
+	}
+
 	s := server.New(server.Config{
 		Devices:             *devices,
 		QueueCap:            *queueCap,
@@ -133,6 +171,14 @@ func main() {
 		QuarantineBackoff:   *qBackoff,
 		Logger:              logger,
 		EventBuffer:         *eventBuf,
+		Tenants:             tenants,
+		Brownout: server.BrownoutConfig{
+			QueueWait:  *brownoutWait,
+			Target:     *brownoutTarget,
+			FastWindow: *brownoutFast,
+			SlowWindow: *brownoutSlow,
+			Disable:    *brownoutOff,
+		},
 		SLO: obs.SLOConfig{
 			LatencyThreshold:   *sloLatency,
 			LatencyTarget:      *sloLatencyTarget,

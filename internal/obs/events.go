@@ -27,6 +27,13 @@ const (
 	EvQuarantine    = "quarantine"
 	EvReinstate     = "reinstate"
 	EvRecovered     = "recovered"
+	// Overload-control events: the brownout ladder engaging (level > 0)
+	// and fully disengaging, a queued job shed by the ladder, and a queued
+	// job whose deadline expired eagerly before any worker popped it.
+	EvBrownoutBegin = "brownout_begin"
+	EvBrownoutEnd   = "brownout_end"
+	EvShed          = "shed"
+	EvQueueExpired  = "queue_expired"
 )
 
 // Event is one lifecycle record in the flight recorder: what happened,

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"math/bits"
+	"sync"
+
+	"gpmetis"
+)
+
+// estAlpha is the EWMA smoothing factor: a new observation moves the
+// estimate 30% of the way, so the estimator tracks drift without being
+// whipsawed by one outlier.
+const estAlpha = 0.3
+
+// Cold-start priors, used until a (algorithm, size-bucket) cell has seen
+// a completion. Deliberately optimistic: admission control must not
+// reject deadlines it has no evidence against.
+const (
+	defaultWallEstimate    = 0.05 // seconds of wall clock per job
+	defaultModeledEstimate = 0.01 // modeled GPU seconds per job
+)
+
+// estimate is one cell's current view of a job's cost, in both
+// currencies the server needs: wall seconds drive deadline admission and
+// Retry-After; modeled seconds are the fair queue's service currency.
+type estimate struct {
+	wall    float64
+	modeled float64
+}
+
+type estKey struct {
+	algo   gpmetis.Algorithm
+	bucket int
+}
+
+// estimator keeps an EWMA of observed job cost per (algorithm,
+// log2-vertex-count bucket). Buckets are power-of-two sized, so a 40k
+// and a 60k vertex graph share a cell while 4k and 400k do not — coarse
+// enough to warm quickly, fine enough that mt-KaHIP-style long jobs
+// don't poison the estimate for small GNN subgraphs.
+type estimator struct {
+	mu sync.Mutex
+	m  map[estKey]estimate
+}
+
+func newEstimator() *estimator {
+	return &estimator{m: map[estKey]estimate{}}
+}
+
+// sizeBucket maps a vertex count to its log2 bucket.
+func sizeBucket(vertices int) int {
+	if vertices < 0 {
+		vertices = 0
+	}
+	return bits.Len(uint(vertices))
+}
+
+// observe folds one completed run into the matching cell. Callers feed
+// only genuine runs: cache hits and coalesced followers cost nothing and
+// would drag the estimate toward zero.
+func (e *estimator) observe(algo gpmetis.Algorithm, vertices int, wallSeconds, modeledSeconds float64) {
+	if wallSeconds < 0 || modeledSeconds < 0 {
+		return
+	}
+	key := estKey{algo: algo, bucket: sizeBucket(vertices)}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, ok := e.m[key]
+	if !ok {
+		e.m[key] = estimate{wall: wallSeconds, modeled: modeledSeconds}
+		return
+	}
+	cur.wall += estAlpha * (wallSeconds - cur.wall)
+	cur.modeled += estAlpha * (modeledSeconds - cur.modeled)
+	e.m[key] = cur
+}
+
+// lookup returns the cell's estimate and whether it has any evidence.
+func (e *estimator) lookup(algo gpmetis.Algorithm, vertices int) (estimate, bool) {
+	key := estKey{algo: algo, bucket: sizeBucket(vertices)}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	est, ok := e.m[key]
+	return est, ok
+}
+
+// costs returns the best available estimate, falling back to the
+// cold-start priors so every queued job carries a nonzero cost tag.
+func (e *estimator) costs(algo gpmetis.Algorithm, vertices int) estimate {
+	if est, ok := e.lookup(algo, vertices); ok {
+		return est
+	}
+	return estimate{wall: defaultWallEstimate, modeled: defaultModeledEstimate}
+}

@@ -109,6 +109,7 @@ func (s *Server) observeTerminal(j *Job) {
 	switch st.State {
 	case StateDone:
 		s.slo.Record(time.Duration(total*float64(time.Second)), false)
+		j.tenant.addCompleted()
 		detail := ""
 		if st.Result != nil {
 			detail = fmt.Sprintf("cut=%d modeled=%.6fs", st.Result.EdgeCut, st.Result.ModeledSeconds)

@@ -1,0 +1,671 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpmetis"
+	"gpmetis/internal/obs"
+)
+
+// submitBody marshals a SubmitRequest for a raw http.Post.
+func submitBody(t *testing.T, req SubmitRequest) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// fakeClock is an injectable wall clock for admission control (token
+// buckets, brownout windows).
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// countEvents tallies flight-recorder events by type.
+func countEvents(s *Server, typ string) int {
+	n := 0
+	for _, e := range s.events.Snapshot() {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWeightedFairDequeueOrder is the fairness property test: two
+// tenants weighted 3:1 submit identical-cost work into a saturated
+// queue, and the dequeue order must serve them in that proportion.
+// With equal per-job modeled cost the SFQ schedule is deterministic,
+// so of the first 20 dequeues exactly 15 should be the weight-3
+// tenant's — the ±1 tolerance keeps the assertion within the ±10%
+// fairness objective without pinning heap tie-breaking forever.
+func TestWeightedFairDequeueOrder(t *testing.T) {
+	s := New(Config{
+		Devices: 1, QueueCap: 64, CacheCap: 8,
+		Tenants:  TenantsConfig{"paid": {Weight: 3}, "free": {Weight: 1}},
+		Brownout: BrownoutConfig{Disable: true},
+	})
+	defer s.Close()
+
+	release := make(chan struct{})
+	var gate sync.Once
+	var mu sync.Mutex
+	var order []string
+	s.beforeRun = func(j *Job) {
+		if j.tenant.name != DefaultTenant {
+			mu.Lock()
+			order = append(order, j.tenant.name)
+			mu.Unlock()
+		}
+		gate.Do(func() { <-release }) // hold the first popped job only
+	}
+
+	g, err := gpmetis.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+
+	// The blocker occupies the only worker so the 40 tenant jobs all tag
+	// and queue before any of them is popped: pure saturation.
+	blocker, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 99, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForDepthDrain(t, s, 0)
+
+	var jobs []*Job
+	for i := 0; i < 20; i++ {
+		for _, tenant := range []string{"paid", "free"} {
+			j, err := s.Submit(&SubmitRequest{
+				Graph: text, K: 4, Seed: int64(100 + len(jobs)), NoCache: true, Tenant: tenant,
+			})
+			if err != nil {
+				t.Fatalf("submit %s #%d: %v", tenant, i, err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+
+	close(release)
+	<-blocker.Done()
+	for _, j := range jobs {
+		<-j.Done()
+		if st := j.Status(); st.State != StateDone {
+			t.Fatalf("job %s (%s): %s (%s)", st.ID, st.Tenant, st.State, st.Error)
+		}
+	}
+
+	mu.Lock()
+	first := append([]string(nil), order[:20]...)
+	mu.Unlock()
+	paid := 0
+	for _, name := range first {
+		if name == "paid" {
+			paid++
+		}
+	}
+	// 3:1 over 20 slots is 15/5; ±1 keeps us inside the ±10% objective.
+	if paid < 14 || paid > 16 {
+		t.Errorf("first 20 dequeues served paid %d times, want 15±1 (3:1 weighted fairness); order=%v", paid, first)
+	}
+
+	// The per-tenant accounting must agree: both tenants completed all
+	// their jobs, and the served modeled seconds are tracked. Completion
+	// counters are closed by the async watch goroutines, so poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, ts := range s.tenants.snapshot(s.fq.queuedOf) {
+			if ts.Name != DefaultTenant && ts.Completed != 20 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant completion counters never reached 20: %+v", s.tenants.snapshot(s.fq.queuedOf))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, ts := range s.tenants.snapshot(s.fq.queuedOf) {
+		if ts.Name != DefaultTenant && ts.ServedModeledSeconds <= 0 {
+			t.Errorf("tenant %s served %v modeled seconds, want > 0", ts.Name, ts.ServedModeledSeconds)
+		}
+	}
+}
+
+// TestOverloadShedsOnlyOverShareTenant is the overload e2e: with the
+// brownout ladder engaged, a burst that overfills the queue must shed
+// only the tenant holding more than its fair share, the in-share
+// tenant's jobs must all complete, and the brownout transitions must
+// appear as paired begin/end flight-recorder events.
+func TestOverloadShedsOnlyOverShareTenant(t *testing.T) {
+	clock := newFakeClock()
+	s := New(Config{
+		Devices: 1, QueueCap: 8, CacheCap: 8,
+		Tenants: TenantsConfig{"paid": {Weight: 3}, "free": {Weight: 1}},
+		// A 1ns queue-wait objective makes every real dequeue a violation,
+		// so three warmup dequeues deterministically arm the ladder.
+		Brownout: BrownoutConfig{QueueWait: time.Nanosecond, MinSamples: 3},
+		Now:      clock.Now,
+	})
+	defer s.Close()
+
+	var gateOn atomic.Bool
+	release := make(chan struct{})
+	var gate sync.Once
+	s.beforeRun = func(*Job) {
+		if gateOn.Load() {
+			gate.Do(func() { <-release })
+		}
+	}
+
+	g, err := gpmetis.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+
+	// Three warmup dequeues put three queue-wait violations in the fast
+	// window; the third dequeue's tick escalates the ladder to degrade.
+	for i := int64(0); i < 3; i++ {
+		j, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 200 + i, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.Done()
+	}
+	if lvl := s.brown.Level(); lvl != brownoutDegrade {
+		t.Fatalf("brownout level %d after warmup, want %d", lvl, brownoutDegrade)
+	}
+	if countEvents(s, obs.EvBrownoutBegin) == 0 {
+		t.Error("no brownout_begin event after the ladder engaged")
+	}
+
+	// Saturate: hold the worker, then burst 6 free-tenant jobs and 2
+	// paid. At the tick after the first paid submission the queue holds
+	// both tenants, so free's share is cap*1/4 = 2 and its 4 over-share
+	// jobs are shed; paid (share 6) is untouched.
+	gateOn.Store(true)
+	blocker, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 300, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForDepthDrain(t, s, 0)
+
+	var free, paid []*Job
+	for i := int64(0); i < 6; i++ {
+		j, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 400 + i, NoCache: true, Tenant: "free"})
+		if err != nil {
+			t.Fatalf("free #%d: %v", i, err)
+		}
+		free = append(free, j)
+	}
+	for i := int64(0); i < 2; i++ {
+		j, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 500 + i, NoCache: true, Tenant: "paid"})
+		if err != nil {
+			t.Fatalf("paid #%d: %v", i, err)
+		}
+		paid = append(paid, j)
+	}
+
+	shed := 0
+	for _, j := range free {
+		if st := j.Status(); st.State == StateFailed {
+			shed++
+			if !strings.HasPrefix(st.Error, "shed") {
+				t.Errorf("shed job %s error %q, want a shed: message", st.ID, st.Error)
+			}
+		}
+	}
+	if shed != 4 {
+		t.Errorf("%d free jobs shed, want 4 (6 queued, share 2)", shed)
+	}
+	for _, j := range paid {
+		if st := j.Status(); st.State == StateFailed {
+			t.Errorf("in-share paid job %s was shed: %s", st.ID, st.Error)
+		}
+		// Level 2 was active at submission: the degrade flip must be
+		// recorded on the job.
+		if st := j.Status(); !st.AutoDegraded {
+			t.Errorf("paid job %s not marked auto_degraded under brownout level 2", st.ID)
+		}
+	}
+
+	// Drain: every surviving job completes — shedding must only have
+	// touched the over-share tail.
+	close(release)
+	<-blocker.Done()
+	for _, j := range paid {
+		<-j.Done()
+		if st := j.Status(); st.State != StateDone {
+			t.Errorf("paid job %s: %s (%s), want done", st.ID, st.State, st.Error)
+		}
+	}
+	for _, j := range free {
+		<-j.Done()
+		if st := j.Status(); st.State != StateDone && st.State != StateFailed {
+			t.Errorf("free job %s: %s, want done or shed", st.ID, st.State)
+		}
+	}
+
+	if m := s.reg.Get("jobs.shed"); m != 4 {
+		t.Errorf("jobs.shed = %v, want 4", m)
+	}
+	for _, ts := range s.tenants.snapshot(s.fq.queuedOf) {
+		switch ts.Name {
+		case "free":
+			if ts.Shed != 4 {
+				t.Errorf("free tenant shed = %d, want 4", ts.Shed)
+			}
+		case "paid":
+			if ts.Shed != 0 {
+				t.Errorf("paid tenant shed = %d, want 0", ts.Shed)
+			}
+		}
+	}
+
+	// Recovery: step the clock past both burn windows so they empty, and
+	// the next tick must disengage the ladder with a paired end event.
+	clock.Advance(10 * time.Minute)
+	last, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 600, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-last.Done()
+	if lvl := s.brown.Level(); lvl != brownoutOff {
+		t.Errorf("brownout level %d after the windows cleared, want 0", lvl)
+	}
+	begins, ends := countEvents(s, obs.EvBrownoutBegin), countEvents(s, obs.EvBrownoutEnd)
+	if begins == 0 || begins != ends {
+		t.Errorf("brownout events not paired: %d begin, %d end", begins, ends)
+	}
+}
+
+// TestQueuedDeadlineExpiresEagerly: a queued job whose deadline passes
+// must fail at expiry time — freeing its queue slot — not when a worker
+// eventually pops it.
+func TestQueuedDeadlineExpiresEagerly(t *testing.T) {
+	s := New(Config{Devices: 1, QueueCap: 4, CacheCap: 8, Brownout: BrownoutConfig{Disable: true}})
+	defer s.Close()
+	release := make(chan struct{})
+	var gate sync.Once
+	s.beforeRun = func(*Job) { gate.Do(func() { <-release }) }
+
+	g, err := gpmetis.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+	blocker, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 1, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForDepthDrain(t, s, 0)
+
+	doomed, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 2, NoCache: true, DeadlineMs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The worker stays held: only the eager expiry can finish the job.
+	select {
+	case <-doomed.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued job did not expire eagerly; it waited for a worker pop")
+	}
+	if st := doomed.Status(); st.State != StateFailed {
+		t.Errorf("expired job state %s (%s), want failed", st.State, st.Error)
+	}
+	if depth := s.fq.Len(); depth != 0 {
+		t.Errorf("queue depth %d after eager expiry, want 0 (slot must free at expiry time)", depth)
+	}
+	if d := s.reg.Get("queue.depth"); d != 0 {
+		t.Errorf("queue.depth gauge %v, want 0", d)
+	}
+	if countEvents(s, obs.EvQueueExpired) != 1 {
+		t.Error("no queue_expired lifecycle event recorded")
+	}
+
+	close(release)
+	<-blocker.Done()
+	if st := blocker.Status(); st.State != StateDone {
+		t.Errorf("blocker state %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// TestDynamicRetryAfter: the 429 Retry-After must be derived from the
+// queued work's estimated wall seconds over the device count, and the
+// draining 503 must carry the same live hint.
+func TestDynamicRetryAfter(t *testing.T) {
+	s := New(Config{Devices: 1, QueueCap: 2, CacheCap: 8, Brownout: BrownoutConfig{Disable: true}})
+	defer s.Close()
+	release := make(chan struct{})
+	var gate sync.Once
+	s.beforeRun = func(*Job) { gate.Do(func() { <-release }) }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := gpmetis.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+	// Teach the estimator that this (algo, size) cell costs 3 wall
+	// seconds, so two queued jobs put 6s of work ahead of a rejection.
+	s.est.observe(gpmetis.GPMetis, g.NumVertices(), 3.0, 0.01)
+
+	if _, apiErr, _ := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 1, NoCache: true}); apiErr != nil {
+		t.Fatal(apiErr.Error)
+	}
+	waitForDepthDrain(t, s, 0)
+	for i := int64(2); i <= 3; i++ {
+		if _, apiErr, _ := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: i, NoCache: true}); apiErr != nil {
+			t.Fatalf("job %d should queue: %s", i, apiErr.Error)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		submitBody(t, SubmitRequest{Graph: text, K: 4, Seed: 4, NoCache: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "6" {
+		t.Errorf("Retry-After = %q, want \"6\" (2 queued jobs x 3s estimate / 1 device)", ra)
+	}
+
+	// The draining 503 derives its hint from the same live estimate.
+	s.StartDrain()
+	resp, err = http.Post(ts.URL+"/jobs", "application/json",
+		submitBody(t, SubmitRequest{Graph: text, K: 4, Seed: 5, NoCache: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d while draining, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "6" {
+		t.Errorf("draining Retry-After = %q, want \"6\"", ra)
+	}
+
+	close(release)
+}
+
+// TestDeadlineUnmeetableRejection: once the estimator has evidence, a
+// deadline the queued work cannot meet is rejected up front with the
+// typed code instead of burning a queue slot and failing later.
+func TestDeadlineUnmeetableRejection(t *testing.T) {
+	s := New(Config{Devices: 1, QueueCap: 4, CacheCap: 8, Brownout: BrownoutConfig{Disable: true}})
+	defer s.Close()
+	release := make(chan struct{})
+	var gate sync.Once
+	s.beforeRun = func(*Job) { gate.Do(func() { <-release }) }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := gpmetis.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+	s.est.observe(gpmetis.GPMetis, g.NumVertices(), 3.0, 0.01)
+
+	if _, apiErr, _ := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 1, NoCache: true}); apiErr != nil {
+		t.Fatal(apiErr.Error)
+	}
+	waitForDepthDrain(t, s, 0)
+	if _, apiErr, _ := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 2, NoCache: true}); apiErr != nil {
+		t.Fatal(apiErr.Error)
+	}
+
+	// Need ~6s (3s queued + 3s own); a 1s deadline is unmeetable.
+	_, apiErr, code := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 3, NoCache: true, DeadlineMs: 1000})
+	if apiErr == nil {
+		t.Fatal("unmeetable deadline accepted; want 429")
+	}
+	if code != http.StatusTooManyRequests || apiErr.Code != CodeDeadlineUnmeetable {
+		t.Errorf("got HTTP %d code %q, want 429 %q", code, apiErr.Code, CodeDeadlineUnmeetable)
+	}
+
+	// The direct API reports the same typed code.
+	_, err = s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 4, NoCache: true, DeadlineMs: 1000})
+	if OverloadCode(err) != CodeDeadlineUnmeetable {
+		t.Errorf("direct Submit: OverloadCode = %q (%v), want %q", OverloadCode(err), err, CodeDeadlineUnmeetable)
+	}
+
+	// A generous deadline clears admission with the same queue state.
+	meets, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 5, NoCache: true, DeadlineMs: 60000})
+	if err != nil {
+		t.Fatalf("meetable deadline rejected: %v", err)
+	}
+
+	if m := s.reg.Get("jobs.rejected_deadline"); m != 2 {
+		t.Errorf("jobs.rejected_deadline = %v, want 2", m)
+	}
+	close(release)
+	<-meets.Done()
+	if st := meets.Status(); st.State != StateDone {
+		t.Errorf("meetable-deadline job %s: %s (%s), want done", st.ID, st.State, st.Error)
+	}
+}
+
+// TestTenantRateLimit: a tenant with a 1/s token bucket gets one job
+// through, a typed rate_limited rejection immediately after, and
+// another admission once the bucket refills on the injected clock.
+func TestTenantRateLimit(t *testing.T) {
+	clock := newFakeClock()
+	s := New(Config{
+		Devices: 1, QueueCap: 8, CacheCap: 8,
+		Tenants:  TenantsConfig{"rl": {RatePerSec: 1, Burst: 1}},
+		Brownout: BrownoutConfig{Disable: true},
+		Now:      clock.Now,
+	})
+	defer s.Close()
+
+	g, err := gpmetis.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+	req := func(seed int64) *SubmitRequest {
+		return &SubmitRequest{Graph: text, K: 4, Seed: seed, NoCache: true, Tenant: "rl"}
+	}
+
+	first, err := s.Submit(req(1))
+	if err != nil {
+		t.Fatalf("first submission should spend the burst token: %v", err)
+	}
+	_, err = s.Submit(req(2))
+	if OverloadCode(err) != CodeRateLimited {
+		t.Fatalf("second submission: OverloadCode = %q (%v), want %q", OverloadCode(err), err, CodeRateLimited)
+	}
+	if m := s.reg.Get("jobs.rejected_ratelimit"); m != 1 {
+		t.Errorf("jobs.rejected_ratelimit = %v, want 1", m)
+	}
+
+	clock.Advance(1500 * time.Millisecond)
+	third, err := s.Submit(req(3))
+	if err != nil {
+		t.Fatalf("submission after refill rejected: %v", err)
+	}
+	<-first.Done()
+	<-third.Done()
+}
+
+// TestTenantQuota: a tenant with max_queued 1 holds one queue slot;
+// its second submission gets the typed tenant_quota rejection while
+// other tenants keep queueing.
+func TestTenantQuota(t *testing.T) {
+	s := New(Config{
+		Devices: 1, QueueCap: 8, CacheCap: 8,
+		Tenants:  TenantsConfig{"capped": {MaxQueued: 1}},
+		Brownout: BrownoutConfig{Disable: true},
+	})
+	defer s.Close()
+	release := make(chan struct{})
+	var gate sync.Once
+	s.beforeRun = func(*Job) { gate.Do(func() { <-release }) }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := gpmetis.Grid2D(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+
+	if _, apiErr, _ := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 1, NoCache: true}); apiErr != nil {
+		t.Fatal(apiErr.Error)
+	}
+	waitForDepthDrain(t, s, 0)
+
+	if _, apiErr, _ := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 2, NoCache: true, Tenant: "capped"}); apiErr != nil {
+		t.Fatalf("first capped job should queue: %s", apiErr.Error)
+	}
+	_, apiErr, code := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 3, NoCache: true, Tenant: "capped"})
+	if apiErr == nil {
+		t.Fatal("over-quota submission accepted; want 429")
+	}
+	if code != http.StatusTooManyRequests || apiErr.Code != CodeTenantQuota {
+		t.Errorf("got HTTP %d code %q, want 429 %q", code, apiErr.Code, CodeTenantQuota)
+	}
+
+	// The quota is per-tenant: the default tenant still queues.
+	if _, apiErr, _ := httpSubmit(t, ts.URL, SubmitRequest{Graph: text, K: 4, Seed: 4, NoCache: true}); apiErr != nil {
+		t.Errorf("default tenant blocked by another tenant's quota: %s", apiErr.Error)
+	}
+	if m := s.reg.Get("jobs.rejected_quota"); m != 1 {
+		t.Errorf("jobs.rejected_quota = %v, want 1", m)
+	}
+	close(release)
+}
+
+// TestEstimatorEWMA pins the estimator's cell math: seeding, smoothing,
+// bucket sharing, and the cold-start priors.
+func TestEstimatorEWMA(t *testing.T) {
+	e := newEstimator()
+	if _, ok := e.lookup(gpmetis.GPMetis, 40000); ok {
+		t.Error("cold estimator claims evidence")
+	}
+	if c := e.costs(gpmetis.GPMetis, 40000); c.wall != defaultWallEstimate || c.modeled != defaultModeledEstimate {
+		t.Errorf("cold costs = %+v, want priors", c)
+	}
+
+	e.observe(gpmetis.GPMetis, 40000, 2.0, 0.5)
+	if c := e.costs(gpmetis.GPMetis, 40000); c.wall != 2.0 || c.modeled != 0.5 {
+		t.Errorf("first observation must seed the cell directly, got %+v", c)
+	}
+	// 40k and 60k vertices share the log2 bucket (2^15..2^16).
+	if _, ok := e.lookup(gpmetis.GPMetis, 60000); !ok {
+		t.Error("60k vertices should share the 40k bucket")
+	}
+	// 4k vertices and other algorithms do not.
+	if _, ok := e.lookup(gpmetis.GPMetis, 4000); ok {
+		t.Error("4k vertices must not share the 40k bucket")
+	}
+	if _, ok := e.lookup(gpmetis.Metis, 40000); ok {
+		t.Error("cells must be per-algorithm")
+	}
+
+	e.observe(gpmetis.GPMetis, 40000, 4.0, 1.5)
+	c := e.costs(gpmetis.GPMetis, 40000)
+	wantWall := 2.0 + estAlpha*(4.0-2.0)
+	wantModeled := 0.5 + estAlpha*(1.5-0.5)
+	if c.wall != wantWall || c.modeled != wantModeled {
+		t.Errorf("EWMA step = %+v, want wall %v modeled %v", c, wantWall, wantModeled)
+	}
+
+	e.observe(gpmetis.GPMetis, 40000, -1, 0.1) // negatives are dropped
+	if got := e.costs(gpmetis.GPMetis, 40000); got != c {
+		t.Errorf("negative observation mutated the cell: %+v", got)
+	}
+}
+
+// TestFairQueueOrdering pins the SFQ schedule at the queue level: a
+// weight-2 tenant's equal-cost jobs dequeue twice as often, ties break
+// by arrival, and Remove keeps the accounting straight.
+func TestFairQueueOrdering(t *testing.T) {
+	q := newFairQueue(16)
+	ta := &tenantState{name: "a", cfg: TenantConfig{Weight: 2}.withDefaults()}
+	tb := &tenantState{name: "b", cfg: TenantConfig{Weight: 1}.withDefaults()}
+
+	mk := func(ts *tenantState) *Job {
+		j := &Job{tenant: ts, estModeled: 1.0, estWall: 2.0}
+		if err := q.Push(j, true); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	// Interleaved arrivals: a1 b1 a2 b2 a3 b3.
+	a1, b1 := mk(ta), mk(tb)
+	a2, b2 := mk(ta), mk(tb)
+	a3, b3 := mk(ta), mk(tb)
+
+	if depth, wall := q.stats(); depth != 6 || wall != 12.0 {
+		t.Errorf("stats = (%d, %v), want (6, 12)", depth, wall)
+	}
+
+	// Finish tags: a at 0.5, 1.0, 1.5; b at 1, 2, 3. The tie at 1.0
+	// breaks by arrival (b1 before a2).
+	want := []*Job{a1, b1, a2, a3, b2, b3}
+	for i, w := range want {
+		if got := q.Pop(); got != w {
+			t.Fatalf("pop %d: got tenant %s, want tenant %s", i, got.tenant.name, w.tenant.name)
+		}
+	}
+	if ta.queued != 0 || tb.queued != 0 {
+		t.Errorf("queued counts after drain: a=%d b=%d, want 0/0", ta.queued, tb.queued)
+	}
+
+	// Remove pulls a specific job and fixes the books; a second Remove
+	// reports the job gone.
+	x := mk(ta)
+	y := mk(tb)
+	if !q.Remove(x) {
+		t.Fatal("Remove(x) = false for a queued job")
+	}
+	if q.Remove(x) {
+		t.Fatal("Remove(x) = true twice")
+	}
+	if depth, wall := q.stats(); depth != 1 || wall != 2.0 {
+		t.Errorf("stats after remove = (%d, %v), want (1, 2)", depth, wall)
+	}
+	if got := q.Pop(); got != y {
+		t.Error("Pop after Remove returned the removed job")
+	}
+}

@@ -137,6 +137,9 @@ func (s *Server) readmit(id string, f *foldedJob, readmitted, resumed *int) {
 	}
 	job.ID = id
 	job.recovered = true
+	job.tenant = s.tenants.state(f.req.Tenant)
+	est := s.est.costs(job.algo, job.g.NumVertices())
+	job.estWall, job.estModeled = est.wall, est.modeled
 	// A recovered job gets a fresh trace ID (the journal does not record
 	// them) and a lifecycle clock restarting at recovery, mirroring the
 	// deadline decision below.
@@ -198,10 +201,9 @@ func (s *Server) readmit(id string, f *foldedJob, readmitted, resumed *int) {
 	}
 
 	job.queuedAt = time.Now()
-	select {
-	case s.queue <- job:
-		s.reg.Add("queue.depth", 1)
-	default:
+	// Quota does not apply to re-admission: these jobs were accepted once
+	// and admission-before-work says accepted jobs cannot be lost.
+	if err := s.fq.Push(job, false); err != nil {
 		s.mu.Lock()
 		if job.key != "" && s.inflight[job.key] == job {
 			delete(s.inflight, job.key)
@@ -210,10 +212,12 @@ func (s *Server) readmit(id string, f *foldedJob, readmitted, resumed *int) {
 		s.indexRecovered(terminalJob(id, StateFailed, nil, "queue full at recovery"))
 		return
 	}
+	s.reg.Add("queue.depth", 1)
 	s.indexRecovered(job)
 	s.reg.Add("jobs.readmitted", 1)
 	*readmitted++
 	s.spawnWatch(job)
+	s.watchQueued(job)
 }
 
 // indexRecovered inserts a journal-reconstructed job under its original

@@ -68,8 +68,16 @@ func (p *pool) slotOccupancy() []string {
 	return append([]string(nil), p.slotRunning...)
 }
 
-// start launches the workers; they exit when ctx is canceled.
+// start launches the workers; they exit when ctx is canceled. The fair
+// queue cannot select on a context, so a watcher goroutine closes it on
+// cancellation, waking every blocked Pop.
 func (p *pool) start(ctx context.Context) {
+	p.s.wg.Add(1)
+	go func() {
+		defer p.s.wg.Done()
+		<-ctx.Done()
+		p.s.fq.Close()
+	}()
 	for i := range p.machines {
 		p.s.wg.Add(1)
 		go func(slot int) {
@@ -96,11 +104,9 @@ func (p *pool) worker(ctx context.Context, slot int) {
 			p.probe(slot)
 			continue
 		}
-		var job *Job
-		select {
-		case <-ctx.Done():
-			return
-		case job = <-p.s.queue:
+		job := p.s.fq.Pop()
+		if job == nil {
+			return // queue closed: shutdown
 		}
 		p.s.reg.Add("queue.depth", -1)
 		if hook := p.s.beforeRun; hook != nil {
@@ -114,6 +120,8 @@ func (p *pool) worker(ctx context.Context, slot int) {
 		wait := pop.Sub(job.queuedAt).Seconds()
 		p.s.reg.Add("queue.wait_seconds", wait)
 		p.s.reg.Observe("job.queue_seconds", wait)
+		p.s.brown.observeWait(pop.Sub(job.queuedAt))
+		p.s.brownoutTick()
 		job.addLifeSpan(lifeQueueWait, job.queuedAt, pop, nil)
 		job.markRunning(slot, wait)
 		p.s.event(obs.EvScheduled, job, slot, "")
@@ -140,6 +148,13 @@ func (p *pool) worker(ctx context.Context, slot int) {
 		p.slotJobs[slot]++
 		p.slotRunning[slot] = ""
 		p.statMu.Unlock()
+		// Feed the service-time estimator and the tenant's served-cost
+		// account from genuine completed runs only: cache hits and
+		// coalesced followers cost nothing and would drag the EWMA to 0.
+		if st := job.Status(); st.State == StateDone && st.Result != nil {
+			p.s.est.observe(job.algo, job.g.NumVertices(), ran, st.Result.ModeledSeconds)
+			job.tenant.addServed(st.Result.ModeledSeconds)
+		}
 	}
 }
 

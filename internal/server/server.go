@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"runtime"
@@ -75,6 +76,18 @@ type Config struct {
 	// EventBuffer sizes the lifecycle flight recorder: how many recent
 	// events GET /admin/events retains (default 256).
 	EventBuffer int
+	// Tenants configures multi-tenant admission: per-tenant weight,
+	// max-queued quota, and token-bucket rate limits. Nil means every
+	// tenant runs under the built-in default contract (weight 1, no
+	// quota, no rate limit). See LoadTenantsFile for the JSON form.
+	Tenants TenantsConfig
+	// Brownout tunes the overload ladder (queue-wait burn windows, shed
+	// and degrade thresholds); zero fields take the BrownoutConfig
+	// defaults. Set Brownout.Disable to pin the ladder off.
+	Brownout BrownoutConfig
+	// Now is the wall clock behind admission control (token buckets, the
+	// brownout windows); nil means time.Now. Injectable for tests.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.EventBuffer == 0 {
 		c.EventBuffer = 256
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
@@ -122,9 +138,16 @@ type Server struct {
 	cfg     Config
 	reg     *obs.Registry
 	cache   *Cache
-	queue   chan *Job
+	fq      *fairQueue
+	tenants *tenantTable
+	est     *estimator
+	brown   *brownout
 	pool    *pool
 	journal *Journal
+
+	// brownMu serializes brownout level transitions and shed passes so
+	// the begin/end events pair up and victims are shed exactly once.
+	brownMu sync.Mutex
 
 	log      *slog.Logger
 	slo      *obs.SLO
@@ -159,18 +182,24 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		reg:      &obs.Registry{},
 		cache:    NewCache(cfg.CacheCap),
-		queue:    make(chan *Job, cfg.QueueCap),
+		fq:       newFairQueue(cfg.QueueCap),
+		tenants:  newTenantTable(cfg.Tenants),
+		est:      newEstimator(),
 		jobs:     map[string]*Job{},
 		inflight: map[string]*Job{},
 		start:    time.Now(),
 	}
 	s.log = cfg.Logger
 	s.slo = obs.NewSLO(cfg.SLO)
+	s.brown = newBrownout(cfg.Brownout, cfg.Now)
 	s.events = obs.NewEventRing(cfg.EventBuffer)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.reg.Set("devices.total", float64(cfg.Devices))
 	s.reg.Set("queue.cap", float64(cfg.QueueCap))
 	s.reg.Set("draining", 0)
+	// Brownout gauges exist from the first scrape, not the first overload.
+	s.reg.Set("brownout.level", 0)
+	s.reg.Set("brownout.active", 0)
 	// Declare the lifecycle latency histograms eagerly so their series
 	// exist in /metrics from the first scrape, not the first job.
 	for _, h := range []string{
@@ -318,22 +347,57 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // Submit validates req, consults the result cache and the in-flight
 // index, and either completes the job instantly (hit), attaches it to an
 // identical in-flight job (single-flight coalescing), or admits it to
-// the bounded queue. It returns ErrQueueFull when the queue is at
-// capacity, ErrDraining during graceful shutdown, and a *requestError
-// for invalid submissions.
+// the weighted-fair queue. It rejects with ErrQueueFull (wrapped in an
+// *overloadError carrying a dynamic Retry-After) at capacity, with
+// overload errors coded tenant_quota / rate_limited /
+// deadline_unmeetable when admission control refuses the tenant or the
+// deadline, with ErrDraining during graceful shutdown, and with a
+// *requestError for invalid submissions.
 func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	if s.draining.Load() {
 		s.reg.Add("jobs.rejected_draining", 1)
 		return nil, ErrDraining
 	}
 	t0 := time.Now()
+	// Brownout level 2: new work runs with the degrade ladder armed. The
+	// flip happens on the wire request before resolution so the cache
+	// key, the journal record, and the run all see the same options.
+	autoDegraded := false
+	if !req.Degrade && s.brown.Level() >= brownoutDegrade {
+		req.Degrade = true
+		autoDegraded = true
+	}
 	job, err := resolveRequest(req)
 	if err != nil {
 		s.reg.Add("jobs.bad_request", 1)
 		return nil, err
 	}
 	job.submittedAt = t0
+	job.tenant = s.tenants.state(req.Tenant)
+	job.autoDegraded = autoDegraded
+	if autoDegraded {
+		s.reg.Add("jobs.auto_degraded", 1)
+	}
+	job.tenant.addSubmitted()
 	s.reg.Add("jobs.submitted", 1)
+
+	// Token-bucket rate limit: the cheapest check runs first, before any
+	// cache or queue state is touched.
+	if ok, wait := job.tenant.allow(s.cfg.Now()); !ok {
+		job.tenant.addRejected()
+		s.reg.Add("jobs.rejected_ratelimit", 1)
+		s.event(obs.EvRejected, nil, -1, "rate limited: tenant "+job.tenant.name)
+		s.log.Warn("job rejected: tenant rate limited", "tenant", job.tenant.name)
+		retry := int(math.Ceil(wait.Seconds()))
+		if retry < 1 {
+			retry = 1
+		}
+		return nil, &overloadError{
+			code:       CodeRateLimited,
+			msg:        fmt.Sprintf("tenant %q rate limited (%g/s, burst %g)", job.tenant.name, job.tenant.cfg.RatePerSec, job.tenant.cfg.Burst),
+			retryAfter: retry,
+		}
+	}
 
 	deadline := time.Duration(req.DeadlineMs) * time.Millisecond
 	if deadline == 0 {
@@ -392,7 +456,7 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	}
 
 	// The ID must exist before a worker can pop the job (its running
-	// journal record carries it; the channel handoff orders the write),
+	// journal record carries it; the queue handoff orders the write),
 	// but the job is indexed only after the queue accepted it, so a
 	// rejected submission leaves no trace beyond the counter and a
 	// burned sequence number.
@@ -400,11 +464,7 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	s.assignIDLocked(job)
 	s.mu.Unlock()
 
-	job.queuedAt = time.Now()
-	select {
-	case s.queue <- job:
-		s.reg.Add("queue.depth", 1)
-	default:
+	unclaim := func() {
 		if claimed {
 			s.mu.Lock()
 			if s.inflight[job.key] == job {
@@ -412,22 +472,200 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 			}
 			s.mu.Unlock()
 		}
+	}
+
+	// Deadline-aware admission: once the estimator has evidence for this
+	// (algorithm, size-bucket) cell, a job whose deadline cannot cover
+	// the queued work ahead of it plus its own service time is rejected
+	// now, not failed after burning a queue slot. Cold cells admit
+	// optimistically.
+	est := s.est.costs(job.algo, job.g.NumVertices())
+	job.estWall, job.estModeled = est.wall, est.modeled
+	if deadline > 0 {
+		if known, ok := s.est.lookup(job.algo, job.g.NumVertices()); ok {
+			depth, queuedWall := s.fq.stats()
+			need := queuedWall/float64(s.cfg.Devices) + known.wall
+			if need > deadline.Seconds() {
+				unclaim()
+				job.tenant.addRejected()
+				s.reg.Add("jobs.rejected_deadline", 1)
+				detail := fmt.Sprintf("deadline unmeetable: need ~%.3fs (queue depth %d), deadline %s", need, depth, deadline)
+				s.event(obs.EvRejected, job, -1, detail)
+				s.jlog(job).Warn("job rejected: deadline unmeetable",
+					"estimated_seconds", need, "deadline", deadline.String(), "queue_depth", depth)
+				job.cancel()
+				return nil, &overloadError{
+					code:       CodeDeadlineUnmeetable,
+					msg:        detail,
+					retryAfter: s.retryAfterSeconds(),
+				}
+			}
+		}
+	}
+
+	job.queuedAt = time.Now()
+	if err := s.fq.Push(job, true); err != nil {
+		unclaim()
+		job.tenant.addRejected()
+		var qe *quotaError
+		if errors.As(err, &qe) {
+			s.reg.Add("jobs.rejected_quota", 1)
+			s.event(obs.EvRejected, job, -1, err.Error())
+			s.jlog(job).Warn("job rejected: tenant over quota",
+				"tenant", job.tenant.name, "max_queued", job.tenant.cfg.MaxQueued)
+			job.cancel()
+			return nil, &overloadError{
+				code:       CodeTenantQuota,
+				msg:        err.Error(),
+				retryAfter: s.retryAfterSeconds(),
+				wrapped:    err,
+			}
+		}
 		s.reg.Add("jobs.rejected", 1)
 		s.event(obs.EvRejected, job, -1, "queue full")
 		s.jlog(job).Warn("job rejected: queue full", "queue_cap", s.cfg.QueueCap)
 		job.cancel()
-		return nil, fmt.Errorf("%w: capacity %d", ErrQueueFull, s.cfg.QueueCap)
+		return nil, &overloadError{
+			code:       CodeOverloaded,
+			msg:        fmt.Sprintf("%v: capacity %d", ErrQueueFull, s.cfg.QueueCap),
+			retryAfter: s.retryAfterSeconds(),
+			wrapped:    ErrQueueFull,
+		}
 	}
+	s.reg.Add("queue.depth", 1)
 	s.mu.Lock()
 	s.indexLocked(job)
 	s.mu.Unlock()
 	job.addLifeSpan(lifeAdmit, t0, time.Now(), admitAttrs(job, "queued"))
 	s.event(obs.EvAdmit, job, -1, "queued")
 	s.jlog(job).Info("job admitted", "outcome", "queued", "k", job.k,
-		"vertices", job.g.NumVertices(), "queue_depth", len(s.queue))
+		"vertices", job.g.NumVertices(), "queue_depth", s.fq.Len(), "tenant", job.tenant.name)
 	s.journalSubmit(job)
 	s.spawnWatch(job)
+	s.watchQueued(job)
+	s.brownoutTick()
 	return job, nil
+}
+
+// retryAfterSeconds derives the Retry-After hint from live load: the
+// wall-second estimate of all queued work divided across the device
+// pool, floored at 1s and capped at 10 minutes.
+func (s *Server) retryAfterSeconds() int {
+	_, queuedWall := s.fq.stats()
+	secs := int(math.Ceil(queuedWall / float64(s.cfg.Devices)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// overloadError is an admission-control rejection the HTTP layer maps to
+// 429 with a machine-readable code and a load-derived Retry-After.
+// Queue-full rejections wrap ErrQueueFull so errors.Is keeps working for
+// direct API callers.
+type overloadError struct {
+	code       string
+	msg        string
+	retryAfter int
+	wrapped    error
+}
+
+func (e *overloadError) Error() string { return e.msg }
+func (e *overloadError) Unwrap() error { return e.wrapped }
+
+// OverloadCode returns the wire code of an admission-control rejection
+// ("overloaded", "tenant_quota", "rate_limited", "deadline_unmeetable"),
+// or "" when err is not an overload rejection.
+func OverloadCode(err error) string {
+	var oe *overloadError
+	if errors.As(err, &oe) {
+		return oe.code
+	}
+	return ""
+}
+
+// watchQueued enforces a queued job's deadline eagerly: if the job's
+// context dies while it still sits in the fair queue, the job is pulled
+// out and finished immediately — the queue slot frees at expiry time,
+// not at the next worker pop. Shutdown is the exception: queued jobs are
+// abandoned in place so the journal re-admits them on restart.
+func (s *Server) watchQueued(j *Job) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-j.Done():
+		case <-j.ctx.Done():
+			if s.baseCtx.Err() != nil {
+				return // shutting down; leave the job queued for replay
+			}
+			if !s.fq.Remove(j) {
+				return // a worker already popped it and owns the outcome
+			}
+			s.reg.Add("queue.depth", -1)
+			now := time.Now()
+			wait := now.Sub(j.queuedAt).Seconds()
+			s.reg.Observe("job.queue_seconds", wait)
+			j.addLifeSpan(lifeQueueWait, j.queuedAt, now, map[string]any{"expired": true})
+			s.pool.finishDead(j, j.ctx.Err())
+			s.event(obs.EvQueueExpired, j, -1, fmt.Sprintf("after %.3fs queued", wait))
+			s.jlog(j).Info("queued job expired eagerly", "wait_seconds", wait)
+		}
+	}()
+}
+
+// brownoutTick re-evaluates the overload ladder and applies its policy:
+// level transitions emit paired brownout_begin/brownout_end events, and
+// any level above off runs a shed pass over the queue. Ticks run at
+// every admission and every dequeue; brownMu serializes them so events
+// pair up and victims are shed exactly once.
+func (s *Server) brownoutTick() {
+	if s.brown.disabled {
+		return
+	}
+	s.brownMu.Lock()
+	defer s.brownMu.Unlock()
+	prev, level := s.brown.evaluate()
+	s.reg.Set("brownout.level", float64(level))
+	if level > brownoutOff {
+		s.reg.Set("brownout.active", 1)
+	} else {
+		s.reg.Set("brownout.active", 0)
+	}
+	switch {
+	case prev == brownoutOff && level > brownoutOff:
+		s.reg.Add("brownout.engaged", 1)
+		s.event(obs.EvBrownoutBegin, nil, -1, fmt.Sprintf("level %d", level))
+		s.log.Warn("brownout engaged: queue-wait burn over budget", "level", level)
+	case prev > brownoutOff && level == brownoutOff:
+		s.event(obs.EvBrownoutEnd, nil, -1, "")
+		s.log.Info("brownout ended: queue-wait burn back under budget")
+	case prev != level:
+		s.log.Info("brownout level changed", "from", prev, "to", level)
+	}
+	if level >= brownoutShed {
+		s.shedOverShare()
+	}
+}
+
+// shedOverShare shears queued work of tenants holding more than their
+// weighted fair share of the queue (see fairQueue.shedOverShare) and
+// fails the victims with a retryable shed error. In-quota tenants are
+// never shed — the ladder escalates to degrade instead.
+func (s *Server) shedOverShare() {
+	victims := s.fq.shedOverShare()
+	for _, j := range victims {
+		s.reg.Add("queue.depth", -1)
+		s.reg.Add("jobs.shed", 1)
+		s.reg.Add("jobs.failed", 1)
+		j.tenant.addShed()
+		j.finish(StateFailed, nil, "shed: brownout over-share shedding, resubmit later")
+		s.event(obs.EvShed, j, -1, "tenant "+j.tenant.name)
+		s.jlog(j).Warn("queued job shed by brownout", "tenant", j.tenant.name)
+	}
 }
 
 // admitAttrs builds the admit span's trace args.
@@ -484,11 +722,12 @@ func (s *Server) follow(j, leader *Job) {
 		}
 		s.inflight[j.key] = j
 		s.mu.Unlock()
+		est := s.est.costs(j.algo, j.g.NumVertices())
+		j.estWall, j.estModeled = est.wall, est.modeled
 		j.queuedAt = time.Now()
-		select {
-		case s.queue <- j:
-			s.reg.Add("queue.depth", 1)
-		default:
+		// The follower was already admitted once; quota does not apply to
+		// its takeover — accepted jobs cannot be lost to admission control.
+		if err := s.fq.Push(j, false); err != nil {
 			s.mu.Lock()
 			if s.inflight[j.key] == j {
 				delete(s.inflight, j.key)
@@ -496,7 +735,10 @@ func (s *Server) follow(j, leader *Job) {
 			s.mu.Unlock()
 			s.reg.Add("jobs.failed", 1)
 			j.finish(StateFailed, nil, "queue full after coalesced leader aborted")
+			return
 		}
+		s.reg.Add("queue.depth", 1)
+		s.watchQueued(j)
 		return
 	}
 }
@@ -624,6 +866,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.Submit(&req)
+	var oe *overloadError
 	switch {
 	case err == nil:
 		st := job.Status()
@@ -632,11 +875,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusOK // cache hit: born done
 		}
 		writeJSON(w, code, st)
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, CodeOverloaded, err.Error())
+	case errors.As(err, &oe):
+		// Every overload-class rejection (queue full, tenant quota, rate
+		// limit, unmeetable deadline) carries a Retry-After derived from
+		// live queue depth × estimated service time, not a constant.
+		w.Header().Set("Retry-After", strconv.Itoa(oe.retryAfter))
+		writeError(w, http.StatusTooManyRequests, oe.code, oe.msg)
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
@@ -780,8 +1026,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Value:  q,
 		})
 	}
+	extra = append(extra, s.tenantSamples()...)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePrometheus(w, s.reg, "gpmetisd_", extra)
+}
+
+// tenantSamples renders the per-tenant admission series, grouped by
+// metric name so each family shares one HELP/TYPE header.
+func (s *Server) tenantSamples() []obs.PromSample {
+	tenants := s.tenants.snapshot(s.fq.queuedOf)
+	var out []obs.PromSample
+	families := []struct {
+		name  string
+		help  string
+		value func(TenantStatus) float64
+	}{
+		{"tenant.weight", "Configured fair-share weight.", func(t TenantStatus) float64 { return t.Weight }},
+		{"tenant.queued", "Jobs currently held in the fair queue.", func(t TenantStatus) float64 { return float64(t.Queued) }},
+		{"tenant.submitted", "Jobs ever submitted.", func(t TenantStatus) float64 { return float64(t.Submitted) }},
+		{"tenant.completed", "Jobs that reached done.", func(t TenantStatus) float64 { return float64(t.Completed) }},
+		{"tenant.shed", "Queued jobs shed by the brownout ladder.", func(t TenantStatus) float64 { return float64(t.Shed) }},
+		{"tenant.rejected", "Submissions refused by admission control.", func(t TenantStatus) float64 { return float64(t.Rejected) }},
+		{"tenant.served_modeled_seconds", "Modeled GPU seconds served — the weighted-fairness currency.", func(t TenantStatus) float64 { return t.ServedModeledSeconds }},
+	}
+	for _, f := range families {
+		for i, t := range tenants {
+			smp := obs.PromSample{
+				Name:   f.name,
+				Labels: []obs.Label{{Key: "tenant", Value: t.Name}},
+				Value:  f.value(t),
+			}
+			if i == 0 {
+				smp.Help = f.help
+			}
+			out = append(out, smp)
+		}
+	}
+	return out
 }
 
 // handleMetricsJSON serves the flat JSON registry snapshot that /metrics
@@ -817,7 +1098,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := HealthResponse{
 		Status:         status,
 		Devices:        s.cfg.Devices,
-		QueueDepth:     len(s.queue),
+		QueueDepth:     s.fq.Len(),
 		QueueCap:       s.cfg.QueueCap,
 		Jobs:           n,
 		Version:        Version,
@@ -826,6 +1107,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		ModeledSeconds: s.reg.Get("modeled.seconds"),
 		SLOStatus:      s.slo.Snapshot().Status,
 		EventsTotal:    s.events.Total(),
+		BrownoutLevel:  s.brown.Level(),
 	}
 	if lt := s.events.LastTime(); !lt.IsZero() {
 		h.LastEvent = lt.UTC().Format(time.RFC3339Nano)

@@ -17,17 +17,26 @@ func (s *Server) statusSnapshot() StatusResponse {
 		Version:        Version,
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		ModeledSeconds: s.reg.Get("modeled.seconds"),
-		QueueDepth:     len(s.queue),
+		QueueDepth:     s.fq.Len(),
 		QueueCap:       s.cfg.QueueCap,
 		JobsSubmitted:  int64(s.reg.Get("jobs.submitted")),
 		JobsCompleted:  int64(s.reg.Get("jobs.completed")),
 		JobsFailed:     int64(s.reg.Get("jobs.failed")),
 		JobsCanceled:   int64(s.reg.Get("jobs.canceled")),
-		JobsRejected:   int64(s.reg.Get("jobs.rejected") + s.reg.Get("jobs.rejected_draining")),
-		JobsCoalesced:  int64(s.reg.Get("jobs.coalesced")),
-		JobsDegraded:   int64(s.reg.Get("jobs.degraded")),
-		SLO:            s.slo.Snapshot(),
-		EventsTotal:    s.events.Total(),
+		JobsRejected: int64(s.reg.Get("jobs.rejected") + s.reg.Get("jobs.rejected_draining") +
+			s.reg.Get("jobs.rejected_quota") + s.reg.Get("jobs.rejected_ratelimit") +
+			s.reg.Get("jobs.rejected_deadline")),
+		JobsShed:      int64(s.reg.Get("jobs.shed")),
+		JobsCoalesced: int64(s.reg.Get("jobs.coalesced")),
+		JobsDegraded:  int64(s.reg.Get("jobs.degraded")),
+		SLO:           s.slo.Snapshot(),
+		Tenants:       s.tenants.snapshot(s.fq.queuedOf),
+		Brownout: BrownoutStatus{
+			Level:   s.brown.Level(),
+			Engaged: int64(s.reg.Get("brownout.engaged")),
+			Shed:    int64(s.reg.Get("jobs.shed")),
+		},
+		EventsTotal: s.events.Total(),
 	}
 	if s.Draining() {
 		st.Status = "draining"
@@ -108,11 +117,17 @@ th { background: #1c1c1c; } td:first-child, th:first-child { text-align: left; }
 <h1>gpmetisd {{.Version}} &mdash; <span class="{{.Status}}">{{.Status}}</span>
 <span class="muted">(up {{secs .UptimeSeconds}}, refreshes every 2s)</span></h1>
 
-<h2>Queue &amp; jobs</h2>
+<h2>Queue &amp; jobs {{if .Brownout.Level}}&mdash; <span class="breach">brownout level {{.Brownout.Level}}</span>{{end}}</h2>
 <table>
-<tr><th>queue</th><th>submitted</th><th>completed</th><th>failed</th><th>canceled</th><th>rejected</th><th>coalesced</th><th>degraded</th><th>modeled</th></tr>
-<tr><td>{{.QueueDepth}}/{{.QueueCap}}</td><td>{{.JobsSubmitted}}</td><td>{{.JobsCompleted}}</td><td>{{.JobsFailed}}</td><td>{{.JobsCanceled}}</td><td>{{.JobsRejected}}</td><td>{{.JobsCoalesced}}</td><td>{{.JobsDegraded}}</td><td>{{secs .ModeledSeconds}}</td></tr>
+<tr><th>queue</th><th>submitted</th><th>completed</th><th>failed</th><th>canceled</th><th>rejected</th><th>shed</th><th>coalesced</th><th>degraded</th><th>modeled</th></tr>
+<tr><td>{{.QueueDepth}}/{{.QueueCap}}</td><td>{{.JobsSubmitted}}</td><td>{{.JobsCompleted}}</td><td>{{.JobsFailed}}</td><td>{{.JobsCanceled}}</td><td>{{.JobsRejected}}</td><td>{{.JobsShed}}</td><td>{{.JobsCoalesced}}</td><td>{{.JobsDegraded}}</td><td>{{secs .ModeledSeconds}}</td></tr>
 </table>
+
+<h2>Tenants</h2>
+<table>
+<tr><th>tenant</th><th>weight</th><th>queued</th><th>submitted</th><th>completed</th><th>shed</th><th>rejected</th><th>served</th></tr>
+{{range .Tenants}}<tr><td>{{.Name}}</td><td>{{.Weight}}</td><td>{{.Queued}}{{if .MaxQueued}}/{{.MaxQueued}}{{end}}</td><td>{{.Submitted}}</td><td>{{.Completed}}</td><td>{{.Shed}}</td><td>{{.Rejected}}</td><td>{{secs .ServedModeledSeconds}}</td></tr>
+{{end}}</table>
 
 <h2>Cache</h2>
 <table>

@@ -61,6 +61,10 @@ type SubmitRequest struct {
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 	// NoCache skips the result cache in both directions.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Tenant names the submitting tenant for weighted-fair queueing,
+	// quotas, and rate limits (see TenantsConfig). Empty means the
+	// "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Job states. A job moves queued -> running -> done/failed, or to
@@ -108,7 +112,12 @@ type JobStatus struct {
 	// WaitSeconds is the wall-clock time the job spent queued before a
 	// device picked it up.
 	WaitSeconds float64 `json:"wait_seconds"`
-	Error       string  `json:"error,omitempty"`
+	// Tenant is the tenant the job was admitted under.
+	Tenant string `json:"tenant,omitempty"`
+	// AutoDegraded marks a job whose Degrade option was forced on by the
+	// brownout ladder (level 2) rather than requested by the client.
+	AutoDegraded bool   `json:"auto_degraded,omitempty"`
+	Error        string `json:"error,omitempty"`
 	// Result is set once State is done.
 	Result *JobResult `json:"result,omitempty"`
 }
@@ -130,6 +139,17 @@ const (
 	// shutting down gracefully (HTTP 503): finish what is in flight,
 	// accept nothing new.
 	CodeDraining = "draining"
+	// CodeTenantQuota marks submissions rejected because the tenant
+	// already holds its max_queued slots (HTTP 429, retryable).
+	CodeTenantQuota = "tenant_quota"
+	// CodeRateLimited marks submissions rejected by the tenant's token
+	// bucket (HTTP 429, retryable after Retry-After).
+	CodeRateLimited = "rate_limited"
+	// CodeDeadlineUnmeetable marks submissions rejected at admission
+	// because the estimated queue wait plus service time already exceeds
+	// the requested deadline (HTTP 429). Retrying immediately cannot
+	// help; retry after Retry-After or relax the deadline.
+	CodeDeadlineUnmeetable = "deadline_unmeetable"
 )
 
 // DeviceStatus is the wire form of one device-pool slot in GET
@@ -174,6 +194,9 @@ type HealthResponse struct {
 	LastEvent string `json:"last_event,omitempty"`
 	// EventsTotal counts lifecycle events ever recorded.
 	EventsTotal int64 `json:"events_total"`
+	// BrownoutLevel is the overload ladder's current rung (0 normal,
+	// 1 shedding, 2 shedding + auto-degrade).
+	BrownoutLevel int `json:"brownout_level"`
 }
 
 // SlotStatus is one device slot row of the ops view: identity, live
@@ -184,6 +207,34 @@ type SlotStatus struct {
 	RunningJob  string  `json:"running_job,omitempty"`
 	Jobs        int64   `json:"jobs"`
 	BusySeconds float64 `json:"busy_seconds"`
+}
+
+// TenantStatus is one tenant's row in the ops view and the per-tenant
+// Prometheus series: its contract plus lifetime admission counters.
+type TenantStatus struct {
+	Name      string  `json:"name"`
+	Weight    float64 `json:"weight"`
+	MaxQueued int     `json:"max_queued,omitempty"`
+	Queued    int     `json:"queued"`
+	Submitted int64   `json:"submitted"`
+	Completed int64   `json:"completed"`
+	Shed      int64   `json:"shed"`
+	Rejected  int64   `json:"rejected"`
+	// ServedModeledSeconds is the modeled GPU time actually served to
+	// this tenant — the currency weighted fairness is measured in.
+	ServedModeledSeconds float64 `json:"served_modeled_seconds"`
+}
+
+// BrownoutStatus is the overload ladder's posture in /admin/status.json
+// and /healthz.
+type BrownoutStatus struct {
+	// Level is the current rung: 0 normal, 1 shedding over-share queued
+	// work, 2 shedding plus auto-degrade for new jobs.
+	Level int `json:"level"`
+	// Engaged counts level transitions from 0 to a higher rung; Shed
+	// counts queued jobs shed by the ladder.
+	Engaged int64 `json:"engaged"`
+	Shed    int64 `json:"shed"`
 }
 
 // LatencySummary carries interpolated percentiles of one latency
@@ -211,6 +262,7 @@ type StatusResponse struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
 	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsShed      int64 `json:"jobs_shed"`
 	JobsCoalesced int64 `json:"jobs_coalesced"`
 	JobsDegraded  int64 `json:"jobs_degraded"`
 
@@ -229,6 +281,11 @@ type StatusResponse struct {
 	TotalSeconds LatencySummary `json:"total_seconds"`
 
 	SLO obs.SLOSnapshot `json:"slo"`
+
+	// Tenants lists every known tenant's admission state; Brownout is the
+	// overload ladder's posture.
+	Tenants  []TenantStatus `json:"tenants,omitempty"`
+	Brownout BrownoutStatus `json:"brownout"`
 
 	EventsTotal int64  `json:"events_total"`
 	LastEvent   string `json:"last_event,omitempty"`

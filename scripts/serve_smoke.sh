@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # serve_smoke.sh - end-to-end smoke test of the partition-serving daemon.
 #
-# Boots gpmetisd on a random port, submits a job through the gpmetis
-# client, asserts it completes, resubmits the identical job, and asserts
-# the second run is a cache hit with the same result. Run via
-# `make serve-smoke` or directly from the repo root.
+# Boots gpmetisd on a random port with a multi-tenant config, submits a
+# job through the gpmetis client, asserts it completes, resubmits the
+# identical job, and asserts the second run is a cache hit with the same
+# result. Then it walks the overload-control surface: per-tenant and
+# brownout metric series, and a forced 429 carrying a dynamic
+# Retry-After. Run via `make serve-smoke` or directly from the repo root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,8 +26,16 @@ go build -o "$workdir/gpmetisd" ./cmd/gpmetisd
 go build -o "$workdir/gpmetis" ./cmd/gpmetis
 go run ./cmd/graphgen -family delaunay -n 20000 -seed 1 -o "$workdir/smoke.metis"
 
+cat >"$workdir/tenants.json" <<'EOF'
+{
+  "default": {"weight": 1},
+  "paid":    {"weight": 3, "max_queued": 16}
+}
+EOF
+
 echo "serve-smoke: starting gpmetisd on a random port"
-"$workdir/gpmetisd" -addr 127.0.0.1:0 -devices 2 >"$workdir/daemon.log" 2>&1 &
+"$workdir/gpmetisd" -addr 127.0.0.1:0 -devices 2 \
+    -tenants "$workdir/tenants.json" >"$workdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
 # The daemon prints "gpmetisd: listening on http://HOST:PORT (...)".
@@ -72,6 +82,41 @@ curl -sf "$base/slo" | grep -q '"fast":' || { echo "serve-smoke: FAIL /slo"; exi
 curl -sf "$base/admin/status.json" | grep -q '"slots"' || { echo "serve-smoke: FAIL /admin/status.json"; exit 1; }
 curl -sf "$base/admin/status" | grep -qi '<html' || { echo "serve-smoke: FAIL /admin/status is not HTML"; exit 1; }
 curl -sf "$base/admin/events" | grep -q '"type":"admit"' || { echo "serve-smoke: FAIL flight recorder holds no admit event"; exit 1; }
+
+echo "serve-smoke: checking the multi-tenant overload surface"
+# A submission under a named tenant must show up in the per-tenant
+# series; configured tenants are exported even before their first job.
+"$workdir/gpmetis" -server "$base" -k 16 -tenant paid -json \
+    "$workdir/smoke.metis" >"$workdir/run3.json"
+grep -q '"edge_cut"' "$workdir/run3.json" || { cat "$workdir/run3.json"; echo "serve-smoke: FAIL tenant-tagged run carries no result"; exit 1; }
+curl -sf "$base/metrics" >"$workdir/metrics.prom"
+for series in 'gpmetisd_tenant_weight{tenant="default"}' \
+              'gpmetisd_tenant_weight{tenant="paid"} 3' \
+              'gpmetisd_tenant_submitted{tenant="paid"}' \
+              'gpmetisd_tenant_queued{tenant="paid"}' \
+              'gpmetisd_tenant_served_modeled_seconds' \
+              'gpmetisd_brownout_level' 'gpmetisd_brownout_active'; do
+    grep -qF "$series" "$workdir/metrics.prom" || { echo "serve-smoke: FAIL /metrics missing $series"; exit 1; }
+done
+
+echo "serve-smoke: forcing a 429 and checking its dynamic Retry-After"
+# The completed runs warmed the service-time estimator for this graph's
+# size bucket, so a 1ms deadline is provably unmeetable at admission.
+{
+    printf '{"graph":"'
+    awk '{printf "%s\\n", $0}' "$workdir/smoke.metis"
+    printf '","k":16,"deadline_ms":1}'
+} >"$workdir/probe.json"
+code="$(curl -s -D "$workdir/probe.headers" -o "$workdir/probe.resp" \
+    -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$workdir/probe.json" "$base/jobs")"
+[[ "$code" == "429" ]] || { cat "$workdir/probe.resp"; echo "serve-smoke: FAIL 1ms-deadline probe returned HTTP $code, want 429"; exit 1; }
+grep -q '"code":"deadline_unmeetable"' "$workdir/probe.resp" || { cat "$workdir/probe.resp"; echo "serve-smoke: FAIL probe rejection is not deadline_unmeetable"; exit 1; }
+retry_after="$(sed -n 's/^[Rr]etry-[Aa]fter: *\([0-9][0-9]*\).*/\1/p' "$workdir/probe.headers")"
+[[ -n "$retry_after" && "$retry_after" -ge 1 ]] || { cat "$workdir/probe.headers"; echo "serve-smoke: FAIL 429 carries no positive integer Retry-After"; exit 1; }
+echo "serve-smoke: 429 advised Retry-After: $retry_after"
+curl -sf "$base/metrics" >"$workdir/metrics2.prom"
+grep -q '^gpmetisd_jobs_rejected_deadline 1' "$workdir/metrics2.prom" || { echo "serve-smoke: FAIL gpmetisd_jobs_rejected_deadline did not count the probe"; exit 1; }
 
 echo "serve-smoke: rendering the terminal ops view"
 "$workdir/gpmetis" -server "$base" -top -top-iterations 1 >"$workdir/top.out"
