@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 25
 CHAOS_SEED ?= 1
 
-.PHONY: build test check vet staticcheck race bench bench-snapshot perf-gate serve-smoke restart-smoke chaos fuzz
+.PHONY: build test check vet staticcheck race bench bench-snapshot perf-gate serve-smoke restart-smoke cluster-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -43,10 +43,18 @@ perf-gate:
 
 # serve-smoke boots a real gpmetisd on a random port, submits a job with
 # the gpmetis client, and asserts the resubmission is a cache hit; it then
-# runs the kill -9 / restart recovery smoke on a journaled daemon.
+# runs the kill -9 / restart recovery smoke on a journaled daemon and the
+# 3-node ring smoke (forwarding, cross-node cache peek, owner failover).
 serve-smoke: build
 	./scripts/serve_smoke.sh
 	./scripts/restart_smoke.sh
+	./scripts/cluster_smoke.sh
+
+# cluster-smoke runs only the ring end-to-end: boot a 3-node ring from one
+# peers.json, forward a job to its digest owner, answer a resubmission by
+# cross-node cache peek, then SIGKILL the owner and fail over.
+cluster-smoke: build
+	./scripts/cluster_smoke.sh
 
 # restart-smoke runs only the crash-recovery end-to-end: SIGKILL a
 # journaled gpmetisd mid-job, restart it on the same journal, and assert

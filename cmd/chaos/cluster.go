@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"gpmetis"
+	"gpmetis/internal/cluster"
+	"gpmetis/internal/obs"
+	"gpmetis/internal/server"
+)
+
+// ringMember is one in-process node of the chaos ring: a real server, a
+// cluster routing layer, and a real loopback listener so the members
+// dial each other exactly as separate daemons would.
+type ringMember struct {
+	peer  cluster.Peer
+	srv   *server.Server
+	node  *cluster.Node
+	hs    *http.Server
+	alive bool
+}
+
+func (m *ringMember) base() string { return "http://" + m.peer.Addr }
+
+// chaosCluster: a seeded node-death storm against a 3-node ring. A
+// stream of submissions enters at random members while one member is
+// killed mid-storm. Invariants:
+//
+//   - a submission to a live entry node either gets accepted or is shed
+//     with a typed 4xx/5xx rejection — never an untyped failure;
+//   - every accepted job whose entry node survives reaches a terminal
+//     state: done, or unreachable because its owner died — in which
+//     case resubmitting the identical request to any survivor must
+//     complete it (the failover path), so no job is ever lost;
+//   - after the storm, every distinct request resubmitted to a survivor
+//     completes with a valid partition.
+func chaosCluster(rng *rand.Rand) error {
+	const nNodes = 3
+	lns := make([]net.Listener, nNodes)
+	peers := make([]cluster.Peer, nNodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		peers[i] = cluster.Peer{ID: i, Addr: ln.Addr().String()}
+	}
+	members := make([]*ringMember, nNodes)
+	for i := range members {
+		s := server.New(server.Config{
+			Devices: 1, QueueCap: 32, CacheCap: 32, Logger: obs.DiscardLogger(),
+			JobIDPrefix: fmt.Sprintf("n%d-j", i),
+		})
+		nd, err := cluster.New(cluster.Config{
+			NodeID: i, Peers: peers, Server: s,
+			ProbeInterval: -1, Logger: obs.DiscardLogger(),
+		})
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: nd.Handler(s.Handler())}
+		go hs.Serve(lns[i])
+		members[i] = &ringMember{peer: peers[i], srv: s, node: nd, hs: hs, alive: true}
+	}
+	defer func() {
+		for _, m := range members {
+			m.hs.Close()
+			m.node.Close()
+			m.srv.Close()
+		}
+	}()
+
+	texts := make([]string, 2+rng.Intn(2))
+	for i := range texts {
+		n := 20 + rng.Intn(16)
+		g, err := gpmetis.Grid2D(n, n)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		if err := gpmetis.WriteGraph(&sb, g); err != nil {
+			return err
+		}
+		texts[i] = sb.String()
+	}
+
+	pickAlive := func() *ringMember {
+		for {
+			m := members[rng.Intn(nNodes)]
+			if m.alive {
+				return m
+			}
+		}
+	}
+
+	type issued struct {
+		req   server.SubmitRequest
+		id    string
+		entry *ringMember
+	}
+	var accepted []issued
+	shed := 0
+	total := 8 + rng.Intn(8)
+	killAt := rng.Intn(total)
+	victim := rng.Intn(nNodes)
+	for i := 0; i < total; i++ {
+		if i == killAt {
+			members[victim].hs.Close() // the storm: one member dies mid-stream
+			members[victim].alive = false
+		}
+		req := server.SubmitRequest{
+			Graph: texts[rng.Intn(len(texts))],
+			K:     2 + rng.Intn(6),
+			Seed:  int64(1 + rng.Intn(3)),
+		}
+		entry := pickAlive()
+		st, code, err := ringSubmit(entry.base(), req)
+		if err != nil {
+			return fmt.Errorf("submit %d via live node %d: %w", i, entry.peer.ID, err)
+		}
+		if code >= 400 {
+			// A typed rejection (queue full, ring unreachable) is a legal
+			// shed; anything else means the routing layer broke its contract.
+			if st.errCode == "" {
+				return fmt.Errorf("submit %d: untyped HTTP %d rejection", i, code)
+			}
+			shed++
+			continue
+		}
+		if st.status.State == server.StateDone {
+			continue // answered from a cache peek — already terminal
+		}
+		accepted = append(accepted, issued{req: req, id: st.status.ID, entry: entry})
+	}
+	if verbose {
+		fmt.Printf("chaos: cluster storm: %d submitted, %d accepted, %d shed, node %d killed at %d\n",
+			total, len(accepted), shed, victim, killAt)
+	}
+
+	// Every accepted job with a surviving entry must reach a terminal
+	// state or report its owner unreachable — never hang, never vanish.
+	orphaned := 0
+	for _, job := range accepted {
+		if !job.entry.alive {
+			orphaned++ // its entry died; covered by the resubmission sweep
+			continue
+		}
+		reachable, err := ringAwait(job.entry.base(), job.id)
+		if err != nil {
+			return fmt.Errorf("job %s via node %d: %w", job.id, job.entry.peer.ID, err)
+		}
+		if !reachable {
+			orphaned++ // owner died mid-flight; the resubmission must heal it
+		}
+	}
+
+	// The resubmission sweep: every distinct request must be servable by
+	// the survivors — the ring has failed over, so nothing is lost.
+	seen := map[string]bool{}
+	for _, job := range accepted {
+		sig := fmt.Sprintf("%d|%d|%.24s", job.req.K, job.req.Seed, job.req.Graph)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		entry := pickAlive()
+		st, code, err := ringSubmit(entry.base(), job.req)
+		if err != nil {
+			return fmt.Errorf("resubmit via node %d: %w", entry.peer.ID, err)
+		}
+		if code >= 400 {
+			return fmt.Errorf("resubmit via node %d rejected: HTTP %d (%s)", entry.peer.ID, code, st.errCode)
+		}
+		if st.status.State == server.StateDone {
+			continue // a survivor already cached the result
+		}
+		reachable, err := ringAwait(entry.base(), st.status.ID)
+		if err != nil {
+			return fmt.Errorf("resubmitted job %s: %w", st.status.ID, err)
+		}
+		if !reachable {
+			return fmt.Errorf("resubmitted job %s routed to a dead node; failover is broken", st.status.ID)
+		}
+	}
+	if verbose && orphaned > 0 {
+		fmt.Printf("chaos: cluster storm: %d jobs orphaned by the dead node, all healed by resubmission\n",
+			orphaned)
+	}
+	return nil
+}
+
+// ringAnswer is a submission or poll response: either a job status or a
+// typed error code.
+type ringAnswer struct {
+	status  server.JobStatus
+	errCode string
+}
+
+// ringSubmit posts one job, decoding either shape.
+func ringSubmit(base string, req server.SubmitRequest) (ringAnswer, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ringAnswer{}, 0, err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ringAnswer{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		io.Copy(io.Discard, resp.Body)
+		return ringAnswer{errCode: e.Code}, resp.StatusCode, nil
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ringAnswer{}, resp.StatusCode, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return ringAnswer{status: st}, resp.StatusCode, nil
+}
+
+// ringAwait polls a job to a terminal state via base. It returns false
+// when the owning node became unreachable (typed 502) — a legal outcome
+// during the storm that the caller heals by resubmitting — and errors
+// on hangs, untyped failures, or bad terminal states.
+func ringAwait(base, id string) (reachable bool, err error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return false, fmt.Errorf("poll: %w", err)
+		}
+		if resp.StatusCode >= 400 {
+			var e server.ErrorResponse
+			json.NewDecoder(resp.Body).Decode(&e)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if e.Code == server.CodeNodeUnreachable {
+				return false, nil
+			}
+			return false, fmt.Errorf("poll: HTTP %d (%s)", resp.StatusCode, e.Code)
+		}
+		var st server.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		switch st.State {
+		case server.StateDone:
+			if st.Result == nil {
+				return true, fmt.Errorf("job %s done without a result", id)
+			}
+			return true, nil
+		case server.StateFailed, server.StateCanceled:
+			return true, fmt.Errorf("job %s ended %s (%q)", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return true, fmt.Errorf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

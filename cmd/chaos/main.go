@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	chaos [-runs 25] [-seed 1] [-start 0] [-only core|resume|daemon|overload] [-v]
+//	chaos [-runs 25] [-seed 1] [-start 0] [-only core|resume|daemon|overload|cluster] [-v]
 //
 // Every run derives its private RNG from (-seed, run index), so any
 // failure is replayable in isolation: on failure the harness prints a
@@ -32,6 +32,11 @@
 //	        (never stuck), only the over-share tenant loses jobs,
 //	        unmeetable deadlines are rejected up front, and brownout
 //	        begin/end events pair once the storm passes.
+//	cluster: a 3-node consistent-hash ring absorbs a submission stream
+//	        while one random node dies mid-storm; every accepted job
+//	        must complete or be shed with a typed rejection — and every
+//	        submission must be servable by the survivors afterward, so
+//	        no job is ever lost to the dead node.
 package main
 
 import (
@@ -57,14 +62,14 @@ func main() {
 	runs := flag.Int("runs", 25, "number of chaos rounds")
 	seed := flag.Int64("seed", 1, "master seed; each run derives its own RNG from (seed, run)")
 	start := flag.Int("start", 0, "first run index (for replaying one failing round)")
-	only := flag.String("only", "", "pin one mode: core, resume, daemon, or overload")
+	only := flag.String("only", "", "pin one mode: core, resume, daemon, overload, or cluster")
 	flag.BoolVar(&verbose, "v", false, "log each round")
 	flag.Parse()
 
-	modes := []string{"core", "resume", "daemon", "overload"}
+	modes := []string{"core", "resume", "daemon", "overload", "cluster"}
 	if *only != "" {
 		switch *only {
-		case "core", "resume", "daemon", "overload":
+		case "core", "resume", "daemon", "overload", "cluster":
 			modes = []string{*only}
 		default:
 			fmt.Fprintf(os.Stderr, "chaos: unknown mode %q\n", *only)
@@ -86,6 +91,8 @@ func main() {
 			err = chaosDaemon(rng)
 		case "overload":
 			err = chaosOverload(rng)
+		case "cluster":
+			err = chaosCluster(rng)
 		}
 		if err != nil {
 			fmt.Printf("CHAOS FAIL seed=%d run=%d mode=%s: %v\n", *seed, r, mode, err)

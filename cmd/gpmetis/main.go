@@ -113,6 +113,7 @@ func main() {
 	out := flag.String("o", "", "output file for the partition vector (default stdout)")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON on stdout (vector only with -o)")
 	serverURL := flag.String("server", "", "submit to a gpmetisd daemon at this base URL instead of running locally")
+	clusterHosts := flag.String("cluster", "", "comma-separated gpmetisd ring members (host:port); submit to the first live node, failing over down the list")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run (gp/mt)")
 	metricsOut := flag.String("metrics", "", "write a flat JSON metrics report (gp/mt, local only)")
 	report := flag.Bool("report", false, "print a per-level table on stderr (gp/mt, local only)")
@@ -159,12 +160,22 @@ func main() {
 	if prof.enabled && *algo != "gp" {
 		fail(fmt.Errorf("-profile records kernel launches and needs the gp algorithm, not %q", *algo))
 	}
-	if *serverURL != "" {
+	if *serverURL != "" && *clusterHosts != "" {
+		fail(fmt.Errorf("-server and -cluster are mutually exclusive; -cluster is a member list, -server a single daemon"))
+	}
+	if *serverURL != "" || *clusterHosts != "" {
 		if *metricsOut != "" || *report {
 			fail(fmt.Errorf("-metrics and -report need the in-process tracer; use them without -server"))
 		}
+		bases := []string{strings.TrimRight(*serverURL, "/")}
+		if *clusterHosts != "" {
+			bases = clusterBases(*clusterHosts)
+			if len(bases) == 0 {
+				fail(fmt.Errorf("-cluster lists no hosts"))
+			}
+		}
 		oc, err = runRemote(remoteArgs{
-			base: strings.TrimRight(*serverURL, "/"), path: flag.Arg(0),
+			bases: bases, path: flag.Arg(0),
 			k: *k, algo: *algo, ub: *ub, seed: *seed,
 			faults: *faults, faultSeed: *faultSeed,
 			degrade: *degrade, verify: *verify, traceOut: *traceOut,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,9 +18,13 @@ import (
 	"gpmetis/internal/server"
 )
 
-// remoteArgs bundles the CLI flags the daemon client forwards.
+// remoteArgs bundles the CLI flags the daemon client forwards. bases
+// holds one URL for -server and the whole member list for -cluster; the
+// client submits to the first base and fails over down the list when a
+// node is unreachable.
 type remoteArgs struct {
-	base, path      string
+	bases           []string
+	path            string
 	k               int
 	algo            string
 	ub              float64
@@ -34,11 +39,24 @@ type remoteArgs struct {
 	deadlineMs      int64  // job deadline forwarded for admission control
 }
 
+// nodeUnreachableError marks a failure the client may heal by failing
+// over to another ring member: a refused/reset connection, or the
+// daemon's typed 502 saying the job's owning node is unreachable.
+// Because submissions are content-addressed and deduplicated, a fresh
+// submit to the next base is cheap — it lands on the ring successor and
+// either hits the cache or restarts the work exactly once.
+type nodeUnreachableError struct{ err error }
+
+func (e *nodeUnreachableError) Error() string { return e.err.Error() }
+func (e *nodeUnreachableError) Unwrap() error { return e.err }
+
 // runRemote submits the graph to a gpmetisd daemon, polls the job to a
 // terminal state, and returns the result in the same shape as a local
 // run. Queue overload (HTTP 429, code "overloaded") is reported as a
 // retryable error; a canceled or failed job becomes an error carrying
-// the daemon's reason.
+// the daemon's reason. With -cluster, an unreachable node advances to
+// the next base with a fresh submit; polls stay pinned to the base that
+// accepted the job.
 func runRemote(a remoteArgs) (*outcome, error) {
 	text, err := os.ReadFile(a.path)
 	if err != nil {
@@ -49,14 +67,14 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		format = "gr"
 	}
 	req := server.SubmitRequest{
-		Graph:     string(text),
-		Format:    format,
-		K:         a.k,
-		Algo:      a.algo,
-		Seed:      a.seed,
-		UB:        a.ub,
-		Faults:    a.faults,
-		FaultSeed: a.faultSeed,
+		Graph:      string(text),
+		Format:     format,
+		K:          a.k,
+		Algo:       a.algo,
+		Seed:       a.seed,
+		UB:         a.ub,
+		Faults:     a.faults,
+		FaultSeed:  a.faultSeed,
 		Degrade:    a.degrade,
 		Verify:     a.verify,
 		Profile:    a.prof.enabled,
@@ -67,16 +85,40 @@ func runRemote(a remoteArgs) (*outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := submitJob(a.base, body, a.retries)
+	var lastErr error
+	for i, base := range a.bases {
+		oc, err := runRemoteOn(base, a, body)
+		if err == nil {
+			return oc, nil
+		}
+		var nu *nodeUnreachableError
+		if !errors.As(err, &nu) {
+			return nil, err
+		}
+		lastErr = err
+		if i+1 < len(a.bases) {
+			fmt.Fprintf(os.Stderr, "gpmetis: %s unreachable (%v); failing over to %s\n",
+				base, err, a.bases[i+1])
+		}
+	}
+	if len(a.bases) == 1 {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("all %d cluster nodes unreachable; last error: %w", len(a.bases), lastErr)
+}
+
+// runRemoteOn runs one submit-poll-fetch cycle against a single base.
+func runRemoteOn(base string, a remoteArgs, body []byte) (*outcome, error) {
+	st, err := submitJob(base, body, a.retries)
 	if err != nil {
 		return nil, err
 	}
 
 	for st.State == server.StateQueued || st.State == server.StateRunning {
 		time.Sleep(100 * time.Millisecond)
-		resp, err := http.Get(a.base + "/jobs/" + st.ID)
+		resp, err := http.Get(base + "/jobs/" + st.ID)
 		if err != nil {
-			return nil, err
+			return nil, &nodeUnreachableError{fmt.Errorf("poll %s: %w", base, err)}
 		}
 		if st, err = decodeJob(resp); err != nil {
 			return nil, err
@@ -93,13 +135,15 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		return nil, fmt.Errorf("job %s is done but carries no result", st.ID)
 	}
 
-	if a.traceOut != "" {
-		if err := fetchTrace(a.base, st.ID, a.traceOut); err != nil {
+	// A cluster cache peek answers with a bare result and no job ID;
+	// there is no job whose trace or profile could be fetched.
+	if a.traceOut != "" && st.ID != "" {
+		if err := fetchTrace(base, st.ID, a.traceOut); err != nil {
 			return nil, err
 		}
 	}
-	if a.prof.enabled {
-		rep, err := fetchProfile(a.base, st.ID)
+	if a.prof.enabled && st.ID != "" {
+		rep, err := fetchProfile(base, st.ID)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +166,7 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		FaultEvents:    st.Result.FaultEvents,
 		Degraded:       st.Result.Degraded,
 		DegradedReason: st.Result.DegradedReason,
-		Server:         a.base,
+		Server:         base,
 		JobID:          st.ID,
 		Cached:         st.Cached,
 		part:           st.Result.Part,
@@ -166,22 +210,25 @@ func (b *shedBreaker) tripped() bool {
 	return shed*2 > len(b.window)
 }
 
-// submitJob posts the job to the daemon. A retryable 429 (queue full,
-// tenant quota, rate limit) is retried up to retries times with
-// exponential backoff, honoring the daemon's Retry-After as the floor
-// and adding jitter so a herd of overloaded clients does not re-stampede
-// in lockstep. Two circuit breakers cut the loop short: a
-// deadline_unmeetable rejection is terminal (re-submitting the same
-// deadline cannot make it meetable), and the retry budget trips once
-// more than half of the recent attempts were shed.
+// submitJob posts the job to the daemon. A retryable rejection — any
+// 429 (queue full, tenant quota, rate limit), or a 503 whose code is
+// "draining" or "cluster_unreachable" — is retried up to retries times
+// with exponential backoff, honoring the daemon's Retry-After as the
+// floor and adding jitter so a herd of overloaded clients does not
+// re-stampede in lockstep. Other 503 codes are terminal. Two circuit
+// breakers cut the loop short: a deadline_unmeetable rejection is
+// terminal (re-submitting the same deadline cannot make it meetable),
+// and the retry budget trips once more than half of the recent
+// attempts were shed.
 func submitJob(base string, body []byte, retries int) (server.JobStatus, error) {
 	var budget shedBreaker
 	for attempt := 0; ; attempt++ {
 		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return server.JobStatus{}, fmt.Errorf("submit to %s: %w", base, err)
+			return server.JobStatus{}, &nodeUnreachableError{fmt.Errorf("submit to %s: %w", base, err)}
 		}
-		if resp.StatusCode != http.StatusTooManyRequests {
+		if resp.StatusCode != http.StatusTooManyRequests &&
+			resp.StatusCode != http.StatusServiceUnavailable {
 			return decodeJob(resp)
 		}
 		floor := parseRetryAfter(resp.Header.Get("Retry-After"))
@@ -189,6 +236,10 @@ func submitJob(base string, body []byte, retries int) (server.JobStatus, error) 
 		json.NewDecoder(resp.Body).Decode(&e) // best effort; an empty code still retries
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable &&
+			e.Code != server.CodeDraining && e.Code != server.CodeClusterUnreachable {
+			return server.JobStatus{}, fmt.Errorf("daemon rejected the job (%s): %s", e.Code, e.Error)
+		}
 		if e.Code == server.CodeDeadlineUnmeetable {
 			return server.JobStatus{}, fmt.Errorf(
 				"daemon rejected the job (%s): %s (relax -deadline or retry after %v)",
@@ -207,10 +258,31 @@ func submitJob(base string, body []byte, retries int) (server.JobStatus, error) 
 			return server.JobStatus{}, fmt.Errorf("daemon rejected the job (%s): %s", e.Code, e.Error)
 		}
 		d := retryDelay(attempt, floor)
-		fmt.Fprintf(os.Stderr, "gpmetis: daemon overloaded; retrying in %v (%d/%d)\n",
-			d.Round(time.Millisecond), attempt+1, retries)
+		why := "overloaded"
+		if e.Code != "" {
+			why = e.Code
+		}
+		fmt.Fprintf(os.Stderr, "gpmetis: daemon %s; retrying in %v (%d/%d)\n",
+			why, d.Round(time.Millisecond), attempt+1, retries)
 		retrySleep(d)
 	}
+}
+
+// clusterBases parses the -cluster flag: a comma-separated member list,
+// each entry a host:port or URL; the scheme defaults to http.
+func clusterBases(list string) []string {
+	var bases []string
+	for _, h := range strings.Split(list, ",") {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			continue
+		}
+		if !strings.Contains(h, "://") {
+			h = "http://" + h
+		}
+		bases = append(bases, strings.TrimRight(h, "/"))
+	}
+	return bases
 }
 
 // parseRetryAfter reads the delay-seconds form of a Retry-After header;
@@ -248,6 +320,9 @@ func decodeJob(resp *http.Response) (server.JobStatus, error) {
 		}
 		if e.Code == server.CodeOverloaded {
 			return server.JobStatus{}, fmt.Errorf("daemon overloaded (queue full), retry later: %s", e.Error)
+		}
+		if e.Code == server.CodeNodeUnreachable {
+			return server.JobStatus{}, &nodeUnreachableError{fmt.Errorf("daemon reports owning node unreachable: %s", e.Error)}
 		}
 		return server.JobStatus{}, fmt.Errorf("daemon rejected the job (%s): %s", e.Code, e.Error)
 	}

@@ -16,7 +16,8 @@
 //	         [-tenants tenants.json] [-brownout-wait 500ms] \
 //	         [-brownout-target 0.9] [-brownout-fast-window 15s] \
 //	         [-brownout-slow-window 90s] [-brownout-off] \
-//	         [-debug-addr 127.0.0.1:6060]
+//	         [-debug-addr 127.0.0.1:6060] \
+//	         [-peers peers.json -node-id 0] [-vnodes 64] [-cluster-probe 1s]
 //
 // API:
 //
@@ -86,6 +87,16 @@
 // The daemon passes -addr to net.Listen verbatim, so -addr 127.0.0.1:0
 // picks a random free port; the chosen address is printed on startup.
 //
+// -peers and -node-id turn the daemon into one member of a gossip-free
+// cluster ring (DESIGN.md §14): peers.json lists every node's id and
+// host:port, and submissions are routed by consistent hashing on the
+// job's content digest — identical submissions land on the node that
+// already caches them, non-owned submissions are forwarded after a
+// cross-node cache peek, and a down owner fails over to the next live
+// ring successor. Ring state appears on /healthz and /admin/status, and
+// routing counters as gpmetisd_cluster_* on /metrics. Every node of the
+// ring must run with the same peers.json and -vnodes.
+//
 // -debug-addr starts a second listener serving net/http/pprof under
 // /debug/pprof/ (goroutine dumps, heap and CPU profiles of the daemon
 // process itself — wall-clock profiling, distinct from the modeled
@@ -106,6 +117,7 @@ import (
 	"syscall"
 	"time"
 
+	"gpmetis/internal/cluster"
 	"gpmetis/internal/obs"
 	"gpmetis/internal/server"
 )
@@ -137,6 +149,10 @@ func main() {
 	brownoutFast := flag.Duration("brownout-fast-window", 15*time.Second, "brownout fast burn-rate window")
 	brownoutSlow := flag.Duration("brownout-slow-window", 90*time.Second, "brownout slow burn-rate window")
 	brownoutOff := flag.Bool("brownout-off", false, "disable brownout shedding and auto-degrade entirely")
+	peersFile := flag.String("peers", "", "cluster peers.json; joins the ring described in it")
+	nodeID := flag.Int("node-id", -1, "this node's id in -peers (required with -peers)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default, must match across the ring)")
+	clusterProbe := flag.Duration("cluster-probe", 0, "peer health-probe interval (0 = default 1s)")
 	flag.Parse()
 
 	level, err := obs.ParseLogLevel(*logLevel)
@@ -159,7 +175,15 @@ func main() {
 		}
 	}
 
+	// A ring member namespaces its job IDs so they are unique cluster-wide
+	// and entry nodes can proxy forwarded jobs without ID collisions.
+	idPrefix := ""
+	if *peersFile != "" && *nodeID >= 0 {
+		idPrefix = fmt.Sprintf("n%d-j", *nodeID)
+	}
+
 	s := server.New(server.Config{
+		JobIDPrefix:         idPrefix,
 		Devices:             *devices,
 		QueueCap:            *queueCap,
 		CacheCap:            *cacheCap,
@@ -200,6 +224,36 @@ func main() {
 	fmt.Printf("gpmetisd: listening on http://%s (devices=%d queue=%d cache=%d journal=%s)\n",
 		ln.Addr(), *devices, *queueCap, *cacheCap, durable)
 
+	// -peers wraps the handler in the cluster routing tier: this node owns
+	// its ring share and forwards the rest, peeking peer caches first.
+	handler := http.Handler(s.Handler())
+	var node *cluster.Node
+	if *peersFile != "" {
+		peers, err := cluster.LoadPeersFile(*peersFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmetisd:", err)
+			os.Exit(2)
+		}
+		node, err = cluster.New(cluster.Config{
+			NodeID:        *nodeID,
+			Peers:         peers,
+			VNodes:        *vnodes,
+			Server:        s,
+			ProbeInterval: *clusterProbe,
+			Logger:        logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmetisd:", err)
+			os.Exit(2)
+		}
+		handler = node.Handler(handler)
+		fmt.Printf("gpmetisd: cluster node %d of %d-node ring (peers=%s)\n",
+			*nodeID, len(peers), *peersFile)
+	} else if *nodeID >= 0 {
+		fmt.Fprintln(os.Stderr, "gpmetisd: -node-id requires -peers")
+		os.Exit(2)
+	}
+
 	// The pprof listener is separate from the API listener so operators
 	// can keep it loopback-only while the API serves the network. The
 	// default ServeMux is avoided on both: the debug mux carries exactly
@@ -222,7 +276,7 @@ func main() {
 		go debugSrv.Serve(dln)
 	}
 
-	httpSrv := &http.Server{Handler: s.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -254,6 +308,9 @@ func main() {
 		httpSrv.Shutdown(shutCtx)
 		if debugSrv != nil {
 			debugSrv.Shutdown(shutCtx)
+		}
+		if node != nil {
+			node.Close()
 		}
 		s.Close()
 		logger.Info("shutdown complete", "drained", drained, "aborted", aborted)

@@ -1,0 +1,551 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpmetis"
+	"gpmetis/internal/obs"
+	"gpmetis/internal/server"
+)
+
+// Defaults for the cluster tier's knobs.
+const (
+	// DefaultProbeInterval is how often the background prober checks every
+	// peer's /healthz.
+	DefaultProbeInterval = time.Second
+	// DefaultStrikeThreshold is how many consecutive failures (probes or
+	// request-path connection errors) mark a peer down.
+	DefaultStrikeThreshold = 2
+)
+
+// Config wires one ring node.
+type Config struct {
+	// NodeID is this node's identity; it must appear in Peers.
+	NodeID int
+	// Peers is the full member list (see LoadPeersFile). Every node of the
+	// ring must load the same list.
+	Peers []Peer
+	// VNodes is the per-peer virtual node count; 0 means DefaultVNodes.
+	VNodes int
+	// Server is the local serving subsystem this node routes into.
+	Server *server.Server
+	// Machine supplies the α+βn network parameters inter-node traffic is
+	// charged against; nil means gpmetis.DefaultMachine().
+	Machine *gpmetis.Machine
+	// ProbeInterval is the health-probe cadence (0 means
+	// DefaultProbeInterval; < 0 disables the prober, for tests that drive
+	// health by hand).
+	ProbeInterval time.Duration
+	// StrikeThreshold is how many consecutive failures mark a peer down
+	// (0 means DefaultStrikeThreshold).
+	StrikeThreshold int
+	// Logger receives the node's operational logs; nil means a text
+	// handler on os.Stderr.
+	Logger *slog.Logger
+	// Client performs forwards, peeks, and proxies; nil means a client
+	// with a 15s timeout.
+	Client *http.Client
+}
+
+// Node is one member of the ring: it wraps the local server's HTTP
+// handler, owning every submission whose digest hashes to it and
+// routing the rest — peek the owner's cache first, forward on a miss,
+// fail over to the next live ring successor when the owner is down.
+// All inter-node traffic is charged against the modeled network.
+type Node struct {
+	cfg    Config
+	self   Peer
+	ring   *Ring
+	srv    *server.Server
+	inner  http.Handler
+	net    *NetModel
+	log    *slog.Logger
+	client *http.Client
+	probe  *http.Client
+
+	health map[int]*nodeHealth // keyed by peer ID; no entry for self
+
+	// forwarded remembers where each forwarded job lives so status,
+	// trace, profile, and cancel requests follow it transparently.
+	mu        sync.Mutex
+	forwarded map[string]Peer // job ID -> owning peer
+
+	forwards   atomic.Int64
+	peekHits   atomic.Int64
+	peekMisses atomic.Int64
+	failovers  atomic.Int64
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds the node, installs its status snapshot on the server
+// (/healthz, /admin/status, gpmetisd_cluster_*), and starts the health
+// prober.
+func New(cfg Config) (*Node, error) {
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: Config.Server is required")
+	}
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	var self Peer
+	found := false
+	for _, p := range ring.Peers() {
+		if p.ID == cfg.NodeID {
+			self, found = p, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: node id %d not in the peer list", cfg.NodeID)
+	}
+	if cfg.StrikeThreshold == 0 {
+		cfg.StrikeThreshold = DefaultStrikeThreshold
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NewLogger(os.Stderr, obs.LogText, slog.LevelInfo)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 15 * time.Second}
+	}
+	n := &Node{
+		cfg:       cfg,
+		self:      self,
+		ring:      ring,
+		srv:       cfg.Server,
+		net:       NewNetModel(cfg.Machine),
+		log:       cfg.Logger.With("node_id", self.ID),
+		client:    cfg.Client,
+		probe:     &http.Client{Timeout: 2 * time.Second},
+		health:    map[int]*nodeHealth{},
+		forwarded: map[string]Peer{},
+		stop:      make(chan struct{}),
+	}
+	for _, p := range ring.Peers() {
+		if p.ID != self.ID {
+			n.health[p.ID] = newNodeHealth()
+		}
+	}
+	n.srv.SetClusterStatus(n.Status)
+	if cfg.ProbeInterval > 0 {
+		n.wg.Add(1)
+		go n.probeLoop()
+	}
+	return n, nil
+}
+
+// Close stops the health prober. The wrapped handler keeps serving (the
+// server owns its own shutdown); routing continues with frozen health.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		n.wg.Wait()
+	})
+}
+
+// Ring returns the node's ring, for tests and tooling.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Status snapshots the node for the wire — the callback behind the
+// server's /healthz, ops view, and cluster metric series.
+func (n *Node) Status() *server.ClusterStatus {
+	cs := &server.ClusterStatus{
+		NodeID:            n.self.ID,
+		Addr:              n.self.Addr,
+		VNodes:            n.ring.VNodes(),
+		Forwards:          n.forwards.Load(),
+		PeekHits:          n.peekHits.Load(),
+		PeekMisses:        n.peekMisses.Load(),
+		Failovers:         n.failovers.Load(),
+		NetModeledSeconds: n.net.Seconds(),
+		NetMessages:       n.net.Messages(),
+	}
+	for _, p := range n.ring.Peers() {
+		ps := server.ClusterPeerStatus{
+			ID: p.ID, Addr: p.Addr, Self: p.ID == n.self.ID, State: NodeUp,
+		}
+		if h := n.health[p.ID]; h != nil {
+			ps.State, ps.Strikes, ps.Downs = h.snapshot()
+		}
+		cs.Peers = append(cs.Peers, ps)
+	}
+	return cs
+}
+
+// Handler wraps the server's HTTP API with the ring's routing layer:
+//
+//	GET  /internal/cache/{digest}  cross-node cache peek (200 result, 404)
+//	POST /jobs                     route by digest: local, peek, forward
+//	GET/DELETE /jobs/{id}[...]     proxied to the owner for forwarded jobs
+//
+// Everything else passes straight through to inner.
+func (n *Node) Handler(inner http.Handler) http.Handler {
+	n.inner = inner
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/cache/{digest}", n.handlePeek)
+	mux.HandleFunc("POST /jobs", n.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", n.proxyOrLocal)
+	mux.HandleFunc("DELETE /jobs/{id}", n.proxyOrLocal)
+	mux.HandleFunc("GET /jobs/{id}/trace", n.proxyOrLocal)
+	mux.HandleFunc("GET /jobs/{id}/profile", n.proxyOrLocal)
+	mux.Handle("/", inner)
+	return mux
+}
+
+// handlePeek answers a peer's cache probe from the local cache, without
+// touching hit/miss accounting (Cache.Peek): the requester pays the
+// modeled network cost and keeps the peek statistics.
+func (n *Node) handlePeek(w http.ResponseWriter, r *http.Request) {
+	res, ok := n.srv.PeekCached(r.PathValue("digest"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			server.ErrorResponse{Error: "not cached here", Code: server.CodeNotFound})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleSubmit is the routing core. Forwarded submissions are pinned
+// local (loop guard); everything else walks the ring from the digest's
+// owner: serve locally when this node is the first live candidate,
+// otherwise peek the candidate's cache and forward on a miss. A dead
+// candidate is struck and the walk continues — that continuation is the
+// failover path.
+func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			server.ErrorResponse{Error: fmt.Sprintf("read body: %v", err), Code: server.CodeBadRequest})
+		return
+	}
+	var req server.SubmitRequest
+	if json.Unmarshal(body, &req) != nil || req.ForwardedBy != "" {
+		// Unparsable bodies get the server's canonical 400; forwarded jobs
+		// are pinned here — re-forwarding could loop if ring views diverge.
+		n.serveLocal(w, r, body)
+		return
+	}
+	key, err := server.KeyForRequest(&req)
+	if err != nil || key == "" {
+		// Invalid requests fail locally with the canonical error; NoCache
+		// submissions have no digest to route on and run wherever they land.
+		n.serveLocal(w, r, body)
+		return
+	}
+
+	owner := n.ring.Owner(key)
+	for _, p := range n.ring.Successors(key) {
+		if p.ID == n.self.ID {
+			n.noteFailover(owner, p, key)
+			n.serveLocal(w, r, body)
+			return
+		}
+		if h := n.health[p.ID]; h != nil && h.down() {
+			continue
+		}
+		res, found, peekErr := n.peekRemote(p, key)
+		if peekErr != nil {
+			n.strikePeer(p, "peek: "+peekErr.Error())
+			continue
+		}
+		if found {
+			n.peekHits.Add(1)
+			n.noteFailover(owner, p, key)
+			n.srv.RecordEvent(obs.EvClusterPeekHit,
+				fmt.Sprintf("node %d answered digest %.12s", p.ID, key))
+			writeJSON(w, http.StatusOK, server.JobStatus{
+				State: server.StateDone, Cached: true, Device: -1,
+				Node: p.Addr, Result: res,
+			})
+			return
+		}
+		n.peekMisses.Add(1)
+		status, respBody, fwdErr := n.forward(p, req, key)
+		if fwdErr != nil {
+			n.strikePeer(p, "forward: "+fwdErr.Error())
+			continue
+		}
+		n.clearStrikes(p)
+		n.forwards.Add(1)
+		n.noteFailover(owner, p, key)
+		n.srv.RecordEvent(obs.EvClusterForward,
+			fmt.Sprintf("digest %.12s -> node %d", key, p.ID))
+		if status == http.StatusOK || status == http.StatusAccepted {
+			var st server.JobStatus
+			if json.Unmarshal(respBody, &st) == nil && st.ID != "" {
+				n.mu.Lock()
+				n.forwarded[st.ID] = p
+				n.mu.Unlock()
+			}
+		}
+		relay(w, status, respBody)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, server.ErrorResponse{
+		Error: "no live ring node reachable for this job",
+		Code:  server.CodeClusterUnreachable,
+	})
+}
+
+// serveLocal hands the submission to the wrapped server and stamps this
+// node's address into successful JobStatus answers, so entry nodes and
+// clients learn where the job lives.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	cw := newCaptureWriter()
+	n.inner.ServeHTTP(cw, r2)
+	relay(w, cw.status, n.patchStatusBody(cw.status, cw.body.Bytes()))
+}
+
+// patchStatusBody stamps this node's address into a successful
+// JobStatus body; anything that is not a job status passes through
+// untouched.
+func (n *Node) patchStatusBody(status int, out []byte) []byte {
+	if status != http.StatusOK && status != http.StatusAccepted {
+		return out
+	}
+	var st server.JobStatus
+	if json.Unmarshal(out, &st) != nil || st.ID == "" {
+		return out
+	}
+	st.Node = n.self.Addr
+	b, err := json.Marshal(st)
+	if err != nil {
+		return out
+	}
+	return append(b, '\n')
+}
+
+// peekRemote asks peer whether it already caches digest. Both legs of
+// the probe are charged against the modeled network.
+func (n *Node) peekRemote(p Peer, digest string) (*server.JobResult, bool, error) {
+	n.net.Charge(len(digest))
+	resp, err := n.client.Get("http://" + p.Addr + "/internal/cache/" + digest)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	n.net.Charge(len(b))
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("peek status %d", resp.StatusCode)
+	}
+	var res server.JobResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, false, err
+	}
+	return &res, true, nil
+}
+
+// forward ships the submission to peer with the forwarding envelope set:
+// ForwardedBy pins the job there, ForwardNetSeconds carries the request
+// leg's modeled cost into the job's lifecycle trace.
+func (n *Node) forward(p Peer, req server.SubmitRequest, key string) (int, []byte, error) {
+	req.ForwardedBy = n.self.Addr
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.ForwardNetSeconds = n.net.Charge(len(payload))
+	// Re-marshal with the charge embedded; the size delta is noise next to
+	// the graph text that dominates the payload.
+	payload, err = json.Marshal(&req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := n.client.Post("http://"+p.Addr+"/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	n.net.Charge(len(b))
+	return resp.StatusCode, b, nil
+}
+
+// proxyOrLocal serves job lookups: jobs this node forwarded are fetched
+// from their owner (the modeled network pays for both legs), everything
+// else is local.
+func (n *Node) proxyOrLocal(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	n.mu.Lock()
+	p, ok := n.forwarded[id]
+	n.mu.Unlock()
+	if !ok {
+		// Local job: serve it here and stamp this node's address into the
+		// status, so polls (not just submissions) say where the job lives.
+		cw := newCaptureWriter()
+		n.inner.ServeHTTP(cw, r)
+		relay(w, cw.status, n.patchStatusBody(cw.status, cw.body.Bytes()))
+		return
+	}
+	n.net.Charge(len(r.URL.Path))
+	req2, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+p.Addr+r.URL.Path, nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError,
+			server.ErrorResponse{Error: err.Error(), Code: server.CodeBadRequest})
+		return
+	}
+	resp, err := n.client.Do(req2)
+	if err != nil {
+		n.strikePeer(p, "proxy: "+err.Error())
+		writeJSON(w, http.StatusBadGateway, server.ErrorResponse{
+			Error: fmt.Sprintf("owning node %d (%s) unreachable: %v", p.ID, p.Addr, err),
+			Code:  server.CodeNodeUnreachable,
+		})
+		return
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		n.strikePeer(p, "proxy read: "+err.Error())
+		writeJSON(w, http.StatusBadGateway, server.ErrorResponse{
+			Error: fmt.Sprintf("owning node %d (%s) failed mid-response: %v", p.ID, p.Addr, err),
+			Code:  server.CodeNodeUnreachable,
+		})
+		return
+	}
+	n.net.Charge(len(b))
+	n.clearStrikes(p)
+	relay(w, resp.StatusCode, b)
+}
+
+// noteFailover accounts a submission that landed on a ring successor
+// instead of the digest's owner.
+func (n *Node) noteFailover(owner, got Peer, key string) {
+	if owner.ID == got.ID {
+		return
+	}
+	n.failovers.Add(1)
+	detail := fmt.Sprintf("digest %.12s: owner %d down, routed to successor %d", key, owner.ID, got.ID)
+	n.srv.RecordEvent(obs.EvClusterFailover, detail)
+	n.log.Warn("cluster failover", "digest", key[:12], "owner", owner.ID, "successor", got.ID)
+}
+
+// strikePeer records a request-path failure against a peer, marking it
+// down at the strike threshold.
+func (n *Node) strikePeer(p Peer, detail string) {
+	h := n.health[p.ID]
+	if h == nil {
+		return
+	}
+	if h.strike(n.cfg.StrikeThreshold) {
+		n.srv.RecordEvent(obs.EvNodeDown, fmt.Sprintf("node %d (%s): %s", p.ID, p.Addr, detail))
+		n.log.Warn("peer marked down", "peer", p.ID, "addr", p.Addr, "cause", detail)
+	}
+}
+
+// clearStrikes resets a peer's failure streak after it answered cleanly.
+func (n *Node) clearStrikes(p Peer) {
+	if h := n.health[p.ID]; h != nil {
+		h.clearStrikes()
+	}
+}
+
+// probeLoop checks every peer's /healthz at the configured cadence.
+// Probes of down peers count toward their reinstatement budget; probes
+// of up peers clear or accumulate strikes. Each probe is charged to the
+// modeled network like any other message.
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			for _, p := range n.ring.Peers() {
+				if p.ID == n.self.ID {
+					continue
+				}
+				n.probePeer(p)
+			}
+		}
+	}
+}
+
+// probePeer runs one health probe against p and folds the outcome into
+// its quarantine state machine.
+func (n *Node) probePeer(p Peer) {
+	h := n.health[p.ID]
+	if h == nil {
+		return
+	}
+	n.net.Charge(0)
+	resp, err := n.probe.Get("http://" + p.Addr + "/healthz")
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		n.net.Charge(len(b))
+	}
+	wasDown := h.down()
+	if ok {
+		if h.probeResult(true) {
+			n.srv.RecordEvent(obs.EvNodeUp, fmt.Sprintf("node %d (%s) reinstated", p.ID, p.Addr))
+			n.log.Info("peer reinstated", "peer", p.ID, "addr", p.Addr)
+		}
+		return
+	}
+	if wasDown {
+		h.probeResult(false)
+		return
+	}
+	n.strikePeer(p, "health probe failed")
+}
+
+// captureWriter buffers an inner handler's response so the routing layer
+// can patch the body before relaying it.
+type captureWriter struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newCaptureWriter() *captureWriter {
+	return &captureWriter{status: http.StatusOK, header: http.Header{}}
+}
+
+func (c *captureWriter) Header() http.Header         { return c.header }
+func (c *captureWriter) WriteHeader(code int)        { c.status = code }
+func (c *captureWriter) Write(b []byte) (int, error) { return c.body.Write(b) }
+
+// relay writes a buffered JSON response through to the real writer.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"sync"
+
+	"gpmetis"
+	"gpmetis/internal/perfmodel"
+)
+
+// msgOverheadBytes is the fixed envelope cost charged per inter-node
+// message (headers, framing), matching the MPI substrate's per-message
+// overhead so cluster traffic and rank traffic share one currency.
+const msgOverheadBytes = 64
+
+// NetModel charges cluster traffic against the same α+βn network the
+// MPI ranks use: every peek, forward, response, and health probe costs
+// LatencySec + bytes/BytesPerSec modeled seconds. The accumulated total
+// is exported as gpmetisd_cluster_net_modeled_seconds, so bench -compare
+// can gate routing overhead exactly as it gates kernel time.
+type NetModel struct {
+	mu       sync.Mutex
+	net      perfmodel.NetParams
+	seconds  float64
+	messages int64
+}
+
+// NewNetModel builds the model from a machine's network parameters;
+// nil takes gpmetis.DefaultMachine().
+func NewNetModel(m *gpmetis.Machine) *NetModel {
+	if m == nil {
+		m = gpmetis.DefaultMachine()
+	}
+	return &NetModel{net: m.Net}
+}
+
+// Charge accounts one message of payloadBytes (plus the fixed envelope)
+// and returns its modeled seconds.
+func (n *NetModel) Charge(payloadBytes int) float64 {
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	sec := n.net.LatencySec + float64(payloadBytes+msgOverheadBytes)/n.net.BytesPerSec
+	n.mu.Lock()
+	n.seconds += sec
+	n.messages++
+	n.mu.Unlock()
+	return sec
+}
+
+// Seconds returns the cumulative modeled network seconds charged.
+func (n *NetModel) Seconds() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seconds
+}
+
+// Messages returns how many messages have been charged.
+func (n *NetModel) Messages() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.messages
+}

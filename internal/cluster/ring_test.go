@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testPeers(n int) []Peer {
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{ID: i, Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return peers
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterminism: two rings built from the same member list — even
+// in a different order, as two independent processes would load it —
+// must assign every digest to the same owner. This is the property that
+// lets each node route without coordination.
+func TestRingDeterminism(t *testing.T) {
+	peers := testPeers(5)
+	shuffled := []Peer{peers[3], peers[0], peers[4], peers[2], peers[1]}
+	a, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(2000) {
+		if ao, bo := a.Owner(key), b.Owner(key); ao.ID != bo.ID {
+			t.Fatalf("key %s: owner %d in one process, %d in the other", key, ao.ID, bo.ID)
+		}
+	}
+}
+
+// TestRingBoundedDisruption: removing one node must remap only the keys
+// that node owned; every other key keeps its owner. Table-tested across
+// each possible removal from a 5-node ring.
+func TestRingBoundedDisruption(t *testing.T) {
+	peers := testPeers(5)
+	full, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(2000)
+	for removed := 0; removed < len(peers); removed++ {
+		t.Run(fmt.Sprintf("remove_node_%d", removed), func(t *testing.T) {
+			var rest []Peer
+			for _, p := range peers {
+				if p.ID != removed {
+					rest = append(rest, p)
+				}
+			}
+			shrunk, err := NewRing(rest, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved, owned := 0, 0
+			for _, key := range keys {
+				before := full.Owner(key)
+				after := shrunk.Owner(key)
+				if before.ID == removed {
+					owned++
+					if after.ID == removed {
+						t.Fatalf("key %s still assigned to the removed node", key)
+					}
+					moved++
+					continue
+				}
+				if after.ID != before.ID {
+					t.Fatalf("key %s moved from surviving node %d to %d — disruption is not bounded",
+						key, before.ID, after.ID)
+				}
+			}
+			if owned == 0 {
+				t.Fatalf("node %d owned no keys out of %d — vnode spread is broken", removed, len(keys))
+			}
+			if moved != owned {
+				t.Errorf("moved %d keys, want exactly the removed node's %d", moved, owned)
+			}
+		})
+	}
+}
+
+// TestRingSpread: with the default vnode count every node must own a
+// non-trivial share of keys — no node starved, no node dominating.
+func TestRingSpread(t *testing.T) {
+	peers := testPeers(4)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(4000)
+	counts := map[int]int{}
+	for _, key := range keys {
+		counts[r.Owner(key).ID]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p.ID]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %d owns %.1f%% of keys, want a rough quarter (10%%..45%%)", p.ID, 100*share)
+		}
+	}
+}
+
+// TestSuccessorsWalk: the failover order starts at the owner, visits
+// every member exactly once, and is identical across ring builds.
+func TestSuccessorsWalk(t *testing.T) {
+	peers := testPeers(4)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]Peer{peers[2], peers[1], peers[3], peers[0]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		succ := r.Successors(key)
+		if len(succ) != len(peers) {
+			t.Fatalf("key %s: %d successors, want the full member count %d", key, len(succ), len(peers))
+		}
+		if succ[0].ID != r.Owner(key).ID {
+			t.Fatalf("key %s: walk starts at %d, owner is %d", key, succ[0].ID, r.Owner(key).ID)
+		}
+		seen := map[int]bool{}
+		for _, p := range succ {
+			if seen[p.ID] {
+				t.Fatalf("key %s: node %d appears twice in the walk", key, p.ID)
+			}
+			seen[p.ID] = true
+		}
+		other := r2.Successors(key)
+		for i := range succ {
+			if succ[i].ID != other[i].ID {
+				t.Fatalf("key %s: walk diverges between processes at position %d (%d vs %d)",
+					key, i, succ[i].ID, other[i].ID)
+			}
+		}
+	}
+}
+
+func TestLoadPeersFile(t *testing.T) {
+	write := func(t *testing.T, content string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "peers.json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := `{"nodes":[{"id":0,"addr":"h0:8080"},{"id":1,"addr":"h1:8080"}]}`
+	peers, err := LoadPeersFile(write(t, good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].Addr != "h0:8080" {
+		t.Fatalf("peers = %+v", peers)
+	}
+
+	bad := map[string]string{
+		"empty list":     `{"nodes":[]}`,
+		"garbage":        `{"nodes"`,
+		"duplicate id":   `{"nodes":[{"id":0,"addr":"a:1"},{"id":0,"addr":"b:1"}]}`,
+		"duplicate addr": `{"nodes":[{"id":0,"addr":"a:1"},{"id":1,"addr":"a:1"}]}`,
+		"negative id":    `{"nodes":[{"id":-1,"addr":"a:1"}]}`,
+		"blank addr":     `{"nodes":[{"id":0,"addr":"  "}]}`,
+	}
+	for name, content := range bad {
+		if _, err := LoadPeersFile(write(t, content)); err == nil {
+			t.Errorf("%s: accepted, want an error", name)
+		}
+	}
+	if _, err := LoadPeersFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: accepted, want an error")
+	}
+}

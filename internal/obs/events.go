@@ -34,6 +34,14 @@ const (
 	EvBrownoutEnd   = "brownout_end"
 	EvShed          = "shed"
 	EvQueueExpired  = "queue_expired"
+	// Cluster-tier events: a submission forwarded to its ring owner, a
+	// cross-node cache peek answered remotely, an owner failure routed to
+	// a ring successor, and peer health transitions as seen by this node.
+	EvClusterForward  = "cluster_forward"
+	EvClusterPeekHit  = "cluster_peek_hit"
+	EvClusterFailover = "cluster_failover"
+	EvNodeDown        = "node_down"
+	EvNodeUp          = "node_up"
 )
 
 // Event is one lifecycle record in the flight recorder: what happened,

@@ -125,6 +125,21 @@ func (c *Cache) Get(key string) (*CachedResult, bool) {
 	return e.Value.(*cacheSlot).val, true
 }
 
+// Peek returns the cached result for key without touching the hit/miss
+// accounting or the recency order. It backs the cluster tier's
+// cross-node cache probe (GET /internal/cache/{digest}): a remote peek
+// must not distort the local cache economics — the smoke tests assert
+// exact hit counts — or promote an entry the local workload never used.
+func (c *Cache) Peek(key string) (*CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return e.Value.(*cacheSlot).val, true
+}
+
 // Put stores val under key, evicting the least recently used entry when
 // over capacity.
 func (c *Cache) Put(key string, val *CachedResult) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"math/bits"
+	"sort"
 	"sync"
 
 	"gpmetis"
@@ -91,4 +92,50 @@ func (e *estimator) costs(algo gpmetis.Algorithm, vertices int) estimate {
 		return est
 	}
 	return estimate{wall: defaultWallEstimate, modeled: defaultModeledEstimate}
+}
+
+// EstimatorCell is the journal form of one estimator cell (record type
+// "estimator"), so the EWMA service-time state survives restarts and
+// deadline admission is warm immediately after replay instead of
+// reverting to the cold-start priors.
+type EstimatorCell struct {
+	Algo    int     `json:"algo"`
+	Bucket  int     `json:"bucket"`
+	Wall    float64 `json:"wall"`
+	Modeled float64 `json:"modeled"`
+}
+
+// snapshot exports every cell, sorted so the journal bytes are
+// deterministic for a given estimator state.
+func (e *estimator) snapshot() []EstimatorCell {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cells := make([]EstimatorCell, 0, len(e.m))
+	for k, v := range e.m {
+		cells = append(cells, EstimatorCell{
+			Algo: int(k.algo), Bucket: k.bucket, Wall: v.wall, Modeled: v.modeled,
+		})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Algo != cells[j].Algo {
+			return cells[i].Algo < cells[j].Algo
+		}
+		return cells[i].Bucket < cells[j].Bucket
+	})
+	return cells
+}
+
+// restore loads journaled cells as the starting estimates. Negative
+// values (a hand-edited or damaged journal) are dropped rather than
+// poisoning admission math.
+func (e *estimator) restore(cells []EstimatorCell) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range cells {
+		if c.Wall < 0 || c.Modeled < 0 {
+			continue
+		}
+		e.m[estKey{algo: gpmetis.Algorithm(c.Algo), bucket: c.Bucket}] =
+			estimate{wall: c.Wall, modeled: c.Modeled}
+	}
 }

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpmetis"
+)
+
+// TestEstimatorSurvivesRestart: the EWMA service-time state is journaled
+// on completions and restored on replay, so a restarted daemon does
+// deadline admission with warm estimates instead of the cold priors.
+func TestEstimatorSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+
+	g, err := gpmetis.Grid2D(40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+
+	s := New(Config{Devices: 1, QueueCap: 8, JournalPath: path})
+	job, err := s.Submit(&SubmitRequest{Graph: text, K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, job.ID)
+	cells := s.est.snapshot()
+	if len(cells) == 0 {
+		t.Fatal("a completed run must leave estimator evidence")
+	}
+	s.Close()
+
+	// The restarted process must come up with the same cells, before any
+	// job has run.
+	s2 := New(Config{Devices: 1, QueueCap: 8, JournalPath: path})
+	defer s2.Close()
+	restored := s2.est.snapshot()
+	if len(restored) != len(cells) {
+		t.Fatalf("restored %d cells, want %d", len(restored), len(cells))
+	}
+	for i := range cells {
+		if restored[i] != cells[i] {
+			t.Errorf("cell %d: restored %+v, journaled %+v", i, restored[i], cells[i])
+		}
+	}
+	if _, ok := s2.est.lookup(gpmetis.GPMetis, g.NumVertices()); !ok {
+		t.Error("the restarted estimator must have evidence for the replayed workload")
+	}
+}
+
+// TestEstimatorRecordSurvivesRotation: compaction rewrites the journal;
+// the estimator record must be carried across, not dropped.
+func TestEstimatorRecordSurvivesRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+
+	g, err := gpmetis.Grid2D(30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Devices: 1, QueueCap: 8, JournalPath: path, JournalRotateEvery: 1})
+	job, err := s.Submit(&SubmitRequest{Graph: graphText(t, g), K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, job.ID)
+	s.Close()
+
+	recs, _, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range recs {
+		if rec.Type == RecEstimator {
+			found = true
+			if len(rec.Est) == 0 {
+				t.Error("estimator record carries no cells")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("compacted journal lost the estimator record")
+	}
+
+	e := newEstimator()
+	for _, rec := range recs {
+		if rec.Type == RecEstimator {
+			e.restore(rec.Est)
+		}
+	}
+	if _, ok := e.lookup(gpmetis.GPMetis, g.NumVertices()); !ok {
+		t.Error("restored estimator has no evidence for the journaled workload")
+	}
+}
+
+// waitTerminal polls the in-process job index until the job leaves the
+// queued/running states.
+func waitTerminal(t *testing.T, s *Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		job, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch job.Status().State {
+		case StateDone, StateFailed, StateCanceled:
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, job.Status().State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

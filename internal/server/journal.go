@@ -32,28 +32,32 @@ type Journal struct {
 
 // Record is one journal line. Type decides which fields are meaningful:
 //
-//	submit:   ID, Seq, Req
-//	running:  ID
-//	done:     ID, Key (may be empty), Result
-//	failed:   ID, Error
-//	canceled: ID, Error
+//	submit:    ID, Seq, Req
+//	running:   ID
+//	done:      ID, Key (may be empty), Result
+//	failed:    ID, Error
+//	canceled:  ID, Error
+//	estimator: ID (always "estimator"), Est — the EWMA service-time
+//	           cells at append time; replay keeps the last one seen
 type Record struct {
-	Type   string         `json:"type"`
-	ID     string         `json:"id"`
-	Seq    int            `json:"seq,omitempty"`
-	Req    *SubmitRequest `json:"req,omitempty"`
-	Key    string         `json:"key,omitempty"`
-	Result *JobResult     `json:"result,omitempty"`
-	Error  string         `json:"error,omitempty"`
+	Type   string          `json:"type"`
+	ID     string          `json:"id"`
+	Seq    int             `json:"seq,omitempty"`
+	Req    *SubmitRequest  `json:"req,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Result *JobResult      `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Est    []EstimatorCell `json:"est,omitempty"`
 }
 
 // Journal record types.
 const (
-	RecSubmit   = "submit"
-	RecRunning  = "running"
-	RecDone     = "done"
-	RecFailed   = "failed"
-	RecCanceled = "canceled"
+	RecSubmit    = "submit"
+	RecRunning   = "running"
+	RecDone      = "done"
+	RecFailed    = "failed"
+	RecCanceled  = "canceled"
+	RecEstimator = "estimator"
 )
 
 // OpenJournal opens (creating if needed) the journal at path for

@@ -27,6 +27,9 @@ const (
 	lifeRun       = "run"
 	lifeJournal   = "journal-append"
 	lifeCoalesced = "coalesced-wait"
+	// lifeClusterForward precedes admit on jobs that arrived via the ring:
+	// a zero-width span carrying the forward's modeled network seconds.
+	lifeClusterForward = "cluster-forward"
 )
 
 // LifeSpan is one wall-clock span of a job's service lifecycle, the
@@ -66,7 +69,7 @@ func (j *Job) markRunStart(t time.Time) {
 // job IDs, never trace IDs).
 func (s *Server) assignIDLocked(j *Job) {
 	s.seq++
-	j.ID = fmt.Sprintf("j%06d", s.seq)
+	j.ID = fmt.Sprintf("%s%06d", s.cfg.JobIDPrefix, s.seq)
 	j.traceID = fmt.Sprintf("%08x-%06d", uint32(s.start.UnixNano())+uint32(time.Now().UnixNano()>>10), s.seq)
 }
 

@@ -154,6 +154,7 @@ func (p *pool) worker(ctx context.Context, slot int) {
 		if st := job.Status(); st.State == StateDone && st.Result != nil {
 			p.s.est.observe(job.algo, job.g.NumVertices(), ran, st.Result.ModeledSeconds)
 			job.tenant.addServed(st.Result.ModeledSeconds)
+			p.s.journalEstimator()
 		}
 	}
 }

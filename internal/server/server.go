@@ -88,6 +88,11 @@ type Config struct {
 	// Now is the wall clock behind admission control (token buckets, the
 	// brownout windows); nil means time.Now. Injectable for tests.
 	Now func() time.Time
+	// JobIDPrefix prefixes generated job IDs (default "j"). Cluster nodes
+	// set a per-node prefix ("n0-j", "n1-j", ...) so IDs are unique across
+	// the ring and an entry node's forwarding table can never confuse a
+	// local job with one it forwarded elsewhere.
+	JobIDPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.JobIDPrefix == "" {
+		c.JobIDPrefix = "j"
+	}
 	return c
 }
 
@@ -165,6 +173,13 @@ type Server struct {
 	inflight map[string]*Job // cache key -> live leader (single-flight)
 
 	journalWarn sync.Once
+
+	// clusterFn, when installed via SetClusterStatus, snapshots the ring
+	// tier's state for /healthz, the ops view, and the cluster metric
+	// series. The server only consumes plain ClusterStatus data, so
+	// internal/cluster can depend on this package without a cycle.
+	clusterMu sync.Mutex
+	clusterFn func() *ClusterStatus
 
 	start time.Time
 
@@ -301,6 +316,11 @@ func (s *Server) compactRecords() []Record {
 			recs = append(recs, Record{Type: RecRunning, ID: j.ID})
 		}
 	}
+	// The estimator state rides every compaction so a restart after
+	// rotation still replays warm service-time estimates.
+	if cells := s.est.snapshot(); len(cells) > 0 {
+		recs = append(recs, Record{Type: RecEstimator, ID: "estimator", Est: cells})
+	}
 	return recs
 }
 
@@ -344,6 +364,71 @@ func (s *Server) watch(j *Job) {
 // Metrics returns the server's counter registry.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// journalEstimator appends the estimator's current cells so a restarted
+// daemon replays them and deadline admission restarts warm. The last
+// estimator record in the journal wins at replay.
+func (s *Server) journalEstimator() {
+	if s.journal == nil {
+		return
+	}
+	cells := s.est.snapshot()
+	if len(cells) == 0 {
+		return
+	}
+	s.journalAppend(Record{Type: RecEstimator, ID: "estimator", Est: cells})
+}
+
+// SetClusterStatus installs the ring tier's status snapshot callback;
+// nil uninstalls it. The snapshot surfaces on /healthz,
+// /admin/status(.json), and as the gpmetisd_cluster_* metric series.
+func (s *Server) SetClusterStatus(fn func() *ClusterStatus) {
+	s.clusterMu.Lock()
+	s.clusterFn = fn
+	s.clusterMu.Unlock()
+}
+
+// clusterStatus snapshots the ring tier, nil on a standalone daemon.
+func (s *Server) clusterStatus() *ClusterStatus {
+	s.clusterMu.Lock()
+	fn := s.clusterFn
+	s.clusterMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// KeyForRequest resolves req exactly as Submit would and returns its
+// content-addressed cache key ("" for NoCache submissions). It is the
+// digest the cluster tier routes on: routing and caching share one
+// resolution path, so they can never disagree about a request's
+// identity.
+func KeyForRequest(req *SubmitRequest) (string, error) {
+	j, err := resolveRequest(req)
+	if err != nil {
+		return "", err
+	}
+	return j.key, nil
+}
+
+// PeekCached returns a copy of the cached result under a content key
+// without touching hit/miss accounting or recency — the read behind the
+// cluster tier's GET /internal/cache/{digest}.
+func (s *Server) PeekCached(key string) (*JobResult, bool) {
+	c, ok := s.cache.Peek(key)
+	if !ok {
+		return nil, false
+	}
+	res := c.Result // shallow copy; Part is shared and immutable
+	return &res, true
+}
+
+// RecordEvent appends one server-scoped flight-recorder event on behalf
+// of a sibling tier (the cluster router's forwards and failovers).
+func (s *Server) RecordEvent(typ, detail string) {
+	s.event(typ, nil, -1, detail)
+}
+
 // Submit validates req, consults the result cache and the in-flight
 // index, and either completes the job instantly (hit), attaches it to an
 // identical in-flight job (single-flight coalescing), or admits it to
@@ -373,6 +458,14 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 		return nil, err
 	}
 	job.submittedAt = t0
+	if req.ForwardedBy != "" {
+		// The ring forward that delivered this job appears in its own
+		// trace: a zero-width wall span carrying the α+βn modeled cost of
+		// the network hop.
+		job.addLifeSpan(lifeClusterForward, t0, t0, map[string]any{
+			"from": req.ForwardedBy, "net_modeled_seconds": req.ForwardNetSeconds,
+		})
+	}
 	job.tenant = s.tenants.state(req.Tenant)
 	job.autoDegraded = autoDegraded
 	if autoDegraded {
@@ -748,13 +841,18 @@ func (s *Server) journalSubmit(j *Job) {
 	s.journalAppend(Record{Type: RecSubmit, ID: j.ID, Seq: seqOf(j.ID), Req: j.req})
 }
 
-// seqOf extracts the numeric sequence from a job ID ("j000042" -> 42).
+// seqOf extracts the numeric sequence from a job ID: the trailing run
+// of digits, so prefixes carrying digits of their own ("n2-j000042")
+// do not pollute the sequence.
 func seqOf(id string) int {
-	n := 0
-	for _, c := range id {
-		if c >= '0' && c <= '9' {
-			n = n*10 + int(c-'0')
+	n, mul := 0, 1
+	for i := len(id) - 1; i >= 0; i-- {
+		c := id[i]
+		if c < '0' || c > '9' {
+			break
 		}
+		n += int(c-'0') * mul
+		mul *= 10
 	}
 	return n
 }
@@ -1027,8 +1125,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	extra = append(extra, s.tenantSamples()...)
+	extra = append(extra, s.clusterSamples()...)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePrometheus(w, s.reg, "gpmetisd_", extra)
+}
+
+// clusterSamples renders the gpmetisd_cluster_* series from the ring
+// tier's snapshot; empty on a standalone daemon.
+func (s *Server) clusterSamples() []obs.PromSample {
+	cs := s.clusterStatus()
+	if cs == nil {
+		return nil
+	}
+	out := []obs.PromSample{
+		{Name: "cluster.node_id", Value: float64(cs.NodeID),
+			Help: "This node's ring identity."},
+		{Name: "cluster.ring_size", Value: float64(len(cs.Peers)),
+			Help: "Ring member count from peers.json."},
+		{Name: "cluster.forwards", Value: float64(cs.Forwards),
+			Help: "Submissions this node forwarded to their ring owner."},
+		{Name: "cluster.peek_hits", Value: float64(cs.PeekHits),
+			Help: "Cross-node cache peeks answered by a remote cache."},
+		{Name: "cluster.peek_misses", Value: float64(cs.PeekMisses),
+			Help: "Cross-node cache peeks the remote cache could not answer."},
+		{Name: "cluster.failovers_total", Value: float64(cs.Failovers),
+			Help: "Submissions routed to a ring successor because the owner was down."},
+		{Name: "cluster.net_modeled_seconds", Value: cs.NetModeledSeconds,
+			Help: "Modeled α+βn network seconds charged to cluster traffic."},
+		{Name: "cluster.net_messages", Value: float64(cs.NetMessages),
+			Help: "Inter-node messages charged against the modeled network."},
+	}
+	first := true
+	for _, p := range cs.Peers {
+		if p.Self {
+			continue // a node probing itself is not a signal
+		}
+		up := 0.0
+		if p.State == "up" {
+			up = 1
+		}
+		smp := obs.PromSample{
+			Name:   "cluster.node_up",
+			Labels: []obs.Label{{Key: "node", Value: strconv.Itoa(p.ID)}},
+			Value:  up,
+		}
+		if first {
+			smp.Help = "Per-peer health as seen by this node (1 up, 0 down)."
+			first = false
+		}
+		out = append(out, smp)
+	}
+	return out
 }
 
 // tenantSamples renders the per-tenant admission series, grouped by
@@ -1112,6 +1259,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if lt := s.events.LastTime(); !lt.IsZero() {
 		h.LastEvent = lt.UTC().Format(time.RFC3339Nano)
 	}
+	h.Cluster = s.clusterStatus()
 	writeJSON(w, http.StatusOK, h)
 }
 

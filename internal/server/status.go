@@ -70,6 +70,7 @@ func (s *Server) statusSnapshot() StatusResponse {
 	st.QueueWait = s.latencySummary("job.queue_seconds")
 	st.RunSeconds = s.latencySummary("job.run_seconds")
 	st.TotalSeconds = s.latencySummary("job.total_seconds")
+	st.Cluster = s.clusterStatus()
 	return st
 }
 
@@ -141,6 +142,16 @@ th { background: #1c1c1c; } td:first-child, th:first-child { text-align: left; }
 {{range .Slots}}<tr><td>{{.Slot}}</td><td class="{{.State}}">{{.State}}</td><td>{{if .RunningJob}}{{.RunningJob}}{{else}}<span class="muted">idle</span>{{end}}</td><td>{{.Jobs}}</td><td>{{secs .BusySeconds}}</td></tr>
 {{end}}</table>
 
+{{if .Cluster}}<h2>Cluster &mdash; node {{.Cluster.NodeID}} ({{.Cluster.Addr}}), {{.Cluster.VNodes}} vnodes</h2>
+<table>
+<tr><th>forwards</th><th>peek hits</th><th>peek misses</th><th>failovers</th><th>net modeled</th><th>net msgs</th></tr>
+<tr><td>{{.Cluster.Forwards}}</td><td>{{.Cluster.PeekHits}}</td><td>{{.Cluster.PeekMisses}}</td><td>{{.Cluster.Failovers}}</td><td>{{secs .Cluster.NetModeledSeconds}}</td><td>{{.Cluster.NetMessages}}</td></tr>
+</table>
+<table>
+<tr><th>peer</th><th>addr</th><th>state</th><th>strikes</th><th>downs</th></tr>
+{{range .Cluster.Peers}}<tr><td>{{.ID}}{{if .Self}} (self){{end}}</td><td>{{.Addr}}</td><td class="{{if eq .State "down"}}breach{{else}}ok{{end}}">{{.State}}</td><td>{{.Strikes}}</td><td>{{.Downs}}</td></tr>
+{{end}}</table>
+{{end}}
 <h2>Latency (wall clock)</h2>
 <table>
 <tr><th>stage</th><th>count</th><th>p50</th><th>p90</th><th>p99</th></tr>

@@ -65,6 +65,15 @@ type SubmitRequest struct {
 	// quotas, and rate limits (see TenantsConfig). Empty means the
 	// "default" tenant.
 	Tenant string `json:"tenant,omitempty"`
+	// ForwardedBy and ForwardNetSeconds are set by the cluster tier when
+	// a peer node forwards a submission to its ring owner: the entry
+	// node's address and the α+βn modeled network seconds the forward
+	// cost. They surface in the job's lifecycle trace and never
+	// participate in the cache key, so a forwarded job caches identically
+	// to a direct one. A non-empty ForwardedBy also pins the job to this
+	// node — forwarded jobs are never re-forwarded.
+	ForwardedBy       string  `json:"forwarded_by,omitempty"`
+	ForwardNetSeconds float64 `json:"forward_net_seconds,omitempty"`
 }
 
 // Job states. A job moves queued -> running -> done/failed, or to
@@ -116,8 +125,13 @@ type JobStatus struct {
 	Tenant string `json:"tenant,omitempty"`
 	// AutoDegraded marks a job whose Degrade option was forced on by the
 	// brownout ladder (level 2) rather than requested by the client.
-	AutoDegraded bool   `json:"auto_degraded,omitempty"`
-	Error        string `json:"error,omitempty"`
+	AutoDegraded bool `json:"auto_degraded,omitempty"`
+	// Node is the host:port of the ring node that owns this job, set by
+	// the cluster tier (empty on a standalone daemon). For a forwarded
+	// submission it names the owner the entry node routed to; for a
+	// cross-node cache peek it names the node whose cache answered.
+	Node  string `json:"node,omitempty"`
+	Error string `json:"error,omitempty"`
 	// Result is set once State is done.
 	Result *JobResult `json:"result,omitempty"`
 }
@@ -150,6 +164,14 @@ const (
 	// the requested deadline (HTTP 429). Retrying immediately cannot
 	// help; retry after Retry-After or relax the deadline.
 	CodeDeadlineUnmeetable = "deadline_unmeetable"
+	// CodeClusterUnreachable marks a submission a cluster entry node
+	// could not place anywhere: every live ring candidate failed (HTTP
+	// 503, retryable once nodes recover).
+	CodeClusterUnreachable = "cluster_unreachable"
+	// CodeNodeUnreachable marks a proxied job lookup whose owning ring
+	// node did not answer (HTTP 502). The job may still be running
+	// there; clients with a member list fail over and resubmit.
+	CodeNodeUnreachable = "node_unreachable"
 )
 
 // DeviceStatus is the wire form of one device-pool slot in GET
@@ -197,6 +219,47 @@ type HealthResponse struct {
 	// BrownoutLevel is the overload ladder's current rung (0 normal,
 	// 1 shedding, 2 shedding + auto-degrade).
 	BrownoutLevel int `json:"brownout_level"`
+	// Cluster is the ring tier's view of this node (nil on a standalone
+	// daemon): node identity, membership, and routing counters.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// ClusterPeerStatus is one ring member as seen by this node: identity
+// plus the strike-based health verdict the router consults.
+type ClusterPeerStatus struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	// State is "up" or "down"; Strikes counts consecutive failures while
+	// up, Downs lifetime quarantines (the probe backoff doubles with each).
+	State   string `json:"state"`
+	Strikes int    `json:"strikes,omitempty"`
+	Downs   int    `json:"downs,omitempty"`
+}
+
+// ClusterStatus is the ring tier's self-description, surfaced on
+// /healthz and /admin/status.json and by the cluster Prometheus series.
+// The server package defines it as plain data so internal/cluster can
+// depend on server without a cycle: the cluster node injects a snapshot
+// callback via SetClusterStatus.
+type ClusterStatus struct {
+	NodeID int                 `json:"node_id"`
+	Addr   string              `json:"addr"`
+	VNodes int                 `json:"vnodes"`
+	Peers  []ClusterPeerStatus `json:"peers"`
+
+	// Routing counters: submissions forwarded to their ring owner,
+	// cross-node cache peeks by outcome, and owner failovers to a ring
+	// successor.
+	Forwards   int64 `json:"forwards"`
+	PeekHits   int64 `json:"peek_hits"`
+	PeekMisses int64 `json:"peek_misses"`
+	Failovers  int64 `json:"failovers"`
+
+	// NetModeledSeconds and NetMessages account every peek, forward, and
+	// proxied response against the α+βn modeled network.
+	NetModeledSeconds float64 `json:"net_modeled_seconds"`
+	NetMessages       int64   `json:"net_messages"`
 }
 
 // SlotStatus is one device slot row of the ops view: identity, live
@@ -289,6 +352,9 @@ type StatusResponse struct {
 
 	EventsTotal int64  `json:"events_total"`
 	LastEvent   string `json:"last_event,omitempty"`
+
+	// Cluster is the ring tier's view of this node (nil standalone).
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // EventsResponse is the wire form of GET /admin/events: the flight

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh - end-to-end smoke test of the gpmetisd ring tier.
+#
+# Boots a 3-node consistent-hash ring from one peers.json, submits a job
+# through `gpmetis -cluster`, locates the owning node by its cache
+# entry, asserts a resubmission entering at a different node is answered
+# by a cross-node cache peek (bit-identical partition, peek counter
+# incremented, modeled network seconds charged), then SIGKILLs the owner
+# and asserts the ring fails the job over to a live successor. Run via
+# `make serve-smoke` or directly from the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "cluster-smoke: building binaries"
+go build -o "$workdir/gpmetisd" ./cmd/gpmetisd
+go build -o "$workdir/gpmetis" ./cmd/gpmetis
+go run ./cmd/graphgen -family delaunay -n 20000 -seed 1 -o "$workdir/smoke.metis"
+
+port_base=$((20000 + RANDOM % 20000))
+addrs=()
+for i in 0 1 2; do
+    addrs+=("127.0.0.1:$((port_base + i))")
+done
+cat >"$workdir/peers.json" <<EOF
+{"nodes":[
+  {"id":0,"addr":"${addrs[0]}"},
+  {"id":1,"addr":"${addrs[1]}"},
+  {"id":2,"addr":"${addrs[2]}"}
+]}
+EOF
+
+echo "cluster-smoke: starting a 3-node ring on ports $port_base..$((port_base + 2))"
+for i in 0 1 2; do
+    "$workdir/gpmetisd" -addr "${addrs[$i]}" -devices 1 \
+        -peers "$workdir/peers.json" -node-id "$i" -cluster-probe 300ms \
+        >"$workdir/node$i.log" 2>&1 &
+    pids[$i]=$!
+done
+for i in 0 1 2; do
+    up=""
+    for _ in $(seq 1 50); do
+        if grep -q "cluster node $i of 3-node ring" "$workdir/node$i.log"; then up=1; break; fi
+        kill -0 "${pids[$i]}" 2>/dev/null || { cat "$workdir/node$i.log"; echo "cluster-smoke: FAIL node $i died on startup"; exit 1; }
+        sleep 0.1
+    done
+    [[ -n "$up" ]] || { cat "$workdir/node$i.log"; echo "cluster-smoke: FAIL node $i never joined the ring"; exit 1; }
+done
+
+# Every member must report the ring on /healthz.
+for i in 0 1 2; do
+    curl -sf "http://${addrs[$i]}/healthz" >"$workdir/healthz$i.json"
+    grep -q '"cluster"' "$workdir/healthz$i.json" || { cat "$workdir/healthz$i.json"; echo "cluster-smoke: FAIL node $i /healthz carries no cluster block"; exit 1; }
+    grep -q "\"node_id\": *$i" "$workdir/healthz$i.json" || { cat "$workdir/healthz$i.json"; echo "cluster-smoke: FAIL node $i reports the wrong identity"; exit 1; }
+done
+
+echo "cluster-smoke: submitting job via gpmetis -cluster (entry node 0)"
+"$workdir/gpmetis" -cluster "${addrs[0]},${addrs[1]},${addrs[2]}" -k 16 -json \
+    -trace "$workdir/run1.trace.json" -o "$workdir/run1.part" \
+    "$workdir/smoke.metis" >"$workdir/run1.json"
+grep -q '"edge_cut"' "$workdir/run1.json" || { cat "$workdir/run1.json"; echo "cluster-smoke: FAIL first run carries no result"; exit 1; }
+if grep -q '"cached": true' "$workdir/run1.json"; then
+    echo "cluster-smoke: FAIL first submission must not be a cache hit"
+    exit 1
+fi
+
+# Exactly one node owns the digest: find it by its cache entry.
+owner=""
+for i in 0 1 2; do
+    curl -sf "http://${addrs[$i]}/metrics" >"$workdir/metrics$i.prom"
+    if grep -q '^gpmetisd_cache_entries 1$' "$workdir/metrics$i.prom"; then
+        [[ -z "$owner" ]] || { echo "cluster-smoke: FAIL nodes $owner and $i both cache the job"; exit 1; }
+        owner=$i
+    fi
+done
+[[ -n "$owner" ]] || { echo "cluster-smoke: FAIL no node caches the completed job"; exit 1; }
+echo "cluster-smoke: digest owner is node $owner"
+
+# When the job entered at a non-owner, its trace must carry the
+# cluster-forward span with the modeled network charge.
+if [[ "$owner" != 0 ]]; then
+    grep -q 'cluster-forward' "$workdir/run1.trace.json" || { echo "cluster-smoke: FAIL forwarded job trace has no cluster-forward span"; exit 1; }
+    grep -q 'net_modeled_seconds' "$workdir/run1.trace.json" || { echo "cluster-smoke: FAIL cluster-forward span carries no network charge"; exit 1; }
+    echo "cluster-smoke: forward span present in the job trace"
+fi
+
+# Resubmit the identical job entering at a non-owner: a cross-node peek
+# must answer it from the owner's cache, bit-identically.
+entry=$(( (owner + 1) % 3 ))
+echo "cluster-smoke: resubmitting via non-owner entry node $entry"
+"$workdir/gpmetis" -cluster "${addrs[$entry]}" -k 16 -json -o "$workdir/run2.part" \
+    "$workdir/smoke.metis" >"$workdir/run2.json"
+grep -q '"cached": true' "$workdir/run2.json" || { cat "$workdir/run2.json"; echo "cluster-smoke: FAIL resubmission was not a cache hit"; exit 1; }
+cmp -s "$workdir/run1.part" "$workdir/run2.part" || { echo "cluster-smoke: FAIL peeked partition differs from the original"; exit 1; }
+
+curl -sf "http://${addrs[$entry]}/metrics" >"$workdir/entry.prom"
+grep -q '^gpmetisd_cluster_peek_hits 1$' "$workdir/entry.prom" || { grep ^gpmetisd_cluster "$workdir/entry.prom"; echo "cluster-smoke: FAIL entry node counted no peek hit"; exit 1; }
+net_secs="$(sed -n 's/^gpmetisd_cluster_net_modeled_seconds \(.*\)/\1/p' "$workdir/entry.prom")"
+awk -v s="$net_secs" 'BEGIN { exit (s > 0 ? 0 : 1) }' || { echo "cluster-smoke: FAIL entry node charged no modeled network seconds ($net_secs)"; exit 1; }
+echo "cluster-smoke: peek hit served cross-node ($net_secs modeled network seconds charged)"
+
+# The owner's cache must have answered without rerunning the job.
+curl -sf "http://${addrs[$owner]}/metrics" >"$workdir/owner.prom"
+grep -q '^gpmetisd_jobs_completed 1$' "$workdir/owner.prom" || { echo "cluster-smoke: FAIL the owner reran a cached job"; exit 1; }
+
+echo "cluster-smoke: SIGKILLing owner node $owner"
+kill -9 "${pids[$owner]}"
+wait "${pids[$owner]}" 2>/dev/null || true
+pids[$owner]=""
+
+# The dead owner's share must fail over: the identical submission now
+# completes on a ring successor, still bit-identical (the partitioner is
+# deterministic), and the entry accounts the failover.
+survivor=$(( (owner + 2) % 3 ))
+echo "cluster-smoke: resubmitting with the owner dead (entry $entry, survivor $survivor)"
+"$workdir/gpmetis" -cluster "${addrs[$entry]},${addrs[$survivor]}" -k 16 -json \
+    -o "$workdir/run3.part" "$workdir/smoke.metis" >"$workdir/run3.json"
+grep -q '"edge_cut"' "$workdir/run3.json" || { cat "$workdir/run3.json"; echo "cluster-smoke: FAIL failover run carries no result"; exit 1; }
+cmp -s "$workdir/run1.part" "$workdir/run3.part" || { echo "cluster-smoke: FAIL failover partition differs from the original"; exit 1; }
+
+curl -sf "http://${addrs[$entry]}/metrics" >"$workdir/entry2.prom"
+failovers="$(sed -n 's/^gpmetisd_cluster_failovers_total \([0-9]*\).*/\1/p' "$workdir/entry2.prom")"
+[[ -n "$failovers" && "$failovers" -ge 1 ]] || { grep ^gpmetisd_cluster "$workdir/entry2.prom"; echo "cluster-smoke: FAIL entry node counted no failover"; exit 1; }
+echo "cluster-smoke: failover completed on a successor (failovers_total=$failovers)"
+
+# The prober must have quarantined the dead peer by now.
+deadline=$((SECONDS + 5))
+down=""
+while (( SECONDS < deadline )); do
+    if curl -sf "http://${addrs[$entry]}/healthz" | grep -q '"state": *"down"'; then down=1; break; fi
+    sleep 0.2
+done
+[[ -n "$down" ]] || { echo "cluster-smoke: FAIL the dead owner was never marked down"; exit 1; }
+echo "cluster-smoke: dead owner quarantined by health probes"
+
+for i in 0 1 2; do
+    [[ -n "${pids[$i]}" ]] && kill "${pids[$i]}" 2>/dev/null || true
+done
+echo "cluster-smoke: OK"
