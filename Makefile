@@ -44,15 +44,17 @@ perf-gate:
 # serve-smoke boots a real gpmetisd on a random port, submits a job with
 # the gpmetis client, and asserts the resubmission is a cache hit; it then
 # runs the kill -9 / restart recovery smoke on a journaled daemon and the
-# 3-node ring smoke (forwarding, cross-node cache peek, owner failover).
+# 3-node ring smoke (forwarding, cross-node cache peek, RF=2 replication,
+# replica-served owner failover, rejoin catch-up).
 serve-smoke: build
 	./scripts/serve_smoke.sh
 	./scripts/restart_smoke.sh
 	./scripts/cluster_smoke.sh
 
-# cluster-smoke runs only the ring end-to-end: boot a 3-node ring from one
-# peers.json, forward a job to its digest owner, answer a resubmission by
-# cross-node cache peek, then SIGKILL the owner and fail over.
+# cluster-smoke runs only the ring end-to-end: boot a 3-node RF=2 ring
+# from one peers.json, forward a job to its digest owner, answer a
+# resubmission by cross-node cache peek, SIGKILL the owner and serve the
+# digest from its replica, then restart the owner and catch it back up.
 cluster-smoke: build
 	./scripts/cluster_smoke.sh
 

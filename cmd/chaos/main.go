@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	chaos [-runs 25] [-seed 1] [-start 0] [-only core|resume|daemon|overload|cluster] [-v]
+//	chaos [-runs 25] [-seed 1] [-start 0] [-only core|resume|daemon|overload|cluster|replication] [-v]
 //
 // Every run derives its private RNG from (-seed, run index), so any
 // failure is replayable in isolation: on failure the harness prints a
@@ -37,6 +37,13 @@
 //	        must complete or be shed with a typed rejection — and every
 //	        submission must be servable by the survivors afterward, so
 //	        no job is ever lost to the dead node.
+//	replication: a 4-node RF=2 ring replicates completed results; a
+//	        kill storm (one node at a time, process and cache both)
+//	        must lose no replicated entry — survivors serve every
+//	        digest bit-identically at zero partition cost, pushes to
+//	        the dead node become hints, and after restart the hint
+//	        backlog drains to zero and rejoin catch-up restores the
+//	        node's full replica duty.
 package main
 
 import (
@@ -62,14 +69,14 @@ func main() {
 	runs := flag.Int("runs", 25, "number of chaos rounds")
 	seed := flag.Int64("seed", 1, "master seed; each run derives its own RNG from (seed, run)")
 	start := flag.Int("start", 0, "first run index (for replaying one failing round)")
-	only := flag.String("only", "", "pin one mode: core, resume, daemon, overload, or cluster")
+	only := flag.String("only", "", "pin one mode: core, resume, daemon, overload, cluster, or replication")
 	flag.BoolVar(&verbose, "v", false, "log each round")
 	flag.Parse()
 
-	modes := []string{"core", "resume", "daemon", "overload", "cluster"}
+	modes := []string{"core", "resume", "daemon", "overload", "cluster", "replication"}
 	if *only != "" {
 		switch *only {
-		case "core", "resume", "daemon", "overload", "cluster":
+		case "core", "resume", "daemon", "overload", "cluster", "replication":
 			modes = []string{*only}
 		default:
 			fmt.Fprintf(os.Stderr, "chaos: unknown mode %q\n", *only)
@@ -93,6 +100,8 @@ func main() {
 			err = chaosOverload(rng)
 		case "cluster":
 			err = chaosCluster(rng)
+		case "replication":
+			err = chaosReplication(rng)
 		}
 		if err != nil {
 			fmt.Printf("CHAOS FAIL seed=%d run=%d mode=%s: %v\n", *seed, r, mode, err)

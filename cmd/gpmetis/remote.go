@@ -86,6 +86,7 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		return nil, err
 	}
 	var lastErr error
+	var prevDelay time.Duration
 	for i, base := range a.bases {
 		oc, err := runRemoteOn(base, a, body)
 		if err == nil {
@@ -97,8 +98,14 @@ func runRemote(a remoteArgs) (*outcome, error) {
 		}
 		lastErr = err
 		if i+1 < len(a.bases) {
-			fmt.Fprintf(os.Stderr, "gpmetis: %s unreachable (%v); failing over to %s\n",
-				base, err, a.bases[i+1])
+			// Decorrelated jitter before the next base, mirroring the 429
+			// Retry-After path: a dead entry node must not make every
+			// client of the ring resubmit to the same successor in
+			// lockstep.
+			prevDelay = failoverDelay(prevDelay)
+			fmt.Fprintf(os.Stderr, "gpmetis: %s unreachable (%v); failing over to %s in %v\n",
+				base, err, a.bases[i+1], prevDelay.Round(time.Millisecond))
+			retrySleep(prevDelay)
 		}
 	}
 	if len(a.bases) == 1 {
@@ -293,6 +300,25 @@ func parseRetryAfter(v string) time.Duration {
 		return 0
 	}
 	return time.Duration(secs) * time.Second
+}
+
+// failoverDelay spaces cluster failover attempts with decorrelated
+// jitter: each delay is drawn uniformly from [base, min(cap, 3*prev)],
+// so consecutive failovers spread out without ever stalling a healthy
+// ring walk for long. Pass the previous delay (0 on the first failover).
+func failoverDelay(prev time.Duration) time.Duration {
+	const (
+		base = 50 * time.Millisecond
+		max  = 2 * time.Second
+	)
+	if prev < base {
+		prev = base
+	}
+	hi := 3 * prev
+	if hi > max {
+		hi = max
+	}
+	return base + time.Duration(rand.Int63n(int64(hi-base)+1))
 }
 
 // retryDelay doubles a base delay per attempt and adds up to 50%

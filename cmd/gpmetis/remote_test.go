@@ -253,6 +253,10 @@ func TestClusterFailoverToNextBase(t *testing.T) {
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
+	var slept []time.Duration
+	retrySleep = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { retrySleep = time.Sleep }()
+
 	oc, err := runRemote(remoteArgs{
 		bases: []string{deadURL, ts.URL}, path: writeTempGraph(t), k: 2, algo: "gp", retries: 0,
 	})
@@ -264,6 +268,39 @@ func TestClusterFailoverToNextBase(t *testing.T) {
 	}
 	if oc.JobID != "j000044" || oc.Server != ts.URL {
 		t.Errorf("outcome = %+v, want job j000044 served by %s", oc, ts.URL)
+	}
+	// The failover must be jittered, not immediate: exactly one sleep,
+	// drawn from the decorrelated-jitter window.
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times on failover, want 1", len(slept))
+	}
+	if slept[0] < 50*time.Millisecond || slept[0] > 200*time.Millisecond {
+		t.Errorf("first failover slept %v, want within [50ms, 200ms]", slept[0])
+	}
+}
+
+// TestFailoverDelayBounds: decorrelated jitter stays within
+// [base, min(cap, 3*prev)] and never collapses to zero — a dead entry
+// node must not synchronize thundering resubmits onto its successor.
+func TestFailoverDelayBounds(t *testing.T) {
+	const base = 50 * time.Millisecond
+	const cap = 2 * time.Second
+	for i := 0; i < 200; i++ {
+		var prev time.Duration
+		for hop := 0; hop < 8; hop++ {
+			lo, hi := base, 3*prev
+			if hi < 3*base {
+				hi = 3 * base
+			}
+			if hi > cap {
+				hi = cap
+			}
+			d := failoverDelay(prev)
+			if d < lo || d > hi {
+				t.Fatalf("failoverDelay(%v) = %v, want within [%v, %v]", prev, d, lo, hi)
+			}
+			prev = d
+		}
 	}
 }
 

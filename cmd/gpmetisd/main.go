@@ -17,7 +17,8 @@
 //	         [-brownout-target 0.9] [-brownout-fast-window 15s] \
 //	         [-brownout-slow-window 90s] [-brownout-off] \
 //	         [-debug-addr 127.0.0.1:6060] \
-//	         [-peers peers.json -node-id 0] [-vnodes 64] [-cluster-probe 1s]
+//	         [-peers peers.json -node-id 0] [-vnodes 64] [-cluster-probe 1s] \
+//	         [-replicas 2] [-anti-entropy 5s] [-hint-dir hints/]
 //
 // API:
 //
@@ -48,6 +49,11 @@
 //	GET    /admin/events    flight recorder: recent lifecycle events
 //	GET    /admin/devices   device-pool quarantine states
 //	POST   /admin/devices/{slot}/reinstate  force a slot back into service
+//	POST   /admin/decommission  (ring members) retire this node: push its
+//	                        cache to the shrunk ring, announce departure,
+//	                        then drain and exit as on SIGTERM
+//	POST   /admin/rejoin    (ring members) announce return and pull the
+//	                        entries this node now owns (catch-up repair)
 //
 // Logs are structured (-log-format text|json, -log-level debug..error);
 // every job-scoped line carries job_id and trace_id. SIGTERM or SIGINT
@@ -96,6 +102,20 @@
 // ring successor. Ring state appears on /healthz and /admin/status, and
 // routing counters as gpmetisd_cluster_* on /metrics. Every node of the
 // ring must run with the same peers.json and -vnodes.
+//
+// Ring durability (DESIGN.md §15): -replicas R (default 2) pushes every
+// freshly completed result to the next R−1 ring successors, so a dead
+// owner's cached work is served bit-identically from a replica instead
+// of recomputed. Pushes to quarantined peers become handoff hints
+// (persisted under -hint-dir when set) and drain when the peer
+// reinstates; a background anti-entropy sweep (-anti-entropy, negative
+// to disable) exchanges digest summaries and repairs divergence. On
+// startup a ring member announces itself and pulls the entries it now
+// owns (rejoin catch-up). POST /admin/decommission retires a node
+// safely: it pushes its cache to the shrunk ring's owners, announces
+// departure to every peer, then drains and exits exactly as on SIGTERM;
+// POST /admin/rejoin re-announces and re-runs catch-up on demand.
+// SIGHUP reloads -peers, applying membership changes without a restart.
 //
 // -debug-addr starts a second listener serving net/http/pprof under
 // /debug/pprof/ (goroutine dumps, heap and CPU profiles of the daemon
@@ -153,6 +173,9 @@ func main() {
 	nodeID := flag.Int("node-id", -1, "this node's id in -peers (required with -peers)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default, must match across the ring)")
 	clusterProbe := flag.Duration("cluster-probe", 0, "peer health-probe interval (0 = default 1s)")
+	replicas := flag.Int("replicas", 0, "cluster replication factor (0 = default 2, 1 disables replication)")
+	antiEntropy := flag.Duration("anti-entropy", 0, "anti-entropy repair sweep interval (0 = default 5s, negative disables)")
+	hintDir := flag.String("hint-dir", "", "directory persisting handoff hints across restarts (empty = memory only)")
 	flag.Parse()
 
 	level, err := obs.ParseLogLevel(*logLevel)
@@ -228,6 +251,9 @@ func main() {
 	// its ring share and forwards the rest, peeking peer caches first.
 	handler := http.Handler(s.Handler())
 	var node *cluster.Node
+	// A decommission request funnels into the same drain path as SIGTERM;
+	// the buffered channel makes the callback non-blocking and idempotent.
+	decommissioned := make(chan struct{}, 1)
 	if *peersFile != "" {
 		peers, err := cluster.LoadPeersFile(*peersFile)
 		if err != nil {
@@ -235,12 +261,21 @@ func main() {
 			os.Exit(2)
 		}
 		node, err = cluster.New(cluster.Config{
-			NodeID:        *nodeID,
-			Peers:         peers,
-			VNodes:        *vnodes,
-			Server:        s,
-			ProbeInterval: *clusterProbe,
-			Logger:        logger,
+			NodeID:              *nodeID,
+			Peers:               peers,
+			VNodes:              *vnodes,
+			Server:              s,
+			ProbeInterval:       *clusterProbe,
+			Logger:              logger,
+			Replicas:            *replicas,
+			AntiEntropyInterval: *antiEntropy,
+			HintDir:             *hintDir,
+			OnDecommission: func() {
+				select {
+				case decommissioned <- struct{}{}:
+				default:
+				}
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gpmetisd:", err)
@@ -282,6 +317,35 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
+	if node != nil {
+		// Rejoin catch-up: announce this node to its peers and pull the
+		// entries it now owns or replicates. Runs after the listener is up
+		// so peers can push back immediately; harmless on a cold ring.
+		go func() {
+			if pulled := node.Rejoin(); pulled > 0 {
+				logger.Info("rejoin catch-up complete", "entries_pulled", pulled)
+			}
+		}()
+		// SIGHUP reloads the peers file: membership changes apply to the
+		// live ring without restarting the daemon.
+		hupc := make(chan os.Signal, 1)
+		signal.Notify(hupc, syscall.SIGHUP)
+		go func() {
+			for range hupc {
+				peers, err := cluster.LoadPeersFile(*peersFile)
+				if err != nil {
+					logger.Error("SIGHUP: peers reload failed", "error", err.Error())
+					continue
+				}
+				if err := node.UpdatePeers(peers); err != nil {
+					logger.Error("SIGHUP: peer update rejected", "error", err.Error())
+					continue
+				}
+				logger.Info("SIGHUP: peers reloaded", "members", len(peers))
+			}
+		}()
+	}
+
 	// SIGQUIT is the non-fatal post-mortem trigger: dump the flight
 	// recorder to stderr and keep serving.
 	quitc := make(chan os.Signal, 1)
@@ -295,13 +359,12 @@ func main() {
 		}
 	}()
 
-	select {
-	case <-ctx.Done():
-		// Graceful drain: stop admitting (submits now get 503 while the
-		// listener stays up so pollers can still fetch results), give
-		// in-flight jobs the drain budget, then tear the listener down
-		// and flush the journal.
-		logger.Info("shutdown signal received; draining", "drain_timeout", drainTimeout.String())
+	// Graceful drain: stop admitting (submits now get 503 while the
+	// listener stays up so pollers can still fetch results), give
+	// in-flight jobs the drain budget, then tear the listener down
+	// and flush the journal.
+	drainAndExit := func(cause string) {
+		logger.Info(cause+"; draining", "drain_timeout", drainTimeout.String())
 		drained, aborted := s.Drain(*drainTimeout)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -314,8 +377,18 @@ func main() {
 		}
 		s.Close()
 		logger.Info("shutdown complete", "drained", drained, "aborted", aborted)
+	}
+
+	select {
+	case <-ctx.Done():
+		drainAndExit("shutdown signal received")
+	case <-decommissioned:
+		drainAndExit("decommission requested")
 	case err := <-errc:
 		logger.Error("listener failed", "error", err.Error())
+		if node != nil {
+			node.Close()
+		}
 		s.Close()
 		os.Exit(1)
 	}

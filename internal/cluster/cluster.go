@@ -25,6 +25,12 @@ const (
 	// DefaultStrikeThreshold is how many consecutive failures (probes or
 	// request-path connection errors) mark a peer down.
 	DefaultStrikeThreshold = 2
+	// DefaultReplicas is the replication factor: each completed result
+	// lives on its ring owner plus the next R−1 distinct successors.
+	DefaultReplicas = 2
+	// DefaultAntiEntropyInterval is the cadence of the background digest
+	// summary exchange that repairs replica divergence.
+	DefaultAntiEntropyInterval = 5 * time.Second
 )
 
 // Config wires one ring node.
@@ -54,6 +60,22 @@ type Config struct {
 	// Client performs forwards, peeks, and proxies; nil means a client
 	// with a 15s timeout.
 	Client *http.Client
+	// Replicas is the replication factor: completed results are pushed
+	// asynchronously to the next Replicas−1 live ring successors. 0 means
+	// DefaultReplicas; 1 disables replication.
+	Replicas int
+	// AntiEntropyInterval is the cadence of the background repair sweep
+	// (0 means DefaultAntiEntropyInterval; < 0 disables the loop, for
+	// tests that call AntiEntropyNow by hand).
+	AntiEntropyInterval time.Duration
+	// HintDir, when non-empty, persists handoff hints as one JSONL file
+	// per peer, so hints survive a restart of the hinting node.
+	HintDir string
+	// OnDecommission, when non-nil, is invoked (once, asynchronously)
+	// after POST /admin/decommission has pushed this node's cache to its
+	// new owners and announced departure — the daemon hooks its graceful
+	// drain-and-exit path here.
+	OnDecommission func()
 }
 
 // Node is one member of the ring: it wraps the local server's HTTP
@@ -64,7 +86,6 @@ type Config struct {
 type Node struct {
 	cfg    Config
 	self   Peer
-	ring   *Ring
 	srv    *server.Server
 	inner  http.Handler
 	net    *NetModel
@@ -72,17 +93,36 @@ type Node struct {
 	client *http.Client
 	probe  *http.Client
 
-	health map[int]*nodeHealth // keyed by peer ID; no entry for self
+	// ringMu guards the mutable membership view: the effective ring,
+	// the full configured peer list (departed members included), the
+	// departure marks, and the health map's structure (each entry has
+	// its own lock). Membership changes — a peers.json reload, a leave
+	// or join announcement — rebuild the ring under the write lock.
+	ringMu   sync.RWMutex
+	ring     *Ring
+	peersAll []Peer
+	departed map[int]bool
+	health   map[int]*nodeHealth // keyed by peer ID; no entry for self
 
 	// forwarded remembers where each forwarded job lives so status,
 	// trace, profile, and cancel requests follow it transparently.
 	mu        sync.Mutex
 	forwarded map[string]Peer // job ID -> owning peer
 
-	forwards   atomic.Int64
-	peekHits   atomic.Int64
-	peekMisses atomic.Int64
-	failovers  atomic.Int64
+	hints *hintTable
+	repl  chan replTask
+
+	forwards      atomic.Int64
+	peekHits      atomic.Int64
+	peekMisses    atomic.Int64
+	failovers     atomic.Int64
+	replicaPushes atomic.Int64
+	replicaStores atomic.Int64
+	replicaHits   atomic.Int64
+	handoffHinted atomic.Int64
+	handoffDrain  atomic.Int64
+	repairPushed  atomic.Int64
+	repairPulled  atomic.Int64
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -117,6 +157,15 @@ func New(cfg Config) (*Node, error) {
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.AntiEntropyInterval == 0 {
+		cfg.AntiEntropyInterval = DefaultAntiEntropyInterval
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NewLogger(os.Stderr, obs.LogText, slog.LevelInfo)
 	}
@@ -127,6 +176,8 @@ func New(cfg Config) (*Node, error) {
 		cfg:       cfg,
 		self:      self,
 		ring:      ring,
+		peersAll:  ring.Peers(),
+		departed:  map[int]bool{},
 		srv:       cfg.Server,
 		net:       NewNetModel(cfg.Machine),
 		log:       cfg.Logger.With("node_id", self.ID),
@@ -134,6 +185,8 @@ func New(cfg Config) (*Node, error) {
 		probe:     &http.Client{Timeout: 2 * time.Second},
 		health:    map[int]*nodeHealth{},
 		forwarded: map[string]Peer{},
+		hints:     newHintTable(cfg.HintDir),
+		repl:      make(chan replTask, 256),
 		stop:      make(chan struct{}),
 	}
 	for _, p := range ring.Peers() {
@@ -141,25 +194,71 @@ func New(cfg Config) (*Node, error) {
 			n.health[p.ID] = newNodeHealth()
 		}
 	}
+	if err := n.hints.load(); err != nil {
+		n.log.Warn("hint journal load failed; starting with empty hints", "error", err.Error())
+	}
 	n.srv.SetClusterStatus(n.Status)
 	if cfg.ProbeInterval > 0 {
 		n.wg.Add(1)
 		go n.probeLoop()
 	}
+	if cfg.Replicas > 1 {
+		n.srv.SetResultHook(n.enqueueReplication)
+		n.wg.Add(1)
+		go n.replicateLoop()
+		if cfg.AntiEntropyInterval > 0 {
+			n.wg.Add(1)
+			go n.antiEntropyLoop()
+		}
+	}
 	return n, nil
 }
 
-// Close stops the health prober. The wrapped handler keeps serving (the
-// server owns its own shutdown); routing continues with frozen health.
+// Close stops every background goroutine the node owns — the health
+// prober, the replicator, the anti-entropy sweep, and any in-flight
+// hint drains — and uninstalls the server hooks. The wrapped handler
+// keeps serving (the server owns its own shutdown); routing continues
+// with frozen health.
 func (n *Node) Close() {
 	n.closeOnce.Do(func() {
+		n.srv.SetResultHook(nil)
 		close(n.stop)
 		n.wg.Wait()
 	})
 }
 
-// Ring returns the node's ring, for tests and tooling.
-func (n *Node) Ring() *Ring { return n.ring }
+// Ring returns the node's current effective ring (departed members
+// excluded), for tests and tooling.
+func (n *Node) Ring() *Ring { return n.currentRing() }
+
+// currentRing snapshots the effective ring under the membership lock.
+func (n *Node) currentRing() *Ring {
+	n.ringMu.RLock()
+	defer n.ringMu.RUnlock()
+	return n.ring
+}
+
+// peerHealth returns the health entry for a peer ID, nil for self or
+// unknown peers.
+func (n *Node) peerHealth(id int) *nodeHealth {
+	n.ringMu.RLock()
+	defer n.ringMu.RUnlock()
+	return n.health[id]
+}
+
+// otherPeers snapshots the configured members other than self that have
+// not announced departure — the probe, replication, and repair targets.
+func (n *Node) otherPeers() []Peer {
+	n.ringMu.RLock()
+	defer n.ringMu.RUnlock()
+	out := make([]Peer, 0, len(n.peersAll))
+	for _, p := range n.peersAll {
+		if p.ID != n.self.ID && !n.departed[p.ID] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // Status snapshots the node for the wire — the callback behind the
 // server's /healthz, ops view, and cluster metric series.
@@ -167,29 +266,47 @@ func (n *Node) Status() *server.ClusterStatus {
 	cs := &server.ClusterStatus{
 		NodeID:            n.self.ID,
 		Addr:              n.self.Addr,
-		VNodes:            n.ring.VNodes(),
 		Forwards:          n.forwards.Load(),
 		PeekHits:          n.peekHits.Load(),
 		PeekMisses:        n.peekMisses.Load(),
 		Failovers:         n.failovers.Load(),
 		NetModeledSeconds: n.net.Seconds(),
 		NetMessages:       n.net.Messages(),
+		Replicas:          n.cfg.Replicas,
+		ReplicaPushes:     n.replicaPushes.Load(),
+		ReplicaStores:     n.replicaStores.Load(),
+		ReplicaHits:       n.replicaHits.Load(),
+		HandoffHinted:     n.handoffHinted.Load(),
+		HandoffDrained:    n.handoffDrain.Load(),
+		HintsOutstanding:  n.hints.outstanding(),
+		RepairPushed:      n.repairPushed.Load(),
+		RepairPulled:      n.repairPulled.Load(),
 	}
-	for _, p := range n.ring.Peers() {
+	n.ringMu.RLock()
+	cs.VNodes = n.ring.VNodes()
+	for _, p := range n.peersAll {
 		ps := server.ClusterPeerStatus{
-			ID: p.ID, Addr: p.Addr, Self: p.ID == n.self.ID, State: NodeUp,
+			ID: p.ID, Addr: p.Addr, Self: p.ID == n.self.ID,
+			State: NodeUp, Left: n.departed[p.ID],
 		}
 		if h := n.health[p.ID]; h != nil {
 			ps.State, ps.Strikes, ps.Downs = h.snapshot()
 		}
 		cs.Peers = append(cs.Peers, ps)
 	}
+	n.ringMu.RUnlock()
 	return cs
 }
 
 // Handler wraps the server's HTTP API with the ring's routing layer:
 //
 //	GET  /internal/cache/{digest}  cross-node cache peek (200 result, 404)
+//	PUT  /internal/cache/{digest}  replica store (replication, handoff, repair)
+//	POST /internal/cache/summary   anti-entropy digest-summary exchange
+//	POST /internal/ring/leave      a member announced its departure
+//	POST /internal/ring/join       a departed member announced its return
+//	POST /admin/decommission       retire this node: push cache, announce leave
+//	POST /admin/rejoin             announce return and run catch-up repair
 //	POST /jobs                     route by digest: local, peek, forward
 //	GET/DELETE /jobs/{id}[...]     proxied to the owner for forwarded jobs
 //
@@ -198,6 +315,12 @@ func (n *Node) Handler(inner http.Handler) http.Handler {
 	n.inner = inner
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /internal/cache/{digest}", n.handlePeek)
+	mux.HandleFunc("PUT /internal/cache/{digest}", n.handleReplicaPut)
+	mux.HandleFunc("POST /internal/cache/summary", n.handleSummary)
+	mux.HandleFunc("POST /internal/ring/leave", n.handleLeave)
+	mux.HandleFunc("POST /internal/ring/join", n.handleJoin)
+	mux.HandleFunc("POST /admin/decommission", n.handleDecommission)
+	mux.HandleFunc("POST /admin/rejoin", n.handleRejoin)
 	mux.HandleFunc("POST /jobs", n.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", n.proxyOrLocal)
 	mux.HandleFunc("DELETE /jobs/{id}", n.proxyOrLocal)
@@ -248,14 +371,29 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	owner := n.ring.Owner(key)
-	for _, p := range n.ring.Successors(key) {
+	ring := n.currentRing()
+	owner := ring.Owner(key)
+	succs := ring.Successors(key)
+	for i, p := range succs {
 		if p.ID == n.self.ID {
+			// This node is the first live candidate. Before recomputing
+			// work a dead owner may already have finished, consult the
+			// untried members of the key's replica set: a replicated
+			// entry answers bit-identically at zero modeled partition
+			// cost, and read-repairs the local cache on the way through.
+			if res, from, ok := n.consultReplicas(key, succs, i); ok {
+				n.noteFailover(owner, from, key)
+				writeJSON(w, http.StatusOK, server.JobStatus{
+					State: server.StateDone, Cached: true, Device: -1,
+					Node: from.Addr, Result: res,
+				})
+				return
+			}
 			n.noteFailover(owner, p, key)
 			n.serveLocal(w, r, body)
 			return
 		}
-		if h := n.health[p.ID]; h != nil && h.down() {
+		if h := n.peerHealth(p.ID); h != nil && h.down() {
 			continue
 		}
 		res, found, peekErr := n.peekRemote(p, key)
@@ -451,7 +589,7 @@ func (n *Node) noteFailover(owner, got Peer, key string) {
 // strikePeer records a request-path failure against a peer, marking it
 // down at the strike threshold.
 func (n *Node) strikePeer(p Peer, detail string) {
-	h := n.health[p.ID]
+	h := n.peerHealth(p.ID)
 	if h == nil {
 		return
 	}
@@ -463,7 +601,7 @@ func (n *Node) strikePeer(p Peer, detail string) {
 
 // clearStrikes resets a peer's failure streak after it answered cleanly.
 func (n *Node) clearStrikes(p Peer) {
-	if h := n.health[p.ID]; h != nil {
+	if h := n.peerHealth(p.ID); h != nil {
 		h.clearStrikes()
 	}
 }
@@ -481,10 +619,7 @@ func (n *Node) probeLoop() {
 		case <-n.stop:
 			return
 		case <-t.C:
-			for _, p := range n.ring.Peers() {
-				if p.ID == n.self.ID {
-					continue
-				}
+			for _, p := range n.otherPeers() {
 				n.probePeer(p)
 			}
 		}
@@ -494,7 +629,7 @@ func (n *Node) probeLoop() {
 // probePeer runs one health probe against p and folds the outcome into
 // its quarantine state machine.
 func (n *Node) probePeer(p Peer) {
-	h := n.health[p.ID]
+	h := n.peerHealth(p.ID)
 	if h == nil {
 		return
 	}
@@ -511,6 +646,7 @@ func (n *Node) probePeer(p Peer) {
 		if h.probeResult(true) {
 			n.srv.RecordEvent(obs.EvNodeUp, fmt.Sprintf("node %d (%s) reinstated", p.ID, p.Addr))
 			n.log.Info("peer reinstated", "peer", p.ID, "addr", p.Addr)
+			n.spawnDrain(p)
 		}
 		return
 	}

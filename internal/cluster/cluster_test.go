@@ -33,6 +33,17 @@ func (rn *ringNode) base() string { return "http://" + rn.peer.Addr }
 // the tests deterministic.
 func startTestRing(t *testing.T, n int) []*ringNode {
 	t.Helper()
+	return startTestRingCfg(t, n, nil, nil)
+}
+
+// startTestRingCfg is startTestRing with per-node config hooks: srvCfg
+// and nodeCfg (either may be nil) mutate each member's server and
+// cluster configuration before boot. The anti-entropy loop is disabled
+// by default so repairs only run when a test invokes them; hooks can
+// re-enable it.
+func startTestRingCfg(t *testing.T, n int,
+	srvCfg func(i int, c *server.Config), nodeCfg func(i int, c *Config)) []*ringNode {
+	t.Helper()
 	lns := make([]net.Listener, n)
 	peers := make([]Peer, n)
 	for i := 0; i < n; i++ {
@@ -45,14 +56,22 @@ func startTestRing(t *testing.T, n int) []*ringNode {
 	}
 	nodes := make([]*ringNode, n)
 	for i := 0; i < n; i++ {
-		s := server.New(server.Config{
+		sc := server.Config{
 			Devices: 1, QueueCap: 16, CacheCap: 32, Logger: obs.DiscardLogger(),
 			JobIDPrefix: fmt.Sprintf("n%d-j", i),
-		})
-		nd, err := New(Config{
+		}
+		if srvCfg != nil {
+			srvCfg(i, &sc)
+		}
+		s := server.New(sc)
+		cc := Config{
 			NodeID: i, Peers: peers, Server: s,
-			ProbeInterval: -1, Logger: obs.DiscardLogger(),
-		})
+			ProbeInterval: -1, AntiEntropyInterval: -1, Logger: obs.DiscardLogger(),
+		}
+		if nodeCfg != nil {
+			nodeCfg(i, &cc)
+		}
+		nd, err := New(cc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -398,6 +417,15 @@ func TestClusterMetricsExported(t *testing.T) {
 		"gpmetisd_cluster_failovers_total",
 		"gpmetisd_cluster_net_modeled_seconds",
 		"gpmetisd_cluster_net_messages",
+		"gpmetisd_cluster_replicas 2",
+		"gpmetisd_cluster_replica_pushes",
+		"gpmetisd_cluster_replica_stores",
+		"gpmetisd_cluster_replica_hits",
+		"gpmetisd_cluster_handoff_hinted",
+		"gpmetisd_cluster_handoff_drained",
+		"gpmetisd_cluster_handoff_hints_outstanding",
+		"gpmetisd_cluster_repair_pushed",
+		"gpmetisd_cluster_repair_pulled",
 		`gpmetisd_cluster_node_up{node="1"} 1`,
 		`gpmetisd_cluster_node_up{node="2"} 1`,
 	} {

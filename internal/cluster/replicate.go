@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gpmetis/internal/obs"
+	"gpmetis/internal/server"
+)
+
+// Replication: after a job completes fresh on this node, its result is
+// pushed asynchronously to the next Replicas−1 distinct ring successors
+// of its digest (PUT /internal/cache/{digest}), so a dead owner's cached
+// work is served bit-identically from a replica instead of recomputed.
+// Pushes to quarantined peers become handoff hints (handoff.go); silent
+// divergence is repaired by the anti-entropy sweep (antientropy.go).
+
+// replTask is one completed result awaiting replication.
+type replTask struct {
+	key string
+	res *server.JobResult
+}
+
+// enqueueReplication is the server's fresh-result hook: it hands the
+// result to the replicator goroutine. It runs on the job's watcher
+// goroutine, so it blocks only if the replication queue is saturated,
+// and never past Close.
+func (n *Node) enqueueReplication(key string, res *server.JobResult) {
+	select {
+	case n.repl <- replTask{key: key, res: res}:
+	case <-n.stop:
+	}
+}
+
+// replicateLoop drains the replication queue until Close.
+func (n *Node) replicateLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case t := <-n.repl:
+			n.replicateKey(t.key, t.res)
+		}
+	}
+}
+
+// replicateKey pushes one result to every replica target of its digest.
+// A quarantined or unreachable target gets a handoff hint instead; the
+// hint is drained when the peer reinstates.
+func (n *Node) replicateKey(key string, res *server.JobResult) {
+	for _, p := range n.replicaTargets(key) {
+		if h := n.peerHealth(p.ID); h != nil && h.down() {
+			n.addHint(p, key, "replica quarantined")
+			continue
+		}
+		if err := n.pushEntry(p, key, res); err != nil {
+			n.strikePeer(p, "replicate: "+err.Error())
+			n.addHint(p, key, err.Error())
+			continue
+		}
+		n.clearStrikes(p)
+		n.replicaPushes.Add(1)
+		n.srv.RecordEvent(obs.EvClusterReplicate,
+			fmt.Sprintf("digest %.12s replicated to node %d", key, p.ID))
+	}
+}
+
+// replicaTargets returns the peers that should hold a replica of key:
+// the first Replicas members of its successor walk, minus this node.
+func (n *Node) replicaTargets(key string) []Peer {
+	succs := n.currentRing().Successors(key)
+	r := n.cfg.Replicas
+	if r > len(succs) {
+		r = len(succs)
+	}
+	var out []Peer
+	for _, p := range succs[:r] {
+		if p.ID != n.self.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// replicaSetHas reports whether a key's replica set (the first Replicas
+// successors on ring) contains the given node ID.
+func (n *Node) replicaSetHas(ring *Ring, key string, id int) bool {
+	succs := ring.Successors(key)
+	r := n.cfg.Replicas
+	if r > len(succs) {
+		r = len(succs)
+	}
+	for _, p := range succs[:r] {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// pushEntry PUTs one cached result to a peer — the shared transport of
+// replication, hinted-handoff drains, decommission pushes, and
+// anti-entropy repair. Both legs are charged to the modeled network.
+func (n *Node) pushEntry(p Peer, key string, res *server.JobResult) error {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	n.net.Charge(len(payload))
+	req, err := http.NewRequest(http.MethodPut,
+		"http://"+p.Addr+"/internal/cache/"+key, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	n.net.Charge(len(b))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica put status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// handleReplicaPut stores a peer's pushed result in the local cache
+// (PUT /internal/cache/{digest}). The store bypasses hit/miss
+// accounting and dedups by digest: a re-push of an entry already held
+// answers {"stored": false} and costs nothing.
+func (n *Node) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			server.ErrorResponse{Error: fmt.Sprintf("read body: %v", err), Code: server.CodeBadRequest})
+		return
+	}
+	var res server.JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			server.ErrorResponse{Error: fmt.Sprintf("decode result: %v", err), Code: server.CodeBadRequest})
+		return
+	}
+	stored := n.srv.StoreReplicated(digest, &res)
+	if stored {
+		n.replicaStores.Add(1)
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"stored": stored})
+}
+
+// consultReplicas peeks the replica-set members a failover walk has not
+// tried yet, before this node recomputes a digest it does not hold. It
+// only applies off the owner seat (i ≥ 1: a fresh submission owned here
+// must not pay peek latency) and only when untried set members remain:
+// members earlier in the walk were already peeked or down, members past
+// the set never hold a replica. A hit read-repairs the local cache.
+func (n *Node) consultReplicas(key string, succs []Peer, i int) (*server.JobResult, Peer, bool) {
+	r := n.cfg.Replicas
+	if r > len(succs) {
+		r = len(succs)
+	}
+	if i < 1 || i+1 >= r {
+		return nil, Peer{}, false
+	}
+	if _, ok := n.srv.PeekCached(key); ok {
+		return nil, Peer{}, false // the local cache answers at zero cost
+	}
+	for _, q := range succs[i+1 : r] {
+		if h := n.peerHealth(q.ID); h != nil && h.down() {
+			continue
+		}
+		res, found, err := n.peekRemote(q, key)
+		if err != nil {
+			n.strikePeer(q, "replica peek: "+err.Error())
+			continue
+		}
+		if !found {
+			n.peekMisses.Add(1)
+			continue
+		}
+		n.replicaHits.Add(1)
+		n.srv.RecordEvent(obs.EvClusterReplicaHit,
+			fmt.Sprintf("replica %d answered digest %.12s for its dead owner", q.ID, key))
+		if n.srv.StoreReplicated(key, res) {
+			n.repairPulled.Add(1)
+		}
+		return res, q, true
+	}
+	return nil, Peer{}, false
+}

@@ -156,6 +156,12 @@ func (r *Ring) Successors(key string) []Peer {
 	return out
 }
 
+// RangeOf returns the index of the virtual-node range a key falls in:
+// the ring point that owns its position. Anti-entropy groups digest
+// summaries by this index, so two nodes with the same ring compare
+// per-vnode-range instead of per-entry.
+func (r *Ring) RangeOf(key string) int { return r.search(key) }
+
 // search finds the index of the first ring point at or after key's
 // position, wrapping to 0 past the top.
 func (r *Ring) search(key string) int {

@@ -162,6 +162,21 @@ func (c *Cache) Put(key string, val *CachedResult) {
 	}
 }
 
+// Keys returns every cached key, most recently used first, without
+// touching the hit/miss accounting or recency order. It backs the
+// cluster tier's scan hooks: anti-entropy digest summaries and the
+// decommission push both enumerate the local cache. The slice is a
+// snapshot; entries may be evicted concurrently.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*cacheSlot).key)
+	}
+	return out
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

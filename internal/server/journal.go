@@ -39,6 +39,9 @@ type Journal struct {
 //	canceled:  ID, Error
 //	estimator: ID (always "estimator"), Est — the EWMA service-time
 //	           cells at append time; replay keeps the last one seen
+//	replica:   ID ("replica-" + key prefix), Key, Result — a cache
+//	           entry this node holds as a ring replica of a peer's
+//	           work; replay re-seeds it without re-replicating
 type Record struct {
 	Type   string          `json:"type"`
 	ID     string          `json:"id"`
@@ -58,6 +61,7 @@ const (
 	RecFailed    = "failed"
 	RecCanceled  = "canceled"
 	RecEstimator = "estimator"
+	RecReplica   = "replica"
 )
 
 // OpenJournal opens (creating if needed) the journal at path for

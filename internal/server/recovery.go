@@ -49,9 +49,18 @@ func (s *Server) recover() {
 
 	var order []string
 	var estCells []EstimatorCell
+	var replicaOrder []string
+	replicaRecs := map[string]*JobResult{}
 	byID := map[string]*foldedJob{}
 	for _, rec := range recs {
 		switch rec.Type {
+		case RecReplica:
+			if rec.Key != "" && rec.Result != nil {
+				if _, seen := replicaRecs[rec.Key]; !seen {
+					replicaOrder = append(replicaOrder, rec.Key)
+				}
+				replicaRecs[rec.Key] = rec.Result
+			}
 		case RecEstimator:
 			// Last record wins: the estimator snapshots monotonically, so
 			// the newest cells subsume every earlier append.
@@ -126,11 +135,30 @@ func (s *Server) recover() {
 	if results > 0 {
 		s.reg.Add("jobs.recovered_results", float64(results))
 	}
+	// Replica-held entries re-seed the cache after the node's own done
+	// results (a key can be both; the local result wins, idempotently).
+	// They repopulate replicaKeys so rotation keeps preserving them, and
+	// they never fire the replication hook: the replicas that sent them
+	// still hold them.
+	replicas := 0
+	for _, key := range replicaOrder {
+		if _, ok := s.cache.Peek(key); !ok {
+			s.cache.Put(key, &CachedResult{Result: *replicaRecs[key]})
+			replicas++
+		}
+		s.mu.Lock()
+		s.replicaKeys[key] = true
+		s.mu.Unlock()
+	}
+	if replicas > 0 {
+		s.reg.Add("jobs.recovered_replicas", float64(replicas))
+	}
 	s.event(obs.EvRecovered, nil, -1,
-		fmt.Sprintf("%d recovered, %d results cached, %d re-admitted, %d resumed",
-			len(order), results, readmitted, resumed))
+		fmt.Sprintf("%d recovered, %d results cached, %d replica entries, %d re-admitted, %d resumed",
+			len(order), results, replicas, readmitted, resumed))
 	s.log.Info("journal replay complete",
 		"jobs_recovered", len(order), "results_cached", results,
+		"replica_entries", replicas,
 		"readmitted", readmitted, "resumed_from_checkpoint", resumed)
 }
 

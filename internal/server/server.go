@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -181,6 +182,19 @@ type Server struct {
 	clusterMu sync.Mutex
 	clusterFn func() *ClusterStatus
 
+	// resultFn, when installed via SetResultHook, is called with the
+	// content key and result of every job that completes fresh on this
+	// node — not cache hits, not coalesced followers, not journal
+	// replays. The cluster tier hangs replication off it; the same
+	// no-cycle rule as clusterFn applies.
+	resultMu sync.Mutex
+	resultFn func(key string, res *JobResult)
+
+	// replicaKeys (guarded by mu) tracks cache entries this node holds
+	// as a ring replica of a peer's work, so journal rotation preserves
+	// them and a restart re-seeds them without re-replicating.
+	replicaKeys map[string]bool
+
 	start time.Time
 
 	// beforeRun, when non-nil, is called by a worker after popping a job
@@ -194,15 +208,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		reg:      &obs.Registry{},
-		cache:    NewCache(cfg.CacheCap),
-		fq:       newFairQueue(cfg.QueueCap),
-		tenants:  newTenantTable(cfg.Tenants),
-		est:      newEstimator(),
-		jobs:     map[string]*Job{},
-		inflight: map[string]*Job{},
-		start:    time.Now(),
+		cfg:         cfg,
+		reg:         &obs.Registry{},
+		cache:       NewCache(cfg.CacheCap),
+		fq:          newFairQueue(cfg.QueueCap),
+		tenants:     newTenantTable(cfg.Tenants),
+		est:         newEstimator(),
+		jobs:        map[string]*Job{},
+		inflight:    map[string]*Job{},
+		replicaKeys: map[string]bool{},
+		start:       time.Now(),
 	}
 	s.log = cfg.Logger
 	s.slo = obs.NewSLO(cfg.SLO)
@@ -316,12 +331,43 @@ func (s *Server) compactRecords() []Record {
 			recs = append(recs, Record{Type: RecRunning, ID: j.ID})
 		}
 	}
+	// Replica-held entries rotate with the journal too: they are a
+	// peer's completed work, so losing them on compaction would silently
+	// shrink the ring's replication factor. Entries the LRU has since
+	// evicted drop out of both the image and the tracking set.
+	s.mu.Lock()
+	rkeys := make([]string, 0, len(s.replicaKeys))
+	for k := range s.replicaKeys {
+		rkeys = append(rkeys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(rkeys)
+	for _, k := range rkeys {
+		c, ok := s.cache.Peek(k)
+		if !ok {
+			s.mu.Lock()
+			delete(s.replicaKeys, k)
+			s.mu.Unlock()
+			continue
+		}
+		res := c.Result
+		recs = append(recs, Record{Type: RecReplica, ID: replicaRecordID(k), Key: k, Result: &res})
+	}
 	// The estimator state rides every compaction so a restart after
 	// rotation still replays warm service-time estimates.
 	if cells := s.est.snapshot(); len(cells) > 0 {
 		recs = append(recs, Record{Type: RecEstimator, ID: "estimator", Est: cells})
 	}
 	return recs
+}
+
+// replicaRecordID derives a journal record ID for a replica-held cache
+// key; replay only needs it to be non-empty and stable per key.
+func replicaRecordID(key string) string {
+	if len(key) > 12 {
+		key = key[:12]
+	}
+	return "replica-" + key
 }
 
 // watch follows a job to its terminal state: it releases the job's
@@ -357,6 +403,16 @@ func (s *Server) watch(j *Job) {
 		s.journalAppend(rec)
 		j.addLifeSpan(lifeJournal, jt0, time.Now(), map[string]any{"record": rec.Type})
 		s.event(obs.EvJournalAppend, j, -1, rec.Type)
+	}
+	// Freshly computed results fan out to the replication hook. Cache
+	// hits, coalesced followers, and journal replays never fire it:
+	// their results either already replicated when first computed or
+	// are themselves replicas.
+	if st.State == StateDone && st.Result != nil && j.key != "" &&
+		!j.recovered && !j.cached && !j.coalesced {
+		if fn := s.resultHook(); fn != nil {
+			fn(j.key, st.Result)
+		}
 	}
 	s.observeTerminal(j)
 }
@@ -398,6 +454,22 @@ func (s *Server) clusterStatus() *ClusterStatus {
 	return fn()
 }
 
+// SetResultHook installs the cluster tier's fresh-result callback; nil
+// uninstalls it. The hook runs on the job's watcher goroutine, so it
+// must hand off (not perform) slow work.
+func (s *Server) SetResultHook(fn func(key string, res *JobResult)) {
+	s.resultMu.Lock()
+	s.resultFn = fn
+	s.resultMu.Unlock()
+}
+
+// resultHook returns the installed fresh-result callback, nil when none.
+func (s *Server) resultHook() func(key string, res *JobResult) {
+	s.resultMu.Lock()
+	defer s.resultMu.Unlock()
+	return s.resultFn
+}
+
 // KeyForRequest resolves req exactly as Submit would and returns its
 // content-addressed cache key ("" for NoCache submissions). It is the
 // digest the cluster tier routes on: routing and caching share one
@@ -422,6 +494,34 @@ func (s *Server) PeekCached(key string) (*JobResult, bool) {
 	res := c.Result // shallow copy; Part is shared and immutable
 	return &res, true
 }
+
+// StoreReplicated stores a peer's completed result under its content key
+// — the write behind the cluster tier's PUT /internal/cache/{digest}
+// (replication, hinted-handoff drains, anti-entropy repair). It bypasses
+// hit/miss accounting, journals a replica record so the entry survives a
+// restart, and reports whether the entry was newly stored: false means
+// the cache already held it (or caching is disabled), which is how the
+// receiver dedups redundant pushes.
+func (s *Server) StoreReplicated(key string, res *JobResult) bool {
+	if key == "" || res == nil || s.cfg.CacheCap < 1 {
+		return false
+	}
+	if _, ok := s.cache.Peek(key); ok {
+		return false
+	}
+	s.cache.Put(key, &CachedResult{Result: *res})
+	s.mu.Lock()
+	s.replicaKeys[key] = true
+	s.mu.Unlock()
+	s.reg.Add("cache.replicated", 1)
+	r := *res
+	s.journalAppend(Record{Type: RecReplica, ID: replicaRecordID(key), Key: key, Result: &r})
+	return true
+}
+
+// CachedKeys returns the content keys of every cached result, the scan
+// behind anti-entropy summaries and the decommission push.
+func (s *Server) CachedKeys() []string { return s.cache.Keys() }
 
 // RecordEvent appends one server-scoped flight-recorder event on behalf
 // of a sibling tier (the cluster router's forwards and failovers).
@@ -1154,6 +1254,24 @@ func (s *Server) clusterSamples() []obs.PromSample {
 			Help: "Modeled α+βn network seconds charged to cluster traffic."},
 		{Name: "cluster.net_messages", Value: float64(cs.NetMessages),
 			Help: "Inter-node messages charged against the modeled network."},
+		{Name: "cluster.replicas", Value: float64(cs.Replicas),
+			Help: "Configured replication factor (1 = replication off)."},
+		{Name: "cluster.replica_pushes", Value: float64(cs.ReplicaPushes),
+			Help: "Completed results this node pushed to ring replicas."},
+		{Name: "cluster.replica_stores", Value: float64(cs.ReplicaStores),
+			Help: "Replica entries this node stored on behalf of peers."},
+		{Name: "cluster.replica_hits", Value: float64(cs.ReplicaHits),
+			Help: "Failover reads answered from a replica instead of recomputed."},
+		{Name: "cluster.handoff_hinted", Value: float64(cs.HandoffHinted),
+			Help: "Handoff hints recorded against quarantined replicas."},
+		{Name: "cluster.handoff_drained", Value: float64(cs.HandoffDrained),
+			Help: "Handoff hints delivered after the peer reinstated."},
+		{Name: "cluster.handoff_hints_outstanding", Value: float64(cs.HintsOutstanding),
+			Help: "Handoff hints currently awaiting delivery."},
+		{Name: "cluster.repair_pushed", Value: float64(cs.RepairPushed),
+			Help: "Cache entries pushed to peers by anti-entropy repair."},
+		{Name: "cluster.repair_pulled", Value: float64(cs.RepairPulled),
+			Help: "Cache entries pulled from peers by anti-entropy repair and read-repair."},
 	}
 	first := true
 	for _, p := range cs.Peers {

@@ -142,14 +142,18 @@ th { background: #1c1c1c; } td:first-child, th:first-child { text-align: left; }
 {{range .Slots}}<tr><td>{{.Slot}}</td><td class="{{.State}}">{{.State}}</td><td>{{if .RunningJob}}{{.RunningJob}}{{else}}<span class="muted">idle</span>{{end}}</td><td>{{.Jobs}}</td><td>{{secs .BusySeconds}}</td></tr>
 {{end}}</table>
 
-{{if .Cluster}}<h2>Cluster &mdash; node {{.Cluster.NodeID}} ({{.Cluster.Addr}}), {{.Cluster.VNodes}} vnodes</h2>
+{{if .Cluster}}<h2>Cluster &mdash; node {{.Cluster.NodeID}} ({{.Cluster.Addr}}), {{.Cluster.VNodes}} vnodes{{if .Cluster.Replicas}}, RF={{.Cluster.Replicas}}{{end}}</h2>
 <table>
 <tr><th>forwards</th><th>peek hits</th><th>peek misses</th><th>failovers</th><th>net modeled</th><th>net msgs</th></tr>
 <tr><td>{{.Cluster.Forwards}}</td><td>{{.Cluster.PeekHits}}</td><td>{{.Cluster.PeekMisses}}</td><td>{{.Cluster.Failovers}}</td><td>{{secs .Cluster.NetModeledSeconds}}</td><td>{{.Cluster.NetMessages}}</td></tr>
 </table>
-<table>
+{{if .Cluster.Replicas}}<table>
+<tr><th>replica pushes</th><th>replica stores</th><th>replica hits</th><th>hints queued</th><th>hints drained</th><th>hints outstanding</th><th>repair pushed</th><th>repair pulled</th></tr>
+<tr><td>{{.Cluster.ReplicaPushes}}</td><td>{{.Cluster.ReplicaStores}}</td><td>{{.Cluster.ReplicaHits}}</td><td>{{.Cluster.HandoffHinted}}</td><td>{{.Cluster.HandoffDrained}}</td><td{{if .Cluster.HintsOutstanding}} class="warn"{{end}}>{{.Cluster.HintsOutstanding}}</td><td>{{.Cluster.RepairPushed}}</td><td>{{.Cluster.RepairPulled}}</td></tr>
+</table>
+{{end}}<table>
 <tr><th>peer</th><th>addr</th><th>state</th><th>strikes</th><th>downs</th></tr>
-{{range .Cluster.Peers}}<tr><td>{{.ID}}{{if .Self}} (self){{end}}</td><td>{{.Addr}}</td><td class="{{if eq .State "down"}}breach{{else}}ok{{end}}">{{.State}}</td><td>{{.Strikes}}</td><td>{{.Downs}}</td></tr>
+{{range .Cluster.Peers}}<tr><td>{{.ID}}{{if .Self}} (self){{end}}</td><td>{{.Addr}}</td><td class="{{if .Left}}muted{{else if eq .State "down"}}breach{{else}}ok{{end}}">{{if .Left}}left{{else}}{{.State}}{{end}}</td><td>{{.Strikes}}</td><td>{{.Downs}}</td></tr>
 {{end}}</table>
 {{end}}
 <h2>Latency (wall clock)</h2>

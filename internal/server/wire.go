@@ -235,6 +235,9 @@ type ClusterPeerStatus struct {
 	State   string `json:"state"`
 	Strikes int    `json:"strikes,omitempty"`
 	Downs   int    `json:"downs,omitempty"`
+	// Left marks a member that announced its departure (decommission);
+	// it stays in the configured list but is excluded from routing.
+	Left bool `json:"left,omitempty"`
 }
 
 // ClusterStatus is the ring tier's self-description, surfaced on
@@ -260,6 +263,26 @@ type ClusterStatus struct {
 	// proxied response against the α+βn modeled network.
 	NetModeledSeconds float64 `json:"net_modeled_seconds"`
 	NetMessages       int64   `json:"net_messages"`
+
+	// Replication state: the configured replication factor, results
+	// pushed to ring replicas, replica entries stored on behalf of
+	// peers, and failover reads answered from a replica instead of
+	// recomputed.
+	Replicas      int   `json:"replicas,omitempty"`
+	ReplicaPushes int64 `json:"replica_pushes"`
+	ReplicaStores int64 `json:"replica_stores"`
+	ReplicaHits   int64 `json:"replica_hits"`
+
+	// Hinted handoff: hints recorded against quarantined replicas,
+	// hints drained after reinstatement, and the live backlog.
+	HandoffHinted    int64 `json:"handoff_hinted"`
+	HandoffDrained   int64 `json:"handoff_drained"`
+	HintsOutstanding int64 `json:"hints_outstanding"`
+
+	// Anti-entropy repair: entries pushed to and pulled from peers by
+	// the background digest-summary sweep and read-repair.
+	RepairPushed int64 `json:"repair_pushed"`
+	RepairPulled int64 `json:"repair_pulled"`
 }
 
 // SlotStatus is one device slot row of the ops view: identity, live

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # cluster_smoke.sh - end-to-end smoke test of the gpmetisd ring tier.
 #
-# Boots a 3-node consistent-hash ring from one peers.json, submits a job
-# through `gpmetis -cluster`, locates the owning node by its cache
-# entry, asserts a resubmission entering at a different node is answered
-# by a cross-node cache peek (bit-identical partition, peek counter
-# incremented, modeled network seconds charged), then SIGKILLs the owner
-# and asserts the ring fails the job over to a live successor. Run via
+# Boots a 3-node consistent-hash ring (RF=2) from one peers.json,
+# submits a job through `gpmetis -cluster`, locates the node that ran
+# it, asserts a resubmission entering at a different node is answered by
+# a cross-node cache peek (bit-identical partition, peek counter
+# incremented, modeled network seconds charged) and that the result
+# replicated to a ring successor; then SIGKILLs the owner and asserts
+# the resubmission is served from the replica — a cache hit, not a
+# recompute — and finally restarts the owner and asserts rejoin
+# catch-up pulls its entries back so it serves locally again. Run via
 # `make serve-smoke` or directly from the repo root.
 set -euo pipefail
 
@@ -76,17 +79,36 @@ if grep -q '"cached": true' "$workdir/run1.json"; then
     exit 1
 fi
 
-# Exactly one node owns the digest: find it by its cache entry.
+# Exactly one node ran the job: find the owner by its completion
+# counter (with RF=2 the cache entry itself lives on two nodes).
 owner=""
 for i in 0 1 2; do
     curl -sf "http://${addrs[$i]}/metrics" >"$workdir/metrics$i.prom"
-    if grep -q '^gpmetisd_cache_entries 1$' "$workdir/metrics$i.prom"; then
-        [[ -z "$owner" ]] || { echo "cluster-smoke: FAIL nodes $owner and $i both cache the job"; exit 1; }
+    if grep -q '^gpmetisd_jobs_completed 1$' "$workdir/metrics$i.prom"; then
+        [[ -z "$owner" ]] || { echo "cluster-smoke: FAIL nodes $owner and $i both ran the job"; exit 1; }
         owner=$i
     fi
 done
-[[ -n "$owner" ]] || { echo "cluster-smoke: FAIL no node caches the completed job"; exit 1; }
+[[ -n "$owner" ]] || { echo "cluster-smoke: FAIL no node completed the job"; exit 1; }
 echo "cluster-smoke: digest owner is node $owner"
+
+# The result must replicate to one ring successor: two nodes cache it.
+deadline=$((SECONDS + 10))
+cached=0
+while (( SECONDS < deadline )); do
+    cached=0
+    for i in 0 1 2; do
+        if curl -sf "http://${addrs[$i]}/metrics" | grep -q '^gpmetisd_cache_entries 1$'; then
+            cached=$((cached + 1))
+        fi
+    done
+    (( cached >= 2 )) && break
+    sleep 0.2
+done
+(( cached == 2 )) || { echo "cluster-smoke: FAIL $cached nodes cache the result, want 2 (RF=2)"; exit 1; }
+curl -sf "http://${addrs[$owner]}/metrics" >"$workdir/owner0.prom"
+grep -q '^gpmetisd_cluster_replica_pushes 1$' "$workdir/owner0.prom" || { grep ^gpmetisd_cluster "$workdir/owner0.prom"; echo "cluster-smoke: FAIL owner counted no replica push"; exit 1; }
+echo "cluster-smoke: result replicated to a ring successor (RF=2)"
 
 # When the job entered at a non-owner, its trace must carry the
 # cluster-forward span with the modeled network charge.
@@ -120,20 +142,28 @@ kill -9 "${pids[$owner]}"
 wait "${pids[$owner]}" 2>/dev/null || true
 pids[$owner]=""
 
-# The dead owner's share must fail over: the identical submission now
-# completes on a ring successor, still bit-identical (the partitioner is
-# deterministic), and the entry accounts the failover.
+# The dead owner's share must fail over to its replica: the identical
+# submission is a cache hit on a survivor — bit-identical, never
+# recomputed — and the entry accounts the failover.
 survivor=$(( (owner + 2) % 3 ))
 echo "cluster-smoke: resubmitting with the owner dead (entry $entry, survivor $survivor)"
 "$workdir/gpmetis" -cluster "${addrs[$entry]},${addrs[$survivor]}" -k 16 -json \
     -o "$workdir/run3.part" "$workdir/smoke.metis" >"$workdir/run3.json"
 grep -q '"edge_cut"' "$workdir/run3.json" || { cat "$workdir/run3.json"; echo "cluster-smoke: FAIL failover run carries no result"; exit 1; }
-cmp -s "$workdir/run1.part" "$workdir/run3.part" || { echo "cluster-smoke: FAIL failover partition differs from the original"; exit 1; }
+grep -q '"cached": true' "$workdir/run3.json" || { cat "$workdir/run3.json"; echo "cluster-smoke: FAIL failover run was recomputed instead of replica-served"; exit 1; }
+cmp -s "$workdir/run1.part" "$workdir/run3.part" || { echo "cluster-smoke: FAIL replica-served partition differs from the original"; exit 1; }
+
+# Neither survivor may have rerun the job: the replica answered it.
+# (The counter registers lazily, so an absent line also means zero.)
+for i in "$entry" "$survivor"; do
+    jc="$(curl -sf "http://${addrs[$i]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
+    [[ -z "$jc" || "$jc" -eq 0 ]] || { echo "cluster-smoke: FAIL survivor $i recomputed a replicated job (jobs_completed=$jc)"; exit 1; }
+done
 
 curl -sf "http://${addrs[$entry]}/metrics" >"$workdir/entry2.prom"
 failovers="$(sed -n 's/^gpmetisd_cluster_failovers_total \([0-9]*\).*/\1/p' "$workdir/entry2.prom")"
 [[ -n "$failovers" && "$failovers" -ge 1 ]] || { grep ^gpmetisd_cluster "$workdir/entry2.prom"; echo "cluster-smoke: FAIL entry node counted no failover"; exit 1; }
-echo "cluster-smoke: failover completed on a successor (failovers_total=$failovers)"
+echo "cluster-smoke: replica served the dead owner's digest (failovers_total=$failovers, no recompute)"
 
 # The prober must have quarantined the dead peer by now.
 deadline=$((SECONDS + 5))
@@ -144,6 +174,50 @@ while (( SECONDS < deadline )); do
 done
 [[ -n "$down" ]] || { echo "cluster-smoke: FAIL the dead owner was never marked down"; exit 1; }
 echo "cluster-smoke: dead owner quarantined by health probes"
+
+# Restart the owner from nothing on the same address: rejoin catch-up
+# must pull the entries it owns back from its replicas.
+echo "cluster-smoke: restarting owner node $owner for rejoin catch-up"
+"$workdir/gpmetisd" -addr "${addrs[$owner]}" -devices 1 \
+    -peers "$workdir/peers.json" -node-id "$owner" -cluster-probe 300ms \
+    >"$workdir/node$owner.restart.log" 2>&1 &
+pids[$owner]=$!
+up=""
+for _ in $(seq 1 50); do
+    if grep -q "cluster node $owner of 3-node ring" "$workdir/node$owner.restart.log"; then up=1; break; fi
+    kill -0 "${pids[$owner]}" 2>/dev/null || { cat "$workdir/node$owner.restart.log"; echo "cluster-smoke: FAIL owner died on restart"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$up" ]] || { cat "$workdir/node$owner.restart.log"; echo "cluster-smoke: FAIL restarted owner never rejoined the ring"; exit 1; }
+
+deadline=$((SECONDS + 15))
+caught_up=""
+while (( SECONDS < deadline )); do
+    curl -sf "http://${addrs[$owner]}/metrics" >"$workdir/owner2.prom" 2>/dev/null || { sleep 0.2; continue; }
+    pulled="$(sed -n 's/^gpmetisd_cluster_repair_pulled \([0-9]*\).*/\1/p' "$workdir/owner2.prom")"
+    if [[ -n "$pulled" && "$pulled" -ge 1 ]] && grep -q '^gpmetisd_cache_entries 1$' "$workdir/owner2.prom"; then
+        caught_up=1
+        break
+    fi
+    sleep 0.2
+done
+[[ -n "$caught_up" ]] || { grep -E '^gpmetisd_(cluster_|cache_)' "$workdir/owner2.prom" || true; echo "cluster-smoke: FAIL restarted owner never pulled its entries back"; exit 1; }
+echo "cluster-smoke: rejoin catch-up restored the owner's cache (repair_pulled=$pulled)"
+
+# The restarted owner now serves its digest locally, with no recompute.
+"$workdir/gpmetis" -cluster "${addrs[$owner]}" -k 16 -json -o "$workdir/run4.part" \
+    "$workdir/smoke.metis" >"$workdir/run4.json"
+grep -q '"cached": true' "$workdir/run4.json" || { cat "$workdir/run4.json"; echo "cluster-smoke: FAIL restarted owner missed its repaired cache"; exit 1; }
+cmp -s "$workdir/run1.part" "$workdir/run4.part" || { echo "cluster-smoke: FAIL repaired partition differs from the original"; exit 1; }
+jc="$(curl -sf "http://${addrs[$owner]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
+[[ -z "$jc" || "$jc" -eq 0 ]] || { echo "cluster-smoke: FAIL restarted owner recomputed a repaired job (jobs_completed=$jc)"; exit 1; }
+
+# No hints may be left outstanding anywhere once the ring is whole.
+for i in 0 1 2; do
+    curl -sf "http://${addrs[$i]}/metrics" | grep -q '^gpmetisd_cluster_handoff_hints_outstanding 0$' \
+        || { echo "cluster-smoke: FAIL node $i still holds undelivered hints"; exit 1; }
+done
+echo "cluster-smoke: owner back to full replica duty, no hints outstanding"
 
 for i in 0 1 2; do
     [[ -n "${pids[$i]}" ]] && kill "${pids[$i]}" 2>/dev/null || true
