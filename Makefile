@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 25
 CHAOS_SEED ?= 1
 
-.PHONY: build test check vet staticcheck race bench bench-snapshot perf-gate serve-smoke restart-smoke cluster-smoke chaos fuzz
+.PHONY: build test check vet staticcheck race bench bench-snapshot perf-gate serve-smoke restart-smoke cluster-smoke chaos fuzz metrics-lint
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,18 @@ staticcheck:
 		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-# check is the PR gate: static analysis, the race detector, and the
-# perf-regression gate against the committed baseline.
-check: vet staticcheck race perf-gate
+# check is the PR gate: static analysis, the race detector, the
+# metrics-exposition lint, and the perf-regression gate against the
+# committed baseline.
+check: vet staticcheck race metrics-lint perf-gate
+
+# metrics-lint asserts every registered series appears on a FRESH
+# /metrics scrape — counters, declared histograms, and the eagerly
+# declared per-peer × per-RPC cluster histograms — so dashboards and
+# alert previews never chase series that only exist after first use.
+metrics-lint:
+	$(GO) test ./internal/server -run 'TestMetricsLintFreshScrape' -count=1
+	$(GO) test ./internal/cluster -run 'TestClusterRPCMetricsEager' -count=1
 
 # perf-gate re-runs the benchmark at BENCH_baseline.json's own scale,
 # k, runs, and seed and fails (exit 2) when any input regresses modeled

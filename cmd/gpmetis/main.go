@@ -128,17 +128,29 @@ func main() {
 	retries := flag.Int("retries", 3, "with -server: re-submissions after a 429, honoring Retry-After with backoff")
 	tenant := flag.String("tenant", "", "with -server: tenant name for multi-tenant fair queueing (default: the daemon's default tenant)")
 	deadlineMs := flag.Int64("deadline-ms", 0, "with -server: job deadline in milliseconds (0 = daemon default); unmeetable deadlines are rejected up front")
-	top := flag.Bool("top", false, "with -server: live terminal ops view of the daemon (no graph argument)")
+	top := flag.Bool("top", false, "with -server: live terminal ops view of the daemon; with -cluster: the federated fleet view (no graph argument)")
 	topInterval := flag.Duration("top-interval", 2*time.Second, "refresh interval for -top")
 	topIterations := flag.Int("top-iterations", 0, "frames -top draws before exiting (0 = until interrupted)")
 	flag.Parse()
 
 	if *top {
-		if *serverURL == "" {
-			fail(fmt.Errorf("-top polls a daemon; it needs -server http://host:port"))
-		}
-		if err := runTop(strings.TrimRight(*serverURL, "/"), *topInterval, *topIterations); err != nil {
-			fail(err)
+		switch {
+		case *serverURL != "" && *clusterHosts != "":
+			fail(fmt.Errorf("-server and -cluster are mutually exclusive; -cluster is a member list, -server a single daemon"))
+		case *clusterHosts != "":
+			bases := clusterBases(*clusterHosts)
+			if len(bases) == 0 {
+				fail(fmt.Errorf("-cluster lists no hosts"))
+			}
+			if err := runFleetTop(bases, *topInterval, *topIterations); err != nil {
+				fail(err)
+			}
+		case *serverURL != "":
+			if err := runTop(strings.TrimRight(*serverURL, "/"), *topInterval, *topIterations); err != nil {
+				fail(err)
+			}
+		default:
+			fail(fmt.Errorf("-top polls a daemon; it needs -server http://host:port or -cluster host:port,..."))
 		}
 		return
 	}

@@ -117,6 +117,17 @@
 // POST /admin/rejoin re-announces and re-runs catch-up on demand.
 // SIGHUP reloads -peers, applying membership changes without a restart.
 //
+// Cluster observability (DESIGN.md §16): every internode RPC carries an
+// X-Gpmetis-Trace context header, so a job submitted to a non-owner
+// node keeps one trace id end to end — GET /jobs/{id}/trace on the
+// entry node returns a single Chrome trace document with one pid per
+// node, the owner's spans parented under the entry node's
+// cluster-forward span. GET /admin/cluster/status (.json for data)
+// fans out to every live peer and renders the whole fleet on one page
+// (gpmetis -top -cluster is the terminal flavor), and per-peer RPC
+// latency/error histograms appear as gpmetisd_cluster_rpc_* on
+// /metrics alongside the modeled α+βn network charge.
+//
 // -debug-addr starts a second listener serving net/http/pprof under
 // /debug/pprof/ (goroutine dumps, heap and CPU profiles of the daemon
 // process itself — wall-clock profiling, distinct from the modeled
@@ -282,7 +293,7 @@ func main() {
 			os.Exit(2)
 		}
 		handler = node.Handler(handler)
-		fmt.Printf("gpmetisd: cluster node %d of %d-node ring (peers=%s)\n",
+		fmt.Printf("gpmetisd: cluster node %d of %d-node ring (peers=%s); fleet view at /admin/cluster/status\n",
 			*nodeID, len(peers), *peersFile)
 	} else if *nodeID >= 0 {
 		fmt.Fprintln(os.Stderr, "gpmetisd: -node-id requires -peers")

@@ -112,8 +112,12 @@ func digestSetHash(digests []string) string {
 
 // syncWith runs one summary exchange + repair against a peer. Both legs
 // of the exchange and every repair transfer are charged to the modeled
-// network (inside pushEntry/peekRemote for the transfers).
+// network (inside pushEntry/peekRemote for the transfers). The whole
+// pairwise round — the exchange plus its repairs — shares one trace id,
+// recorded as spans in the node's span store and stamped on the repair
+// event.
 func (n *Node) syncWith(p Peer) {
+	trace := obs.NewTraceID()
 	ring := n.currentRing()
 	local, sums := n.pairSummaries(ring, p.ID)
 	payload, err := json.Marshal(summaryRequest{Node: n.self.ID, Ranges: sums})
@@ -121,8 +125,16 @@ func (n *Node) syncWith(p Peer) {
 		return
 	}
 	n.net.Charge(len(payload))
-	resp, err := n.client.Post("http://"+p.Addr+"/internal/cache/summary",
-		"application/json", bytes.NewReader(payload))
+	req, err := http.NewRequest(http.MethodPost,
+		"http://"+p.Addr+"/internal/cache/summary", bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := n.doRPC(n.client, p, rpcSummary, obs.TraceContext{TraceID: trace}, req)
+	n.recordRoundSpan(trace, "anti-entropy-summary", t0, time.Now(),
+		spanAttrs(p, "ranges", len(sums), "ok", err == nil))
 	if err != nil {
 		n.strikePeer(p, "anti-entropy: "+err.Error())
 		return
@@ -142,15 +154,16 @@ func (n *Node) syncWith(p Peer) {
 		return
 	}
 	n.clearStrikes(p)
-	n.repairRanges(ring, p, local, sr.Ranges)
+	n.repairRanges(ring, p, local, sr.Ranges, trace)
 }
 
 // repairRanges reconciles the mismatched ranges a summary exchange
 // surfaced: pull digests the peer holds and this node misses (when this
 // node is in their replica set), push digests this node holds and the
 // peer misses.
-func (n *Node) repairRanges(ring *Ring, p Peer, local map[int][]string, mismatched []rangeDigests) {
+func (n *Node) repairRanges(ring *Ring, p Peer, local map[int][]string, mismatched []rangeDigests, trace string) {
 	pulled, pushed := 0, 0
+	t0 := time.Now()
 	for _, rd := range mismatched {
 		peerHas := make(map[string]bool, len(rd.Digests))
 		for _, d := range rd.Digests {
@@ -165,7 +178,7 @@ func (n *Node) repairRanges(ring *Ring, p Peer, local map[int][]string, mismatch
 			if localHas[d] || !n.replicaSetHas(ring, d, n.self.ID) {
 				continue
 			}
-			res, found, err := n.peekRemote(p, d)
+			res, found, err := n.peekRemote(p, d, trace)
 			if err != nil {
 				n.strikePeer(p, "repair pull: "+err.Error())
 				return
@@ -183,7 +196,7 @@ func (n *Node) repairRanges(ring *Ring, p Peer, local map[int][]string, mismatch
 			if !ok {
 				continue // evicted since the summary was built
 			}
-			if err := n.pushEntry(p, d, res); err != nil {
+			if err := n.pushEntry(p, d, res, obs.TraceContext{TraceID: trace}, rpcRepairPut); err != nil {
 				n.strikePeer(p, "repair push: "+err.Error())
 				return
 			}
@@ -192,9 +205,12 @@ func (n *Node) repairRanges(ring *Ring, p Peer, local map[int][]string, mismatch
 		}
 	}
 	if pulled > 0 || pushed > 0 {
-		n.srv.RecordEvent(obs.EvClusterRepair,
+		n.recordRoundSpan(trace, "anti-entropy-repair", t0, time.Now(),
+			spanAttrs(p, "pulled", pulled, "pushed", pushed))
+		n.srv.RecordTracedEvent(obs.EvClusterRepair, trace,
 			fmt.Sprintf("anti-entropy with node %d: pulled %d, pushed %d", p.ID, pulled, pushed))
-		n.log.Info("anti-entropy repair", "peer", p.ID, "pulled", pulled, "pushed", pushed)
+		n.log.Info("anti-entropy repair", "peer", p.ID, "pulled", pulled, "pushed", pushed,
+			"trace", trace)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,13 +105,23 @@ type Node struct {
 	departed map[int]bool
 	health   map[int]*nodeHealth // keyed by peer ID; no entry for self
 
-	// forwarded remembers where each forwarded job lives so status,
-	// trace, profile, and cancel requests follow it transparently.
+	// forwarded remembers where each forwarded job lives — and the trace
+	// context its forward carried — so status, trace, profile, and cancel
+	// requests follow it transparently and GET /jobs/{id}/trace can
+	// stitch the remote spans under the entry node's forward span.
 	mu        sync.Mutex
-	forwarded map[string]Peer // job ID -> owning peer
+	forwarded map[string]fwdInfo // job ID -> owning peer + trace context
 
 	hints *hintTable
 	repl  chan replTask
+
+	// spans holds background-round traces (replication, handoff, repair,
+	// decommission) for GET /internal/trace/{trace_id}; rpc aggregates
+	// per-peer × per-RPC-type real-wall latency and errors; spanSeq mints
+	// node-unique cluster-side span ids.
+	spans   *obs.SpanStore
+	rpc     *rpcMetrics
+	spanSeq atomic.Int64
 
 	forwards      atomic.Int64
 	peekHits      atomic.Int64
@@ -184,20 +195,29 @@ func New(cfg Config) (*Node, error) {
 		client:    cfg.Client,
 		probe:     &http.Client{Timeout: 2 * time.Second},
 		health:    map[int]*nodeHealth{},
-		forwarded: map[string]Peer{},
+		forwarded: map[string]fwdInfo{},
 		hints:     newHintTable(cfg.HintDir),
 		repl:      make(chan replTask, 256),
+		spans:     obs.NewSpanStore(0),
+		rpc:       newRPCMetrics(),
 		stop:      make(chan struct{}),
 	}
 	for _, p := range ring.Peers() {
 		if p.ID != self.ID {
 			n.health[p.ID] = newNodeHealth()
+			// Eager declaration: every (peer, rpc-type) series exists on a
+			// fresh /metrics scrape, not after the first call of its kind.
+			for _, rpc := range rpcTypes {
+				n.rpc.declare(p.ID, rpc)
+			}
 		}
 	}
 	if err := n.hints.load(); err != nil {
 		n.log.Warn("hint journal load failed; starting with empty hints", "error", err.Error())
 	}
+	n.srv.SetNodeID(fmt.Sprintf("%d", self.ID))
 	n.srv.SetClusterStatus(n.Status)
+	n.srv.SetPromExtra(n.rpc.snapshot)
 	if cfg.ProbeInterval > 0 {
 		n.wg.Add(1)
 		go n.probeLoop()
@@ -222,6 +242,7 @@ func New(cfg Config) (*Node, error) {
 func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		n.srv.SetResultHook(nil)
+		n.srv.SetPromExtra(nil)
 		close(n.stop)
 		n.wg.Wait()
 	})
@@ -303,12 +324,15 @@ func (n *Node) Status() *server.ClusterStatus {
 //	GET  /internal/cache/{digest}  cross-node cache peek (200 result, 404)
 //	PUT  /internal/cache/{digest}  replica store (replication, handoff, repair)
 //	POST /internal/cache/summary   anti-entropy digest-summary exchange
+//	GET  /internal/trace/{trace_id} this node's spans under a trace (stitching)
 //	POST /internal/ring/leave      a member announced its departure
 //	POST /internal/ring/join       a departed member announced its return
+//	GET  /admin/cluster/status     federated fleet view (HTML; .json for data)
 //	POST /admin/decommission       retire this node: push cache, announce leave
 //	POST /admin/rejoin             announce return and run catch-up repair
 //	POST /jobs                     route by digest: local, peek, forward
 //	GET/DELETE /jobs/{id}[...]     proxied to the owner for forwarded jobs
+//	                               (a forwarded job's /trace is stitched)
 //
 // Everything else passes straight through to inner.
 func (n *Node) Handler(inner http.Handler) http.Handler {
@@ -317,6 +341,9 @@ func (n *Node) Handler(inner http.Handler) http.Handler {
 	mux.HandleFunc("GET /internal/cache/{digest}", n.handlePeek)
 	mux.HandleFunc("PUT /internal/cache/{digest}", n.handleReplicaPut)
 	mux.HandleFunc("POST /internal/cache/summary", n.handleSummary)
+	mux.HandleFunc("GET /internal/trace/{trace_id}", n.handleTraceFetch)
+	mux.HandleFunc("GET /admin/cluster/status", n.handleFleetHTML)
+	mux.HandleFunc("GET /admin/cluster/status.json", n.handleFleetJSON)
 	mux.HandleFunc("POST /internal/ring/leave", n.handleLeave)
 	mux.HandleFunc("POST /internal/ring/join", n.handleJoin)
 	mux.HandleFunc("POST /admin/decommission", n.handleDecommission)
@@ -371,6 +398,13 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The distributed trace starts here, at the entry node: peeks and the
+	// forward carry this id, and the owner's job adopts it, so the whole
+	// routed submission is one trace regardless of where it lands. (A
+	// submission served locally mints its own id at registration and this
+	// one is simply unused.)
+	traceID := obs.NewTraceID()
+
 	ring := n.currentRing()
 	owner := ring.Owner(key)
 	succs := ring.Successors(key)
@@ -396,7 +430,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if h := n.peerHealth(p.ID); h != nil && h.down() {
 			continue
 		}
-		res, found, peekErr := n.peekRemote(p, key)
+		res, found, peekErr := n.peekRemote(p, key, traceID)
 		if peekErr != nil {
 			n.strikePeer(p, "peek: "+peekErr.Error())
 			continue
@@ -404,7 +438,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if found {
 			n.peekHits.Add(1)
 			n.noteFailover(owner, p, key)
-			n.srv.RecordEvent(obs.EvClusterPeekHit,
+			n.srv.RecordTracedEvent(obs.EvClusterPeekHit, traceID,
 				fmt.Sprintf("node %d answered digest %.12s", p.ID, key))
 			writeJSON(w, http.StatusOK, server.JobStatus{
 				State: server.StateDone, Cached: true, Device: -1,
@@ -413,7 +447,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		n.peekMisses.Add(1)
-		status, respBody, fwdErr := n.forward(p, req, key)
+		status, respBody, fi, fwdErr := n.forward(p, req, key, traceID)
 		if fwdErr != nil {
 			n.strikePeer(p, "forward: "+fwdErr.Error())
 			continue
@@ -421,13 +455,13 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		n.clearStrikes(p)
 		n.forwards.Add(1)
 		n.noteFailover(owner, p, key)
-		n.srv.RecordEvent(obs.EvClusterForward,
+		n.srv.RecordTracedEvent(obs.EvClusterForward, traceID,
 			fmt.Sprintf("digest %.12s -> node %d", key, p.ID))
 		if status == http.StatusOK || status == http.StatusAccepted {
 			var st server.JobStatus
 			if json.Unmarshal(respBody, &st) == nil && st.ID != "" {
 				n.mu.Lock()
-				n.forwarded[st.ID] = p
+				n.forwarded[st.ID] = fi
 				n.mu.Unlock()
 			}
 		}
@@ -472,10 +506,16 @@ func (n *Node) patchStatusBody(status int, out []byte) []byte {
 }
 
 // peekRemote asks peer whether it already caches digest. Both legs of
-// the probe are charged against the modeled network.
-func (n *Node) peekRemote(p Peer, digest string) (*server.JobResult, bool, error) {
+// the probe are charged against the modeled network; the real wall cost
+// lands in the per-peer rpc histograms, and the routed submission's
+// trace id rides the header.
+func (n *Node) peekRemote(p Peer, digest, traceID string) (*server.JobResult, bool, error) {
 	n.net.Charge(len(digest))
-	resp, err := n.client.Get("http://" + p.Addr + "/internal/cache/" + digest)
+	req, err := http.NewRequest(http.MethodGet, "http://"+p.Addr+"/internal/cache/"+digest, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := n.doRPC(n.client, p, rpcPeek, obs.TraceContext{TraceID: traceID}, req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -500,40 +540,63 @@ func (n *Node) peekRemote(p Peer, digest string) (*server.JobResult, bool, error
 
 // forward ships the submission to peer with the forwarding envelope set:
 // ForwardedBy pins the job there, ForwardNetSeconds carries the request
-// leg's modeled cost into the job's lifecycle trace.
-func (n *Node) forward(p Peer, req server.SubmitRequest, key string) (int, []byte, error) {
+// leg's modeled cost into the job's lifecycle trace, and the trace
+// fields (mirrored in the X-Gpmetis-Trace header) make the remote job
+// adopt this entry node's trace id and parent its spans under the
+// forward span minted here. The returned fwdInfo is what the stitcher
+// needs later: the owner, the trace context, and the measured RTT.
+func (n *Node) forward(p Peer, req server.SubmitRequest, key, traceID string) (int, []byte, fwdInfo, error) {
+	fi := fwdInfo{
+		peer:    p,
+		traceID: traceID,
+		spanID:  n.nextSpanID(),
+		sentAt:  time.Now(),
+	}
 	req.ForwardedBy = n.self.Addr
+	req.ForwardTraceID = traceID
+	req.ForwardSpanID = fi.spanID
+	req.ForwardWallUnixNano = fi.sentAt.UnixNano()
 	payload, err := json.Marshal(&req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, fi, err
 	}
 	req.ForwardNetSeconds = n.net.Charge(len(payload))
+	fi.netSeconds = req.ForwardNetSeconds
 	// Re-marshal with the charge embedded; the size delta is noise next to
 	// the graph text that dominates the payload.
 	payload, err = json.Marshal(&req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, fi, err
 	}
-	resp, err := n.client.Post("http://"+p.Addr+"/jobs", "application/json", bytes.NewReader(payload))
+	hreq, err := http.NewRequest(http.MethodPost, "http://"+p.Addr+"/jobs", bytes.NewReader(payload))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, fi, err
 	}
+	hreq.Header.Set("Content-Type", "application/json")
+	tc := obs.TraceContext{TraceID: traceID, SpanID: fi.spanID, WallUnixNano: fi.sentAt.UnixNano()}
+	resp, err := n.doRPC(n.client, p, rpcForward, tc, hreq)
+	if err != nil {
+		return 0, nil, fi, err
+	}
+	fi.rtt = time.Since(fi.sentAt).Seconds()
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, fi, err
 	}
 	n.net.Charge(len(b))
-	return resp.StatusCode, b, nil
+	return resp.StatusCode, b, fi, nil
 }
 
 // proxyOrLocal serves job lookups: jobs this node forwarded are fetched
 // from their owner (the modeled network pays for both legs), everything
-// else is local.
+// else is local. A forwarded job's trace request is special: instead of
+// relaying the owner's document verbatim, the entry node stitches its
+// own forward span and the owner's spans into one multi-process trace.
 func (n *Node) proxyOrLocal(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	n.mu.Lock()
-	p, ok := n.forwarded[id]
+	fi, ok := n.forwarded[id]
 	n.mu.Unlock()
 	if !ok {
 		// Local job: serve it here and stamp this node's address into the
@@ -543,6 +606,14 @@ func (n *Node) proxyOrLocal(w http.ResponseWriter, r *http.Request) {
 		relay(w, cw.status, n.patchStatusBody(cw.status, cw.body.Bytes()))
 		return
 	}
+	p := fi.peer
+	if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/trace") {
+		if n.stitchForwardedTrace(w, fi) {
+			return
+		}
+		// Stitching failed (owner unreachable, trace evicted); fall back
+		// to the plain proxy so the client still gets the owner's view.
+	}
 	n.net.Charge(len(r.URL.Path))
 	req2, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+p.Addr+r.URL.Path, nil)
 	if err != nil {
@@ -550,7 +621,7 @@ func (n *Node) proxyOrLocal(w http.ResponseWriter, r *http.Request) {
 			server.ErrorResponse{Error: err.Error(), Code: server.CodeBadRequest})
 		return
 	}
-	resp, err := n.client.Do(req2)
+	resp, err := n.doRPC(n.client, p, rpcProxy, obs.TraceContext{TraceID: fi.traceID, SpanID: fi.spanID}, req2)
 	if err != nil {
 		n.strikePeer(p, "proxy: "+err.Error())
 		writeJSON(w, http.StatusBadGateway, server.ErrorResponse{
@@ -634,7 +705,13 @@ func (n *Node) probePeer(p Peer) {
 		return
 	}
 	n.net.Charge(0)
-	resp, err := n.probe.Get("http://" + p.Addr + "/healthz")
+	var resp *http.Response
+	req, err := http.NewRequest(http.MethodGet, "http://"+p.Addr+"/healthz", nil)
+	if err == nil {
+		// Each probe is its own (tiny) trace: health checking is traffic
+		// too, and a probe storm should be attributable in peer logs.
+		resp, err = n.doRPC(n.probe, p, rpcProbe, obs.TraceContext{TraceID: obs.NewTraceID()}, req)
+	}
 	ok := err == nil && resp.StatusCode == http.StatusOK
 	if resp != nil {
 		b, _ := io.ReadAll(resp.Body)

@@ -300,21 +300,27 @@ func (n *Node) drainHints(p Peer) {
 // drainPeerOnce attempts one delivery pass of a peer's backlog. Hints
 // whose entries the local LRU has since evicted are dropped (anti-
 // entropy repairs any real divergence later). It returns the backlog
-// size after the pass and the first delivery error.
+// size after the pass and the first delivery error. The pass is one
+// trace: its delivery span lands in the span store and the drain event
+// carries the trace id.
 func (n *Node) drainPeerOnce(p Peer) (remaining int, err error) {
 	keys := n.hints.take(p.ID)
 	if len(keys) == 0 {
 		return 0, nil
 	}
+	trace := obs.NewTraceID()
+	t0 := time.Now()
 	drained := 0
 	for i, key := range keys {
 		res, ok := n.srv.PeekCached(key)
 		if !ok {
 			continue // evicted locally; nothing left to hand off
 		}
-		if pushErr := n.pushEntry(p, key, res); pushErr != nil {
+		if pushErr := n.pushEntry(p, key, res, obs.TraceContext{TraceID: trace}, rpcHandoffPut); pushErr != nil {
 			n.strikePeer(p, "hint drain: "+pushErr.Error())
 			n.hints.requeue(p.ID, keys[i:])
+			n.recordRoundSpan(trace, "handoff-drain", t0, time.Now(),
+				spanAttrs(p, "delivered", drained, "error", pushErr.Error()))
 			return n.hints.outstandingFor(p.ID), pushErr
 		}
 		n.clearStrikes(p)
@@ -322,9 +328,11 @@ func (n *Node) drainPeerOnce(p Peer) (remaining int, err error) {
 		n.handoffDrain.Add(1)
 	}
 	if drained > 0 {
-		n.srv.RecordEvent(obs.EvClusterHintDrained,
+		n.recordRoundSpan(trace, "handoff-drain", t0, time.Now(),
+			spanAttrs(p, "delivered", drained))
+		n.srv.RecordTracedEvent(obs.EvClusterHintDrained, trace,
 			fmt.Sprintf("%d hinted entries delivered to node %d", drained, p.ID))
-		n.log.Info("handoff hints drained", "peer", p.ID, "delivered", drained)
+		n.log.Info("handoff hints drained", "peer", p.ID, "delivered", drained, "trace", trace)
 	}
 	return n.hints.outstandingFor(p.ID), nil
 }

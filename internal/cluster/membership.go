@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"gpmetis/internal/obs"
 	"gpmetis/internal/server"
@@ -201,15 +202,21 @@ func decodeRingChange(w http.ResponseWriter, r *http.Request) (int, bool) {
 }
 
 // announce posts a leave/join announcement about node id to a peer,
-// charged to the modeled network like any other inter-node message.
-func (n *Node) announce(p Peer, path string, id int) error {
+// charged to the modeled network like any other inter-node message and
+// carrying the caller's round trace.
+func (n *Node) announce(p Peer, path string, id int, tc obs.TraceContext) error {
 	payload, err := json.Marshal(ringChange{Node: id})
 	if err != nil {
 		return err
 	}
 	n.net.Charge(len(payload))
-	resp, err := n.client.Post("http://"+p.Addr+path, "application/json",
+	req, err := http.NewRequest(http.MethodPost, "http://"+p.Addr+path,
 		strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.doRPC(n.client, p, rpcAnnounce, tc, req)
 	if err != nil {
 		return err
 	}
@@ -266,7 +273,10 @@ func (n *Node) handleDecommission(w http.ResponseWriter, r *http.Request) {
 	// Push owned entries to their new owners. Every cached entry is
 	// offered to the first Replicas members of its successor walk in the
 	// shrunk ring; receivers dedup by digest, so entries they already
-	// replicate cost one round trip and no storage.
+	// replicate cost one round trip and no storage. The whole retirement
+	// — pushes plus announcements — is one trace.
+	trace := obs.NewTraceID()
+	t0 := time.Now()
 	pushed := 0
 	rf := n.cfg.Replicas
 	if rf < 1 {
@@ -286,7 +296,7 @@ func (n *Node) handleDecommission(w http.ResponseWriter, r *http.Request) {
 			if n.peerIsDown(q) {
 				continue
 			}
-			if err := n.pushEntry(q, key, res); err != nil {
+			if err := n.pushEntry(q, key, res, obs.TraceContext{TraceID: trace}, rpcReplicaPut); err != nil {
 				n.strikePeer(q, "decommission push: "+err.Error())
 				continue
 			}
@@ -297,7 +307,7 @@ func (n *Node) handleDecommission(w http.ResponseWriter, r *http.Request) {
 
 	notified := 0
 	for _, p := range survivors {
-		if err := n.announce(p, "/internal/ring/leave", n.self.ID); err != nil {
+		if err := n.announce(p, "/internal/ring/leave", n.self.ID, obs.TraceContext{TraceID: trace}); err != nil {
 			n.log.Warn("decommission announce failed", "peer", p.ID, "error", err.Error())
 			continue
 		}
@@ -309,7 +319,9 @@ func (n *Node) handleDecommission(w http.ResponseWriter, r *http.Request) {
 	n.ring = shrunk
 	n.ringMu.Unlock()
 
-	n.srv.RecordEvent(obs.EvClusterDecommission,
+	n.recordRoundSpan(trace, "decommission", t0, time.Now(),
+		map[string]any{"pushed": pushed, "notified": notified})
+	n.srv.RecordTracedEvent(obs.EvClusterDecommission, trace,
 		fmt.Sprintf("decommissioned: %d entries pushed, %d of %d peers notified",
 			pushed, notified, len(survivors)))
 	n.log.Info("node decommissioned", "entries_pushed", pushed,
@@ -341,8 +353,9 @@ func (n *Node) Rejoin() int64 {
 		}
 	}
 	n.ringMu.Unlock()
+	trace := obs.NewTraceID()
 	for _, p := range n.otherPeers() {
-		if err := n.announce(p, "/internal/ring/join", n.self.ID); err != nil {
+		if err := n.announce(p, "/internal/ring/join", n.self.ID, obs.TraceContext{TraceID: trace}); err != nil {
 			n.log.Info("rejoin announce failed", "peer", p.ID, "error", err.Error())
 		}
 	}

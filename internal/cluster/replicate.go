@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"gpmetis/internal/obs"
 	"gpmetis/internal/server"
@@ -50,21 +51,29 @@ func (n *Node) replicateLoop() {
 
 // replicateKey pushes one result to every replica target of its digest.
 // A quarantined or unreachable target gets a handoff hint instead; the
-// hint is drained when the peer reinstates.
+// hint is drained when the peer reinstates. The whole round is one
+// trace: each push records a span into the node's span store and the
+// flight-recorder event carries the trace id, so a replication round
+// can be replayed via GET /internal/trace/{trace_id}.
 func (n *Node) replicateKey(key string, res *server.JobResult) {
+	trace := obs.NewTraceID()
 	for _, p := range n.replicaTargets(key) {
 		if h := n.peerHealth(p.ID); h != nil && h.down() {
 			n.addHint(p, key, "replica quarantined")
 			continue
 		}
-		if err := n.pushEntry(p, key, res); err != nil {
+		t0 := time.Now()
+		err := n.pushEntry(p, key, res, obs.TraceContext{TraceID: trace}, rpcReplicaPut)
+		n.recordRoundSpan(trace, "replicate-push", t0, time.Now(),
+			spanAttrs(p, "digest", fmt.Sprintf("%.12s", key), "ok", err == nil))
+		if err != nil {
 			n.strikePeer(p, "replicate: "+err.Error())
 			n.addHint(p, key, err.Error())
 			continue
 		}
 		n.clearStrikes(p)
 		n.replicaPushes.Add(1)
-		n.srv.RecordEvent(obs.EvClusterReplicate,
+		n.srv.RecordTracedEvent(obs.EvClusterReplicate, trace,
 			fmt.Sprintf("digest %.12s replicated to node %d", key, p.ID))
 	}
 }
@@ -104,8 +113,11 @@ func (n *Node) replicaSetHas(ring *Ring, key string, id int) bool {
 
 // pushEntry PUTs one cached result to a peer — the shared transport of
 // replication, hinted-handoff drains, decommission pushes, and
-// anti-entropy repair. Both legs are charged to the modeled network.
-func (n *Node) pushEntry(p Peer, key string, res *server.JobResult) error {
+// anti-entropy repair. Both legs are charged to the modeled network;
+// the caller says which purpose (rpc label) and round trace the wire
+// call belongs to, which is what keeps the three background subsystems
+// separable in the gpmetisd_cluster_rpc_* series.
+func (n *Node) pushEntry(p Peer, key string, res *server.JobResult, tc obs.TraceContext, rpc string) error {
 	payload, err := json.Marshal(res)
 	if err != nil {
 		return err
@@ -117,7 +129,7 @@ func (n *Node) pushEntry(p Peer, key string, res *server.JobResult) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := n.client.Do(req)
+	resp, err := n.doRPC(n.client, p, rpc, tc, req)
 	if err != nil {
 		return err
 	}
@@ -175,11 +187,12 @@ func (n *Node) consultReplicas(key string, succs []Peer, i int) (*server.JobResu
 	if _, ok := n.srv.PeekCached(key); ok {
 		return nil, Peer{}, false // the local cache answers at zero cost
 	}
+	trace := obs.NewTraceID()
 	for _, q := range succs[i+1 : r] {
 		if h := n.peerHealth(q.ID); h != nil && h.down() {
 			continue
 		}
-		res, found, err := n.peekRemote(q, key)
+		res, found, err := n.peekRemote(q, key, trace)
 		if err != nil {
 			n.strikePeer(q, "replica peek: "+err.Error())
 			continue
@@ -189,7 +202,7 @@ func (n *Node) consultReplicas(key string, succs []Peer, i int) (*server.JobResu
 			continue
 		}
 		n.replicaHits.Add(1)
-		n.srv.RecordEvent(obs.EvClusterReplicaHit,
+		n.srv.RecordTracedEvent(obs.EvClusterReplicaHit, trace,
 			fmt.Sprintf("replica %d answered digest %.12s for its dead owner", q.ID, key))
 		if n.srv.StoreReplicated(key, res) {
 			n.repairPulled.Add(1)

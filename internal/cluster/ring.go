@@ -156,6 +156,25 @@ func (r *Ring) Successors(key string) []Peer {
 	return out
 }
 
+// OwnershipShares returns each peer's fraction of the hash space, by
+// peer ID — the arc lengths between consecutive virtual nodes, summed
+// per owner. The fleet view renders these so a skewed ring (one node
+// owning far more than 1/n of the keyspace) is visible at a glance.
+func (r *Ring) OwnershipShares() map[int]float64 {
+	shares := make(map[int]float64, len(r.peers))
+	for i, pt := range r.points {
+		var arc uint64
+		if i == 0 {
+			// The wraparound arc: from the top point back to the first.
+			arc = pt.hash + (^uint64(0) - r.points[len(r.points)-1].hash) + 1
+		} else {
+			arc = pt.hash - r.points[i-1].hash
+		}
+		shares[r.peers[pt.peer].ID] += float64(arc) / (1 << 63) / 2
+	}
+	return shares
+}
+
 // RangeOf returns the index of the virtual-node range a key falls in:
 // the ring point that owns its position. Anti-entropy groups digest
 // summaries by this index, so two nodes with the same ring compare

@@ -66,6 +66,7 @@ type Event struct {
 	Type   string    `json:"type"`
 	Job    string    `json:"job_id,omitempty"`
 	Trace  string    `json:"trace_id,omitempty"`
+	Node   string    `json:"node_id,omitempty"`
 	Slot   int       `json:"slot,omitempty"`
 	Detail string    `json:"detail,omitempty"`
 }

@@ -26,6 +26,24 @@ type PromSample struct {
 	Help string
 }
 
+// PromHistogram is one extra labeled histogram — a distribution the
+// caller maintains outside the registry (per-peer RPC latency, say)
+// that should still render in cumulative le-bucket form. Counts holds
+// one per-bucket (non-cumulative) count per bound plus a final
+// overflow bucket, exactly like HistogramSnapshot. Histograms sharing
+// a Name are grouped under one # TYPE line, with Help taken from the
+// first of the group; the le label is appended after the caller's
+// labels on every bucket line.
+type PromHistogram struct {
+	Name   string
+	Labels []Label
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+	Help   string
+}
+
 // WritePrometheus renders the registry — every counter as an untimestamped
 // gauge, every histogram in cumulative le-bucket form — plus the extra
 // samples, in the Prometheus text exposition format (version 0.0.4).
@@ -33,6 +51,13 @@ type PromSample struct {
 // legal charset; output order is deterministic: counters sorted by name,
 // then histograms sorted by name, then extras in the given order.
 func WritePrometheus(w io.Writer, r *Registry, ns string, extra []PromSample) error {
+	return WritePrometheusFull(w, r, ns, extra, nil)
+}
+
+// WritePrometheusFull is WritePrometheus plus extra labeled histograms,
+// rendered after the registry's own histograms and before the extra
+// samples.
+func WritePrometheusFull(w io.Writer, r *Registry, ns string, extra []PromSample, hists []PromHistogram) error {
 	var b strings.Builder
 	for _, name := range r.Names() {
 		mn := sanitizeMetricName(ns + name)
@@ -55,6 +80,30 @@ func WritePrometheus(w io.Writer, r *Registry, ns string, extra []PromSample) er
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", mn, cum)
 		fmt.Fprintf(&b, "%s_sum %s\n", mn, formatPromValue(h.Sum))
 		fmt.Fprintf(&b, "%s_count %d\n", mn, h.Count)
+	}
+	lastHist := ""
+	for _, h := range hists {
+		mn := sanitizeMetricName(ns + h.Name)
+		if mn != lastHist {
+			if h.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", mn, escapeHelp(h.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", mn)
+			lastHist = mn
+		}
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", mn, labelPrefix(h.Labels), formatPromValue(bound), cum)
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", mn, labelPrefix(h.Labels), cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", mn, labelBlock(h.Labels), formatPromValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", mn, labelBlock(h.Labels), h.Count)
 	}
 	lastName := ""
 	for _, s := range extra {
@@ -81,6 +130,38 @@ func WritePrometheus(w io.Writer, r *Registry, ns string, extra []PromSample) er
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// labelPrefix renders "k1=\"v1\",k2=\"v2\"," — caller labels followed by a
+// trailing comma, ready to precede the le label inside a bucket's braces.
+// Empty labels render as "".
+func labelPrefix(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%s=\"%s\",", sanitizeLabelName(l.Key), escapeLabelValue(l.Value))
+	}
+	return b.String()
+}
+
+// labelBlock renders "{k1=\"v1\",k2=\"v2\"}" or "" when there are no labels —
+// the label set for _sum and _count lines.
+func labelBlock(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", sanitizeLabelName(l.Key), escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // formatPromValue renders a float the way Prometheus clients do: shortest

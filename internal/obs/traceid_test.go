@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace id %q has length %d, want 32 hex chars (128 bits)", id, len(id))
+		}
+		if strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("trace id %q is not lowercase hex", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace id %q repeated within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: 2_000_042, WallUnixNano: 1754640000123456789}
+	got, ok := ParseTraceContext(EncodeTraceContext(tc))
+	if !ok {
+		t.Fatalf("round trip failed to parse %q", EncodeTraceContext(tc))
+	}
+	if got != tc {
+		t.Errorf("round trip: got %+v, want %+v", got, tc)
+	}
+}
+
+// Recovered jobs carry a "recovered-" prefix with a dash inside the
+// trace id; the parser anchors on the right so such ids survive.
+func TestTraceContextDashedTraceID(t *testing.T) {
+	tc := TraceContext{TraceID: "recovered-" + NewTraceID(), SpanID: 7, WallUnixNano: 99}
+	got, ok := ParseTraceContext(EncodeTraceContext(tc))
+	if !ok || got.TraceID != tc.TraceID {
+		t.Fatalf("dashed trace id did not survive the header: ok=%v got=%q want=%q",
+			ok, got.TraceID, tc.TraceID)
+	}
+}
+
+func TestParseTraceContextRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "00", "00-abc", "01-abc-0000000000000001-0000000000000002",
+		"00-abc-zzzz-0000000000000002", "junk",
+	} {
+		if _, ok := ParseTraceContext(s); ok {
+			t.Errorf("ParseTraceContext(%q) accepted garbage", s)
+		}
+	}
+}
+
+func TestSpanStoreBoundsAndEviction(t *testing.T) {
+	s := NewSpanStore(3)
+	for i, id := range []string{"a", "b", "c", "d"} {
+		s.Append(id, SpanRecord{Span: int64(i), Name: "x"})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("store holds %d traces, want cap 3", s.Len())
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("oldest trace survived past the cap (want FIFO eviction)")
+	}
+	if st, ok := s.Get("d"); !ok || len(st.Spans) != 1 {
+		t.Error("newest trace missing after eviction")
+	}
+	// Appending to a live trace grows it without consuming a slot.
+	s.Append("d", SpanRecord{Span: 9, Name: "y"})
+	if st, _ := s.Get("d"); len(st.Spans) != 2 {
+		t.Error("append to an existing trace did not accumulate")
+	}
+	if s.Len() != 3 {
+		t.Errorf("append to an existing trace changed the trace count to %d", s.Len())
+	}
+}

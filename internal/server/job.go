@@ -213,6 +213,22 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
+// TraceID returns the job's trace id — empty until the job was
+// registered (or adopted a forwarded trace).
+func (j *Job) TraceID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceID
+}
+
+// LifeSpans exposes the job's lifecycle spans and clock anchors to the
+// cluster tier, which serializes them at GET /internal/trace/{trace_id}
+// so an entry node can stitch this node's view of a forwarded job into
+// one distributed trace.
+func (j *Job) LifeSpans() (spans []LifeSpan, submitted, runStart time.Time) {
+	return j.lifeSnapshot()
+}
+
 // Tracer returns the job's tracer (the original run's tracer for cache
 // hits, nil while queued).
 func (j *Job) Tracer() *gpmetis.Tracer {

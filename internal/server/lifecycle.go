@@ -64,28 +64,48 @@ func (j *Job) markRunStart(t time.Time) {
 	j.mu.Unlock()
 }
 
-// assignIDLocked names the job and derives its trace ID; the caller
-// holds s.mu. Trace IDs are unique across restarts (the journal reuses
-// job IDs, never trace IDs).
+// assignIDLocked names the job and mints its trace ID; the caller
+// holds s.mu. Trace IDs are 128-bit crypto/rand hex, unique across
+// nodes and restarts (the journal reuses job IDs, never trace IDs).
+// A job whose trace ID was pre-set — a ring forward carrying the entry
+// node's id — keeps it, so the distributed trace stays one trace.
 func (s *Server) assignIDLocked(j *Job) {
 	s.seq++
 	j.ID = fmt.Sprintf("%s%06d", s.cfg.JobIDPrefix, s.seq)
-	j.traceID = fmt.Sprintf("%08x-%06d", uint32(s.start.UnixNano())+uint32(time.Now().UnixNano()>>10), s.seq)
+	if j.traceID == "" {
+		j.traceID = obs.NewTraceID()
+	}
 }
 
 // jlog returns the job-correlated logger: every line it emits carries
-// the job and trace IDs, so one job's lifecycle is a single grep.
+// the job and trace IDs — and, when clustering is on, the node id — so
+// one job's lifecycle is a single grep even across a ring.
 func (s *Server) jlog(j *Job) *slog.Logger {
-	return s.log.With("job_id", j.ID, "trace_id", j.traceID)
+	l := s.log.With("job_id", j.ID, "trace_id", j.traceID)
+	if id := s.nodeID(); id != "" {
+		l = l.With("node_id", id)
+	}
+	return l
 }
 
 // event appends one lifecycle event to the flight recorder. Job-scoped
 // events carry the job and trace IDs; server-scoped events pass nil.
+// When clustering is on, every event is stamped with this node's id so
+// fleet-merged event streams stay attributable.
 func (s *Server) event(typ string, j *Job, slot int, detail string) {
-	e := obs.Event{Type: typ, Slot: slot, Detail: detail}
+	e := obs.Event{Type: typ, Slot: slot, Detail: detail, Node: s.nodeID()}
 	if j != nil {
 		e.Job, e.Trace = j.ID, j.traceID
 	}
+	s.events.Append(e)
+	s.reg.Add("events.recorded", 1)
+}
+
+// tracedEvent is event for server-scoped records that belong to a
+// cluster background round: the round's trace id rides along, linking
+// the flight-recorder entry to the round's spans.
+func (s *Server) tracedEvent(typ, trace, detail string) {
+	e := obs.Event{Type: typ, Slot: -1, Detail: detail, Trace: trace, Node: s.nodeID()}
 	s.events.Append(e)
 	s.reg.Add("events.recorded", 1)
 }
@@ -211,6 +231,56 @@ func wallUS(base, t time.Time) float64 { return float64(t.Sub(base)) / float64(t
 // lifeSpanIDBase keeps service span IDs disjoint from the modeled
 // tracer's span IDs inside one merged document.
 const lifeSpanIDBase = 1_000_000
+
+// NodeTraceForJob renders this node's view of a job as a NodeTrace —
+// the unit a peer fetches at GET /internal/trace/{trace_id} to stitch
+// a forwarded job's remote half into the entry node's document. Span
+// ids match writeJobTrace's (lifeSpanIDBase+i) and the modeled Chrome
+// events are pre-rendered with service_parent pointing at this node's
+// run span; timestamps stay on this node's clock, the stitcher aligns.
+func (s *Server) NodeTraceForJob(j *Job) NodeTrace {
+	spans, submitted, runStart := j.lifeSnapshot()
+	st := j.Status()
+	nt := NodeTrace{NodeID: s.nodeID(), TraceID: st.TraceID, JobID: st.ID}
+	base := submitted
+	if base.IsZero() && len(spans) > 0 {
+		base = spans[0].Start
+	}
+	if !base.IsZero() {
+		nt.AnchorUnixNano = base.UnixNano()
+	}
+	parentID := int64(0)
+	for i, sp := range spans {
+		id := int64(lifeSpanIDBase + i)
+		switch sp.Name {
+		case lifeRun:
+			parentID = id
+		case lifeCacheLook:
+			if parentID == 0 {
+				parentID = id
+			}
+		}
+		nt.Spans = append(nt.Spans, obs.SpanRecord{
+			Span:          id,
+			Name:          sp.Name,
+			StartUnixNano: sp.Start.UnixNano(),
+			EndUnixNano:   sp.End.UnixNano(),
+			Attrs:         sp.Attrs,
+		})
+	}
+	if t := j.Tracer(); t != nil {
+		offset := 0.0
+		if !runStart.IsZero() && !base.IsZero() {
+			offset = wallUS(base, runStart)
+		}
+		rootArgs := map[string]any{"job_id": st.ID, "trace_id": st.TraceID}
+		if parentID != 0 {
+			rootArgs["service_parent"] = parentID
+		}
+		nt.Modeled = obs.TraceEvents(t, 2, offset, rootArgs)
+	}
+	return nt
+}
 
 // writeJobTrace serializes the job's merged timeline as one Chrome
 // trace_event document with two process rows:

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpmetis/internal/obs"
+)
+
+// TestMetricsLintFreshScrape is the metrics-lint invariant behind
+// `make metrics-lint`: every series registered at construction — every
+// counter/gauge name in the registry and every declared histogram —
+// appears on the very first /metrics scrape of a fresh server, before
+// any job has run. A series that only materializes after its first
+// event is invisible to dashboards and alert previews exactly when an
+// operator is wiring them.
+func TestMetricsLintFreshScrape(t *testing.T) {
+	s := New(Config{Devices: 1, QueueCap: 4, Logger: obs.DiscardLogger()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d err %v", resp.StatusCode, err)
+	}
+	text := string(body)
+
+	missing := 0
+	check := func(series, suffix string) {
+		// The exposition sanitizes dots to underscores and prefixes the
+		// namespace; reproduce that mapping for the lint.
+		name := "gpmetisd_" + strings.ReplaceAll(series, ".", "_") + suffix
+		if !strings.Contains(text, name+" ") && !strings.Contains(text, name+"{") {
+			t.Errorf("registered series %q missing from a fresh scrape (as %s)", series, name)
+			missing++
+		}
+	}
+	counters := s.reg.Names()
+	if len(counters) == 0 {
+		t.Fatal("registry declares no counters; the lint has nothing to check")
+	}
+	for _, name := range counters {
+		check(name, "")
+	}
+	hists := s.reg.HistogramNames()
+	if len(hists) == 0 {
+		t.Fatal("registry declares no histograms; the lint has nothing to check")
+	}
+	for _, name := range hists {
+		check(name, "_bucket")
+		check(name, "_sum")
+		check(name, "_count")
+	}
+	if !strings.Contains(text, "gpmetisd_build_info{") {
+		t.Error("fresh scrape lacks gpmetisd_build_info")
+	}
+}

@@ -183,7 +183,7 @@ func (s *Server) readmit(id string, f *foldedJob, readmitted, resumed *int) {
 	// A recovered job gets a fresh trace ID (the journal does not record
 	// them) and a lifecycle clock restarting at recovery, mirroring the
 	// deadline decision below.
-	job.traceID = fmt.Sprintf("recovered-%08x-%s", uint32(time.Now().UnixNano()>>10), id)
+	job.traceID = "recovered-" + obs.NewTraceID()
 	job.submittedAt = time.Now()
 
 	// The deadline clock restarts at recovery: the journal records no

@@ -22,7 +22,7 @@ import (
 
 // Version identifies the serving subsystem build, reported by /healthz
 // and the gpmetisd_build_info metric.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Config sizes the serving subsystem. Zero values take the defaults
 // noted per field.
@@ -189,6 +189,17 @@ type Server struct {
 	// no-cycle rule as clusterFn applies.
 	resultMu sync.Mutex
 	resultFn func(key string, res *JobResult)
+
+	// promFn, when installed via SetPromExtra, contributes extra samples
+	// and labeled histograms to the /metrics exposition — the cluster
+	// tier's per-peer RPC series. Same no-cycle rule as clusterFn.
+	promMu sync.Mutex
+	promFn func() ([]obs.PromSample, []obs.PromHistogram)
+
+	// nodeIDv holds this node's cluster identity ("" standalone; set once
+	// by the cluster tier at startup). Read on every log line and
+	// flight-recorder event, hence the atomic.
+	nodeIDv atomic.Value
 
 	// replicaKeys (guarded by mu) tracks cache entries this node holds
 	// as a ring replica of a peer's work, so journal rotation preserves
@@ -470,6 +481,44 @@ func (s *Server) resultHook() func(key string, res *JobResult) {
 	return s.resultFn
 }
 
+// SetPromExtra installs a callback contributing extra samples and
+// labeled histograms to the Prometheus exposition; nil uninstalls it.
+// The cluster tier uses it to export its per-peer × per-RPC latency
+// and error series without the server importing the cluster package.
+func (s *Server) SetPromExtra(fn func() ([]obs.PromSample, []obs.PromHistogram)) {
+	s.promMu.Lock()
+	s.promFn = fn
+	s.promMu.Unlock()
+}
+
+// promExtra invokes the installed exposition callback, empty when none.
+func (s *Server) promExtra() ([]obs.PromSample, []obs.PromHistogram) {
+	s.promMu.Lock()
+	fn := s.promFn
+	s.promMu.Unlock()
+	if fn == nil {
+		return nil, nil
+	}
+	return fn()
+}
+
+// SetNodeID stamps this server with its cluster identity. From then on
+// every job-scoped log line, every flight-recorder event, and the
+// build_info metric carry node_id, so fleet-merged streams stay
+// attributable. Standalone daemons never call it.
+func (s *Server) SetNodeID(id string) { s.nodeIDv.Store(id) }
+
+// nodeID returns the cluster identity, "" on a standalone daemon.
+func (s *Server) nodeID() string {
+	if v := s.nodeIDv.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// NodeID is the exported read of the cluster identity.
+func (s *Server) NodeID() string { return s.nodeID() }
+
 // KeyForRequest resolves req exactly as Submit would and returns its
 // content-addressed cache key ("" for NoCache submissions). It is the
 // digest the cluster tier routes on: routing and caching share one
@@ -529,6 +578,32 @@ func (s *Server) RecordEvent(typ, detail string) {
 	s.event(typ, nil, -1, detail)
 }
 
+// RecordTracedEvent is RecordEvent for events belonging to a cluster
+// background round: the round's trace id rides into the flight
+// recorder, linking the event to the round's spans at
+// GET /internal/trace/{trace_id}.
+func (s *Server) RecordTracedEvent(typ, trace, detail string) {
+	s.tracedEvent(typ, trace, detail)
+}
+
+// JobByTrace finds the job owning a trace id — the lookup behind the
+// cluster tier's GET /internal/trace/{trace_id} for forwarded jobs.
+// The scan is linear over the bounded job index; trace fetches are
+// rare (one per stitched trace render).
+func (s *Server) JobByTrace(traceID string) (*Job, bool) {
+	if traceID == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if j, ok := s.jobs[s.order[i]]; ok && j.TraceID() == traceID {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
 // Submit validates req, consults the result cache and the in-flight
 // index, and either completes the job instantly (hit), attaches it to an
 // identical in-flight job (single-flight coalescing), or admits it to
@@ -561,10 +636,20 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 	if req.ForwardedBy != "" {
 		// The ring forward that delivered this job appears in its own
 		// trace: a zero-width wall span carrying the α+βn modeled cost of
-		// the network hop.
-		job.addLifeSpan(lifeClusterForward, t0, t0, map[string]any{
+		// the network hop. The entry node's trace context rides the
+		// forward, so this job joins the caller's trace instead of
+		// minting its own, and its spans parent under the caller's
+		// cluster-forward span when the entry node stitches.
+		attrs := map[string]any{
 			"from": req.ForwardedBy, "net_modeled_seconds": req.ForwardNetSeconds,
-		})
+		}
+		if req.ForwardTraceID != "" {
+			job.traceID = req.ForwardTraceID
+			if req.ForwardSpanID != 0 {
+				attrs["parent"] = req.ForwardSpanID
+			}
+		}
+		job.addLifeSpan(lifeClusterForward, t0, t0, attrs)
 	}
 	job.tenant = s.tenants.state(req.Tenant)
 	job.autoDegraded = autoDegraded
@@ -1063,6 +1148,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
+	// A forwarded submission carries its trace context both in the body
+	// and in the X-Gpmetis-Trace header; the header wins a tie-break
+	// only when the body fields are absent (an older forwarder).
+	if req.ForwardedBy != "" && req.ForwardTraceID == "" {
+		if tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)); ok {
+			req.ForwardTraceID = tc.TraceID
+			req.ForwardSpanID = tc.SpanID
+			req.ForwardWallUnixNano = tc.WallUnixNano
+		}
+	}
 	job, err := s.Submit(&req)
 	var oe *overloadError
 	switch {
@@ -1165,14 +1260,20 @@ func (s *Server) cacheExtra() map[string]float64 {
 // series. The JSON form lives at /metrics.json.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var extra []obs.PromSample
+	buildLabels := []obs.Label{
+		{Key: "version", Value: Version},
+		{Key: "go_version", Value: runtime.Version()},
+	}
+	if id := s.nodeID(); id != "" {
+		// The node label is what lets fleet dashboards join build_info
+		// across a ring scrape.
+		buildLabels = append(buildLabels, obs.Label{Key: "node", Value: id})
+	}
 	extra = append(extra, obs.PromSample{
-		Name: "build_info",
-		Labels: []obs.Label{
-			{Key: "version", Value: Version},
-			{Key: "go_version", Value: runtime.Version()},
-		},
-		Value: 1,
-		Help:  "Build metadata; the value is always 1.",
+		Name:   "build_info",
+		Labels: buildLabels,
+		Value:  1,
+		Help:   "Build metadata; the value is always 1.",
 	})
 	ce := s.cacheExtra()
 	for _, name := range []string{
@@ -1226,8 +1327,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	extra = append(extra, s.tenantSamples()...)
 	extra = append(extra, s.clusterSamples()...)
+	hookSamples, hookHists := s.promExtra()
+	extra = append(extra, hookSamples...)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	obs.WritePrometheus(w, s.reg, "gpmetisd_", extra)
+	obs.WritePrometheusFull(w, s.reg, "gpmetisd_", extra, hookHists)
 }
 
 // clusterSamples renders the gpmetisd_cluster_* series from the ring

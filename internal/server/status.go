@@ -74,6 +74,11 @@ func (s *Server) statusSnapshot() StatusResponse {
 	return st
 }
 
+// StatusSnapshot is the exported read of the ops view's data — the
+// cluster tier's fleet fan-out uses it for this node's own row instead
+// of HTTP-ing to itself.
+func (s *Server) StatusSnapshot() StatusResponse { return s.statusSnapshot() }
+
 // latencySummary reads one histogram's count and interpolated p50/90/99.
 func (s *Server) latencySummary(name string) LatencySummary {
 	h, ok := s.reg.Histogram(name)

@@ -74,6 +74,15 @@ type SubmitRequest struct {
 	// node — forwarded jobs are never re-forwarded.
 	ForwardedBy       string  `json:"forwarded_by,omitempty"`
 	ForwardNetSeconds float64 `json:"forward_net_seconds,omitempty"`
+	// ForwardTraceID/ForwardSpanID/ForwardWallUnixNano carry the entry
+	// node's trace context on a ring forward (mirroring the
+	// X-Gpmetis-Trace header): the job keeps the entry node's trace id,
+	// its spans parent under the entry node's cluster-forward span, and
+	// the wall stamp lets the stitcher align the two nodes' clocks. Like
+	// ForwardedBy, none of these participate in the cache key.
+	ForwardTraceID      string `json:"forward_trace_id,omitempty"`
+	ForwardSpanID       int64  `json:"forward_span_id,omitempty"`
+	ForwardWallUnixNano int64  `json:"forward_wall_unix_nano,omitempty"`
 }
 
 // Job states. A job moves queued -> running -> done/failed, or to
@@ -378,6 +387,51 @@ type StatusResponse struct {
 
 	// Cluster is the ring tier's view of this node (nil standalone).
 	Cluster *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// NodeTrace is the wire form of GET /internal/trace/{trace_id}: one
+// node's spans under a trace, shipped to the entry node for stitching.
+// Spans are wall-clock SpanRecords on this node's own clock (the
+// stitcher aligns clocks via the RPC envelope); Modeled carries the
+// run's modeled-clock Chrome events, pre-rendered with service_parent
+// pointing at this node's run span, for job traces only.
+type NodeTrace struct {
+	NodeID  string `json:"node_id"`
+	Addr    string `json:"addr"`
+	TraceID string `json:"trace_id"`
+	JobID   string `json:"job_id,omitempty"`
+	// AnchorUnixNano is this node's clock at the trace's local origin
+	// (job submission); Modeled timestamps are microseconds after it.
+	AnchorUnixNano int64             `json:"anchor_unix_nano,omitempty"`
+	Spans          []obs.SpanRecord  `json:"spans"`
+	Modeled        []obs.ChromeEvent `json:"modeled,omitempty"`
+}
+
+// FleetNode is one node's row in the federated fleet view: reachability
+// as seen by the fan-out node, the RPC round-trip the status fetch
+// took, this node's share of the ring keyspace, and (when reachable)
+// its full per-node status snapshot.
+type FleetNode struct {
+	ID           int     `json:"id"`
+	Addr         string  `json:"addr"`
+	Self         bool    `json:"self,omitempty"`
+	Up           bool    `json:"up"`
+	Error        string  `json:"error,omitempty"`
+	RTTSeconds   float64 `json:"rtt_seconds,omitempty"`
+	OwnershipPct float64 `json:"ownership_pct"`
+	// Left marks a decommissioned member still present in peers.json.
+	Left   bool            `json:"left,omitempty"`
+	Status *StatusResponse `json:"status,omitempty"`
+}
+
+// FleetStatus is the wire form of GET /admin/cluster/status.json: one
+// fan-out node's merged view of the whole ring.
+type FleetStatus struct {
+	// Node is the fan-out node answering the query; Replicas the
+	// configured replication factor.
+	Node     int         `json:"node"`
+	Replicas int         `json:"replicas,omitempty"`
+	Nodes    []FleetNode `json:"nodes"`
 }
 
 // EventsResponse is the wire form of GET /admin/events: the flight

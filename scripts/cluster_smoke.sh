@@ -9,7 +9,15 @@
 # replicated to a ring successor; then SIGKILLs the owner and asserts
 # the resubmission is served from the replica — a cache hit, not a
 # recompute — and finally restarts the owner and asserts rejoin
-# catch-up pulls its entries back so it serves locally again. Run via
+# catch-up pulls its entries back so it serves locally again.
+#
+# The observability plane rides along: the federated fleet view
+# (/admin/cluster/status.json) must list every node up, a forwarded
+# job's trace must come back STITCHED (entry + owner spans under
+# distinct pids in one document), every internode RPC class (forward,
+# replica_put, summary, handoff_put) must land in the per-peer
+# histograms, and replication / anti-entropy / hint-drain rounds must
+# each leave a trace-id-bearing event in the flight recorder. Run via
 # `make serve-smoke` or directly from the repo root.
 set -euo pipefail
 
@@ -137,6 +145,46 @@ echo "cluster-smoke: peek hit served cross-node ($net_secs modeled network secon
 curl -sf "http://${addrs[$owner]}/metrics" >"$workdir/owner.prom"
 grep -q '^gpmetisd_jobs_completed 1$' "$workdir/owner.prom" || { echo "cluster-smoke: FAIL the owner reran a cached job"; exit 1; }
 
+# The federated fleet view on any node must list all three members up.
+curl -sf "http://${addrs[$entry]}/admin/cluster/status.json" >"$workdir/fleet.json"
+ups="$(grep -o '"up":true' "$workdir/fleet.json" | wc -l)"
+[[ "$ups" -eq 3 ]] || { cat "$workdir/fleet.json"; echo "cluster-smoke: FAIL fleet view reports $ups nodes up, want 3"; exit 1; }
+echo "cluster-smoke: fleet view lists all 3 nodes up"
+
+# A job that enters at a non-owner must yield ONE stitched trace: the
+# entry's spans plus the owner's remote spans under distinct pids.
+# Digest ownership depends on k, so hunt a k that node $entry does not
+# own (each k forwards with probability ~2/3).
+echo "cluster-smoke: hunting a forwarded job for the stitched trace"
+stitched=""
+pidn=0
+for kk in 5 7 9 11 13 15; do
+    "$workdir/gpmetis" -cluster "${addrs[$entry]}" -k "$kk" -json \
+        -trace "$workdir/stitch.trace.json" -o "$workdir/stitch.part" \
+        "$workdir/smoke.metis" >"$workdir/stitch.json"
+    pidn="$(grep -o '"pid": *[0-9]*' "$workdir/stitch.trace.json" | tr -d ' ' | sort -u | wc -l)"
+    if (( pidn >= 2 )); then stitched=$kk; break; fi
+done
+[[ -n "$stitched" ]] || { echo "cluster-smoke: FAIL no k in six tries forwarded off node $entry; trace never stitched"; exit 1; }
+grep -q 'cluster-forward' "$workdir/stitch.trace.json" || { echo "cluster-smoke: FAIL stitched trace lacks the cluster-forward span"; exit 1; }
+echo "cluster-smoke: stitched trace spans $pidn processes (k=$stitched)"
+
+# The forward must land in the entry's per-peer RPC histograms, and the
+# owner's replica push must appear as a trace-id-bearing event plus a
+# replica_put observation.
+curl -sf "http://${addrs[$entry]}/metrics" >"$workdir/entry3.prom"
+grep -q 'gpmetisd_cluster_rpc_seconds_bucket{' "$workdir/entry3.prom" || { echo "cluster-smoke: FAIL entry exposes no cluster RPC histograms"; exit 1; }
+fwd="$(sed -n 's/^gpmetisd_cluster_rpc_seconds_count{[^}]*rpc="forward"} \([0-9]*\)$/\1/p' "$workdir/entry3.prom" | awk '{s+=$1} END {print s+0}')"
+(( fwd >= 1 )) || { grep ^gpmetisd_cluster_rpc "$workdir/entry3.prom"; echo "cluster-smoke: FAIL entry observed no forward RPC in the histograms"; exit 1; }
+curl -sf "http://${addrs[$owner]}/metrics" >"$workdir/owner3.prom"
+rput="$(sed -n 's/^gpmetisd_cluster_rpc_seconds_count{[^}]*rpc="replica_put"} \([0-9]*\)$/\1/p' "$workdir/owner3.prom" | awk '{s+=$1} END {print s+0}')"
+(( rput >= 1 )) || { grep ^gpmetisd_cluster_rpc "$workdir/owner3.prom"; echo "cluster-smoke: FAIL owner observed no replica_put RPC in the histograms"; exit 1; }
+curl -sf "http://${addrs[$owner]}/admin/events" >"$workdir/owner.events.json"
+rep_ev="$(grep -o '{[^{}]*"type":"cluster_replicate"[^{}]*}' "$workdir/owner.events.json" | head -1)"
+[[ -n "$rep_ev" ]] || { echo "cluster-smoke: FAIL owner recorded no cluster_replicate event"; exit 1; }
+grep -q '"trace_id":"' <<<"$rep_ev" || { echo "cluster-smoke: FAIL cluster_replicate event carries no trace_id: $rep_ev"; exit 1; }
+echo "cluster-smoke: forward + replica_put observed in RPC histograms; replication event carries a trace"
+
 echo "cluster-smoke: SIGKILLing owner node $owner"
 kill -9 "${pids[$owner]}"
 wait "${pids[$owner]}" 2>/dev/null || true
@@ -146,6 +194,10 @@ pids[$owner]=""
 # submission is a cache hit on a survivor — bit-identical, never
 # recomputed — and the entry accounts the failover.
 survivor=$(( (owner + 2) % 3 ))
+# The stitch hunt above ran real jobs on the survivors, so compare
+# their completion counters against a baseline rather than zero.
+jc_entry_before="$(curl -sf "http://${addrs[$entry]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
+jc_surv_before="$(curl -sf "http://${addrs[$survivor]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
 echo "cluster-smoke: resubmitting with the owner dead (entry $entry, survivor $survivor)"
 "$workdir/gpmetis" -cluster "${addrs[$entry]},${addrs[$survivor]}" -k 16 -json \
     -o "$workdir/run3.part" "$workdir/smoke.metis" >"$workdir/run3.json"
@@ -155,10 +207,10 @@ cmp -s "$workdir/run1.part" "$workdir/run3.part" || { echo "cluster-smoke: FAIL 
 
 # Neither survivor may have rerun the job: the replica answered it.
 # (The counter registers lazily, so an absent line also means zero.)
-for i in "$entry" "$survivor"; do
-    jc="$(curl -sf "http://${addrs[$i]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
-    [[ -z "$jc" || "$jc" -eq 0 ]] || { echo "cluster-smoke: FAIL survivor $i recomputed a replicated job (jobs_completed=$jc)"; exit 1; }
-done
+jc="$(curl -sf "http://${addrs[$entry]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
+[[ "${jc:-0}" -eq "${jc_entry_before:-0}" ]] || { echo "cluster-smoke: FAIL entry $entry recomputed a replicated job (jobs_completed ${jc_entry_before:-0} -> ${jc:-0})"; exit 1; }
+jc="$(curl -sf "http://${addrs[$survivor]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
+[[ "${jc:-0}" -eq "${jc_surv_before:-0}" ]] || { echo "cluster-smoke: FAIL survivor $survivor recomputed a replicated job (jobs_completed ${jc_surv_before:-0} -> ${jc:-0})"; exit 1; }
 
 curl -sf "http://${addrs[$entry]}/metrics" >"$workdir/entry2.prom"
 failovers="$(sed -n 's/^gpmetisd_cluster_failovers_total \([0-9]*\).*/\1/p' "$workdir/entry2.prom")"
@@ -174,6 +226,26 @@ while (( SECONDS < deadline )); do
 done
 [[ -n "$down" ]] || { echo "cluster-smoke: FAIL the dead owner was never marked down"; exit 1; }
 echo "cluster-smoke: dead owner quarantined by health probes"
+
+# With the owner dead, hunt a job whose RF=2 preference list includes
+# it: the computing survivor must record a handoff hint instead of a
+# replica push (each k lands on the dead node with probability ~2/3).
+echo "cluster-smoke: planting a hinted handoff for the dead owner"
+hinted=""
+for kk in 6 10 14 18 22 26; do
+    "$workdir/gpmetis" -cluster "${addrs[$entry]},${addrs[$survivor]}" -k "$kk" -json \
+        -o "$workdir/hint.part" "$workdir/smoke.metis" >"$workdir/hint.json"
+    for _ in $(seq 1 10); do
+        for i in "$entry" "$survivor"; do
+            h="$(curl -sf "http://${addrs[$i]}/metrics" | sed -n 's/^gpmetisd_cluster_handoff_hints_outstanding \([0-9]*\).*/\1/p')"
+            if [[ -n "$h" && "$h" -ge 1 ]]; then hinted=$i; break 2; fi
+        done
+        sleep 0.1
+    done
+    [[ -n "$hinted" ]] && break
+done
+[[ -n "$hinted" ]] || { echo "cluster-smoke: FAIL no k in six tries replicated toward the dead owner; no hint recorded"; exit 1; }
+echo "cluster-smoke: node $hinted holds a hint for the dead owner"
 
 # Restart the owner from nothing on the same address: rejoin catch-up
 # must pull the entries it owns back from its replicas.
@@ -195,7 +267,7 @@ caught_up=""
 while (( SECONDS < deadline )); do
     curl -sf "http://${addrs[$owner]}/metrics" >"$workdir/owner2.prom" 2>/dev/null || { sleep 0.2; continue; }
     pulled="$(sed -n 's/^gpmetisd_cluster_repair_pulled \([0-9]*\).*/\1/p' "$workdir/owner2.prom")"
-    if [[ -n "$pulled" && "$pulled" -ge 1 ]] && grep -q '^gpmetisd_cache_entries 1$' "$workdir/owner2.prom"; then
+    if [[ -n "$pulled" && "$pulled" -ge 1 ]] && grep -q '^gpmetisd_cache_entries [1-9]' "$workdir/owner2.prom"; then
         caught_up=1
         break
     fi
@@ -203,6 +275,16 @@ while (( SECONDS < deadline )); do
 done
 [[ -n "$caught_up" ]] || { grep -E '^gpmetisd_(cluster_|cache_)' "$workdir/owner2.prom" || true; echo "cluster-smoke: FAIL restarted owner never pulled its entries back"; exit 1; }
 echo "cluster-smoke: rejoin catch-up restored the owner's cache (repair_pulled=$pulled)"
+
+# The catch-up round itself must be observable: a summary RPC in the
+# restarted owner's histograms and a trace-id-bearing repair event.
+sumc="$(sed -n 's/^gpmetisd_cluster_rpc_seconds_count{[^}]*rpc="summary"} \([0-9]*\)$/\1/p' "$workdir/owner2.prom" | awk '{s+=$1} END {print s+0}')"
+(( sumc >= 1 )) || { grep ^gpmetisd_cluster_rpc "$workdir/owner2.prom"; echo "cluster-smoke: FAIL restarted owner observed no anti-entropy summary RPC"; exit 1; }
+curl -sf "http://${addrs[$owner]}/admin/events" >"$workdir/owner.rejoin.events.json"
+rep_ev="$(grep -o '{[^{}]*"type":"cluster_repair"[^{}]*}' "$workdir/owner.rejoin.events.json" | head -1)"
+[[ -n "$rep_ev" ]] || { echo "cluster-smoke: FAIL restarted owner recorded no cluster_repair event"; exit 1; }
+grep -q '"trace_id":"' <<<"$rep_ev" || { echo "cluster-smoke: FAIL cluster_repair event carries no trace_id: $rep_ev"; exit 1; }
+echo "cluster-smoke: anti-entropy catch-up traced (summary RPCs observed, repair event carries a trace)"
 
 # The restarted owner now serves its digest locally, with no recompute.
 "$workdir/gpmetis" -cluster "${addrs[$owner]}" -k 16 -json -o "$workdir/run4.part" \
@@ -212,12 +294,28 @@ cmp -s "$workdir/run1.part" "$workdir/run4.part" || { echo "cluster-smoke: FAIL 
 jc="$(curl -sf "http://${addrs[$owner]}/metrics" | sed -n 's/^gpmetisd_jobs_completed \([0-9]*\).*/\1/p')"
 [[ -z "$jc" || "$jc" -eq 0 ]] || { echo "cluster-smoke: FAIL restarted owner recomputed a repaired job (jobs_completed=$jc)"; exit 1; }
 
-# No hints may be left outstanding anywhere once the ring is whole.
-for i in 0 1 2; do
-    curl -sf "http://${addrs[$i]}/metrics" | grep -q '^gpmetisd_cluster_handoff_hints_outstanding 0$' \
-        || { echo "cluster-smoke: FAIL node $i still holds undelivered hints"; exit 1; }
+# The planted hint must drain back to the restarted owner once probes
+# reinstate it: no hints left anywhere, a traced hint-drain event on
+# the hinted node, and handoff_put observations in its histograms.
+deadline=$((SECONDS + 15))
+drained=""
+while (( SECONDS < deadline )); do
+    left=0
+    for i in 0 1 2; do
+        h="$(curl -sf "http://${addrs[$i]}/metrics" | sed -n 's/^gpmetisd_cluster_handoff_hints_outstanding \([0-9]*\).*/\1/p')"
+        left=$((left + ${h:-0}))
+    done
+    if (( left == 0 )); then drained=1; break; fi
+    sleep 0.2
 done
-echo "cluster-smoke: owner back to full replica duty, no hints outstanding"
+[[ -n "$drained" ]] || { echo "cluster-smoke: FAIL $left hints still undelivered with the ring whole"; exit 1; }
+curl -sf "http://${addrs[$hinted]}/admin/events" >"$workdir/hinted.events.json"
+hint_ev="$(grep -o '{[^{}]*"type":"cluster_hint_drained"[^{}]*}' "$workdir/hinted.events.json" | head -1)"
+[[ -n "$hint_ev" ]] || { echo "cluster-smoke: FAIL node $hinted recorded no cluster_hint_drained event"; exit 1; }
+grep -q '"trace_id":"' <<<"$hint_ev" || { echo "cluster-smoke: FAIL cluster_hint_drained event carries no trace_id: $hint_ev"; exit 1; }
+hput="$(curl -sf "http://${addrs[$hinted]}/metrics" | sed -n 's/^gpmetisd_cluster_rpc_seconds_count{[^}]*rpc="handoff_put"} \([0-9]*\)$/\1/p' | awk '{s+=$1} END {print s+0}')"
+(( hput >= 1 )) || { echo "cluster-smoke: FAIL node $hinted observed no handoff_put RPC in the histograms"; exit 1; }
+echo "cluster-smoke: hint drained to the restarted owner (traced event + handoff_put observed), no hints outstanding"
 
 for i in 0 1 2; do
     [[ -n "${pids[$i]}" ]] && kill "${pids[$i]}" 2>/dev/null || true
